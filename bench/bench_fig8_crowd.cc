@@ -1,0 +1,137 @@
+// Figure 8 reproduction: crowd-level statistics. For every user, the
+// collector estimates the subsequence mean; the metric is the Wasserstein
+// distance between the distribution of estimated means and the
+// distribution of true means across the population.
+//   (a)-(d): non-sampling algorithms on Taxi and Power, w = q in {10, 30};
+//   (e)-(h): sampling algorithms on Taxi, (w, q) grids.
+#include <algorithm>
+#include <iostream>
+
+#include "core/check.h"
+
+#include "algorithms/ba_sw.h"
+#include "algorithms/sampling.h"
+#include "analysis/crowd.h"
+#include "analysis/empirical.h"
+#include "harness/experiments.h"
+#include "harness/flags.h"
+#include "harness/table.h"
+
+namespace capp::bench {
+namespace {
+
+double RunCrowdCell(const Dataset& dataset, const PerturberFactory& factory,
+                    int q, const BenchFlags& flags, uint64_t seed) {
+  auto collector = StreamCollector::Create();
+  CAPP_CHECK(collector.ok());
+  double total = 0.0;
+  for (int trial = 0; trial < flags.trials; ++trial) {
+    Rng rng(seed + static_cast<uint64_t>(trial) * 7919);
+    // Random subsequence start shared by all users in this trial.
+    const size_t len = dataset.users[0].size();
+    const size_t max_start = len - static_cast<size_t>(q);
+    const size_t begin = max_start == 0 ? 0 : rng.UniformInt(max_start + 1);
+    auto crowd = EstimateCrowdMeans(dataset.users, begin,
+                                    static_cast<size_t>(q), factory,
+                                    *collector, rng);
+    CAPP_CHECK(crowd.ok());
+    total += Wasserstein1(crowd->estimated_means, crowd->true_means);
+  }
+  return total / flags.trials;
+}
+
+// Paper budget mode with a moderate n_s = ceil(q/3), matching the Fig. 6/7
+// benches (the sound Eq.-12 selector degenerates to a single upload here;
+// see EXPERIMENTS.md).
+PerturberFactory SamplingFactory(PpKind kind, double eps, int w, int q) {
+  return [kind, eps, w, q]() -> Result<std::unique_ptr<StreamPerturber>> {
+    SamplingOptions options{{eps, w}, std::max(1, (q + 2) / 3)};
+    options.full_budget_per_upload = true;
+    CAPP_ASSIGN_OR_RETURN(auto p, PpSampler::Create(options, kind));
+    return std::unique_ptr<StreamPerturber>(std::move(p));
+  };
+}
+
+int Run(int argc, char** argv) {
+  const BenchFlags flags = ParseFlags(argc, argv);
+
+  std::cout << "=== Figure 8: Wasserstein distance of user-mean "
+               "distributions ===\n\n";
+
+  // (a)-(d): non-sampling algorithms.
+  struct NonSamplingConfig {
+    const char* dataset;
+    int w;
+  };
+  const NonSamplingConfig part1[] = {
+      {"taxi", 10}, {"taxi", 30}, {"power", 10}, {"power", 30}};
+  for (const auto& config : part1) {
+    const Dataset& dataset = CachedDataset(config.dataset);
+    TablePrinter table(
+        {"eps", "sw-direct", "ba-sw", "ipp", "app", "capp"});
+    for (double eps : EpsilonGrid(flags)) {
+      const uint64_t seed =
+          CellSeed(flags.seed, dataset.name, config.w, eps, config.w);
+      std::vector<std::string> row = {FormatFixed(eps, 1)};
+      for (AlgorithmKind kind :
+           {AlgorithmKind::kSwDirect, AlgorithmKind::kBaSw,
+            AlgorithmKind::kIpp, AlgorithmKind::kApp,
+            AlgorithmKind::kCapp}) {
+        row.push_back(FormatSci(RunCrowdCell(
+            dataset, MakeFactory(kind, eps, config.w, true), config.w,
+            flags, seed)));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::cout << "--- dataset=" << dataset.name << "  w=q=" << config.w
+              << "  (non-sampling) ---\n";
+    table.Print(std::cout);
+    std::cout << '\n';
+    if (!flags.csv_path.empty()) {
+      CAPP_CHECK(table.WriteCsv(flags.csv_path).ok());
+    }
+  }
+
+  // (e)-(h): sampling algorithms on Taxi.
+  struct SamplingConfig {
+    int w;
+    int q;
+  };
+  const SamplingConfig part2[] = {{20, 10}, {20, 30}, {30, 10}, {30, 40}};
+  const Dataset& taxi = CachedDataset("taxi");
+  for (const auto& config : part2) {
+    TablePrinter table({"eps", "sw-direct", "app", "capp", "sampling",
+                        "app-s", "capp-s"});
+    for (double eps : EpsilonGrid(flags)) {
+      const uint64_t seed =
+          CellSeed(flags.seed, taxi.name, config.w, eps, config.q);
+      std::vector<std::string> row = {FormatFixed(eps, 1)};
+      for (AlgorithmKind kind :
+           {AlgorithmKind::kSwDirect, AlgorithmKind::kApp,
+            AlgorithmKind::kCapp}) {
+        row.push_back(FormatSci(
+            RunCrowdCell(taxi, MakeFactory(kind, eps, config.w, true),
+                         config.q, flags, seed)));
+      }
+      for (PpKind kind : {PpKind::kDirect, PpKind::kApp, PpKind::kCapp}) {
+        row.push_back(FormatSci(
+            RunCrowdCell(taxi, SamplingFactory(kind, eps, config.w, config.q),
+                         config.q, flags, seed)));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::cout << "--- dataset=" << taxi.name << "  w=" << config.w
+              << "  q=" << config.q << "  (sampling) ---\n";
+    table.Print(std::cout);
+    std::cout << '\n';
+    if (!flags.csv_path.empty()) {
+      CAPP_CHECK(table.WriteCsv(flags.csv_path).ok());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace capp::bench
+
+int main(int argc, char** argv) { return capp::bench::Run(argc, argv); }

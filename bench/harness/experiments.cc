@@ -1,0 +1,77 @@
+#include "harness/experiments.h"
+
+#include <map>
+#include <mutex>
+
+#include "algorithms/ba_sw.h"
+#include "core/check.h"
+
+namespace capp::bench {
+
+const Dataset& CachedDataset(const std::string& name) {
+  static std::map<std::string, Dataset>* cache =
+      new std::map<std::string, Dataset>();
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache->find(name);
+  if (it == cache->end()) {
+    auto ds = DatasetByName(name);
+    CAPP_CHECK(ds.ok());
+    it = cache->emplace(name, std::move(ds).value()).first;
+  }
+  return it->second;
+}
+
+PerturberFactory MakeFactory(AlgorithmKind kind, double epsilon, int window,
+                             bool multi_user) {
+  if (kind == AlgorithmKind::kBaSw && multi_user) {
+    return [epsilon, window]() -> Result<std::unique_ptr<StreamPerturber>> {
+      BaSwOptions options{{epsilon, window}, 0.5,
+                          BaSwDecisionMode::kPopulationCoordinated};
+      CAPP_ASSIGN_OR_RETURN(auto p, BaSw::Create(options));
+      return std::unique_ptr<StreamPerturber>(std::move(p));
+    };
+  }
+  return [kind, epsilon, window] {
+    return CreatePerturber(kind, {epsilon, window});
+  };
+}
+
+EvalOptions MakeEvalOptions(const BenchFlags& flags, int query_length,
+                            uint64_t cell_seed) {
+  EvalOptions options;
+  options.query_length = query_length;
+  options.num_subsequences = flags.subsequences;
+  options.trials = flags.trials;
+  options.smoothing_window = 0;  // paper protocol: algorithm's own window
+  options.seed = cell_seed;
+  return options;
+}
+
+UtilityReport RunUtilityCell(const Dataset& dataset, AlgorithmKind kind,
+                             double epsilon, int window, int query_length,
+                             const BenchFlags& flags) {
+  const uint64_t seed =
+      CellSeed(flags.seed, dataset.name, window, epsilon, query_length);
+  const PerturberFactory factory =
+      MakeFactory(kind, epsilon, window, !dataset.single_user());
+  const EvalOptions options = MakeEvalOptions(flags, query_length, seed);
+  Result<UtilityReport> report =
+      dataset.single_user()
+          ? EvaluateStreamUtility(dataset.stream(), factory, options)
+          : EvaluateDatasetUtility(dataset.users, factory, options);
+  CAPP_CHECK(report.ok());
+  return *report;
+}
+
+uint64_t CellSeed(uint64_t base, const std::string& dataset, int window,
+                  double epsilon, int query_length) {
+  uint64_t h = base * 0x9E3779B97F4A7C15ULL + 0x1234;
+  for (char c : dataset) h = h * 1099511628211ULL + static_cast<uint8_t>(c);
+  h = h * 1099511628211ULL + static_cast<uint64_t>(window);
+  h = h * 1099511628211ULL + static_cast<uint64_t>(epsilon * 1000.0);
+  h = h * 1099511628211ULL + static_cast<uint64_t>(query_length);
+  return h;
+}
+
+}  // namespace capp::bench

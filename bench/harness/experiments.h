@@ -1,0 +1,42 @@
+// Shared experiment runners for the figure benchmarks: dataset caching,
+// algorithm factories (with the BA-SW population mode applied on multi-user
+// datasets, matching the LDP-IDS setting), and utility evaluation.
+#ifndef CAPP_BENCH_HARNESS_EXPERIMENTS_H_
+#define CAPP_BENCH_HARNESS_EXPERIMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "algorithms/factory.h"
+#include "analysis/evaluation.h"
+#include "data/datasets.h"
+#include "harness/flags.h"
+
+namespace capp::bench {
+
+/// Returns the named simulated dataset, cached across calls (generation of
+/// the 20k-point Volume stand-in is not free).
+const Dataset& CachedDataset(const std::string& name);
+
+/// Builds a fresh-perturber factory for one experiment cell. On multi-user
+/// datasets BA-SW uses the population-coordinated decision mode.
+PerturberFactory MakeFactory(AlgorithmKind kind, double epsilon, int window,
+                             bool multi_user);
+
+/// Evaluation options from benchmark flags.
+EvalOptions MakeEvalOptions(const BenchFlags& flags, int query_length,
+                            uint64_t cell_seed);
+
+/// Runs the standard utility protocol for one (dataset, algorithm, eps, w,
+/// q) cell, dispatching to the single- or multi-user evaluator.
+UtilityReport RunUtilityCell(const Dataset& dataset, AlgorithmKind kind,
+                             double epsilon, int window, int query_length,
+                             const BenchFlags& flags);
+
+/// Deterministic per-cell seed derived from the flag seed and cell labels.
+uint64_t CellSeed(uint64_t base, const std::string& dataset, int window,
+                  double epsilon, int query_length);
+
+}  // namespace capp::bench
+
+#endif  // CAPP_BENCH_HARNESS_EXPERIMENTS_H_

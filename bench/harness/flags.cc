@@ -1,0 +1,56 @@
+#include "harness/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace capp::bench {
+namespace {
+
+bool ConsumePrefix(std::string_view arg, std::string_view prefix,
+                   std::string_view* rest) {
+  if (arg.substr(0, prefix.size()) != prefix) return false;
+  *rest = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+BenchFlags ParseFlags(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string_view value;
+    if (arg == "--quick") {
+      flags.quick = true;
+      flags.trials = 4;
+      flags.subsequences = 15;
+    } else if (ConsumePrefix(arg, "--trials=", &value)) {
+      flags.trials = std::atoi(std::string(value).c_str());
+    } else if (ConsumePrefix(arg, "--subsequences=", &value)) {
+      flags.subsequences = std::atoi(std::string(value).c_str());
+    } else if (ConsumePrefix(arg, "--csv=", &value)) {
+      flags.csv_path = std::string(value);
+    } else if (ConsumePrefix(arg, "--seed=", &value)) {
+      flags.seed = std::strtoull(std::string(value).c_str(), nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "flags: --trials=N --subsequences=N --quick --csv=PATH "
+                   "--seed=N\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", std::string(arg).c_str());
+      std::exit(2);
+    }
+  }
+  if (flags.trials < 1) flags.trials = 1;
+  if (flags.subsequences < 1) flags.subsequences = 1;
+  return flags;
+}
+
+std::vector<double> EpsilonGrid(const BenchFlags& flags) {
+  if (flags.quick) return {0.5, 1.5, 3.0};
+  return {0.5, 1.0, 1.5, 2.0, 2.5, 3.0};
+}
+
+}  // namespace capp::bench

@@ -1,0 +1,35 @@
+// Minimal command-line flags shared by all figure benchmarks.
+//
+//   --trials=N         evaluation repetitions per cell (default 10)
+//   --subsequences=N   random subsequences per trial (default 30)
+//   --quick            coarser epsilon grids, fewer trials (CI smoke mode)
+//   --csv=PATH         also append results as CSV to PATH
+//   --seed=N           protocol seed
+#ifndef CAPP_BENCH_HARNESS_FLAGS_H_
+#define CAPP_BENCH_HARNESS_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace capp::bench {
+
+/// Parsed benchmark flags.
+struct BenchFlags {
+  int trials = 10;
+  int subsequences = 30;
+  bool quick = false;
+  std::string csv_path;  // empty = no CSV
+  uint64_t seed = 1;
+};
+
+/// Parses flags; unknown flags abort with a usage message.
+BenchFlags ParseFlags(int argc, char** argv);
+
+/// The paper's epsilon grid 0.5..3.0 (step 0.5), or a coarse subset in
+/// quick mode.
+std::vector<double> EpsilonGrid(const BenchFlags& flags);
+
+}  // namespace capp::bench
+
+#endif  // CAPP_BENCH_HARNESS_FLAGS_H_

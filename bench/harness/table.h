@@ -1,0 +1,43 @@
+// Aligned-table printing and CSV export for the figure/table benchmarks.
+#ifndef CAPP_BENCH_HARNESS_TABLE_H_
+#define CAPP_BENCH_HARNESS_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace capp::bench {
+
+/// Collects rows of strings and prints them with aligned columns, in the
+/// style of the paper's tables (one block per subfigure).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Prints the aligned table.
+  void Print(std::ostream& os) const;
+
+  /// Appends the table as CSV (with header) to `path`.
+  Status WriteCsv(const std::string& path) const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Scientific formatting matching the paper's axis labels (e.g. 1.2e-02).
+std::string FormatSci(double v);
+
+/// Fixed formatting with `digits` decimals.
+std::string FormatFixed(double v, int digits = 3);
+
+}  // namespace capp::bench
+
+#endif  // CAPP_BENCH_HARNESS_TABLE_H_

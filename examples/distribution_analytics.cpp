@@ -1,0 +1,98 @@
+// Population distribution analytics: the collector reconstructs the
+// *distribution* of the population's values (not just means) from Square
+// Wave reports using the EM/MLE estimator (Section II-C of the paper), and
+// tracks per-slot population means with debiasing. This is the crowd-level
+// analytics path of analysis/reconstruction.h.
+//
+//   $ ./distribution_analytics [users] [epsilon]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/reconstruction.h"
+#include "core/math_utils.h"
+#include "core/rng.h"
+#include "data/generators.h"
+#include "mechanisms/square_wave.h"
+
+int main(int argc, char** argv) {
+  const size_t users = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000;
+  // Per-slot budget eps/w = 0.8 by default: SW's high-probability band
+  // then covers ~60% of the domain and the deconvolution is
+  // well-conditioned. Below ~eps/w = 0.3 the band spans nearly the whole
+  // domain and a near-uniform reconstruction IS the regularized MLE.
+  const double epsilon = argc > 2 ? std::atof(argv[2]) : 8.0;
+  const int window = 10;
+  const size_t slots = 20;
+  const double eps_slot = epsilon / window;
+
+  // Population: two behavioral clusters (e.g., commuters vs night workers).
+  capp::Rng rng(2718);
+  std::vector<std::vector<double>> truth(users);
+  for (size_t u = 0; u < users; ++u) {
+    capp::Rng user_rng = rng.Fork();
+    const double center = (u % 2 == 0) ? 0.25 : 0.75;
+    for (size_t t = 0; t < slots; ++t) {
+      truth[u].push_back(
+          capp::Clamp(user_rng.Gaussian(center, 0.05), 0.0, 1.0));
+    }
+  }
+
+  // User side: per-slot SW perturbation at eps/w.
+  auto sw = capp::SquareWave::Create(eps_slot);
+  if (!sw.ok()) {
+    std::fprintf(stderr, "%s\n", sw.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::vector<double>> reports(slots);
+  for (size_t t = 0; t < slots; ++t) {
+    for (size_t u = 0; u < users; ++u) {
+      reports[t].push_back(sw->Perturb(truth[u][t], rng));
+    }
+  }
+
+  // Collector side: debiased per-slot means + windowed distribution.
+  capp::PopulationEstimatorOptions options;
+  options.epsilon_per_slot = eps_slot;
+  options.debias_mean = true;
+  options.histogram_buckets = 20;
+  auto estimator = capp::PopulationEstimator::Create(options);
+  if (!estimator.ok()) return 1;
+
+  const auto slot_means = estimator->EstimateSlotMeans(reports);
+  double true_mean = 0.0;
+  for (const auto& stream : truth) true_mean += capp::Mean(stream);
+  true_mean /= users;
+  std::printf("Population of %zu users, %d-event LDP, eps=%.2f\n\n", users,
+              window, epsilon);
+  std::printf("true population mean      = %.4f\n", true_mean);
+  std::printf("estimated (slot-averaged) = %.4f\n\n",
+              capp::Mean(slot_means));
+
+  auto hist = estimator->EstimateWindowDistribution(reports, 0, slots);
+  if (!hist.ok()) return 1;
+  // True histogram for comparison.
+  std::vector<double> true_hist(20, 0.0);
+  size_t count = 0;
+  for (const auto& stream : truth) {
+    for (double x : stream) {
+      int bucket = static_cast<int>(x * 20.0);
+      if (bucket > 19) bucket = 19;
+      true_hist[bucket] += 1.0;
+      ++count;
+    }
+  }
+  for (double& h : true_hist) h /= static_cast<double>(count);
+
+  std::printf("reconstructed vs true distribution (bimodal clusters):\n");
+  std::printf("bucket   true    est\n");
+  for (int b = 0; b < 20; ++b) {
+    std::string bar(static_cast<size_t>((*hist)[b] * 200.0), '#');
+    std::printf("%.2f   %.3f   %.3f  %s\n", (b + 0.5) / 20.0, true_hist[b],
+                (*hist)[b], bar.c_str());
+  }
+  std::printf("\n(both modes of the population should be visible in the "
+              "reconstruction)\n");
+  return 0;
+}

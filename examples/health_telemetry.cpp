@@ -1,0 +1,87 @@
+// Tele-health crowd statistics: each patient streams a vital sign from a
+// wearable; the analyst wants the *distribution* of per-patient averages
+// over a monitoring window (the paper's crowd-level task, Fig. 8) without
+// any patient revealing their raw series. Compares SW-direct, CAPP, and
+// CAPP-S on a simulated patient population.
+//
+//   $ ./health_telemetry [patients] [epsilon]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "algorithms/factory.h"
+#include "analysis/crowd.h"
+#include "analysis/empirical.h"
+#include "core/math_utils.h"
+#include "core/rng.h"
+#include "data/generators.h"
+#include "stream/collector.h"
+
+namespace {
+
+// Simulated resting-heart-rate-like streams: per-patient baseline with slow
+// mean-reverting drift, normalized to [0,1].
+std::vector<std::vector<double>> SimulatePatients(size_t n, size_t len,
+                                                  uint64_t seed) {
+  capp::Rng rng(seed);
+  std::vector<std::vector<double>> patients;
+  patients.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    capp::Rng patient_rng = rng.Fork();
+    const double baseline = capp::Clamp(rng.Gaussian(0.45, 0.12), 0.1, 0.9);
+    auto series = capp::OrnsteinUhlenbeckSeries(len, 0.08, baseline, 0.02,
+                                                baseline, patient_rng);
+    for (double& v : series) v = capp::Clamp(v, 0.0, 1.0);
+    patients.push_back(std::move(series));
+  }
+  return patients;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t patients = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                   : 300;
+  const double epsilon = argc > 2 ? std::atof(argv[2]) : 2.0;
+  const int window = 30;
+  const size_t monitoring_start = 10;
+  const size_t monitoring_len = 30;
+
+  const auto population = SimulatePatients(patients, 60, 99);
+  auto collector = capp::StreamCollector::Create();
+  if (!collector.ok()) return 1;
+
+  std::printf("Tele-health: %zu patients, %d-event LDP, eps=%.2f, "
+              "monitoring window of %zu readings\n\n",
+              patients, window, epsilon, monitoring_len);
+  std::printf("%-10s  %16s  %16s\n", "algorithm", "wasserstein-dist",
+              "ks-distance");
+
+  for (capp::AlgorithmKind kind :
+       {capp::AlgorithmKind::kSwDirect, capp::AlgorithmKind::kCapp,
+        capp::AlgorithmKind::kCappS}) {
+    capp::Rng rng(41);
+    auto crowd = capp::EstimateCrowdMeans(
+        population, monitoring_start, monitoring_len,
+        [kind, epsilon] {
+          return capp::CreatePerturber(kind, {epsilon, window});
+        },
+        *collector, rng);
+    if (!crowd.ok()) {
+      std::fprintf(stderr, "%s\n", crowd.status().ToString().c_str());
+      return 1;
+    }
+    auto est_cdf = capp::EmpiricalCdf::Create(crowd->estimated_means);
+    auto true_cdf = capp::EmpiricalCdf::Create(crowd->true_means);
+    if (!est_cdf.ok() || !true_cdf.ok()) return 1;
+    std::printf("%-10s  %16.5f  %16.5f\n",
+                std::string(capp::AlgorithmKindName(kind)).c_str(),
+                capp::Wasserstein1(crowd->estimated_means,
+                                   crowd->true_means),
+                capp::EmpiricalCdf::KsDistance(*est_cdf, *true_cdf));
+  }
+
+  std::printf("\n(smaller = the analyst's view of the population is closer "
+              "to the truth)\n");
+  return 0;
+}

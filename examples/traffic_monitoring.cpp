@@ -1,0 +1,86 @@
+// Traffic monitoring: the paper's motivating navigation-system scenario.
+// A roadside sensor streams hourly traffic volume; the operator wants the
+// published stream to track rush-hour structure without learning exact
+// readings. Compares SW-direct, APP, and CAPP side by side on the
+// simulated MNDoT Volume workload.
+//
+//   $ ./traffic_monitoring [epsilon] [window]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "algorithms/factory.h"
+#include "analysis/metrics.h"
+#include "core/math_utils.h"
+#include "core/rng.h"
+#include "data/datasets.h"
+#include "stream/collector.h"
+#include "stream/smoothing.h"
+
+int main(int argc, char** argv) {
+  const double epsilon = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const int window = argc > 2 ? std::atoi(argv[2]) : 24;  // one day
+
+  // Two weeks of hourly traffic volume (simulated; swap in real data with
+  // capp::LoadCsvColumn + capp::FitAndNormalize).
+  const capp::Dataset volume = capp::SimulatedVolume(24 * 14);
+  const std::vector<double>& truth = volume.stream();
+
+  auto collector = capp::StreamCollector::Create();
+  if (!collector.ok()) return 1;
+
+  std::printf("Traffic monitoring under %d-event LDP, eps=%.2f, %zu hourly "
+              "readings\n\n",
+              window, epsilon, truth.size());
+  std::printf("%-10s  %12s  %12s  %14s\n", "algorithm", "mean-error",
+              "cosine-dist", "pointwise-MSE");
+
+  for (capp::AlgorithmKind kind :
+       {capp::AlgorithmKind::kSwDirect, capp::AlgorithmKind::kApp,
+        capp::AlgorithmKind::kCapp}) {
+    auto perturber = capp::CreatePerturber(kind, {epsilon, window});
+    if (!perturber.ok()) {
+      std::fprintf(stderr, "%s\n", perturber.status().ToString().c_str());
+      return 1;
+    }
+    capp::Rng rng(2024);
+    const std::vector<double> reports =
+        (*perturber)->PerturbSequence(truth, rng);
+    // Publication follows each algorithm's own recipe: the PP algorithms
+    // smooth (SMA window 3), the direct baseline publishes raw reports.
+    auto smoothed = capp::SimpleMovingAverage(
+        reports, (*perturber)->publication_smoothing_window());
+    if (!smoothed.ok()) return 1;
+    const std::vector<double>& published = *smoothed;
+    const double mean_error =
+        collector->EstimateMean(reports) - capp::Mean(truth);
+    std::printf("%-10s  %+12.5f  %12.5f  %14.5f\n",
+                std::string((*perturber)->name()).c_str(), mean_error,
+                capp::CosineDistance(published, truth),
+                capp::Mse(published, truth));
+  }
+
+  // Show a publishable daily profile: average published value per hour.
+  auto perturber = capp::CreatePerturber(capp::AlgorithmKind::kCapp,
+                                         {epsilon, window});
+  if (!perturber.ok()) return 1;
+  capp::Rng rng(2025);
+  const std::vector<double> reports =
+      (*perturber)->PerturbSequence(truth, rng);
+  const std::vector<double> published = collector->Publish(reports);
+  std::printf("\nCAPP daily profile (published vs true, averaged across "
+              "days):\n hour  true   published\n");
+  for (int hour = 0; hour < 24; ++hour) {
+    double t = 0.0, p = 0.0;
+    int days = 0;
+    for (size_t i = hour; i < truth.size(); i += 24) {
+      t += truth[i];
+      p += published[i];
+      ++days;
+    }
+    std::printf("  %2d   %.3f   %.3f\n", hour, t / days, p / days);
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "algorithms/ba_sw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "core/math_utils.h"
+
+namespace capp {
+
+Result<std::unique_ptr<BaSw>> BaSw::Create(BaSwOptions options) {
+  CAPP_RETURN_IF_ERROR(ValidatePerturberOptions(options.base));
+  if (options.dissimilarity_fraction <= 0.0 ||
+      options.dissimilarity_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "dissimilarity_fraction must be in (0, 1)");
+  }
+  return std::unique_ptr<BaSw>(new BaSw(
+      options.base, options.dissimilarity_fraction, options.decision_mode));
+}
+
+void BaSw::DoReset() {
+  banked_ = 0.0;
+  nullified_ = 0;
+  has_release_ = false;
+  last_release_ = 0.0;
+  skipped_ = 0;
+  published_ = 0;
+}
+
+double BaSw::DoProcessValue(double x, Rng& rng) {
+  x = Clamp(x, 0.0, 1.0);
+  const double allowance = eps_publish_slot();
+
+  // Nullified slots were pre-paid by an earlier absorbing publication;
+  // they must skip and contribute no new allowance.
+  if (nullified_ > 0) {
+    --nullified_;
+    ++skipped_;
+    // The dissimilarity budget is still spent every slot in LDP-IDS;
+    // keeping it uniform also keeps the ledger simple.
+    RecordSpend(eps_dissim_slot());
+    return has_release_ ? last_release_ : 0.5;
+  }
+
+  banked_ += allowance;
+  // Cap the bank at w allowances so one publication can never exceed the
+  // publication half of the window budget.
+  banked_ = std::min(banked_, options().epsilon - options().epsilon *
+                                  dissim_fraction_);
+
+  // Dissimilarity test (skipped for the very first slot, which always
+  // publishes): Laplace-perturbed |x - last_release| with sensitivity 1.
+  RecordSpend(eps_dissim_slot());
+  bool publish = true;
+  if (has_release_) {
+    // Local mode perturbs the dissimilarity (sensitivity 1 over [0,1]);
+    // population mode models the LDP-IDS large-n limit where the server's
+    // averaged estimate is noise-free (each user still pays eps_1/w).
+    const double noise = decision_mode_ == BaSwDecisionMode::kLocalLaplace
+                             ? rng.Laplace(1.0 / eps_dissim_slot())
+                             : 0.0;
+    const double noisy_dissim = std::fabs(x - last_release_) + noise;
+    // Expected error of publishing now with the banked budget: the standard
+    // deviation of SW at the banked budget (mid-domain input).
+    auto sw_or = SquareWave::Create(std::max(banked_, 1e-8));
+    CAPP_CHECK(sw_or.ok());
+    const double publish_error = std::sqrt(sw_or->OutputVariance(0.5));
+    publish = noisy_dissim > publish_error;
+  }
+
+  if (!publish) {
+    ++skipped_;
+    return last_release_;
+  }
+
+  // Publish with everything banked; nullify the slots whose allowances we
+  // consumed beyond our own.
+  const double eps_pub = banked_;
+  banked_ = 0.0;
+  const int multiples =
+      std::max(1, static_cast<int>(std::floor(eps_pub / allowance + 1e-9)));
+  nullified_ = multiples - 1;
+  RecordSpend(eps_pub);
+  auto sw_or = SquareWave::Create(eps_pub);
+  CAPP_CHECK(sw_or.ok());
+  const double report = sw_or->Perturb(x, rng);
+  last_release_ = report;
+  has_release_ = true;
+  ++published_;
+  return report;
+}
+
+}  // namespace capp

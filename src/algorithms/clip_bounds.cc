@@ -1,0 +1,101 @@
+#include "algorithms/clip_bounds.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+#include "core/math_utils.h"
+
+namespace capp {
+
+double SwSensitivityError(const SquareWave& sw) {
+  // Worst case x = 1 (the paper assumes unknown data and takes the maximum
+  // deviation between input and expected output).
+  return std::exp(1.0 - sw.OutputMean(1.0)) - 1.0;
+}
+
+double SwDiscardingError(const SquareWave& sw) {
+  // D_x = x - SW(x) at fixed x has Var(D_x) = Var(SW(x)).
+  return std::sqrt(sw.OutputVariance(1.0));
+}
+
+Result<ClipBounds> SelectClipBounds(double epsilon_per_slot) {
+  CAPP_ASSIGN_OR_RETURN(SquareWave sw, SquareWave::Create(epsilon_per_slot));
+  ClipBounds bounds;
+  bounds.sensitivity_error = SwSensitivityError(sw);
+  bounds.discarding_error = SwDiscardingError(sw);
+  bounds.raw_delta = bounds.sensitivity_error - bounds.discarding_error;
+  bounds.delta = Clamp(bounds.raw_delta, kMinDelta, kMaxDelta);
+  bounds.l = 0.0 - bounds.delta;
+  bounds.u = 1.0 + bounds.delta;
+  CAPP_DCHECK(bounds.u > bounds.l);
+  return bounds;
+}
+
+Result<ClipBounds> ClipBoundsFromDelta(double delta) {
+  if (!std::isfinite(delta) || delta <= -0.5) {
+    return Status::InvalidArgument(
+        "delta must be finite and > -0.5 (u - l = 1 + 2*delta must be > 0)");
+  }
+  ClipBounds bounds;
+  bounds.delta = delta;
+  bounds.raw_delta = delta;
+  bounds.l = 0.0 - delta;
+  bounds.u = 1.0 + delta;
+  return bounds;
+}
+
+Result<ClipBounds> SelectClipBoundsProxy(double epsilon_per_slot,
+                                         double lambda) {
+  if (!(lambda >= 0.0)) {
+    return Status::InvalidArgument("lambda must be >= 0");
+  }
+  CAPP_ASSIGN_OR_RETURN(SquareWave sw, SquareWave::Create(epsilon_per_slot));
+  const double mid_variance = sw.OutputVariance(0.5);
+  ClipBounds best;
+  double best_proxy = std::numeric_limits<double>::infinity();
+  // Grid over the paper's recommended stability band.
+  for (double delta = kMinDelta; delta <= kMaxDelta + 1e-9; delta += 0.05) {
+    const double width = 1.0 + 2.0 * delta;
+    const double truncation = delta < 0.0 ? -delta : 0.0;
+    const double proxy = width * width * mid_variance +
+                         lambda * 2.0 * truncation * truncation *
+                             truncation / 3.0;
+    if (proxy < best_proxy) {
+      best_proxy = proxy;
+      best.delta = delta;
+    }
+  }
+  best.raw_delta = best.delta;
+  best.sensitivity_error = SwSensitivityError(sw);
+  best.discarding_error = SwDiscardingError(sw);
+  best.l = 0.0 - best.delta;
+  best.u = 1.0 + best.delta;
+  return best;
+}
+
+double PaperExpectedDx(const SwParams& params, double x) {
+  const double b = params.b;
+  const double q = params.q;
+  return q * ((1.0 + 2.0 * b) * x - (b + 0.5));
+}
+
+double PaperVarDx(const SwParams& params) {
+  const double b = params.b;
+  const double p = params.p;
+  const double q = params.q;
+  // Section IV-B: Var(D_x) = 2b^3 p / 3 - b^2 q^2 + b^2 q - b q^2 + b q
+  //                          - q^2 / 4 + q / 3.
+  return 2.0 * b * b * b * p / 3.0 - b * b * q * q + b * b * q - b * q * q +
+         b * q - q * q / 4.0 + q / 3.0;
+}
+
+double PaperMuAtOne(const SwParams& params) {
+  const double b = params.b;
+  const double p = params.p;
+  const double q = params.q;
+  // Section V: mu = 2bp - bq + q/2.
+  return 2.0 * b * p - b * q + q / 2.0;
+}
+
+}  // namespace capp

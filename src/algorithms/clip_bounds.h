@@ -1,0 +1,76 @@
+// Closed-form selection of CAPP's clipping interval [l, u] (Section IV-B).
+//
+// CAPP trades two error sources against each other:
+//   * sensitivity error e_s: a wider interval dilutes the per-slot budget
+//     over a wider effective domain (more noise). The paper measures it as
+//     e_s = exp(x - E[SW(x)]) - 1 at the worst case x = 1.
+//   * discarding error e_d: a narrower interval discards accumulated-
+//     deviation information. Measured as the standard deviation of
+//     D_x = x - SW(x) at x = 1.
+// The interval is [l, u] = [0 - T, 1 + T] with T = e_s - e_d (Eq. 11).
+//
+// All moments are computed exactly from the SW output density (no
+// quadrature). The paper's printed closed forms are exposed separately;
+// unit tests confirm they agree with the exact integrals.
+#ifndef CAPP_ALGORITHMS_CLIP_BOUNDS_H_
+#define CAPP_ALGORITHMS_CLIP_BOUNDS_H_
+
+#include "core/status.h"
+#include "mechanisms/square_wave.h"
+
+namespace capp {
+
+/// A CAPP clipping interval and the error terms that produced it.
+struct ClipBounds {
+  double l = 0.0;                 ///< Lower clip bound (0 - delta).
+  double u = 1.0;                 ///< Upper clip bound (1 + delta).
+  double delta = 0.0;             ///< The applied widening T (possibly clamped).
+  double raw_delta = 0.0;         ///< Unclamped T = e_s - e_d.
+  double sensitivity_error = 0.0; ///< e_s at x = 1.
+  double discarding_error = 0.0;  ///< e_d at x = 1.
+};
+
+/// Paper's recommended stability range for delta (Section VI-D-4).
+inline constexpr double kMinDelta = -0.25;
+inline constexpr double kMaxDelta = 0.25;
+
+/// Sensitivity error e_s = exp(1 - E[SW(1)]) - 1 for the given mechanism.
+double SwSensitivityError(const SquareWave& sw);
+
+/// Discarding error e_d = sqrt(Var(SW(1))) for the given mechanism.
+double SwDiscardingError(const SquareWave& sw);
+
+/// Computes [l, u] for the per-slot budget `epsilon_per_slot`, clamping the
+/// widening into [kMinDelta, kMaxDelta] as the paper recommends.
+Result<ClipBounds> SelectClipBounds(double epsilon_per_slot);
+
+/// Builds bounds from an explicit delta (for the Fig. 11 sensitivity sweep).
+/// Requires delta > -0.5 so that u - l = 1 + 2*delta stays positive.
+Result<ClipBounds> ClipBoundsFromDelta(double delta);
+
+/// Library extension (beyond the paper): selects delta by minimizing an
+/// analytic proxy of the published-report error,
+///     proxy(delta) = (1+2*delta)^2 * Var[SW(1/2)]          (report noise)
+///                  + lambda * 2*max(0,-delta)^3 / 3        (clipping loss),
+/// where the clipping term is the expected squared truncation of inputs
+/// uniform on [0,1] against [l,u], weighted by `lambda` to account for the
+/// accumulated deviation inflating the effective input spread. The Fig. 11
+/// sweep shows this proxy tracks the empirical optimum (delta ~ -0.25 at
+/// stream budgets) more closely than Eq. 11's worst-case widening; see
+/// bench_ablation_bounds and EXPERIMENTS.md.
+Result<ClipBounds> SelectClipBoundsProxy(double epsilon_per_slot,
+                                         double lambda = 3.0);
+
+/// The paper's printed closed form for E[D_x] at input x (Section IV-B):
+/// E(D_x) = q((1+2b)x - (b + 1/2)).
+double PaperExpectedDx(const SwParams& params, double x);
+
+/// The paper's printed closed form for Var(D_x) at x = 1 (Section IV-B).
+double PaperVarDx(const SwParams& params);
+
+/// The paper's printed closed form for mu = E[SW(1)] (Section V).
+double PaperMuAtOne(const SwParams& params);
+
+}  // namespace capp
+
+#endif  // CAPP_ALGORITHMS_CLIP_BOUNDS_H_

@@ -1,0 +1,138 @@
+#include "algorithms/factory.h"
+
+#include "algorithms/app.h"
+#include "algorithms/ba_sw.h"
+#include "algorithms/capp.h"
+#include "algorithms/clip_bounds.h"
+#include "algorithms/ipp.h"
+#include "algorithms/sampling.h"
+#include "algorithms/sw_direct.h"
+#include "algorithms/topl.h"
+
+namespace capp {
+
+std::string_view AlgorithmKindName(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kSwDirect:
+      return "sw-direct";
+    case AlgorithmKind::kIpp:
+      return "ipp";
+    case AlgorithmKind::kApp:
+      return "app";
+    case AlgorithmKind::kCapp:
+      return "capp";
+    case AlgorithmKind::kBaSw:
+      return "ba-sw";
+    case AlgorithmKind::kTopl:
+      return "topl";
+    case AlgorithmKind::kSampling:
+      return "sampling";
+    case AlgorithmKind::kAppS:
+      return "app-s";
+    case AlgorithmKind::kCappS:
+      return "capp-s";
+  }
+  return "unknown";
+}
+
+Result<AlgorithmKind> ParseAlgorithmKind(std::string_view name) {
+  for (AlgorithmKind kind :
+       {AlgorithmKind::kSwDirect, AlgorithmKind::kIpp, AlgorithmKind::kApp,
+        AlgorithmKind::kCapp, AlgorithmKind::kBaSw, AlgorithmKind::kTopl,
+        AlgorithmKind::kSampling, AlgorithmKind::kAppS,
+        AlgorithmKind::kCappS}) {
+    if (AlgorithmKindName(kind) == name) return kind;
+  }
+  return Status::NotFound("unknown algorithm: " + std::string(name));
+}
+
+Result<std::unique_ptr<StreamPerturber>> CreatePerturber(
+    AlgorithmKind kind, PerturberOptions options) {
+  switch (kind) {
+    case AlgorithmKind::kSwDirect: {
+      CAPP_ASSIGN_OR_RETURN(auto p, MechanismDirect::Create(options));
+      return std::unique_ptr<StreamPerturber>(std::move(p));
+    }
+    case AlgorithmKind::kIpp: {
+      CAPP_ASSIGN_OR_RETURN(auto p, Ipp::Create(options));
+      return std::unique_ptr<StreamPerturber>(std::move(p));
+    }
+    case AlgorithmKind::kApp: {
+      CAPP_ASSIGN_OR_RETURN(auto p, App::Create(options));
+      return std::unique_ptr<StreamPerturber>(std::move(p));
+    }
+    case AlgorithmKind::kCapp: {
+      CAPP_ASSIGN_OR_RETURN(auto p, Capp::Create(options));
+      return std::unique_ptr<StreamPerturber>(std::move(p));
+    }
+    case AlgorithmKind::kBaSw: {
+      CAPP_ASSIGN_OR_RETURN(auto p, BaSw::Create(options));
+      return std::unique_ptr<StreamPerturber>(std::move(p));
+    }
+    case AlgorithmKind::kTopl: {
+      CAPP_ASSIGN_OR_RETURN(auto p, Topl::Create(options));
+      return std::unique_ptr<StreamPerturber>(std::move(p));
+    }
+    case AlgorithmKind::kSampling: {
+      CAPP_ASSIGN_OR_RETURN(
+          auto p, PpSampler::Create(SamplingOptions{options, std::nullopt},
+                                    PpKind::kDirect));
+      return std::unique_ptr<StreamPerturber>(std::move(p));
+    }
+    case AlgorithmKind::kAppS: {
+      CAPP_ASSIGN_OR_RETURN(
+          auto p, PpSampler::Create(SamplingOptions{options, std::nullopt},
+                                    PpKind::kApp));
+      return std::unique_ptr<StreamPerturber>(std::move(p));
+    }
+    case AlgorithmKind::kCappS: {
+      CAPP_ASSIGN_OR_RETURN(
+          auto p, PpSampler::Create(SamplingOptions{options, std::nullopt},
+                                    PpKind::kCapp));
+      return std::unique_ptr<StreamPerturber>(std::move(p));
+    }
+  }
+  return Status::InvalidArgument("unknown algorithm kind");
+}
+
+Result<std::unique_ptr<StreamPerturber>> CreatePerturberWithMechanism(
+    AlgorithmKind kind, PerturberOptions options, MechanismKind mechanism) {
+  switch (kind) {
+    case AlgorithmKind::kSwDirect: {
+      CAPP_ASSIGN_OR_RETURN(auto p,
+                            MechanismDirect::Create(options, mechanism));
+      return std::unique_ptr<StreamPerturber>(std::move(p));
+    }
+    case AlgorithmKind::kIpp: {
+      CAPP_ASSIGN_OR_RETURN(auto p, Ipp::Create(options, mechanism));
+      return std::unique_ptr<StreamPerturber>(std::move(p));
+    }
+    case AlgorithmKind::kApp: {
+      CAPP_ASSIGN_OR_RETURN(auto p, App::Create(options, mechanism));
+      return std::unique_ptr<StreamPerturber>(std::move(p));
+    }
+    case AlgorithmKind::kCapp: {
+      if (mechanism == MechanismKind::kSquareWave) {
+        return CreatePerturber(kind, options);
+      }
+      // Non-SW CAPP needs an explicit clip interval; the paper gives no
+      // default, so use the proxy selector's recommendation for the
+      // per-slot budget as a reasonable starting interval.
+      CAPP_ASSIGN_OR_RETURN(
+          ClipBounds bounds,
+          SelectClipBoundsProxy(options.epsilon / options.window));
+      CAPP_ASSIGN_OR_RETURN(
+          auto p, Capp::Create(CappOptions{options, bounds.delta},
+                               mechanism));
+      return std::unique_ptr<StreamPerturber>(std::move(p));
+    }
+    default:
+      if (mechanism == MechanismKind::kSquareWave) {
+        return CreatePerturber(kind, options);
+      }
+      return Status::Unimplemented(
+          "only direct/ipp/app/capp support non-SW mechanisms");
+  }
+}
+
+}  // namespace capp

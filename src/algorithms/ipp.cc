@@ -1,0 +1,32 @@
+#include "algorithms/ipp.h"
+
+#include "core/math_utils.h"
+
+namespace capp {
+
+Result<std::unique_ptr<Ipp>> Ipp::Create(PerturberOptions options,
+                                         MechanismKind mechanism) {
+  CAPP_RETURN_IF_ERROR(ValidatePerturberOptions(options));
+  const double eps_slot = options.epsilon / options.window;
+  CAPP_ASSIGN_OR_RETURN(std::unique_ptr<Mechanism> mech,
+                        CreateMechanism(mechanism, eps_slot));
+  std::string name = mechanism == MechanismKind::kSquareWave
+                         ? std::string("ipp")
+                         : std::string(MechanismKindName(mechanism)) + "-ipp";
+  return std::unique_ptr<Ipp>(
+      new Ipp(options, std::move(mech), std::move(name)));
+}
+
+double Ipp::DoProcessValue(double x, Rng& rng) {
+  x = Clamp(x, 0.0, 1.0);
+  RecordSpend(mechanism_->epsilon());
+  // Input value: current truth corrected by the last slot's deviation,
+  // clipped back into the data domain (Section III-C).
+  const double input = Clamp(x + last_deviation_, 0.0, 1.0);
+  const double y = mechanism_->Perturb(map_.ToMechanism(input), rng);
+  const double report = map_.FromMechanism(y);
+  last_deviation_ = x - report;
+  return report;
+}
+
+}  // namespace capp

@@ -1,0 +1,84 @@
+#include "algorithms/ns_selector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+#include "mechanisms/square_wave.h"
+
+namespace capp {
+namespace {
+
+// Moments of SW's output at the worst-case input x = 1, exactly from the
+// piecewise-constant density.
+struct SwWorstCaseMoments {
+  double sigma2 = 0.0;
+  double mu4 = 0.0;
+};
+
+Result<SwWorstCaseMoments> MomentsAtOne(double epsilon) {
+  CAPP_ASSIGN_OR_RETURN(SquareWave sw, SquareWave::Create(epsilon));
+  CAPP_ASSIGN_OR_RETURN(PiecewiseConstantDensity density,
+                        sw.OutputDensity(1.0));
+  SwWorstCaseMoments m;
+  m.sigma2 = density.CentralMoment(2);
+  m.mu4 = density.CentralMoment(4);
+  return m;
+}
+
+}  // namespace
+
+double VarianceOfSampleVariance(int n, double sigma2, double mu4) {
+  CAPP_CHECK(n >= 2);
+  const double nn = static_cast<double>(n);
+  return (mu4 - sigma2 * sigma2 * (nn - 3.0) / (nn - 1.0)) / nn;
+}
+
+double VarianceOfSampleVariancePaper(int n, double sigma2, double mu4) {
+  CAPP_CHECK(n >= 2);
+  const double nn = static_cast<double>(n);
+  return (mu4 - sigma2 * (nn - 3.0) / (nn - 1.0)) / nn;
+}
+
+Result<NsSelection> SelectSampleCount(double epsilon, int w, int q,
+                                      bool use_paper_formula) {
+  if (w < 1) return Status::InvalidArgument("w must be >= 1");
+  if (q < 1) return Status::InvalidArgument("q must be >= 1");
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+
+  NsSelection best;
+  double best_objective = std::numeric_limits<double>::infinity();
+  for (int ns = 1; ns <= q; ++ns) {
+    const int segment_length = q / ns;  // floor; remainder -> last segment
+    if (segment_length < 1) break;
+    // Uploads exist only inside the query, spaced L apart: a w-window can
+    // cover at most floor((w-1)/L) + 1 of them, and never more than ns.
+    const int uploads_per_window =
+        std::min(ns, (w - 1) / segment_length + 1);
+    const double eps_u = epsilon / uploads_per_window;
+    CAPP_ASSIGN_OR_RETURN(SwWorstCaseMoments m, MomentsAtOne(eps_u));
+    double var_s2;
+    if (ns == 1) {
+      var_s2 = m.mu4;  // pessimistic proxy; see header comment
+    } else if (use_paper_formula) {
+      var_s2 = VarianceOfSampleVariancePaper(ns, m.sigma2, m.mu4);
+    } else {
+      var_s2 = VarianceOfSampleVariance(ns, m.sigma2, m.mu4);
+    }
+    const double objective = static_cast<double>(ns) * var_s2;
+    if (objective < best_objective) {
+      best_objective = objective;
+      best.ns = ns;
+      best.segment_length = segment_length;
+      best.uploads_per_window = uploads_per_window;
+      best.epsilon_per_upload = eps_u;
+      best.objective = objective;
+    }
+  }
+  return best;
+}
+
+}  // namespace capp

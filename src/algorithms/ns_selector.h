@@ -1,0 +1,49 @@
+// Sample-count selection for PP-S (Section V, "The choice of n_s").
+//
+// Splitting a query interval of q slots into n_s segments of length
+// L = floor(q / n_s) places uploads L slots apart inside the query, so at
+// most n_w = min(n_s, floor((w-1)/L) + 1) uploads land inside any w-window
+// and each upload may spend eps / n_w. Fewer segments -> bigger
+// per-upload budget but coarser stream shape. The paper selects n_s by
+// minimizing  n_s * Var(n_s, eps_u)  where Var is the variance of the
+// *sample variance* of n_s SW outputs at the worst-case input x = 1:
+//     Var(S^2) = (1/n)(mu_4 - sigma^4 (n-3)/(n-1)).
+// (The paper's Eq. 13 prints sigma^2 where the classical formula has
+// sigma^4; we implement the classical form and expose the printed variant
+// for comparison -- see DESIGN.md, faithfulness note 2.)
+#ifndef CAPP_ALGORITHMS_NS_SELECTOR_H_
+#define CAPP_ALGORITHMS_NS_SELECTOR_H_
+
+#include "core/status.h"
+
+namespace capp {
+
+/// Result of the n_s search.
+struct NsSelection {
+  int ns = 1;                  ///< Chosen number of segments.
+  int segment_length = 1;      ///< floor(q / ns).
+  int uploads_per_window = 1;  ///< ceil(w / segment_length).
+  double epsilon_per_upload = 0.0;
+  double objective = 0.0;      ///< ns * Var(ns, eps_u) at the optimum.
+};
+
+/// Variance of the sample variance of n i.i.d. draws with population
+/// variance sigma2 and fourth central moment mu4 (classical formula).
+/// Requires n >= 2.
+double VarianceOfSampleVariance(int n, double sigma2, double mu4);
+
+/// The paper's printed variant with sigma^2 in place of sigma^4.
+double VarianceOfSampleVariancePaper(int n, double sigma2, double mu4);
+
+/// Selects n_s in [1, q] minimizing n_s * Var(n_s, eps_u). `epsilon` is the
+/// total window budget, `w` the window size, `q` the query length.
+/// n_s = 1 is admitted with the n->infinity-free convention Var(1,.) = mu4
+/// (the limit of the classical formula's bracket at n = 2 is mu4 - ...; for
+/// n = 1 the sample variance is undefined, so the objective uses mu4 as a
+/// pessimistic proxy).
+Result<NsSelection> SelectSampleCount(double epsilon, int w, int q,
+                                      bool use_paper_formula = false);
+
+}  // namespace capp
+
+#endif  // CAPP_ALGORITHMS_NS_SELECTOR_H_

@@ -1,0 +1,62 @@
+#include "algorithms/perturber.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace capp {
+
+Status ValidatePerturberOptions(const PerturberOptions& options) {
+  if (!std::isfinite(options.epsilon) || options.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive and finite");
+  }
+  if (options.epsilon > 50.0) {
+    return Status::InvalidArgument("epsilon exceeds supported maximum (50)");
+  }
+  if (options.window < 1) {
+    return Status::InvalidArgument("window must be >= 1");
+  }
+  return Status::OK();
+}
+
+double SanitizeUnitValue(double x) {
+  if (!std::isfinite(x)) return 0.5;
+  if (x < 0.0) return 0.0;
+  if (x > 1.0) return 1.0;
+  return x;
+}
+
+double StreamPerturber::ProcessValue(double x, Rng& rng) {
+  CAPP_CHECK(supports_online());
+  const double report = DoProcessValue(SanitizeUnitValue(x), rng);
+  ++slot_;
+  return report;
+}
+
+std::vector<double> StreamPerturber::PerturbSequence(
+    std::span<const double> xs, Rng& rng) {
+  return DoPerturbSequence(xs, rng);
+}
+
+std::vector<double> StreamPerturber::DoPerturbSequence(
+    std::span<const double> xs, Rng& rng) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(ProcessValue(x, rng));
+  return out;
+}
+
+void StreamPerturber::Reset() {
+  slot_ = 0;
+  DoReset();
+}
+
+void StreamPerturber::RecordSpend(double epsilon) {
+  if (accountant_ != nullptr) accountant_->Record(slot_, epsilon);
+}
+
+void StreamPerturber::RecordSpendAt(size_t slot, double epsilon) {
+  if (accountant_ != nullptr) accountant_->Record(slot, epsilon);
+}
+
+}  // namespace capp

@@ -1,0 +1,112 @@
+// User-side stream perturbation algorithms (the paper's Section III-V).
+//
+// A StreamPerturber consumes one user's stream values in [0,1], one per time
+// slot, and emits one perturbed report per slot while guaranteeing w-event
+// epsilon-LDP. All algorithms keep only constant per-user state (the
+// accumulated deviation, budget bank, etc.), matching the paper's on-device
+// deployment model.
+//
+// The non-virtual interface pattern keeps slot counting and budget
+// accounting in the base class so concrete algorithms cannot get them wrong.
+#ifndef CAPP_ALGORITHMS_PERTURBER_H_
+#define CAPP_ALGORITHMS_PERTURBER_H_
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+#include "stream/accountant.h"
+
+namespace capp {
+
+/// Configuration shared by all stream perturbation algorithms.
+struct PerturberOptions {
+  /// Total privacy budget available inside any window of `window` slots.
+  double epsilon = 1.0;
+  /// w-event window size (>= 1).
+  int window = 10;
+};
+
+/// Validates common options (epsilon in (0, 50], window >= 1).
+Status ValidatePerturberOptions(const PerturberOptions& options);
+
+/// Maps arbitrary caller input into the [0,1] data domain: non-finite
+/// values (sensor glitches) become the domain midpoint, everything else is
+/// clamped. Applied by StreamPerturber::ProcessValue before any algorithm
+/// sees the value, so downstream state can never be poisoned by a NaN.
+double SanitizeUnitValue(double x);
+
+/// Base class for user-side stream perturbation algorithms.
+class StreamPerturber {
+ public:
+  virtual ~StreamPerturber() = default;
+
+  /// Algorithm identifier ("sw-direct", "ipp", "app", "capp", ...).
+  virtual std::string_view name() const = 0;
+
+  /// True if the algorithm can produce one report per ProcessValue call.
+  /// Sampling-based algorithms (PP-S) operate on whole subsequences only.
+  virtual bool supports_online() const { return true; }
+
+  /// Collector-side SMA window this algorithm's publication step calls for.
+  /// The parameterized algorithms (IPP/APP/CAPP and their sampling
+  /// variants) smooth with window 3 (Algorithm 2 line 13; Section VI-A);
+  /// the baselines publish raw reports. 1 disables smoothing.
+  virtual int publication_smoothing_window() const { return 1; }
+
+  /// Perturbs the value of the next time slot and returns the report.
+  /// Precondition: supports_online().
+  double ProcessValue(double x, Rng& rng);
+
+  /// Perturbs a whole subsequence; returns one report per input value.
+  std::vector<double> PerturbSequence(std::span<const double> xs, Rng& rng);
+
+  /// Clears all per-stream state (deviations, banks, slot counter).
+  void Reset();
+
+  /// Attaches a (non-owned) budget ledger; every subsequent spend is
+  /// recorded against it. Pass nullptr to detach.
+  void AttachAccountant(WEventAccountant* accountant) {
+    accountant_ = accountant;
+  }
+
+  const PerturberOptions& options() const { return options_; }
+
+  /// Number of slots processed since construction/Reset.
+  size_t slots_processed() const { return slot_; }
+
+ protected:
+  explicit StreamPerturber(PerturberOptions options) : options_(options) {}
+
+  /// Per-slot hook implemented by concrete algorithms.
+  virtual double DoProcessValue(double x, Rng& rng) = 0;
+
+  /// Whole-sequence hook; the default loops over DoProcessValue.
+  virtual std::vector<double> DoPerturbSequence(std::span<const double> xs,
+                                                Rng& rng);
+
+  /// State-reset hook.
+  virtual void DoReset() = 0;
+
+  /// Records a privacy spend for the slot currently being processed.
+  void RecordSpend(double epsilon);
+
+  /// Records a privacy spend for an explicit slot (used by sequence-level
+  /// algorithms such as PP-S whose uploads are sparse).
+  void RecordSpendAt(size_t slot, double epsilon);
+
+  /// Advances the slot counter (sequence-level algorithms that bypass
+  /// ProcessValue call this once per consumed input value).
+  void AdvanceSlots(size_t n) { slot_ += n; }
+
+ private:
+  PerturberOptions options_;
+  WEventAccountant* accountant_ = nullptr;
+  size_t slot_ = 0;
+};
+
+}  // namespace capp
+
+#endif  // CAPP_ALGORITHMS_PERTURBER_H_

@@ -1,0 +1,25 @@
+#include "algorithms/sw_direct.h"
+
+#include "core/math_utils.h"
+
+namespace capp {
+
+Result<std::unique_ptr<MechanismDirect>> MechanismDirect::Create(
+    PerturberOptions options, MechanismKind mechanism) {
+  CAPP_RETURN_IF_ERROR(ValidatePerturberOptions(options));
+  const double eps_slot = options.epsilon / options.window;
+  CAPP_ASSIGN_OR_RETURN(std::unique_ptr<Mechanism> mech,
+                        CreateMechanism(mechanism, eps_slot));
+  std::string name = std::string(MechanismKindName(mechanism)) + "-direct";
+  return std::unique_ptr<MechanismDirect>(
+      new MechanismDirect(options, std::move(mech), std::move(name)));
+}
+
+double MechanismDirect::DoProcessValue(double x, Rng& rng) {
+  x = Clamp(x, 0.0, 1.0);
+  RecordSpend(mechanism_->epsilon());
+  const double y = mechanism_->Perturb(map_.ToMechanism(x), rng);
+  return map_.FromMechanism(y);
+}
+
+}  // namespace capp

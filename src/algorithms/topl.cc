@@ -1,0 +1,77 @@
+#include "algorithms/topl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/math_utils.h"
+
+namespace capp {
+
+Result<std::unique_ptr<Topl>> Topl::Create(ToplOptions options) {
+  CAPP_RETURN_IF_ERROR(ValidatePerturberOptions(options.base));
+  if (options.range_fraction <= 0.0 || options.range_fraction >= 1.0) {
+    return Status::InvalidArgument("range_fraction must be in (0, 1)");
+  }
+  if (options.threshold_quantile <= 0.0 || options.threshold_quantile > 1.0) {
+    return Status::InvalidArgument("threshold_quantile must be in (0, 1]");
+  }
+  if (options.range_slots < 0) {
+    return Status::InvalidArgument("range_slots must be >= 0");
+  }
+  if (options.range_slots == 0) {
+    options.range_slots = options.base.window;
+  }
+  const double eps_slot = options.base.epsilon / options.base.window;
+  CAPP_ASSIGN_OR_RETURN(
+      SquareWave range_sw,
+      SquareWave::Create(options.range_fraction * eps_slot));
+  CAPP_ASSIGN_OR_RETURN(
+      HybridMechanism publish_hm,
+      HybridMechanism::Create((1.0 - options.range_fraction) * eps_slot));
+  SwEmOptions em_options;
+  em_options.input_buckets = options.em_buckets;
+  em_options.output_buckets = 2 * options.em_buckets;
+  CAPP_ASSIGN_OR_RETURN(SwDistributionEstimator estimator,
+                        SwDistributionEstimator::Create(range_sw, em_options));
+  return std::unique_ptr<Topl>(new Topl(options, std::move(range_sw),
+                                        std::move(publish_hm),
+                                        std::move(estimator)));
+}
+
+void Topl::DoReset() {
+  phase1_reports_.clear();
+  threshold_ = 1.0;
+  range_learned_ = false;
+}
+
+void Topl::FinishRangeLearning() {
+  const std::vector<double> hist = estimator_.Estimate(phase1_reports_);
+  threshold_ = estimator_.HistogramQuantile(hist, opts_.threshold_quantile);
+  // Guard against a degenerate zero threshold (all mass in bucket 0).
+  threshold_ = std::max(threshold_, 1.0 / opts_.em_buckets);
+  range_learned_ = true;
+  phase1_reports_.clear();
+}
+
+double Topl::DoProcessValue(double x, Rng& rng) {
+  x = Clamp(x, 0.0, 1.0);
+  if (!range_learned_) {
+    // Phase 1: SW report, remembered for EM range learning, and published
+    // as-is for this slot.
+    RecordSpend(range_sw_.epsilon());
+    const double report = range_sw_.Perturb(x, rng);
+    phase1_reports_.push_back(report);
+    if (phase1_reports_.size() >= static_cast<size_t>(opts_.range_slots)) {
+      FinishRangeLearning();
+    }
+    return report;
+  }
+  // Phase 2: clip to theta, map [0, theta] -> [-1, 1], HM-perturb, rescale.
+  RecordSpend(publish_hm_.epsilon());
+  const double clipped = std::min(x, threshold_);
+  const double scaled = 2.0 * clipped / threshold_ - 1.0;
+  const double y = publish_hm_.Perturb(scaled, rng);
+  return threshold_ * (y + 1.0) / 2.0;
+}
+
+}  // namespace capp

@@ -1,0 +1,35 @@
+#include "analysis/crowd.h"
+
+#include <span>
+
+#include "core/math_utils.h"
+
+namespace capp {
+
+Result<CrowdMeans> EstimateCrowdMeans(
+    const std::vector<std::vector<double>>& users, size_t begin, size_t len,
+    const PerturberFactory& factory, const StreamCollector& collector,
+    Rng& rng) {
+  if (len == 0) return Status::InvalidArgument("len must be >= 1");
+  CrowdMeans out;
+  out.true_means.reserve(users.size());
+  out.estimated_means.reserve(users.size());
+  for (const auto& stream : users) {
+    if (stream.size() < begin + len) continue;
+    const std::span<const double> window(stream.data() + begin, len);
+    CAPP_ASSIGN_OR_RETURN(std::unique_ptr<StreamPerturber> perturber,
+                          factory());
+    Rng user_rng = rng.Fork();
+    const std::vector<double> reports =
+        perturber->PerturbSequence(window, user_rng);
+    out.true_means.push_back(Mean(window));
+    out.estimated_means.push_back(collector.EstimateMean(reports));
+  }
+  if (out.true_means.empty()) {
+    return Status::InvalidArgument(
+        "no user stream long enough for the requested subsequence");
+  }
+  return out;
+}
+
+}  // namespace capp

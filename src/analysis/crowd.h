@@ -1,0 +1,40 @@
+// Crowd-level statistics (Section IV-C "Crowd-level statistics" and the
+// Fig. 8 evaluation): estimate each user's subsequence mean from their
+// perturbed stream, then compare the *distribution* of estimated means
+// against the distribution of true means across the population.
+#ifndef CAPP_ANALYSIS_CROWD_H_
+#define CAPP_ANALYSIS_CROWD_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "algorithms/perturber.h"
+#include "core/rng.h"
+#include "core/status.h"
+#include "stream/collector.h"
+
+namespace capp {
+
+/// Creates a fresh perturber per user (each user runs the algorithm
+/// independently on their own device).
+using PerturberFactory =
+    std::function<Result<std::unique_ptr<StreamPerturber>>()>;
+
+/// Per-user true and estimated subsequence means.
+struct CrowdMeans {
+  std::vector<double> true_means;
+  std::vector<double> estimated_means;
+};
+
+/// Runs the algorithm produced by `factory` over the subsequence
+/// [begin, begin+len) of every user's stream and collects true vs estimated
+/// means. Streams shorter than begin+len are skipped.
+Result<CrowdMeans> EstimateCrowdMeans(
+    const std::vector<std::vector<double>>& users, size_t begin, size_t len,
+    const PerturberFactory& factory, const StreamCollector& collector,
+    Rng& rng);
+
+}  // namespace capp
+
+#endif  // CAPP_ANALYSIS_CROWD_H_

@@ -1,0 +1,84 @@
+#include "analysis/empirical.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "core/math_utils.h"
+
+namespace capp {
+
+Result<EmpiricalCdf> EmpiricalCdf::Create(std::span<const double> samples) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("empirical CDF needs >= 1 sample");
+  }
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  return EmpiricalCdf(std::move(sorted));
+}
+
+double EmpiricalCdf::operator()(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::KsDistance(const EmpiricalCdf& f, const EmpiricalCdf& g) {
+  // The supremum is attained at a sample point of either set.
+  double best = 0.0;
+  for (double x : f.sorted_) best = std::max(best, std::fabs(f(x) - g(x)));
+  for (double x : g.sorted_) best = std::max(best, std::fabs(f(x) - g(x)));
+  return best;
+}
+
+double Wasserstein1(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() && b.empty()) return 0.0;
+  CAPP_CHECK(!a.empty() && !b.empty());
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  // Integral of |F_a - F_b| over the merged breakpoints: between
+  // consecutive breakpoints both CDFs are constant.
+  std::vector<double> points;
+  points.reserve(sa.size() + sb.size());
+  points.insert(points.end(), sa.begin(), sa.end());
+  points.insert(points.end(), sb.begin(), sb.end());
+  std::sort(points.begin(), points.end());
+  KahanSum integral;
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    const double x = points[i];
+    const double width = points[i + 1] - points[i];
+    if (width <= 0.0) continue;
+    const double fa =
+        static_cast<double>(std::upper_bound(sa.begin(), sa.end(), x) -
+                            sa.begin()) / na;
+    const double fb =
+        static_cast<double>(std::upper_bound(sb.begin(), sb.end(), x) -
+                            sb.begin()) / nb;
+    integral.Add(std::fabs(fa - fb) * width);
+  }
+  return integral.Total();
+}
+
+double WassersteinCdfSum(std::span<const double> a, std::span<const double> b,
+                         int grid_points) {
+  CAPP_CHECK(grid_points >= 2);
+  if (a.empty() && b.empty()) return 0.0;
+  CAPP_CHECK(!a.empty() && !b.empty());
+  auto fa = EmpiricalCdf::Create(a);
+  auto fb = EmpiricalCdf::Create(b);
+  CAPP_CHECK(fa.ok() && fb.ok());
+  const double lo = std::min(fa->min(), fb->min());
+  const double hi = std::max(fa->max(), fb->max());
+  if (hi <= lo) return 0.0;
+  KahanSum sum;
+  for (double x : LinSpace(lo, hi, static_cast<size_t>(grid_points))) {
+    sum.Add(std::fabs((*fa)(x) - (*fb)(x)));
+  }
+  return sum.Total();
+}
+
+}  // namespace capp

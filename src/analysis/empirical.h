@@ -1,0 +1,56 @@
+// Empirical distribution utilities: CDFs, Kolmogorov-Smirnov distance, and
+// the Wasserstein distances used by the paper's crowd-level evaluation
+// (Fig. 8). Two Wasserstein variants are provided:
+//   * Wasserstein1: the standard 1-Wasserstein (earth mover's) distance,
+//     the integral of |F - G| over the real line, computed exactly from the
+//     sorted samples;
+//   * WassersteinCdfSum: the paper's printed variant, the *sum* of
+//     |F_i - G_i| over a shared evaluation grid (Section VI-A-2). It equals
+//     Wasserstein1 scaled by grid density, so shapes match either way.
+#ifndef CAPP_ANALYSIS_EMPIRICAL_H_
+#define CAPP_ANALYSIS_EMPIRICAL_H_
+
+#include <span>
+#include <vector>
+
+#include "core/status.h"
+
+namespace capp {
+
+/// Immutable empirical CDF of a sample set.
+class EmpiricalCdf {
+ public:
+  /// Builds from samples (copied and sorted). Requires non-empty samples.
+  static Result<EmpiricalCdf> Create(std::span<const double> samples);
+
+  /// F(x) = fraction of samples <= x.
+  double operator()(double x) const;
+
+  size_t size() const { return sorted_.size(); }
+  double min() const { return sorted_.front(); }
+  double max() const { return sorted_.back(); }
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+  /// sup_x |F(x) - G(x)| (Kolmogorov-Smirnov distance), exact.
+  static double KsDistance(const EmpiricalCdf& f, const EmpiricalCdf& g);
+
+ private:
+  explicit EmpiricalCdf(std::vector<double> sorted)
+      : sorted_(std::move(sorted)) {}
+
+  std::vector<double> sorted_;
+};
+
+/// Standard 1-Wasserstein distance between two sample sets (exact integral
+/// of |F - G|). Returns 0 for two empty sets; infinity is never produced.
+double Wasserstein1(std::span<const double> a, std::span<const double> b);
+
+/// The paper's CDF-difference sum: both empirical CDFs are evaluated on
+/// `grid_points` evenly spaced points spanning the pooled sample range and
+/// the absolute differences are summed.
+double WassersteinCdfSum(std::span<const double> a, std::span<const double> b,
+                         int grid_points = 100);
+
+}  // namespace capp
+
+#endif  // CAPP_ANALYSIS_EMPIRICAL_H_

@@ -1,0 +1,93 @@
+#include "analysis/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "core/math_utils.h"
+
+namespace capp {
+
+double Mse(std::span<const double> predicted, std::span<const double> truth) {
+  CAPP_CHECK(predicted.size() == truth.size());
+  if (predicted.empty()) return 0.0;
+  KahanSum sum;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    const double d = predicted[i] - truth[i];
+    sum.Add(d * d);
+  }
+  return sum.Total() / static_cast<double>(predicted.size());
+}
+
+double Rmse(std::span<const double> predicted,
+            std::span<const double> truth) {
+  return std::sqrt(Mse(predicted, truth));
+}
+
+double Mae(std::span<const double> predicted, std::span<const double> truth) {
+  CAPP_CHECK(predicted.size() == truth.size());
+  if (predicted.empty()) return 0.0;
+  KahanSum sum;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    sum.Add(std::fabs(predicted[i] - truth[i]));
+  }
+  return sum.Total() / static_cast<double>(predicted.size());
+}
+
+double CosineSimilarity(std::span<const double> u,
+                        std::span<const double> v) {
+  CAPP_CHECK(u.size() == v.size());
+  KahanSum dot, nu, nv;
+  for (size_t i = 0; i < u.size(); ++i) {
+    dot.Add(u[i] * v[i]);
+    nu.Add(u[i] * u[i]);
+    nv.Add(v[i] * v[i]);
+  }
+  const double denom = std::sqrt(nu.Total()) * std::sqrt(nv.Total());
+  if (denom <= 0.0) return 0.0;
+  return dot.Total() / denom;
+}
+
+double CosineDistance(std::span<const double> u, std::span<const double> v) {
+  return 1.0 - CosineSimilarity(u, v);
+}
+
+double JensenShannonDivergence(std::span<const double> p,
+                               std::span<const double> q) {
+  CAPP_CHECK(p.size() == q.size());
+  // Normalize defensively.
+  double sp = 0.0, sq = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    CAPP_CHECK(p[i] >= 0.0 && q[i] >= 0.0);
+    sp += p[i];
+    sq += q[i];
+  }
+  if (sp <= 0.0 || sq <= 0.0) return 0.0;
+  double js = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double pi = p[i] / sp;
+    const double qi = q[i] / sq;
+    const double mi = (pi + qi) / 2.0;
+    if (pi > 0.0) js += 0.5 * pi * std::log(pi / mi);
+    if (qi > 0.0) js += 0.5 * qi * std::log(qi / mi);
+  }
+  return js;
+}
+
+std::vector<double> HistogramFromSamples(std::span<const double> samples,
+                                         int buckets, double lo, double hi) {
+  CAPP_CHECK(buckets >= 1);
+  CAPP_CHECK(hi > lo);
+  std::vector<double> hist(buckets, 0.0);
+  if (samples.empty()) return hist;
+  const double width = (hi - lo) / buckets;
+  for (double s : samples) {
+    int idx = static_cast<int>((s - lo) / width);
+    idx = std::clamp(idx, 0, buckets - 1);
+    hist[idx] += 1.0;
+  }
+  for (double& h : hist) h /= static_cast<double>(samples.size());
+  return hist;
+}
+
+}  // namespace capp

@@ -1,0 +1,41 @@
+// Utility metrics used throughout the paper's evaluation (Section VI-A-2):
+// MSE for mean estimation, cosine distance for stream publication, and
+// distribution distances for crowd-level statistics.
+#ifndef CAPP_ANALYSIS_METRICS_H_
+#define CAPP_ANALYSIS_METRICS_H_
+
+#include <span>
+#include <vector>
+
+namespace capp {
+
+/// Mean squared error between two equal-length series.
+double Mse(std::span<const double> predicted, std::span<const double> truth);
+
+/// Root mean squared error.
+double Rmse(std::span<const double> predicted, std::span<const double> truth);
+
+/// Mean absolute error.
+double Mae(std::span<const double> predicted, std::span<const double> truth);
+
+/// Cosine similarity u.v / (|u||v|); 0 when either vector is all-zero.
+double CosineSimilarity(std::span<const double> u, std::span<const double> v);
+
+/// Cosine distance 1 - CosineSimilarity (the paper's stream-publication
+/// metric; smaller is better).
+double CosineDistance(std::span<const double> u, std::span<const double> v);
+
+/// Jensen-Shannon divergence between two histograms (normalized
+/// internally); natural-log base, range [0, ln 2].
+double JensenShannonDivergence(std::span<const double> p,
+                               std::span<const double> q);
+
+/// Equal-width histogram of samples over [lo, hi]; out-of-range samples are
+/// clamped into the edge buckets. Returns probabilities (sums to 1) unless
+/// `samples` is empty (all zeros then).
+std::vector<double> HistogramFromSamples(std::span<const double> samples,
+                                         int buckets, double lo, double hi);
+
+}  // namespace capp
+
+#endif  // CAPP_ANALYSIS_METRICS_H_

@@ -1,0 +1,57 @@
+#include "analysis/reconstruction.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/math_utils.h"
+
+namespace capp {
+
+Result<PopulationEstimator> PopulationEstimator::Create(
+    PopulationEstimatorOptions options) {
+  if (options.histogram_buckets < 2) {
+    return Status::InvalidArgument("histogram_buckets must be >= 2");
+  }
+  CAPP_ASSIGN_OR_RETURN(SquareWave sw,
+                        SquareWave::Create(options.epsilon_per_slot));
+  SwEmOptions em_options;
+  em_options.input_buckets = options.histogram_buckets;
+  em_options.output_buckets = 2 * options.histogram_buckets;
+  CAPP_ASSIGN_OR_RETURN(SwDistributionEstimator estimator,
+                        SwDistributionEstimator::Create(sw, em_options));
+  return PopulationEstimator(options, std::move(sw), std::move(estimator));
+}
+
+std::vector<double> PopulationEstimator::EstimateSlotMeans(
+    const std::vector<std::vector<double>>& reports) const {
+  std::vector<double> means;
+  means.reserve(reports.size());
+  for (const auto& slot : reports) {
+    if (slot.empty()) {
+      means.push_back(std::numeric_limits<double>::quiet_NaN());
+      continue;
+    }
+    const double avg = Mean(slot);
+    means.push_back(options_.debias_mean ? sw_.UnbiasedEstimate(avg) : avg);
+  }
+  return means;
+}
+
+Result<std::vector<double>> PopulationEstimator::EstimateWindowDistribution(
+    const std::vector<std::vector<double>>& reports, size_t begin,
+    size_t len) const {
+  if (len == 0) return Status::InvalidArgument("len must be >= 1");
+  if (begin + len > reports.size()) {
+    return Status::OutOfRange("window exceeds the report matrix");
+  }
+  std::vector<double> pooled;
+  for (size_t t = begin; t < begin + len; ++t) {
+    pooled.insert(pooled.end(), reports[t].begin(), reports[t].end());
+  }
+  if (pooled.empty()) {
+    return Status::InvalidArgument("window contains no reports");
+  }
+  return estimator_.Estimate(pooled);
+}
+
+}  // namespace capp

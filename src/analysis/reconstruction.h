@@ -1,0 +1,69 @@
+// Collector-side population reconstruction (Step 3 of Fig. 1 for crowds).
+//
+// Given the perturbed reports of n users at each time slot, the collector
+// can estimate, per slot:
+//   * the population mean -- by averaging the users' reports and inverting
+//     SW's output-mean line E[y|v] = alpha v + beta (debiasing); the PP
+//     algorithms' reports are already self-calibrating, so for them the
+//     plain average is used;
+//   * the population distribution -- by EM (MLE) reconstruction over the
+//     pooled reports of a sliding window of slots (Li et al.'s estimator,
+//     Section II-C of the paper).
+#ifndef CAPP_ANALYSIS_RECONSTRUCTION_H_
+#define CAPP_ANALYSIS_RECONSTRUCTION_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/status.h"
+#include "mechanisms/sw_em.h"
+
+namespace capp {
+
+/// Options for PopulationEstimator.
+struct PopulationEstimatorOptions {
+  /// Per-slot SW budget the users perturbed with (epsilon/w); required for
+  /// debiased mean estimation and distribution reconstruction.
+  double epsilon_per_slot = 0.1;
+  /// If true, invert the SW mean line when estimating per-slot means (for
+  /// SW-direct reports). PP reports are self-calibrating: leave false.
+  bool debias_mean = false;
+  /// Buckets of the reconstructed distribution histogram.
+  int histogram_buckets = 32;
+};
+
+/// Estimates population statistics from per-slot report matrices.
+class PopulationEstimator {
+ public:
+  /// Validates options and precomputes the EM transition matrix.
+  static Result<PopulationEstimator> Create(
+      PopulationEstimatorOptions options);
+
+  /// Per-slot population mean estimates. `reports[t][u]` is user u's report
+  /// at slot t (rows may have different user counts; empty rows yield NaN).
+  std::vector<double> EstimateSlotMeans(
+      const std::vector<std::vector<double>>& reports) const;
+
+  /// Histogram (probabilities over histogram_buckets buckets of [0,1]) of
+  /// the population's value distribution over a window of slots, via EM
+  /// over the pooled reports.
+  Result<std::vector<double>> EstimateWindowDistribution(
+      const std::vector<std::vector<double>>& reports, size_t begin,
+      size_t len) const;
+
+  const PopulationEstimatorOptions& options() const { return options_; }
+
+ private:
+  PopulationEstimator(PopulationEstimatorOptions options, SquareWave sw,
+                      SwDistributionEstimator estimator)
+      : options_(options), sw_(std::move(sw)),
+        estimator_(std::move(estimator)) {}
+
+  PopulationEstimatorOptions options_;
+  SquareWave sw_;
+  SwDistributionEstimator estimator_;
+};
+
+}  // namespace capp
+
+#endif  // CAPP_ANALYSIS_RECONSTRUCTION_H_

@@ -1,0 +1,105 @@
+#include "analysis/trend.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "core/math_utils.h"
+
+namespace capp {
+
+double LinearSlope(std::span<const double> xs) {
+  const size_t n = xs.size();
+  if (n < 2) return 0.0;
+  // slope = cov(t, x) / var(t) with t = 0..n-1.
+  const double t_mean = static_cast<double>(n - 1) / 2.0;
+  const double x_mean = Mean(xs);
+  KahanSum cov, var;
+  for (size_t t = 0; t < n; ++t) {
+    const double dt = static_cast<double>(t) - t_mean;
+    cov.Add(dt * (xs[t] - x_mean));
+    var.Add(dt * dt);
+  }
+  return cov.Total() / var.Total();
+}
+
+std::vector<TrendDirection> StepDirections(std::span<const double> xs,
+                                           double flat_threshold) {
+  std::vector<TrendDirection> out;
+  if (xs.size() < 2) return out;
+  out.reserve(xs.size() - 1);
+  for (size_t t = 0; t + 1 < xs.size(); ++t) {
+    const double diff = xs[t + 1] - xs[t];
+    if (std::fabs(diff) <= flat_threshold) {
+      out.push_back(TrendDirection::kFlat);
+    } else if (diff > 0.0) {
+      out.push_back(TrendDirection::kUp);
+    } else {
+      out.push_back(TrendDirection::kDown);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<TrendSegment>> ExtractTrends(std::span<const double> xs,
+                                                TrendOptions options) {
+  if (options.flat_threshold < 0.0) {
+    return Status::InvalidArgument("flat_threshold must be >= 0");
+  }
+  if (options.min_run == 0) {
+    return Status::InvalidArgument("min_run must be >= 1");
+  }
+  std::vector<TrendSegment> segments;
+  if (xs.size() < 2) return segments;
+
+  const std::vector<TrendDirection> steps =
+      StepDirections(xs, options.flat_threshold);
+  // Build maximal runs of equal step direction. A segment over steps
+  // [i, j) covers slots [i, j+1).
+  size_t run_start = 0;
+  for (size_t i = 1; i <= steps.size(); ++i) {
+    if (i == steps.size() || steps[i] != steps[run_start]) {
+      TrendSegment segment;
+      segment.begin = run_start;
+      segment.end = i + 1;
+      segment.direction = steps[run_start];
+      segments.push_back(segment);
+      run_start = i;
+    }
+  }
+  // Merge short segments into their predecessor (absorbing noise blips).
+  std::vector<TrendSegment> merged;
+  for (const auto& segment : segments) {
+    const size_t steps_in_segment = segment.end - segment.begin - 1;
+    if (!merged.empty() && steps_in_segment < options.min_run) {
+      merged.back().end = segment.end;
+    } else {
+      merged.push_back(segment);
+    }
+  }
+  // Slopes over the final segment extents.
+  for (auto& segment : merged) {
+    segment.slope = LinearSlope(
+        xs.subspan(segment.begin, segment.end - segment.begin));
+    // Direction of a merged segment follows its least-squares slope.
+    if (std::fabs(segment.slope) <= options.flat_threshold) {
+      segment.direction = TrendDirection::kFlat;
+    } else {
+      segment.direction =
+          segment.slope > 0 ? TrendDirection::kUp : TrendDirection::kDown;
+    }
+  }
+  return merged;
+}
+
+double TrendAgreement(std::span<const double> a, std::span<const double> b,
+                      double flat_threshold) {
+  CAPP_CHECK(a.size() == b.size());
+  if (a.size() < 2) return 1.0;
+  const auto da = StepDirections(a, flat_threshold);
+  const auto db = StepDirections(b, flat_threshold);
+  size_t agree = 0;
+  for (size_t i = 0; i < da.size(); ++i) agree += da[i] == db[i];
+  return static_cast<double>(agree) / static_cast<double>(da.size());
+}
+
+}  // namespace capp

@@ -1,0 +1,59 @@
+// Trend analysis over published streams. The paper's collector publishes
+// "aggregated values, e.g., mean or trends" (Section III-A); this module
+// provides the trend side: piecewise up/down/flat segmentation of a stream
+// and agreement metrics between the trends of a published stream and the
+// ground truth.
+#ifndef CAPP_ANALYSIS_TREND_H_
+#define CAPP_ANALYSIS_TREND_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/status.h"
+
+namespace capp {
+
+/// Direction of one trend segment.
+enum class TrendDirection { kUp, kDown, kFlat };
+
+/// A maximal run of slots moving in one direction.
+struct TrendSegment {
+  size_t begin = 0;  ///< First slot of the segment.
+  size_t end = 0;    ///< One past the last slot.
+  TrendDirection direction = TrendDirection::kFlat;
+  double slope = 0.0;  ///< Least-squares slope over the segment.
+
+  size_t length() const { return end - begin; }
+};
+
+/// Options for trend extraction.
+struct TrendOptions {
+  /// |x_{t+1} - x_t| below this counts as flat.
+  double flat_threshold = 1e-3;
+  /// Segments shorter than this are merged into their neighbor.
+  size_t min_run = 2;
+};
+
+/// Least-squares slope of a series (0 for fewer than 2 points).
+double LinearSlope(std::span<const double> xs);
+
+/// Per-step direction of a series: element t describes the move from slot
+/// t to t+1 (size n-1 for n inputs).
+std::vector<TrendDirection> StepDirections(std::span<const double> xs,
+                                           double flat_threshold);
+
+/// Segments a series into maximal trend runs. Fails on options with
+/// negative threshold or zero min_run.
+Result<std::vector<TrendSegment>> ExtractTrends(std::span<const double> xs,
+                                                TrendOptions options = {});
+
+/// Fraction of steps whose direction agrees between two equal-length
+/// series (1.0 = identical trend profile). Series of length < 2 agree
+/// trivially (returns 1.0).
+double TrendAgreement(std::span<const double> a, std::span<const double> b,
+                      double flat_threshold = 1e-3);
+
+}  // namespace capp
+
+#endif  // CAPP_ANALYSIS_TREND_H_

@@ -1,0 +1,36 @@
+// Internal invariant checks. These are for programming errors inside the
+// library, never for validating user input (user input goes through
+// Status/Result). CAPP_CHECK is always on; CAPP_DCHECK compiles out in
+// release builds (NDEBUG).
+#ifndef CAPP_CORE_CHECK_H_
+#define CAPP_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace capp::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CAPP_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace capp::internal
+
+#define CAPP_CHECK(cond)                                          \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::capp::internal::CheckFailed(__FILE__, __LINE__, #cond);   \
+    }                                                             \
+  } while (false)
+
+#ifdef NDEBUG
+#define CAPP_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define CAPP_DCHECK(cond) CAPP_CHECK(cond)
+#endif
+
+#endif  // CAPP_CORE_CHECK_H_

@@ -1,0 +1,95 @@
+#include "core/math_utils.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace capp {
+
+void KahanSum::Add(double x) {
+  const double t = sum_ + x;
+  if (std::fabs(sum_) >= std::fabs(x)) {
+    compensation_ += (sum_ - t) + x;
+  } else {
+    compensation_ += (x - t) + sum_;
+  }
+  sum_ = t;
+}
+
+void KahanSum::Reset() {
+  sum_ = 0.0;
+  compensation_ = 0.0;
+}
+
+void RunningMoments::Add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningMoments::Mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningMoments::VariancePopulation() const {
+  return n_ == 0 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double RunningMoments::VarianceSample() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningMoments::StdDevPopulation() const {
+  return std::sqrt(VariancePopulation());
+}
+
+double Mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  KahanSum sum;
+  for (double x : xs) sum.Add(x);
+  return sum.Total() / static_cast<double>(xs.size());
+}
+
+double Variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  RunningMoments m;
+  for (double x : xs) m.Add(x);
+  return m.VariancePopulation();
+}
+
+double Clamp(double x, double lo, double hi) {
+  CAPP_DCHECK(lo <= hi);
+  if (x < lo) return lo;
+  if (x > hi) return hi;
+  return x;
+}
+
+std::vector<double> LinSpace(double lo, double hi, size_t n) {
+  std::vector<double> out;
+  if (n == 0) return out;
+  if (n == 1) {
+    out.push_back(lo);
+    return out;
+  }
+  out.reserve(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(lo + step * static_cast<double>(i));
+  }
+  out.back() = hi;  // avoid FP drift on the endpoint
+  return out;
+}
+
+bool NearlyEqual(double a, double b, double rel_tol, double abs_tol) {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  const double scale = std::fmax(std::fabs(a), std::fabs(b));
+  return diff <= rel_tol * scale;
+}
+
+double PowerIntegral(double lo, double hi, int k) {
+  CAPP_DCHECK(k >= 0);
+  const double kk = static_cast<double>(k + 1);
+  return (std::pow(hi, kk) - std::pow(lo, kk)) / kk;
+}
+
+}  // namespace capp

@@ -1,0 +1,65 @@
+// Small numeric helpers shared across the library: compensated summation,
+// streaming moments, grids, and comparison utilities.
+#ifndef CAPP_CORE_MATH_UTILS_H_
+#define CAPP_CORE_MATH_UTILS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace capp {
+
+/// Kahan–Neumaier compensated accumulator. Sums long streams of doubles
+/// (48k-point datasets, million-sample moment checks) without drift.
+class KahanSum {
+ public:
+  void Add(double x);
+  /// Current compensated total.
+  double Total() const { return sum_ + compensation_; }
+  void Reset();
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Welford streaming mean/variance. Numerically stable one-pass moments.
+class RunningMoments {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double Mean() const;
+  /// Population variance (divide by n). 0 for fewer than 1 sample.
+  double VariancePopulation() const;
+  /// Sample variance (divide by n-1). 0 for fewer than 2 samples.
+  double VarianceSample() const;
+  double StdDevPopulation() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty span.
+double Mean(std::span<const double> xs);
+
+/// Population variance; 0 for spans with fewer than 2 elements.
+double Variance(std::span<const double> xs);
+
+/// Clamps x into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// n evenly spaced points from lo to hi inclusive (n >= 2), or {lo} if n==1.
+std::vector<double> LinSpace(double lo, double hi, size_t n);
+
+/// Relative-or-absolute approximate equality.
+bool NearlyEqual(double a, double b, double rel_tol = 1e-9,
+                 double abs_tol = 1e-12);
+
+/// Integral of y^k over [lo, hi] (power rule); k >= 0.
+double PowerIntegral(double lo, double hi, int k);
+
+}  // namespace capp
+
+#endif  // CAPP_CORE_MATH_UTILS_H_

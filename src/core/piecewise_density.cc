@@ -1,0 +1,131 @@
+#include "core/piecewise_density.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "core/math_utils.h"
+
+namespace capp {
+
+Result<PiecewiseConstantDensity> PiecewiseConstantDensity::Create(
+    std::vector<DensitySegment> segments) {
+  std::vector<DensitySegment> kept;
+  kept.reserve(segments.size());
+  for (const auto& s : segments) {
+    if (s.hi < s.lo) {
+      return Status::InvalidArgument("segment with hi < lo");
+    }
+    if (s.density < 0.0) {
+      return Status::InvalidArgument("negative density");
+    }
+    if (s.hi > s.lo) kept.push_back(s);
+  }
+  if (kept.empty()) {
+    return Status::InvalidArgument("no segments with positive width");
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const DensitySegment& a, const DensitySegment& b) {
+              return a.lo < b.lo;
+            });
+  for (size_t i = 1; i < kept.size(); ++i) {
+    if (std::fabs(kept[i].lo - kept[i - 1].hi) > 1e-9) {
+      return Status::InvalidArgument("segments not contiguous");
+    }
+    kept[i].lo = kept[i - 1].hi;  // weld exactly
+  }
+  KahanSum mass;
+  for (const auto& s : kept) mass.Add(s.density * (s.hi - s.lo));
+  const double total = mass.Total();
+  if (std::fabs(total - 1.0) > 1e-6) {
+    return Status::InvalidArgument("density does not integrate to 1");
+  }
+  // Renormalize away the residual FP error so downstream moments are exact.
+  for (auto& s : kept) s.density /= total;
+  return PiecewiseConstantDensity(std::move(kept));
+}
+
+PiecewiseConstantDensity::PiecewiseConstantDensity(
+    std::vector<DensitySegment> segments)
+    : segments_(std::move(segments)) {
+  cum_mass_.reserve(segments_.size());
+  KahanSum mass;
+  for (const auto& s : segments_) {
+    mass.Add(s.density * (s.hi - s.lo));
+    cum_mass_.push_back(mass.Total());
+  }
+  cum_mass_.back() = 1.0;
+}
+
+double PiecewiseConstantDensity::DensityAt(double y) const {
+  if (y < support_lo() || y > support_hi()) return 0.0;
+  for (const auto& s : segments_) {
+    if (y < s.hi) return s.density;
+  }
+  return segments_.back().density;  // y == support_hi()
+}
+
+double PiecewiseConstantDensity::Cdf(double y) const {
+  if (y <= support_lo()) return 0.0;
+  if (y >= support_hi()) return 1.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    const auto& s = segments_[i];
+    if (y < s.hi) {
+      return acc + s.density * (y - s.lo);
+    }
+    acc = cum_mass_[i];
+  }
+  return 1.0;
+}
+
+double PiecewiseConstantDensity::RawMoment(int k) const {
+  CAPP_CHECK(k >= 0);
+  KahanSum sum;
+  for (const auto& s : segments_) {
+    sum.Add(s.density * PowerIntegral(s.lo, s.hi, k));
+  }
+  return sum.Total();
+}
+
+double PiecewiseConstantDensity::CentralMoment(int k) const {
+  CAPP_CHECK(k >= 0);
+  if (k == 0) return 1.0;
+  if (k == 1) return 0.0;
+  const double mu = Mean();
+  // Integrate (y - mu)^k segment by segment via substitution u = y - mu.
+  KahanSum sum;
+  for (const auto& s : segments_) {
+    sum.Add(s.density * PowerIntegral(s.lo - mu, s.hi - mu, k));
+  }
+  return sum.Total();
+}
+
+double PiecewiseConstantDensity::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  const auto it = std::lower_bound(cum_mass_.begin(), cum_mass_.end(), u);
+  const size_t idx =
+      std::min(static_cast<size_t>(it - cum_mass_.begin()),
+               segments_.size() - 1);
+  const auto& s = segments_[idx];
+  return rng.Uniform(s.lo, s.hi);
+}
+
+double PiecewiseConstantDensity::Quantile(double p) const {
+  CAPP_CHECK(p >= 0.0 && p <= 1.0);
+  if (p <= 0.0) return support_lo();
+  if (p >= 1.0) return support_hi();
+  double prev_mass = 0.0;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    if (p <= cum_mass_[i]) {
+      const auto& s = segments_[i];
+      const double within = p - prev_mass;
+      if (s.density <= 0.0) return s.lo;
+      return s.lo + within / s.density;
+    }
+    prev_mass = cum_mass_[i];
+  }
+  return support_hi();
+}
+
+}  // namespace capp

@@ -1,0 +1,77 @@
+// Exact representation of a piecewise-constant probability density.
+//
+// Every LDP mechanism in this library whose output density is piecewise
+// constant (Square Wave, Piecewise Mechanism) is expressed through this
+// class, which provides:
+//   * exact moment computation (closed-form polynomial integrals, no
+//     quadrature error) -- the ground truth against which the paper's
+//     closed-form moment expressions are validated;
+//   * exact sampling (segment choice by mass, then uniform within);
+//   * density/CDF evaluation for deterministic privacy-ratio tests.
+#ifndef CAPP_CORE_PIECEWISE_DENSITY_H_
+#define CAPP_CORE_PIECEWISE_DENSITY_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+
+namespace capp {
+
+/// One constant-density segment [lo, hi) with density `density` (>= 0).
+struct DensitySegment {
+  double lo = 0.0;
+  double hi = 0.0;
+  double density = 0.0;
+};
+
+/// A validated piecewise-constant density over a finite support.
+class PiecewiseConstantDensity {
+ public:
+  /// Builds a density from contiguous, non-overlapping segments sorted by
+  /// `lo`. Zero-width segments are dropped. Fails unless the total mass is
+  /// 1 within tolerance (then renormalizes exactly).
+  static Result<PiecewiseConstantDensity> Create(
+      std::vector<DensitySegment> segments);
+
+  /// Support bounds.
+  double support_lo() const { return segments_.front().lo; }
+  double support_hi() const { return segments_.back().hi; }
+  const std::vector<DensitySegment>& segments() const { return segments_; }
+
+  /// Density at y (0 outside support; right-continuous at breakpoints).
+  double DensityAt(double y) const;
+
+  /// P[Y <= y].
+  double Cdf(double y) const;
+
+  /// Raw moment E[Y^k], exact.
+  double RawMoment(int k) const;
+
+  /// E[Y].
+  double Mean() const { return RawMoment(1); }
+
+  /// Central moment E[(Y - E[Y])^k], exact (binomial expansion over raw
+  /// moments computed with compensated summation).
+  double CentralMoment(int k) const;
+
+  /// Var[Y].
+  double Variance() const { return CentralMoment(2); }
+
+  /// Draws one sample.
+  double Sample(Rng& rng) const;
+
+  /// Smallest y with Cdf(y) >= p, for p in [0,1].
+  double Quantile(double p) const;
+
+ private:
+  explicit PiecewiseConstantDensity(std::vector<DensitySegment> segments);
+
+  std::vector<DensitySegment> segments_;
+  // Cumulative masses: cum_mass_[i] = mass of segments [0..i].
+  std::vector<double> cum_mass_;
+};
+
+}  // namespace capp
+
+#endif  // CAPP_CORE_PIECEWISE_DENSITY_H_

@@ -1,0 +1,115 @@
+#include "core/rng.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace capp {
+namespace {
+
+// splitmix64: seed expander recommended by the xoshiro authors.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& lane : s_) lane = SplitMix64(&sm);
+  // xoshiro must not start from the all-zero state; splitmix64 cannot
+  // produce four zero outputs in a row, but keep a cheap guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  CAPP_DCHECK(lo <= hi);
+  return lo + (hi - lo) * UniformDouble();
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  CAPP_CHECK(n > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const uint64_t r = NextUint64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Laplace(double scale) {
+  CAPP_DCHECK(scale > 0.0);
+  // Inverse CDF on u in (-1/2, 1/2).
+  double u = UniformDouble() - 0.5;
+  // Guard the log singularity at |u| == 1/2.
+  if (u == -0.5) u = -0.5 + 1e-16;
+  const double sign = (u < 0) ? -1.0 : 1.0;
+  return -scale * sign * std::log1p(-2.0 * std::fabs(u));
+}
+
+double Rng::Gaussian() {
+  if (has_gauss_spare_) {
+    has_gauss_spare_ = false;
+    return gauss_spare_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * UniformDouble() - 1.0;
+    v = 2.0 * UniformDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  gauss_spare_ = v * factor;
+  has_gauss_spare_ = true;
+  return u * factor;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+double Rng::Exponential(double rate) {
+  CAPP_DCHECK(rate > 0.0);
+  double u = UniformDouble();
+  if (u >= 1.0) u = 1.0 - 1e-16;
+  return -std::log1p(-u) / rate;
+}
+
+double Rng::Pareto(double x_m, double alpha) {
+  CAPP_DCHECK(x_m > 0.0 && alpha > 0.0);
+  double u = UniformDouble();
+  if (u >= 1.0) u = 1.0 - 1e-16;
+  return x_m / std::pow(1.0 - u, 1.0 / alpha);
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace capp

@@ -1,0 +1,64 @@
+// Deterministic random number generation for all stochastic components.
+//
+// We implement xoshiro256++ seeded via splitmix64 rather than relying on
+// std::*_distribution, whose outputs are implementation-defined; this keeps
+// every test, benchmark, and experiment bit-reproducible across platforms.
+#ifndef CAPP_CORE_RNG_H_
+#define CAPP_CORE_RNG_H_
+
+#include <cstdint>
+
+namespace capp {
+
+/// xoshiro256++ pseudo-random generator with a stable set of sampling
+/// helpers. Copyable; copies continue independently from the same state.
+class Rng {
+ public:
+  /// Seeds the generator. Any 64-bit seed is acceptable (expanded through
+  /// splitmix64, so small consecutive seeds yield uncorrelated streams).
+  explicit Rng(uint64_t seed = 0xC0FFEE123456789ULL);
+
+  /// Next raw 64-bit output.
+  uint64_t NextUint64();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi (returns lo when equal).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0. Unbiased (rejection method).
+  uint64_t UniformInt(uint64_t n);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Laplace(0, scale) variate; scale > 0.
+  double Laplace(double scale);
+
+  /// Standard normal variate (polar Box-Muller, deterministic).
+  double Gaussian();
+
+  /// Normal(mean, stddev) variate.
+  double Gaussian(double mean, double stddev);
+
+  /// Exponential variate with the given rate (mean 1/rate); rate > 0.
+  double Exponential(double rate);
+
+  /// Pareto variate with scale x_m > 0 and shape alpha > 0.
+  double Pareto(double x_m, double alpha);
+
+  /// Derives an independent child generator; useful to give each simulated
+  /// user its own stream without correlations.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  // Cached second output of the Box-Muller pair.
+  double gauss_spare_ = 0.0;
+  bool has_gauss_spare_ = false;
+};
+
+}  // namespace capp
+
+#endif  // CAPP_CORE_RNG_H_

@@ -1,0 +1,157 @@
+// Status and Result<T>: exception-free error handling for the capp public API.
+//
+// Fallible operations (configuration validation, parsing, estimation that can
+// fail to converge) return Status or Result<T>. Hot-path operations such as
+// Mechanism::Perturb are noexcept and assume a validated configuration.
+#ifndef CAPP_CORE_STATUS_H_
+#define CAPP_CORE_STATUS_H_
+
+#include <cstdlib>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace capp {
+
+/// Canonical error codes, a deliberately small subset of the usual
+/// database-engine set (RocksDB/Arrow style).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+};
+
+/// Returns a human-readable name for a status code ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the success path (no message
+/// allocation). Use the static constructors: Status::OK(),
+/// Status::InvalidArgument("...") etc.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Result<T> holds either a T or an error Status. Accessing value() on an
+/// error aborts (programming error); check ok() first or use value_or().
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(v_).ok()) {
+      // An OK status carries no value; this is a caller bug.
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  /// The error status; Status::OK() when this result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(v_);
+  }
+
+  const T& value() const& {
+    if (!ok()) DieOnBadAccess();
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    if (!ok()) DieOnBadAccess();
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    if (!ok()) DieOnBadAccess();
+    return std::get<T>(std::move(v_));
+  }
+
+  /// Returns the value or `fallback` if this result is an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  [[noreturn]] void DieOnBadAccess() const { std::abort(); }
+
+  std::variant<Status, T> v_;
+};
+
+/// Propagates an error Status from an expression returning Status.
+#define CAPP_RETURN_IF_ERROR(expr)                      \
+  do {                                                  \
+    ::capp::Status _capp_status = (expr);               \
+    if (!_capp_status.ok()) return _capp_status;        \
+  } while (false)
+
+/// Evaluates a Result<T>-returning expression; on success binds the value to
+/// `lhs`, on error returns the error status from the enclosing function.
+#define CAPP_ASSIGN_OR_RETURN(lhs, expr)                \
+  CAPP_ASSIGN_OR_RETURN_IMPL_(                          \
+      CAPP_STATUS_CONCAT_(_capp_result, __LINE__), lhs, expr)
+
+#define CAPP_STATUS_CONCAT_INNER_(a, b) a##b
+#define CAPP_STATUS_CONCAT_(a, b) CAPP_STATUS_CONCAT_INNER_(a, b)
+#define CAPP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)     \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+}  // namespace capp
+
+#endif  // CAPP_CORE_STATUS_H_

@@ -1,0 +1,90 @@
+#include "data/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace capp {
+namespace {
+
+Result<double> ParseCell(const std::string& cell, size_t line, size_t col) {
+  const char* begin = cell.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(begin, &end);
+  // Trailing whitespace is tolerated; anything else is an error.
+  while (end != nullptr && (*end == ' ' || *end == '\t' || *end == '\r')) {
+    ++end;
+  }
+  if (end == begin || (end != nullptr && *end != '\0') || errno == ERANGE) {
+    return Status::InvalidArgument(
+        "unparsable CSV cell at line " + std::to_string(line) + ", column " +
+        std::to_string(col) + ": '" + cell + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<double>>> LoadCsv(const std::string& path,
+                                                 bool skip_header) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (skip_header && line_no == 1) continue;
+    // Strip a trailing CR (Windows line endings).
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::stringstream ss(line);
+    std::string cell;
+    size_t col = 0;
+    while (std::getline(ss, cell, ',')) {
+      CAPP_ASSIGN_OR_RETURN(double value, ParseCell(cell, line_no, col));
+      row.push_back(value);
+      ++col;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<double>> LoadCsvColumn(const std::string& path,
+                                          size_t column, bool skip_header) {
+  CAPP_ASSIGN_OR_RETURN(auto rows, LoadCsv(path, skip_header));
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (column >= rows[i].size()) {
+      return Status::OutOfRange("row " + std::to_string(i) + " has only " +
+                                std::to_string(rows[i].size()) + " columns");
+    }
+    out.push_back(rows[i][column]);
+  }
+  return out;
+}
+
+Status SaveCsv(const std::string& path,
+               const std::vector<std::vector<double>>& rows,
+               const std::string& header) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  if (!header.empty()) out << header << '\n';
+  out.precision(12);
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+  if (!out) return Status::Internal("write failure on " + path);
+  return Status::OK();
+}
+
+}  // namespace capp

@@ -1,0 +1,32 @@
+// Minimal CSV I/O so the simulated datasets can be swapped for the paper's
+// real data (or any user data) without code changes. Parsing is
+// deliberately strict: numeric cells only, comma separator, optional
+// header, blank lines skipped.
+#ifndef CAPP_DATA_CSV_H_
+#define CAPP_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace capp {
+
+/// Loads a whole CSV file as rows of doubles. Rows may have differing
+/// lengths. Fails on unparsable cells (reporting line/column).
+Result<std::vector<std::vector<double>>> LoadCsv(const std::string& path,
+                                                 bool skip_header = false);
+
+/// Loads one zero-based column.
+Result<std::vector<double>> LoadCsvColumn(const std::string& path,
+                                          size_t column,
+                                          bool skip_header = false);
+
+/// Writes rows of doubles as CSV; `header` (if non-empty) becomes line 1.
+Status SaveCsv(const std::string& path,
+               const std::vector<std::vector<double>>& rows,
+               const std::string& header = "");
+
+}  // namespace capp
+
+#endif  // CAPP_DATA_CSV_H_

@@ -1,0 +1,119 @@
+#include "data/generators.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/check.h"
+#include "core/math_utils.h"
+
+namespace capp {
+
+std::vector<double> ConstantSeries(size_t n, double value) {
+  return std::vector<double>(n, value);
+}
+
+std::vector<double> PulseSeries(size_t n, size_t period, double base,
+                                double peak) {
+  CAPP_CHECK(period >= 1);
+  std::vector<double> out(n, base);
+  for (size_t i = period - 1; i < n; i += period) out[i] = peak;
+  return out;
+}
+
+std::vector<double> SinusoidSeries(size_t n, double period, double amplitude,
+                                   double offset, double phase) {
+  CAPP_CHECK(period > 0.0);
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t t = 0; t < n; ++t) {
+    out.push_back(offset + amplitude * std::sin(2.0 * std::numbers::pi *
+                                                    static_cast<double>(t) /
+                                                    period +
+                                                phase));
+  }
+  return out;
+}
+
+std::vector<double> Ar1Series(size_t n, double phi, double sigma, double mean,
+                              Rng& rng) {
+  std::vector<double> out;
+  out.reserve(n);
+  double x = mean;
+  for (size_t t = 0; t < n; ++t) {
+    x = mean + phi * (x - mean) + rng.Gaussian(0.0, sigma);
+    out.push_back(x);
+  }
+  return out;
+}
+
+std::vector<double> OrnsteinUhlenbeckSeries(size_t n, double theta, double mu,
+                                            double sigma, double x0,
+                                            Rng& rng) {
+  std::vector<double> out;
+  out.reserve(n);
+  double x = x0;
+  for (size_t t = 0; t < n; ++t) {
+    x += theta * (mu - x) + rng.Gaussian(0.0, sigma);
+    out.push_back(x);
+  }
+  return out;
+}
+
+std::vector<double> ReflectedRandomWalk(size_t n, double sigma, double x0,
+                                        Rng& rng) {
+  std::vector<double> out;
+  out.reserve(n);
+  double x = Clamp(x0, 0.0, 1.0);
+  for (size_t t = 0; t < n; ++t) {
+    x += rng.Gaussian(0.0, sigma);
+    // Reflect at the [0,1] boundaries.
+    while (x < 0.0 || x > 1.0) {
+      if (x < 0.0) x = -x;
+      if (x > 1.0) x = 2.0 - x;
+    }
+    out.push_back(x);
+  }
+  return out;
+}
+
+std::vector<double> PiecewiseConstantSeries(size_t n, size_t min_run,
+                                            size_t max_run,
+                                            std::span<const double> levels,
+                                            Rng& rng) {
+  CAPP_CHECK(min_run >= 1 && max_run >= min_run);
+  CAPP_CHECK(!levels.empty());
+  std::vector<double> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const size_t run =
+        min_run + rng.UniformInt(max_run - min_run + 1);
+    const double level = levels[rng.UniformInt(levels.size())];
+    for (size_t i = 0; i < run && out.size() < n; ++i) out.push_back(level);
+  }
+  return out;
+}
+
+std::vector<double> TrafficVolumeSeries(size_t n, Rng& rng) {
+  std::vector<double> out;
+  out.reserve(n);
+  constexpr double kHoursPerDay = 24.0;
+  constexpr double kHoursPerWeek = 7.0 * 24.0;
+  for (size_t t = 0; t < n; ++t) {
+    const double hour = std::fmod(static_cast<double>(t), kHoursPerDay);
+    const double week_pos =
+        std::fmod(static_cast<double>(t), kHoursPerWeek) / kHoursPerWeek;
+    // Base diurnal cycle: low at night, high during the day.
+    double v = 0.45 - 0.35 * std::cos(2.0 * std::numbers::pi * hour / 24.0);
+    // Rush-hour bumps around 8:00 and 17:00.
+    v += 0.25 * std::exp(-0.5 * std::pow((hour - 8.0) / 1.5, 2));
+    v += 0.30 * std::exp(-0.5 * std::pow((hour - 17.0) / 1.5, 2));
+    // Weekend damping (last 2/7 of the week).
+    if (week_pos > 5.0 / 7.0) v *= 0.7;
+    // Heteroscedastic noise: busier hours are noisier.
+    v += rng.Gaussian(0.0, 0.02 + 0.05 * v);
+    out.push_back(Clamp(v, 0.0, 1.0));
+  }
+  return out;
+}
+
+}  // namespace capp

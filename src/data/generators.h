@@ -1,0 +1,57 @@
+// Synthetic time-series generators. These provide (a) the paper's explicit
+// synthetic workloads (Constant, Pulse, Sinusoidal for Fig. 11; multi-dim
+// sinusoids for Fig. 10) and (b) the building blocks for the simulated
+// stand-ins of the four real datasets (see datasets.h and DESIGN.md §4).
+// All generators are deterministic given the caller's Rng.
+#ifndef CAPP_DATA_GENERATORS_H_
+#define CAPP_DATA_GENERATORS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace capp {
+
+/// n copies of `value`.
+std::vector<double> ConstantSeries(size_t n, double value);
+
+/// Zeros with `peak` inserted every `period` points (the paper's Pulse:
+/// "zeros with a value of 1 inserted every five points").
+std::vector<double> PulseSeries(size_t n, size_t period, double base,
+                                double peak);
+
+/// offset + amplitude * sin(2*pi*t/period + phase).
+std::vector<double> SinusoidSeries(size_t n, double period, double amplitude,
+                                   double offset, double phase = 0.0);
+
+/// AR(1): x_t = mean + phi*(x_{t-1} - mean) + N(0, sigma).
+std::vector<double> Ar1Series(size_t n, double phi, double sigma, double mean,
+                              Rng& rng);
+
+/// Ornstein-Uhlenbeck (mean-reverting walk):
+/// x_t = x_{t-1} + theta*(mu - x_{t-1}) + N(0, sigma).
+std::vector<double> OrnsteinUhlenbeckSeries(size_t n, double theta, double mu,
+                                            double sigma, double x0,
+                                            Rng& rng);
+
+/// Random walk with N(0, sigma) increments, reflected into [0, 1].
+std::vector<double> ReflectedRandomWalk(size_t n, double sigma, double x0,
+                                        Rng& rng);
+
+/// Piecewise-constant schedule: runs of uniform length in
+/// [min_run, max_run], each at a level drawn uniformly from `levels`
+/// (device on/off states; the Power stand-in's core).
+std::vector<double> PiecewiseConstantSeries(size_t n, size_t min_run,
+                                            size_t max_run,
+                                            std::span<const double> levels,
+                                            Rng& rng);
+
+/// Hourly traffic-volume shape: daily sinusoid with morning/evening rush
+/// bumps, weekly (weekday/weekend) modulation, and heteroscedastic noise.
+std::vector<double> TrafficVolumeSeries(size_t n, Rng& rng);
+
+}  // namespace capp
+
+#endif  // CAPP_DATA_GENERATORS_H_

@@ -1,0 +1,54 @@
+#include "data/normalize.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace capp {
+
+Result<MinMaxRange> FitMinMax(std::span<const double> xs) {
+  if (xs.empty()) return Status::InvalidArgument("empty series");
+  MinMaxRange range;
+  range.lo = *std::min_element(xs.begin(), xs.end());
+  range.hi = *std::max_element(xs.begin(), xs.end());
+  if (range.hi <= range.lo) {
+    // Degenerate (constant) series: widen symmetrically.
+    range.lo -= 0.5;
+    range.hi += 0.5;
+  }
+  return range;
+}
+
+double NormalizeValue(double x, const MinMaxRange& range, double target_lo,
+                      double target_hi) {
+  CAPP_DCHECK(range.width() > 0.0);
+  const double unit = (x - range.lo) / range.width();
+  return target_lo + unit * (target_hi - target_lo);
+}
+
+double DenormalizeValue(double y, const MinMaxRange& range, double target_lo,
+                        double target_hi) {
+  CAPP_DCHECK(target_hi > target_lo);
+  const double unit = (y - target_lo) / (target_hi - target_lo);
+  return range.lo + unit * range.width();
+}
+
+std::vector<double> Normalized(std::span<const double> xs,
+                               const MinMaxRange& range, double target_lo,
+                               double target_hi) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) {
+    out.push_back(NormalizeValue(x, range, target_lo, target_hi));
+  }
+  return out;
+}
+
+Result<std::vector<double>> FitAndNormalize(std::span<const double> xs,
+                                            double target_lo,
+                                            double target_hi) {
+  CAPP_ASSIGN_OR_RETURN(MinMaxRange range, FitMinMax(xs));
+  return Normalized(xs, range, target_lo, target_hi);
+}
+
+}  // namespace capp

@@ -1,0 +1,47 @@
+// Min-max normalization utilities. The paper normalizes all stream values
+// to [0,1] before perturbation (or [-1,1] for Laplace/SR/PM in Fig. 9); the
+// fitted range is kept so published statistics can be mapped back to the
+// original units.
+#ifndef CAPP_DATA_NORMALIZE_H_
+#define CAPP_DATA_NORMALIZE_H_
+
+#include <span>
+#include <vector>
+
+#include "core/status.h"
+
+namespace capp {
+
+/// A fitted min-max range.
+struct MinMaxRange {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  double width() const { return hi - lo; }
+};
+
+/// Fits the range of a series. Fails on empty input; a constant series gets
+/// a degenerate range widened by +/-0.5 so normalization stays defined.
+Result<MinMaxRange> FitMinMax(std::span<const double> xs);
+
+/// Maps x from `range` into [target_lo, target_hi].
+double NormalizeValue(double x, const MinMaxRange& range, double target_lo,
+                      double target_hi);
+
+/// Maps y from [target_lo, target_hi] back into `range`.
+double DenormalizeValue(double y, const MinMaxRange& range, double target_lo,
+                        double target_hi);
+
+/// Normalizes a whole series into [target_lo, target_hi] (default [0,1]).
+std::vector<double> Normalized(std::span<const double> xs,
+                               const MinMaxRange& range,
+                               double target_lo = 0.0, double target_hi = 1.0);
+
+/// Fits and normalizes in one step.
+Result<std::vector<double>> FitAndNormalize(std::span<const double> xs,
+                                            double target_lo = 0.0,
+                                            double target_hi = 1.0);
+
+}  // namespace capp
+
+#endif  // CAPP_DATA_NORMALIZE_H_

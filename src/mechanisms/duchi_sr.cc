@@ -1,0 +1,31 @@
+#include "mechanisms/duchi_sr.h"
+
+#include <cmath>
+
+#include "core/math_utils.h"
+
+namespace capp {
+
+Result<DuchiSr> DuchiSr::Create(double epsilon) {
+  CAPP_RETURN_IF_ERROR(ValidateEpsilon(epsilon));
+  // C = (e^eps + 1)/(e^eps - 1) = 1 + 2/expm1(eps); the expm1 form stays
+  // accurate as eps -> 0 where C ~ 2/eps.
+  const double c = 1.0 + 2.0 / std::expm1(epsilon);
+  return DuchiSr(epsilon, c);
+}
+
+double DuchiSr::Perturb(double v, Rng& rng) const {
+  v = Clamp(v, -1.0, 1.0);
+  const double p_plus = 0.5 + v / (2.0 * c_);
+  return rng.Bernoulli(p_plus) ? c_ : -c_;
+}
+
+double DuchiSr::OutputMean(double v) const { return Clamp(v, -1.0, 1.0); }
+
+double DuchiSr::OutputVariance(double v) const {
+  v = Clamp(v, -1.0, 1.0);
+  // E[y^2] = C^2 always; Var = C^2 - v^2.
+  return c_ * c_ - v * v;
+}
+
+}  // namespace capp

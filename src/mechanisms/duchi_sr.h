@@ -1,0 +1,46 @@
+// Duchi et al.'s binary stochastic rounding (SR) mechanism for a scalar in
+// [-1, 1] (JASA 2018, "Minimax Optimal Procedures for Locally Private
+// Estimation"). The output is one of two values +/-C with
+//     C = (e^eps + 1) / (e^eps - 1),
+//     P[+C] = 1/2 + v (e^eps - 1) / (2 (e^eps + 1)) = 1/2 + v / (2C),
+// which makes the output itself unbiased: E[y|v] = v. The two-point support
+// discards all within-slot detail, which is why the paper's Fig. 9 shows SR
+// underperforming SW for stream publication.
+#ifndef CAPP_MECHANISMS_DUCHI_SR_H_
+#define CAPP_MECHANISMS_DUCHI_SR_H_
+
+#include <string_view>
+
+#include "mechanisms/mechanism.h"
+
+namespace capp {
+
+/// Duchi SR mechanism over [-1, 1].
+class DuchiSr final : public Mechanism {
+ public:
+  /// Builds an SR mechanism; fails for invalid epsilon.
+  static Result<DuchiSr> Create(double epsilon);
+
+  std::string_view name() const override { return "sr"; }
+  double input_lo() const override { return -1.0; }
+  double input_hi() const override { return 1.0; }
+  double output_lo() const override { return -c_; }
+  double output_hi() const override { return c_; }
+
+  /// Output magnitude C.
+  double c() const { return c_; }
+
+  double Perturb(double v, Rng& rng) const override;
+  double UnbiasedEstimate(double y) const override { return y; }
+  double OutputMean(double v) const override;
+  double OutputVariance(double v) const override;
+
+ private:
+  DuchiSr(double epsilon, double c) : Mechanism(epsilon), c_(c) {}
+
+  double c_;
+};
+
+}  // namespace capp
+
+#endif  // CAPP_MECHANISMS_DUCHI_SR_H_

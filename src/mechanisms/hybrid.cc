@@ -1,0 +1,45 @@
+#include "mechanisms/hybrid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/math_utils.h"
+
+namespace capp {
+
+Result<HybridMechanism> HybridMechanism::Create(double epsilon) {
+  CAPP_RETURN_IF_ERROR(ValidateEpsilon(epsilon));
+  CAPP_ASSIGN_OR_RETURN(PiecewiseMechanism pm,
+                        PiecewiseMechanism::Create(epsilon));
+  CAPP_ASSIGN_OR_RETURN(DuchiSr sr, DuchiSr::Create(epsilon));
+  const double alpha =
+      (epsilon > kEpsStar) ? 1.0 - std::exp(-epsilon / 2.0) : 0.0;
+  return HybridMechanism(epsilon, alpha, std::move(pm), std::move(sr));
+}
+
+double HybridMechanism::output_lo() const {
+  return -std::max(pm_.c(), sr_.c());
+}
+
+double HybridMechanism::output_hi() const {
+  return std::max(pm_.c(), sr_.c());
+}
+
+double HybridMechanism::Perturb(double v, Rng& rng) const {
+  v = Clamp(v, -1.0, 1.0);
+  if (rng.Bernoulli(alpha_)) return pm_.Perturb(v, rng);
+  return sr_.Perturb(v, rng);
+}
+
+double HybridMechanism::OutputMean(double v) const {
+  return Clamp(v, -1.0, 1.0);
+}
+
+double HybridMechanism::OutputVariance(double v) const {
+  v = Clamp(v, -1.0, 1.0);
+  // Mixture of two unbiased components with identical means: the variance
+  // is the mixture of the component variances.
+  return alpha_ * pm_.OutputVariance(v) + (1.0 - alpha_) * sr_.OutputVariance(v);
+}
+
+}  // namespace capp

@@ -1,0 +1,54 @@
+// Hybrid Mechanism (HM) of Wang et al., ICDE 2019: a mixture of the
+// Piecewise Mechanism and Duchi's SR that dominates both. For
+// eps > eps* ~= 0.61 it applies PM with probability 1 - e^{-eps/2} and SR
+// otherwise; for eps <= eps* it always applies SR. Both components are
+// unbiased, so HM is unbiased. HM is the perturbation primitive of the ToPL
+// baseline (Wang et al., CCS 2021).
+#ifndef CAPP_MECHANISMS_HYBRID_H_
+#define CAPP_MECHANISMS_HYBRID_H_
+
+#include <string_view>
+
+#include "mechanisms/duchi_sr.h"
+#include "mechanisms/mechanism.h"
+#include "mechanisms/piecewise_mech.h"
+
+namespace capp {
+
+/// The Hybrid Mechanism over [-1, 1].
+class HybridMechanism final : public Mechanism {
+ public:
+  /// Threshold below which HM degenerates to pure SR.
+  static constexpr double kEpsStar = 0.61;
+
+  /// Builds an HM mechanism; fails for invalid epsilon.
+  static Result<HybridMechanism> Create(double epsilon);
+
+  std::string_view name() const override { return "hm"; }
+  double input_lo() const override { return -1.0; }
+  double input_hi() const override { return 1.0; }
+  double output_lo() const override;
+  double output_hi() const override;
+
+  /// Probability of using the PM component.
+  double pm_probability() const { return alpha_; }
+
+  double Perturb(double v, Rng& rng) const override;
+  double UnbiasedEstimate(double y) const override { return y; }
+  double OutputMean(double v) const override;
+  double OutputVariance(double v) const override;
+
+ private:
+  HybridMechanism(double epsilon, double alpha, PiecewiseMechanism pm,
+                  DuchiSr sr)
+      : Mechanism(epsilon), alpha_(alpha), pm_(std::move(pm)),
+        sr_(std::move(sr)) {}
+
+  double alpha_;
+  PiecewiseMechanism pm_;
+  DuchiSr sr_;
+};
+
+}  // namespace capp
+
+#endif  // CAPP_MECHANISMS_HYBRID_H_

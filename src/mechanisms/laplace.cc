@@ -1,0 +1,21 @@
+#include "mechanisms/laplace.h"
+
+#include "core/math_utils.h"
+
+namespace capp {
+
+Result<LaplaceMechanism> LaplaceMechanism::Create(double epsilon) {
+  CAPP_RETURN_IF_ERROR(ValidateEpsilon(epsilon));
+  return LaplaceMechanism(epsilon, 2.0 / epsilon);
+}
+
+double LaplaceMechanism::Perturb(double v, Rng& rng) const {
+  v = Clamp(v, -1.0, 1.0);
+  return v + rng.Laplace(scale_);
+}
+
+double LaplaceMechanism::OutputMean(double v) const {
+  return Clamp(v, -1.0, 1.0);
+}
+
+}  // namespace capp

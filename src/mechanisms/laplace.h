@@ -1,0 +1,51 @@
+// Laplace mechanism for a single value in [-1, 1] (Dwork et al., TCC 2006).
+// Sensitivity of the identity query over [-1,1] is 2, so noise is
+// Lap(2/eps). Output is unbounded, which is exactly the weakness the paper's
+// Fig. 9 study demonstrates relative to SW.
+#ifndef CAPP_MECHANISMS_LAPLACE_H_
+#define CAPP_MECHANISMS_LAPLACE_H_
+
+#include <limits>
+#include <string_view>
+
+#include "mechanisms/mechanism.h"
+
+namespace capp {
+
+/// Laplace mechanism over [-1, 1].
+class LaplaceMechanism final : public Mechanism {
+ public:
+  /// Builds a Laplace mechanism; fails for invalid epsilon.
+  static Result<LaplaceMechanism> Create(double epsilon);
+
+  std::string_view name() const override { return "laplace"; }
+  double input_lo() const override { return -1.0; }
+  double input_hi() const override { return 1.0; }
+  double output_lo() const override {
+    return -std::numeric_limits<double>::infinity();
+  }
+  double output_hi() const override {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  /// Noise scale 2/eps.
+  double scale() const { return scale_; }
+
+  double Perturb(double v, Rng& rng) const override;
+  /// The raw output is already unbiased.
+  double UnbiasedEstimate(double y) const override { return y; }
+  double OutputMean(double v) const override;
+  double OutputVariance(double /*v*/) const override {
+    return 2.0 * scale_ * scale_;
+  }
+
+ private:
+  LaplaceMechanism(double epsilon, double scale)
+      : Mechanism(epsilon), scale_(scale) {}
+
+  double scale_;
+};
+
+}  // namespace capp
+
+#endif  // CAPP_MECHANISMS_LAPLACE_H_

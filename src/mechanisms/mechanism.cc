@@ -1,0 +1,73 @@
+#include "mechanisms/mechanism.h"
+
+#include <cmath>
+
+#include "mechanisms/duchi_sr.h"
+#include "mechanisms/hybrid.h"
+#include "mechanisms/laplace.h"
+#include "mechanisms/piecewise_mech.h"
+#include "mechanisms/square_wave.h"
+
+namespace capp {
+
+Status Mechanism::ValidateEpsilon(double epsilon) {
+  if (!std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be finite");
+  }
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (epsilon > kMaxEpsilon) {
+    return Status::InvalidArgument("epsilon exceeds supported maximum (50)");
+  }
+  return Status::OK();
+}
+
+std::string_view MechanismKindName(MechanismKind kind) {
+  switch (kind) {
+    case MechanismKind::kSquareWave:
+      return "sw";
+    case MechanismKind::kLaplace:
+      return "laplace";
+    case MechanismKind::kDuchiSr:
+      return "sr";
+    case MechanismKind::kPiecewise:
+      return "pm";
+    case MechanismKind::kHybrid:
+      return "hm";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<Mechanism>> CreateMechanism(MechanismKind kind,
+                                                   double epsilon) {
+  switch (kind) {
+    case MechanismKind::kSquareWave: {
+      CAPP_ASSIGN_OR_RETURN(SquareWave sw, SquareWave::Create(epsilon));
+      return std::unique_ptr<Mechanism>(new SquareWave(std::move(sw)));
+    }
+    case MechanismKind::kLaplace: {
+      CAPP_ASSIGN_OR_RETURN(LaplaceMechanism m,
+                            LaplaceMechanism::Create(epsilon));
+      return std::unique_ptr<Mechanism>(new LaplaceMechanism(std::move(m)));
+    }
+    case MechanismKind::kDuchiSr: {
+      CAPP_ASSIGN_OR_RETURN(DuchiSr m, DuchiSr::Create(epsilon));
+      return std::unique_ptr<Mechanism>(new DuchiSr(std::move(m)));
+    }
+    case MechanismKind::kPiecewise: {
+      CAPP_ASSIGN_OR_RETURN(PiecewiseMechanism m,
+                            PiecewiseMechanism::Create(epsilon));
+      return std::unique_ptr<Mechanism>(
+          new PiecewiseMechanism(std::move(m)));
+    }
+    case MechanismKind::kHybrid: {
+      CAPP_ASSIGN_OR_RETURN(HybridMechanism m,
+                            HybridMechanism::Create(epsilon));
+      return std::unique_ptr<Mechanism>(new HybridMechanism(std::move(m)));
+    }
+  }
+  return Status::InvalidArgument("unknown mechanism kind");
+}
+
+}  // namespace capp

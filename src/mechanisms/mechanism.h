@@ -1,0 +1,83 @@
+// Common interface for single-value numerical LDP mechanisms.
+//
+// A Mechanism perturbs one numeric value from its input domain into a
+// randomized output such that for any inputs v, v' and output y the density
+// ratio is bounded by e^epsilon (pure epsilon-LDP). Mechanisms are immutable
+// after construction; Perturb is const and thread-compatible (the caller owns
+// the Rng).
+#ifndef CAPP_MECHANISMS_MECHANISM_H_
+#define CAPP_MECHANISMS_MECHANISM_H_
+
+#include <memory>
+#include <string_view>
+
+#include "core/rng.h"
+#include "core/status.h"
+
+namespace capp {
+
+/// Abstract numerical LDP mechanism.
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  /// Privacy budget consumed by one invocation of Perturb.
+  double epsilon() const { return epsilon_; }
+
+  /// Short identifier, e.g. "sw", "laplace".
+  virtual std::string_view name() const = 0;
+
+  /// Input domain [input_lo, input_hi].
+  virtual double input_lo() const = 0;
+  virtual double input_hi() const = 0;
+
+  /// Output support [output_lo, output_hi]; may be infinite (Laplace).
+  virtual double output_lo() const = 0;
+  virtual double output_hi() const = 0;
+
+  /// Perturbs v (defensively clamped into the input domain).
+  virtual double Perturb(double v, Rng& rng) const = 0;
+
+  /// Point estimate of the input that is unbiased over the mechanism's
+  /// randomness: E[UnbiasedEstimate(Perturb(v))] == v.
+  virtual double UnbiasedEstimate(double y) const = 0;
+
+  /// E[Perturb(v)].
+  virtual double OutputMean(double v) const = 0;
+
+  /// Var[Perturb(v)].
+  virtual double OutputVariance(double v) const = 0;
+
+ protected:
+  explicit Mechanism(double epsilon) : epsilon_(epsilon) {}
+
+  /// Shared argument validation for Create() factories: requires
+  /// 0 < epsilon <= kMaxEpsilon and finite.
+  static Status ValidateEpsilon(double epsilon);
+
+  /// Upper bound on supported budgets (guards exp() overflow paths).
+  static constexpr double kMaxEpsilon = 50.0;
+
+ private:
+  double epsilon_;
+};
+
+/// Identifies a concrete mechanism for factory construction.
+enum class MechanismKind {
+  kSquareWave,
+  kLaplace,
+  kDuchiSr,
+  kPiecewise,
+  kHybrid,
+};
+
+/// Human-readable mechanism name ("sw", "laplace", "sr", "pm", "hm").
+std::string_view MechanismKindName(MechanismKind kind);
+
+/// Constructs a mechanism of the given kind with budget epsilon.
+Result<std::unique_ptr<Mechanism>> CreateMechanism(MechanismKind kind,
+                                                   double epsilon);
+
+}  // namespace capp
+
+#endif  // CAPP_MECHANISMS_MECHANISM_H_

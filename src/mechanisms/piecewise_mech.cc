@@ -1,0 +1,68 @@
+#include "mechanisms/piecewise_mech.h"
+
+#include <cmath>
+
+#include "core/math_utils.h"
+
+namespace capp {
+
+Result<PiecewiseMechanism> PiecewiseMechanism::Create(double epsilon) {
+  CAPP_RETURN_IF_ERROR(ValidateEpsilon(epsilon));
+  const double t = std::exp(epsilon / 2.0);
+  const double c = 1.0 + 2.0 / std::expm1(epsilon / 2.0);  // (t+1)/(t-1)
+  return PiecewiseMechanism(epsilon, t, c);
+}
+
+double PiecewiseMechanism::BandLo(double v) const {
+  v = Clamp(v, -1.0, 1.0);
+  return (c_ + 1.0) * v / 2.0 - (c_ - 1.0) / 2.0;
+}
+
+double PiecewiseMechanism::BandHi(double v) const {
+  return BandLo(v) + c_ - 1.0;
+}
+
+double PiecewiseMechanism::Perturb(double v, Rng& rng) const {
+  v = Clamp(v, -1.0, 1.0);
+  const double lo = BandLo(v);
+  const double hi = BandHi(v);
+  // With probability t/(t+1), sample the high band; otherwise sample the
+  // complement [-C, lo] U [hi, C], whose total width is always C+1.
+  if (rng.Bernoulli(t_ / (t_ + 1.0))) {
+    return rng.Uniform(lo, hi);
+  }
+  const double left_width = lo + c_;
+  const double u = rng.Uniform(0.0, c_ + 1.0);
+  if (u < left_width) return -c_ + u;
+  return hi + (u - left_width);
+}
+
+double PiecewiseMechanism::OutputMean(double v) const {
+  return Clamp(v, -1.0, 1.0);
+}
+
+double PiecewiseMechanism::OutputVariance(double v) const {
+  v = Clamp(v, -1.0, 1.0);
+  // Wang et al. (ICDE 2019), Eq. for Var[PM(v)].
+  const double tm1 = t_ - 1.0;
+  return v * v / tm1 + (t_ + 3.0) / (3.0 * tm1 * tm1);
+}
+
+Result<PiecewiseConstantDensity> PiecewiseMechanism::OutputDensity(
+    double v) const {
+  v = Clamp(v, -1.0, 1.0);
+  const double lo = BandLo(v);
+  const double hi = BandHi(v);
+  // Densities: high = t(t-1)/(2(t+1)) over width C-1, low = high / t over
+  // the remaining width C+1; total mass
+  //   high*(C-1) + low*(C+1) = t/(t+1) + 1/(t+1) = 1.
+  const double high = t_ / (t_ + 1.0) / (c_ - 1.0);
+  const double low = (1.0 / (t_ + 1.0)) / (c_ + 1.0);
+  std::vector<DensitySegment> segs;
+  segs.push_back({-c_, lo, low});
+  segs.push_back({lo, hi, high});
+  segs.push_back({hi, c_, low});
+  return PiecewiseConstantDensity::Create(std::move(segs));
+}
+
+}  // namespace capp

@@ -1,0 +1,59 @@
+// Piecewise Mechanism (PM) of Wang et al., ICDE 2019 ("Collecting and
+// Analyzing Multidimensional Data with Local Differential Privacy").
+//
+// Input v in [-1,1]; output y in [-C, C] with C = (e^{eps/2}+1)/(e^{eps/2}-1).
+// A high-density band [l(v), r(v)] of width C-1 surrounds (an affine image
+// of) the input; the rest of the support has density lower by the factor
+// e^eps. The output is unbiased: E[y|v] = v. Its variance
+//     Var[y|v] = v^2/(t-1) + (t+3)/(3(t-1)^2),  t = e^{eps/2},
+// explodes as eps -> 0 (C ~ 4/eps), which the paper contrasts with SW's
+// bounded range.
+#ifndef CAPP_MECHANISMS_PIECEWISE_MECH_H_
+#define CAPP_MECHANISMS_PIECEWISE_MECH_H_
+
+#include <string_view>
+
+#include "core/piecewise_density.h"
+#include "mechanisms/mechanism.h"
+
+namespace capp {
+
+/// The Piecewise Mechanism over [-1, 1].
+class PiecewiseMechanism final : public Mechanism {
+ public:
+  /// Builds a PM mechanism; fails for invalid epsilon.
+  static Result<PiecewiseMechanism> Create(double epsilon);
+
+  std::string_view name() const override { return "pm"; }
+  double input_lo() const override { return -1.0; }
+  double input_hi() const override { return 1.0; }
+  double output_lo() const override { return -c_; }
+  double output_hi() const override { return c_; }
+
+  /// Output bound C.
+  double c() const { return c_; }
+
+  /// Left edge l(v) of the high-density band.
+  double BandLo(double v) const;
+  /// Right edge r(v) = l(v) + C - 1 of the high-density band.
+  double BandHi(double v) const;
+
+  double Perturb(double v, Rng& rng) const override;
+  double UnbiasedEstimate(double y) const override { return y; }
+  double OutputMean(double v) const override;
+  double OutputVariance(double v) const override;
+
+  /// Exact output density (piecewise constant) for tests.
+  Result<PiecewiseConstantDensity> OutputDensity(double v) const;
+
+ private:
+  PiecewiseMechanism(double epsilon, double t, double c)
+      : Mechanism(epsilon), t_(t), c_(c) {}
+
+  double t_;  // e^{eps/2}
+  double c_;  // output bound
+};
+
+}  // namespace capp
+
+#endif  // CAPP_MECHANISMS_PIECEWISE_MECH_H_

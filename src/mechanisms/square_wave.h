@@ -1,0 +1,79 @@
+// Square Wave (SW) mechanism of Li et al., SIGMOD 2020 ("Estimating
+// Numerical Distributions under Local Differential Privacy").
+//
+// Input v in [0,1]; output y in [-b, 1+b] with density
+//     f(y | v) = p   if |y - v| <= b,
+//                q   otherwise,
+// where
+//     b = (eps*e^eps - e^eps + 1) / (2 e^eps (e^eps - eps - 1)),
+//     p = e^eps / (2 b e^eps + 1),   q = 1 / (2 b e^eps + 1).
+// p/q = e^eps exactly, so SW satisfies pure eps-LDP. The paper under
+// reproduction (Du et al., ICDE 2025) uses SW as its primary perturbation
+// primitive: its bounded output range (-1/2, 3/2) in the eps->0 limit is
+// what makes the deviation-feedback calibration effective.
+#ifndef CAPP_MECHANISMS_SQUARE_WAVE_H_
+#define CAPP_MECHANISMS_SQUARE_WAVE_H_
+
+#include <string_view>
+
+#include "core/piecewise_density.h"
+#include "core/rng.h"
+#include "core/status.h"
+#include "mechanisms/mechanism.h"
+
+namespace capp {
+
+/// Derived SW parameters for a given budget.
+struct SwParams {
+  double b = 0.0;  ///< Half-width of the high-probability ("near") band.
+  double p = 0.0;  ///< Density inside the near band.
+  double q = 0.0;  ///< Density outside the near band.
+};
+
+/// The Square Wave mechanism.
+class SquareWave final : public Mechanism {
+ public:
+  /// Computes (b, p, q) for the budget; fails for invalid epsilon.
+  static Result<SwParams> ComputeParams(double epsilon);
+
+  /// Builds an SW mechanism; fails for invalid epsilon.
+  static Result<SquareWave> Create(double epsilon);
+
+  std::string_view name() const override { return "sw"; }
+  double input_lo() const override { return 0.0; }
+  double input_hi() const override { return 1.0; }
+  double output_lo() const override { return -params_.b; }
+  double output_hi() const override { return 1.0 + params_.b; }
+
+  const SwParams& params() const { return params_; }
+
+  double Perturb(double v, Rng& rng) const override;
+
+  /// Inverts the output-mean line E[y|v] = alpha*v + beta. Degenerates as
+  /// eps -> 0 (alpha -> 0); then returns the domain midpoint 0.5.
+  double UnbiasedEstimate(double y) const override;
+
+  /// E[y|v] = 2b(p-q) v + q(1+2b)/2 (exact).
+  double OutputMean(double v) const override;
+
+  /// Var[y|v], exact closed form from the piecewise-constant density.
+  double OutputVariance(double v) const override;
+
+  /// Exact output density for input v (for tests/EM/moment analysis).
+  Result<PiecewiseConstantDensity> OutputDensity(double v) const;
+
+  /// Slope alpha = 2b(p-q) of the output-mean line.
+  double MeanSlope() const;
+  /// Intercept beta = q(1+2b)/2 of the output-mean line.
+  double MeanIntercept() const;
+
+ private:
+  SquareWave(double epsilon, SwParams params)
+      : Mechanism(epsilon), params_(params) {}
+
+  SwParams params_;
+};
+
+}  // namespace capp
+
+#endif  // CAPP_MECHANISMS_SQUARE_WAVE_H_

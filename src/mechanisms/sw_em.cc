@@ -1,0 +1,152 @@
+#include "mechanisms/sw_em.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+#include "core/math_utils.h"
+
+namespace capp {
+namespace {
+
+// Binomial [1 2 1]/4 kernel (EMS of Li et al.), reflected at the edges,
+// renormalized to a probability vector.
+void SmoothInPlace(std::vector<double>* theta) {
+  const int nb = static_cast<int>(theta->size());
+  std::vector<double> smoothed(nb, 0.0);
+  for (int i = 0; i < nb; ++i) {
+    const double left = (*theta)[std::max(i - 1, 0)];
+    const double right = (*theta)[std::min(i + 1, nb - 1)];
+    smoothed[i] = 0.25 * left + 0.5 * (*theta)[i] + 0.25 * right;
+  }
+  double total = 0.0;
+  for (double v : smoothed) total += v;
+  for (double& v : smoothed) v /= total;
+  theta->swap(smoothed);
+}
+
+}  // namespace
+
+Result<SwDistributionEstimator> SwDistributionEstimator::Create(
+    const SquareWave& sw, SwEmOptions options) {
+  if (options.input_buckets < 2) {
+    return Status::InvalidArgument("input_buckets must be >= 2");
+  }
+  if (options.output_buckets < 2) {
+    return Status::InvalidArgument("output_buckets must be >= 2");
+  }
+  if (options.max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  if (options.tolerance <= 0.0) {
+    return Status::InvalidArgument("tolerance must be positive");
+  }
+  if (options.smooth_interval < 1) {
+    return Status::InvalidArgument("smooth_interval must be >= 1");
+  }
+  const double out_lo = sw.output_lo();
+  const double out_hi = sw.output_hi();
+  const int nb_in = options.input_buckets;
+  const int nb_out = options.output_buckets;
+  const double out_width = (out_hi - out_lo) / nb_out;
+
+  std::vector<std::vector<double>> transition(
+      nb_out, std::vector<double>(nb_in, 0.0));
+  for (int i = 0; i < nb_in; ++i) {
+    const double center = (static_cast<double>(i) + 0.5) / nb_in;
+    auto density = sw.OutputDensity(center);
+    CAPP_CHECK(density.ok());
+    for (int o = 0; o < nb_out; ++o) {
+      const double lo = out_lo + o * out_width;
+      const double hi = (o == nb_out - 1) ? out_hi : lo + out_width;
+      transition[o][i] = density->Cdf(hi) - density->Cdf(lo);
+    }
+  }
+  return SwDistributionEstimator(options, out_lo, out_hi,
+                                 std::move(transition));
+}
+
+std::vector<double> SwDistributionEstimator::Estimate(
+    std::span<const double> outputs) const {
+  const int nb_in = options_.input_buckets;
+  const int nb_out = options_.output_buckets;
+  std::vector<double> theta(nb_in, 1.0 / nb_in);
+  if (outputs.empty()) return theta;
+
+  // Bucketize the observed outputs once.
+  std::vector<double> counts(nb_out, 0.0);
+  const double out_width = (out_hi_ - out_lo_) / nb_out;
+  for (double y : outputs) {
+    const double clamped = Clamp(y, out_lo_, out_hi_);
+    int o = static_cast<int>((clamped - out_lo_) / out_width);
+    o = std::min(std::max(o, 0), nb_out - 1);
+    counts[o] += 1.0;
+  }
+  const double n = static_cast<double>(outputs.size());
+
+  std::vector<double> next(nb_in, 0.0);
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    // E-step folded into the M-step: responsibility of input bucket i for
+    // output bucket o is  T[o][i] theta[i] / sum_j T[o][j] theta[j].
+    // The per-bucket denominators also give the log-likelihood for the
+    // stopping rule.
+    double ll = 0.0;
+    for (int o = 0; o < nb_out; ++o) {
+      if (counts[o] == 0.0) continue;
+      double denom = 0.0;
+      for (int i = 0; i < nb_in; ++i) denom += transition_[o][i] * theta[i];
+      if (denom <= 0.0) continue;
+      ll += counts[o] * std::log(denom);
+      const double scale = counts[o] / denom;
+      for (int i = 0; i < nb_in; ++i) {
+        next[i] += scale * transition_[o][i] * theta[i];
+      }
+    }
+    double total = 0.0;
+    for (double v : next) total += v;
+    if (total <= 0.0) break;
+    for (double& v : next) v /= total;
+
+    if (options_.smooth && (iter + 1) % options_.smooth_interval == 0) {
+      SmoothInPlace(&next);
+    }
+
+    theta = next;
+    // Relative log-likelihood improvement (ll is negative; n normalizes).
+    if (iter > 0 &&
+        std::fabs(ll - prev_ll) < options_.tolerance * (std::fabs(ll) + n)) {
+      break;
+    }
+    prev_ll = ll;
+  }
+  if (options_.smooth) SmoothInPlace(&theta);
+  return theta;
+}
+
+double SwDistributionEstimator::HistogramMean(
+    std::span<const double> histogram) const {
+  const int nb = static_cast<int>(histogram.size());
+  KahanSum sum;
+  for (int i = 0; i < nb; ++i) {
+    const double center = (static_cast<double>(i) + 0.5) / nb;
+    sum.Add(histogram[i] * center);
+  }
+  return sum.Total();
+}
+
+double SwDistributionEstimator::HistogramQuantile(
+    std::span<const double> histogram, double p) const {
+  CAPP_CHECK(p >= 0.0 && p <= 1.0);
+  const int nb = static_cast<int>(histogram.size());
+  double acc = 0.0;
+  for (int i = 0; i < nb; ++i) {
+    acc += histogram[i];
+    if (acc >= p) return static_cast<double>(i + 1) / nb;
+  }
+  return 1.0;
+}
+
+}  // namespace capp

@@ -1,0 +1,47 @@
+#include "multidim/budget_split.h"
+
+#include "core/check.h"
+
+namespace capp {
+
+Result<std::unique_ptr<BudgetSplitPerturber>> BudgetSplitPerturber::Create(
+    size_t dimensions, PerturberOptions options, AlgorithmKind inner) {
+  if (dimensions == 0) {
+    return Status::InvalidArgument("dimensions must be >= 1");
+  }
+  CAPP_RETURN_IF_ERROR(ValidatePerturberOptions(options));
+  PerturberOptions per_dim = options;
+  per_dim.epsilon = options.epsilon / static_cast<double>(dimensions);
+  std::vector<std::unique_ptr<StreamPerturber>> inners;
+  inners.reserve(dimensions);
+  for (size_t d = 0; d < dimensions; ++d) {
+    CAPP_ASSIGN_OR_RETURN(auto p, CreatePerturber(inner, per_dim));
+    inners.push_back(std::move(p));
+  }
+  std::string name = std::string(AlgorithmKindName(inner)) + "-bs";
+  return std::unique_ptr<BudgetSplitPerturber>(
+      new BudgetSplitPerturber(std::move(inners), std::move(name)));
+}
+
+std::vector<double> BudgetSplitPerturber::ProcessVector(
+    const std::vector<double>& x, Rng& rng) {
+  CAPP_CHECK(x.size() == inner_.size());
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (size_t d = 0; d < x.size(); ++d) {
+    out.push_back(inner_[d]->ProcessValue(x[d], rng));
+  }
+  return out;
+}
+
+void BudgetSplitPerturber::Reset() {
+  for (auto& p : inner_) p->Reset();
+}
+
+void BudgetSplitPerturber::AttachAccountant(WEventAccountant* accountant) {
+  // All dimensions share the ledger: per-slot spends add across dimensions,
+  // so VerifyBudget checks the total multi-dimensional window spend.
+  for (auto& p : inner_) p->AttachAccountant(accountant);
+}
+
+}  // namespace capp

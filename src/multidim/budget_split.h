@@ -1,0 +1,68 @@
+// Budget-Split (BS) strategy for d-dimensional streams (Section IV-C).
+//
+// At every time slot the user uploads all d dimensions; sequential
+// composition across dimensions means each per-dimension upload gets budget
+// eps / (d * w). Implemented as d independent inner perturbers, each
+// configured with window budget eps / d.
+#ifndef CAPP_MULTIDIM_BUDGET_SPLIT_H_
+#define CAPP_MULTIDIM_BUDGET_SPLIT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algorithms/factory.h"
+#include "algorithms/perturber.h"
+
+namespace capp {
+
+/// Perturbs a d-dimensional stream, one vector per slot.
+class MultiDimPerturber {
+ public:
+  virtual ~MultiDimPerturber() = default;
+  virtual std::string_view name() const = 0;
+  virtual size_t dimensions() const = 0;
+  /// SMA window the publication step calls for (delegates to the inner
+  /// per-dimension algorithm; see StreamPerturber).
+  virtual int publication_smoothing_window() const = 0;
+  /// Perturbs one slot's d-vector (values in [0,1] per dimension).
+  virtual std::vector<double> ProcessVector(const std::vector<double>& x,
+                                            Rng& rng) = 0;
+  /// Clears per-stream state.
+  virtual void Reset() = 0;
+  /// Optional shared ledger: window sums across *all* dimensions must stay
+  /// within the total budget.
+  virtual void AttachAccountant(WEventAccountant* accountant) = 0;
+};
+
+/// Budget-Split multi-dimensional perturbation.
+class BudgetSplitPerturber final : public MultiDimPerturber {
+ public:
+  /// `options.epsilon` is the *total* window budget across all dimensions.
+  static Result<std::unique_ptr<BudgetSplitPerturber>> Create(
+      size_t dimensions, PerturberOptions options,
+      AlgorithmKind inner = AlgorithmKind::kSwDirect);
+
+  std::string_view name() const override { return name_; }
+  size_t dimensions() const override { return inner_.size(); }
+  int publication_smoothing_window() const override {
+    return inner_.front()->publication_smoothing_window();
+  }
+  std::vector<double> ProcessVector(const std::vector<double>& x,
+                                    Rng& rng) override;
+  void Reset() override;
+  void AttachAccountant(WEventAccountant* accountant) override;
+
+ private:
+  BudgetSplitPerturber(std::vector<std::unique_ptr<StreamPerturber>> inner,
+                       std::string name)
+      : inner_(std::move(inner)), name_(std::move(name)) {}
+
+  std::vector<std::unique_ptr<StreamPerturber>> inner_;
+  std::string name_;
+};
+
+}  // namespace capp
+
+#endif  // CAPP_MULTIDIM_BUDGET_SPLIT_H_

@@ -1,0 +1,54 @@
+#include "stream/accountant.h"
+
+#include <algorithm>
+#include <string>
+
+#include "core/check.h"
+
+namespace capp {
+
+void WEventAccountant::Record(size_t slot, double epsilon) {
+  CAPP_CHECK(epsilon >= 0.0);
+  if (slot >= spend_.size()) spend_.resize(slot + 1, 0.0);
+  spend_[slot] += epsilon;
+}
+
+double WEventAccountant::SlotSpend(size_t slot) const {
+  return slot < spend_.size() ? spend_[slot] : 0.0;
+}
+
+double WEventAccountant::TotalSpend() const {
+  double total = 0.0;
+  for (double s : spend_) total += s;
+  return total;
+}
+
+double WEventAccountant::MaxWindowSpend(size_t w) const {
+  CAPP_CHECK(w >= 1);
+  if (spend_.empty()) return 0.0;
+  const size_t n = spend_.size();
+  const size_t window = std::min(w, n);
+  double sum = 0.0;
+  for (size_t i = 0; i < window; ++i) sum += spend_[i];
+  double best = sum;
+  for (size_t i = window; i < n; ++i) {
+    sum += spend_[i] - spend_[i - window];
+    best = std::max(best, sum);
+  }
+  return best;
+}
+
+Status WEventAccountant::VerifyBudget(size_t w, double epsilon,
+                                      double tolerance) const {
+  const double max_spend = MaxWindowSpend(w);
+  if (max_spend > epsilon + tolerance) {
+    return Status::FailedPrecondition(
+        "w-event budget exceeded: window spend " + std::to_string(max_spend) +
+        " > epsilon " + std::to_string(epsilon));
+  }
+  return Status::OK();
+}
+
+void WEventAccountant::Reset() { spend_.clear(); }
+
+}  // namespace capp

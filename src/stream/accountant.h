@@ -1,0 +1,56 @@
+// Runtime w-event privacy-budget accounting.
+//
+// Every StreamPerturber reports each time slot's privacy spend to an
+// optional WEventAccountant. The accountant maintains the per-slot ledger
+// and can answer "what is the maximum total budget spent inside any sliding
+// window of w consecutive slots?" -- the quantity that must stay <= epsilon
+// for w-event LDP (Definition 3 of the paper). Tests run every algorithm
+// against the ledger; a violation indicates a budget-accounting bug (e.g.,
+// in BA-SW absorption or PP-S segmentation).
+#ifndef CAPP_STREAM_ACCOUNTANT_H_
+#define CAPP_STREAM_ACCOUNTANT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/status.h"
+
+namespace capp {
+
+/// Ledger of per-slot privacy spends for one user's stream.
+class WEventAccountant {
+ public:
+  WEventAccountant() = default;
+
+  /// Records that slot `slot` (0-based, monotonically non-decreasing across
+  /// calls) spent `epsilon` budget. Multiple records for the same slot
+  /// accumulate (e.g., dissimilarity + publication spends in BA-SW).
+  void Record(size_t slot, double epsilon);
+
+  /// Number of slots with at least one record (== highest slot + 1).
+  size_t num_slots() const { return spend_.size(); }
+
+  /// Total spend at one slot (0 if the slot was never recorded).
+  double SlotSpend(size_t slot) const;
+
+  /// Total spend across all slots.
+  double TotalSpend() const;
+
+  /// Maximum of the window sums over all windows of `w` consecutive slots.
+  /// Returns 0 for an empty ledger. w must be >= 1.
+  double MaxWindowSpend(size_t w) const;
+
+  /// OK iff MaxWindowSpend(w) <= epsilon (+ tolerance for FP rounding).
+  Status VerifyBudget(size_t w, double epsilon,
+                      double tolerance = 1e-9) const;
+
+  /// Clears the ledger.
+  void Reset();
+
+ private:
+  std::vector<double> spend_;
+};
+
+}  // namespace capp
+
+#endif  // CAPP_STREAM_ACCOUNTANT_H_

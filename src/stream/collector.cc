@@ -1,0 +1,34 @@
+#include "stream/collector.h"
+
+#include "core/check.h"
+#include "core/math_utils.h"
+#include "stream/smoothing.h"
+
+namespace capp {
+
+Result<StreamCollector> StreamCollector::Create(CollectorOptions options) {
+  if (options.smoothing_window < 1 || options.smoothing_window % 2 == 0) {
+    return Status::InvalidArgument("smoothing_window must be odd and >= 1");
+  }
+  return StreamCollector(options);
+}
+
+std::vector<double> StreamCollector::Publish(
+    std::span<const double> reports) const {
+  auto smoothed = SimpleMovingAverage(reports, options_.smoothing_window);
+  CAPP_CHECK(smoothed.ok());
+  std::vector<double> out = std::move(smoothed).value();
+  if (options_.clamp_to_unit) {
+    for (double& v : out) v = Clamp(v, 0.0, 1.0);
+  }
+  return out;
+}
+
+double StreamCollector::EstimateMean(std::span<const double> reports) const {
+  // SMA is mean-preserving up to boundary effects; estimating from the raw
+  // reports avoids even those (the paper notes smoothing "has no impact on
+  // the mean").
+  return Mean(reports);
+}
+
+}  // namespace capp

@@ -1,0 +1,47 @@
+// Data-collector-side reconstruction of published streams (Step 3 of the
+// paper's framework, Fig. 1): given the perturbed reports of a subsequence,
+// produce the published stream (optionally SMA-smoothed) and subsequence
+// statistics such as the estimated mean (Section III-B).
+#ifndef CAPP_STREAM_COLLECTOR_H_
+#define CAPP_STREAM_COLLECTOR_H_
+
+#include <span>
+#include <vector>
+
+#include "core/status.h"
+
+namespace capp {
+
+/// Options controlling collector-side reconstruction.
+struct CollectorOptions {
+  /// Centered SMA window (odd). 1 disables smoothing. The paper uses 3.
+  int smoothing_window = 3;
+  /// If true, clamp the published values into [0,1] (the data domain).
+  /// The paper publishes raw perturbed values; clamping is an optional
+  /// post-processing step that never hurts w-event privacy.
+  bool clamp_to_unit = false;
+};
+
+/// Reconstructs the published stream from perturbed reports.
+class StreamCollector {
+ public:
+  /// Validates options.
+  static Result<StreamCollector> Create(CollectorOptions options = {});
+
+  /// The published stream: SMA-smoothed (and optionally clamped) reports.
+  std::vector<double> Publish(std::span<const double> reports) const;
+
+  /// Estimated mean of the subsequence (mean of the published stream).
+  double EstimateMean(std::span<const double> reports) const;
+
+  const CollectorOptions& options() const { return options_; }
+
+ private:
+  explicit StreamCollector(CollectorOptions options) : options_(options) {}
+
+  CollectorOptions options_;
+};
+
+}  // namespace capp
+
+#endif  // CAPP_STREAM_COLLECTOR_H_

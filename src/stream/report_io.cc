@@ -1,0 +1,49 @@
+#include "stream/report_io.h"
+
+#include <cmath>
+
+#include "data/csv.h"
+
+namespace capp {
+
+Status SaveReportsCsv(const std::string& path,
+                      const std::vector<SlotReport>& reports) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(reports.size());
+  for (const SlotReport& report : reports) {
+    rows.push_back({static_cast<double>(report.user_id),
+                    static_cast<double>(report.slot), report.value});
+  }
+  return SaveCsv(path, rows, "user_id,slot,value");
+}
+
+Result<std::vector<SlotReport>> LoadReportsCsv(const std::string& path) {
+  CAPP_ASSIGN_OR_RETURN(auto rows, LoadCsv(path, /*skip_header=*/true));
+  std::vector<SlotReport> reports;
+  reports.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != 3) {
+      return Status::InvalidArgument("report row " + std::to_string(i) +
+                                     " has " + std::to_string(row.size()) +
+                                     " fields, want 3");
+    }
+    if (row[0] < 0.0 || row[1] < 0.0 || !std::isfinite(row[2])) {
+      return Status::InvalidArgument("report row " + std::to_string(i) +
+                                     " out of range");
+    }
+    SlotReport report;
+    report.user_id = static_cast<uint64_t>(row[0]);
+    report.slot = static_cast<size_t>(row[1]);
+    report.value = row[2];
+    reports.push_back(report);
+  }
+  return reports;
+}
+
+void IngestAll(const std::vector<SlotReport>& reports,
+               CollectorSession* collector) {
+  for (const SlotReport& report : reports) collector->Ingest(report);
+}
+
+}  // namespace capp

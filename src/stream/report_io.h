@@ -1,0 +1,31 @@
+// Persistence for sanitized slot reports. Reports are already private
+// (they left the device perturbed), so they can be logged, batched, and
+// replayed freely; this module provides a CSV wire/batch format
+// (user_id,slot,value) used to move reports between user devices, brokers,
+// and the collector, and to archive collected streams for offline analysis.
+#ifndef CAPP_STREAM_REPORT_IO_H_
+#define CAPP_STREAM_REPORT_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "stream/session.h"
+
+namespace capp {
+
+/// Writes reports as CSV ("user_id,slot,value" with a header line).
+Status SaveReportsCsv(const std::string& path,
+                      const std::vector<SlotReport>& reports);
+
+/// Reads reports written by SaveReportsCsv. Validates field count and
+/// numeric ranges (non-negative ids/slots, finite values).
+Result<std::vector<SlotReport>> LoadReportsCsv(const std::string& path);
+
+/// Feeds a batch of reports into a collector session.
+void IngestAll(const std::vector<SlotReport>& reports,
+               CollectorSession* collector);
+
+}  // namespace capp
+
+#endif  // CAPP_STREAM_REPORT_IO_H_

@@ -1,0 +1,117 @@
+// High-level deployment API pairing the two sides of the paper's Fig. 1:
+//
+//   * UserSession -- runs on each user's device. Wraps a stream
+//     perturbation algorithm, the w-event budget ledger, and an auditable
+//     per-slot report record. One call per time slot.
+//   * CollectorSession -- runs at the untrusted collector. Ingests the
+//     per-slot reports of many users, maintains per-user published streams
+//     (with each algorithm's smoothing), per-slot population means, and
+//     subsequence statistics.
+//
+// The sessions are deliberately transport-agnostic: a report is just
+// (user_id, slot, value); any RPC/MQTT/file transport can carry it.
+#ifndef CAPP_STREAM_SESSION_H_
+#define CAPP_STREAM_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "algorithms/factory.h"
+#include "algorithms/perturber.h"
+#include "core/rng.h"
+#include "core/status.h"
+#include "stream/accountant.h"
+#include "stream/smoothing.h"
+
+namespace capp {
+
+/// One sanitized report leaving a user's device.
+struct SlotReport {
+  uint64_t user_id = 0;
+  size_t slot = 0;
+  double value = 0.0;
+};
+
+/// Per-device session: perturb values as they arrive, with a built-in
+/// privacy audit.
+class UserSession {
+ public:
+  /// Creates a session for one user. `seed` drives the device's RNG.
+  static Result<UserSession> Create(uint64_t user_id, AlgorithmKind kind,
+                                    PerturberOptions options, uint64_t seed);
+
+  /// Perturbs the current slot's value and returns the outgoing report.
+  /// Values are clamped into [0,1] (normalize upstream if necessary).
+  SlotReport Report(double value);
+
+  uint64_t user_id() const { return user_id_; }
+  size_t slots_processed() const { return perturber_->slots_processed(); }
+
+  /// The running privacy audit: OK iff no window overspent so far.
+  Status AuditBudget() const {
+    return ledger_.VerifyBudget(perturber_->options().window,
+                                perturber_->options().epsilon);
+  }
+
+  /// Maximum budget spent in any window so far.
+  double MaxWindowSpend() const {
+    return ledger_.MaxWindowSpend(perturber_->options().window);
+  }
+
+ private:
+  UserSession(uint64_t user_id, std::unique_ptr<StreamPerturber> perturber,
+              uint64_t seed)
+      : user_id_(user_id), perturber_(std::move(perturber)), rng_(seed) {}
+
+  uint64_t user_id_;
+  std::unique_ptr<StreamPerturber> perturber_;
+  WEventAccountant ledger_;
+  Rng rng_;
+  int smoothing_window_ = 1;
+};
+
+/// Collector-side session: ingest reports, publish streams and statistics.
+class CollectorSession {
+ public:
+  /// `smoothing_window` is the SMA applied to published per-user streams
+  /// (odd; use the algorithm's recommendation, e.g. 3 for PP algorithms).
+  static Result<CollectorSession> Create(int smoothing_window = 3);
+
+  /// Ingests one report. Slots may arrive in any order per user; the
+  /// stream is indexed by the report's slot.
+  void Ingest(const SlotReport& report);
+
+  /// Number of users seen so far.
+  size_t user_count() const { return raw_.size(); }
+
+  /// Number of slots seen for a user (0 if unknown).
+  size_t SlotCount(uint64_t user_id) const;
+
+  /// The user's published (smoothed) stream. Missing slots are filled with
+  /// the user's last preceding report (0.5 if none).
+  Result<std::vector<double>> PublishedStream(uint64_t user_id) const;
+
+  /// Mean of the user's reports over slots [begin, begin+len).
+  Result<double> SubsequenceMean(uint64_t user_id, size_t begin,
+                                 size_t len) const;
+
+  /// Per-slot population mean over all users that reported that slot, for
+  /// slots [0, max_slot]. Slots nobody reported yield NaN.
+  std::vector<double> PopulationSlotMeans() const;
+
+ private:
+  explicit CollectorSession(int smoothing_window)
+      : smoothing_window_(smoothing_window) {}
+
+  // user -> (slot -> report value).
+  std::map<uint64_t, std::map<size_t, double>> raw_;
+  size_t max_slot_ = 0;
+  bool any_report_ = false;
+  int smoothing_window_;
+};
+
+}  // namespace capp
+
+#endif  // CAPP_STREAM_SESSION_H_

@@ -1,0 +1,35 @@
+#include "stream/smoothing.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace capp {
+
+Result<std::vector<double>> SimpleMovingAverage(std::span<const double> xs,
+                                                int window) {
+  if (window < 1 || window % 2 == 0) {
+    return Status::InvalidArgument("SMA window must be odd and >= 1");
+  }
+  std::vector<double> out(xs.begin(), xs.end());
+  if (window == 1 || xs.size() <= 1) return out;
+  const int k = window / 2;
+  const int n = static_cast<int>(xs.size());
+  // Prefix sums for O(n) evaluation.
+  std::vector<double> prefix(n + 1, 0.0);
+  for (int i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + xs[i];
+  for (int t = 0; t < n; ++t) {
+    const int lo = std::max(0, t - k);
+    const int hi = std::min(n - 1, t + k);
+    out[t] = (prefix[hi + 1] - prefix[lo]) / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+std::vector<double> Sma3(std::span<const double> xs) {
+  auto res = SimpleMovingAverage(xs, 3);
+  CAPP_CHECK(res.ok());
+  return std::move(res).value();
+}
+
+}  // namespace capp

@@ -1,0 +1,29 @@
+// Collector-side post-processing: Simple Moving Average smoothing.
+//
+// The paper (Section IV-A, Lemma IV.1) smooths perturbed streams with a
+// centered SMA of window size 2k+1; positive and negative SW deviations
+// cancel, reducing per-point variance by a factor ~ 2k+1 while leaving the
+// subsequence mean unchanged. At the boundaries, the average is taken over
+// the values that exist (the paper's convention).
+#ifndef CAPP_STREAM_SMOOTHING_H_
+#define CAPP_STREAM_SMOOTHING_H_
+
+#include <span>
+#include <vector>
+
+#include "core/status.h"
+
+namespace capp {
+
+/// Centered simple moving average with total window size `window`
+/// (must be odd and >= 1). window == 1 returns the input unchanged.
+/// Boundary windows shrink to the available values.
+Result<std::vector<double>> SimpleMovingAverage(std::span<const double> xs,
+                                                int window);
+
+/// Convenience overload used throughout the paper: window = 3.
+std::vector<double> Sma3(std::span<const double> xs);
+
+}  // namespace capp
+
+#endif  // CAPP_STREAM_SMOOTHING_H_

@@ -1,0 +1,244 @@
+// Tests for the literature baselines: BA-SW (budget absorption) and ToPL.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/ba_sw.h"
+#include "algorithms/sw_direct.h"
+#include "algorithms/topl.h"
+#include "core/math_utils.h"
+#include "core/rng.h"
+#include "data/generators.h"
+#include "stream/accountant.h"
+
+namespace capp {
+namespace {
+
+// ----------------------------------------------------------------- BA-SW --
+
+TEST(BaSwTest, RejectsBadFraction) {
+  EXPECT_FALSE(BaSw::Create(BaSwOptions{{1.0, 10}, 0.0}).ok());
+  EXPECT_FALSE(BaSw::Create(BaSwOptions{{1.0, 10}, 1.0}).ok());
+  EXPECT_TRUE(BaSw::Create(BaSwOptions{{1.0, 10}, 0.3}).ok());
+}
+
+TEST(BaSwTest, FirstSlotAlwaysPublishes) {
+  auto p = BaSw::Create(PerturberOptions{1.0, 10});
+  ASSERT_TRUE(p.ok());
+  Rng rng(301);
+  (*p)->ProcessValue(0.5, rng);
+  EXPECT_EQ((*p)->published_slots(), 1u);
+  EXPECT_EQ((*p)->skipped_slots(), 0u);
+}
+
+TEST(BaSwTest, SkipsReuseLastRelease) {
+  auto p = BaSw::Create(PerturberOptions{4.0, 10});
+  ASSERT_TRUE(p.ok());
+  Rng rng(303);
+  const double first = (*p)->ProcessValue(0.5, rng);
+  // Feed a long constant run; every skip must return exactly the previous
+  // release.
+  double last = first;
+  int reuse = 0;
+  for (int i = 0; i < 100; ++i) {
+    const double y = (*p)->ProcessValue(0.5, rng);
+    if (y == last) ++reuse;
+    last = y;
+  }
+  EXPECT_EQ(reuse, static_cast<int>((*p)->skipped_slots()));
+}
+
+TEST(BaSwTest, ConstantStreamSkipsOftenAtHighBudget) {
+  auto p = BaSw::Create(PerturberOptions{5.0, 10});
+  ASSERT_TRUE(p.ok());
+  Rng rng(307);
+  for (int i = 0; i < 400; ++i) (*p)->ProcessValue(0.3, rng);
+  EXPECT_GT((*p)->skipped_slots(), (*p)->published_slots());
+}
+
+TEST(BaSwTest, VolatileStreamPublishesMoreThanConstant) {
+  Rng data_rng(311);
+  const auto volatile_stream = ReflectedRandomWalk(400, 0.25, 0.5, data_rng);
+  auto pv = BaSw::Create(PerturberOptions{5.0, 10});
+  auto pc = BaSw::Create(PerturberOptions{5.0, 10});
+  ASSERT_TRUE(pv.ok() && pc.ok());
+  Rng rng_a(313), rng_b(313);
+  (*pv)->PerturbSequence(volatile_stream, rng_a);
+  (*pc)->PerturbSequence(ConstantSeries(400, 0.3), rng_b);
+  EXPECT_GT((*pv)->published_slots(), (*pc)->published_slots());
+}
+
+TEST(BaSwTest, LedgerHoldsOnAdversarialStreams) {
+  // Alternating plateaus force publish bursts right after long skip runs --
+  // the worst case for absorption accounting.
+  std::vector<double> stream;
+  for (int block = 0; block < 30; ++block) {
+    const double level = (block % 2 == 0) ? 0.1 : 0.9;
+    for (int i = 0; i < 15; ++i) stream.push_back(level);
+  }
+  for (double eps : {0.5, 1.0, 3.0, 8.0}) {
+    for (int w : {5, 10, 30}) {
+      auto p = BaSw::Create(PerturberOptions{eps, w});
+      ASSERT_TRUE(p.ok());
+      WEventAccountant ledger;
+      (*p)->AttachAccountant(&ledger);
+      Rng rng(317);
+      (*p)->PerturbSequence(stream, rng);
+      EXPECT_TRUE(ledger.VerifyBudget(w, eps).ok())
+          << "eps=" << eps << " w=" << w
+          << " max=" << ledger.MaxWindowSpend(w);
+    }
+  }
+}
+
+TEST(BaSwTest, PopulationModeSkipsPreciselyOnConstants) {
+  // In the LDP-IDS large-n limit the skip decision sees the true
+  // dissimilarity: once a release lands near the constant value, every
+  // following slot skips.
+  BaSwOptions options{{3.0, 10}, 0.5, BaSwDecisionMode::kPopulationCoordinated};
+  auto p = BaSw::Create(options);
+  ASSERT_TRUE(p.ok());
+  Rng rng(333);
+  for (int i = 0; i < 200; ++i) (*p)->ProcessValue(0.4, rng);
+  EXPECT_GT((*p)->skipped_slots(), 150u);
+}
+
+TEST(BaSwTest, PopulationModePublishesOnLevelChanges) {
+  BaSwOptions options{{3.0, 10}, 0.5, BaSwDecisionMode::kPopulationCoordinated};
+  auto p = BaSw::Create(options);
+  ASSERT_TRUE(p.ok());
+  Rng rng(335);
+  // Alternate between two far-apart plateaus; jumps trigger publications.
+  // (A publication whose SW noise happens to land near the *next* level can
+  // legitimately absorb a following jump, so require most blocks -- not
+  // all -- to publish.)
+  size_t published_before = 0;
+  int blocks_with_publication = 0;
+  for (int block = 0; block < 8; ++block) {
+    const double level = (block % 2 == 0) ? 0.1 : 0.9;
+    for (int i = 0; i < 25; ++i) (*p)->ProcessValue(level, rng);
+    if ((*p)->published_slots() > published_before) {
+      ++blocks_with_publication;
+    }
+    published_before = (*p)->published_slots();
+  }
+  EXPECT_GE(blocks_with_publication, 6);
+}
+
+TEST(BaSwTest, PopulationModeLedgerStillHolds) {
+  BaSwOptions options{{2.0, 10}, 0.5, BaSwDecisionMode::kPopulationCoordinated};
+  auto p = BaSw::Create(options);
+  ASSERT_TRUE(p.ok());
+  WEventAccountant ledger;
+  (*p)->AttachAccountant(&ledger);
+  Rng rng(339);
+  Rng data_rng(340);
+  const auto stream = ReflectedRandomWalk(300, 0.1, 0.5, data_rng);
+  (*p)->PerturbSequence(stream, rng);
+  EXPECT_TRUE(ledger.VerifyBudget(10, 2.0).ok())
+      << ledger.MaxWindowSpend(10);
+}
+
+TEST(BaSwTest, ResetRestoresCounters) {
+  auto p = BaSw::Create(PerturberOptions{1.0, 10});
+  ASSERT_TRUE(p.ok());
+  Rng rng(331);
+  for (int i = 0; i < 20; ++i) (*p)->ProcessValue(0.4, rng);
+  (*p)->Reset();
+  EXPECT_EQ((*p)->published_slots(), 0u);
+  EXPECT_EQ((*p)->skipped_slots(), 0u);
+  EXPECT_EQ((*p)->slots_processed(), 0u);
+}
+
+// ------------------------------------------------------------------ ToPL --
+
+TEST(ToplTest, RejectsBadOptions) {
+  EXPECT_FALSE(Topl::Create(ToplOptions{{1.0, 10}, 0.0, 0.98, 32}).ok());
+  EXPECT_FALSE(Topl::Create(ToplOptions{{1.0, 10}, 1.0, 0.98, 32}).ok());
+  EXPECT_FALSE(Topl::Create(ToplOptions{{1.0, 10}, 0.5, 0.0, 32}).ok());
+  EXPECT_FALSE(Topl::Create(ToplOptions{{1.0, 10}, 0.5, 1.5, 32}).ok());
+}
+
+TEST(ToplTest, RangeLearnedAfterOneWindow) {
+  auto p = Topl::Create(PerturberOptions{1.0, 20});
+  ASSERT_TRUE(p.ok());
+  Rng rng(337);
+  for (int i = 0; i < 19; ++i) {
+    (*p)->ProcessValue(0.4, rng);
+    EXPECT_FALSE((*p)->range_learned());
+  }
+  (*p)->ProcessValue(0.4, rng);
+  EXPECT_TRUE((*p)->range_learned());
+  EXPECT_GT((*p)->threshold(), 0.0);
+  EXPECT_LE((*p)->threshold(), 1.0);
+}
+
+TEST(ToplTest, ThresholdCoversLowRangeData) {
+  // Generous range-learning sample (400 slots at eps_slot = 0.5) so the EM
+  // reconstruction is sharp enough to expose the data's true upper range.
+  auto p = Topl::Create(ToplOptions{{10.0, 10}, 0.5, 0.95, 32, 400});
+  ASSERT_TRUE(p.ok());
+  Rng rng(341);
+  Rng data_rng(343);
+  // Data concentrated in [0.05, 0.3]: the learned threshold is modest.
+  for (int i = 0; i < 450; ++i) {
+    (*p)->ProcessValue(data_rng.Uniform(0.05, 0.3), rng);
+  }
+  EXPECT_TRUE((*p)->range_learned());
+  EXPECT_LT((*p)->threshold(), 0.9);
+  EXPECT_GE((*p)->threshold(), 0.25);  // must still cover the data
+}
+
+TEST(ToplTest, RangeSlotsValidated) {
+  EXPECT_FALSE(Topl::Create(ToplOptions{{1.0, 10}, 0.5, 0.98, 32, -1}).ok());
+}
+
+TEST(ToplTest, Phase2OutputsScaleWithHmRange) {
+  // At per-slot budgets eps/(2w) = 0.025, HM outputs are +/-C with C ~ 80;
+  // rescaled reports can reach ~ theta * 40.
+  auto p = Topl::Create(PerturberOptions{1.0, 20});
+  ASSERT_TRUE(p.ok());
+  Rng rng(347);
+  double max_abs = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    const double y = (*p)->ProcessValue(0.5, rng);
+    max_abs = std::max(max_abs, std::fabs(y));
+  }
+  EXPECT_GT(max_abs, 3.0);  // far outside [0,1] -- the paper's point
+}
+
+TEST(ToplTest, MeanMseOrdersOfMagnitudeAboveSwDirect) {
+  // Table I's headline: ToPL's subsequence-mean MSE is >> SW-direct's.
+  Rng data_rng(349);
+  const auto stream = ReflectedRandomWalk(60, 0.05, 0.5, data_rng);
+  const int trials = 120;
+  double mse_topl = 0.0, mse_direct = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng_a(5000 + t), rng_b(5000 + t);
+    auto topl = Topl::Create(PerturberOptions{1.0, 20});
+    auto direct = MechanismDirect::Create(PerturberOptions{1.0, 20});
+    ASSERT_TRUE(topl.ok() && direct.ok());
+    const auto yt = (*topl)->PerturbSequence(stream, rng_a);
+    const auto yd = (*direct)->PerturbSequence(stream, rng_b);
+    const double et = Mean(yt) - Mean(stream);
+    const double ed = Mean(yd) - Mean(stream);
+    mse_topl += et * et;
+    mse_direct += ed * ed;
+  }
+  EXPECT_GT(mse_topl, 20.0 * mse_direct);
+}
+
+TEST(ToplTest, ResetRelearnsRange) {
+  auto p = Topl::Create(PerturberOptions{1.0, 10});
+  ASSERT_TRUE(p.ok());
+  Rng rng(353);
+  for (int i = 0; i < 15; ++i) (*p)->ProcessValue(0.5, rng);
+  EXPECT_TRUE((*p)->range_learned());
+  (*p)->Reset();
+  EXPECT_FALSE((*p)->range_learned());
+  EXPECT_DOUBLE_EQ((*p)->threshold(), 1.0);
+}
+
+}  // namespace
+}  // namespace capp

@@ -1,0 +1,280 @@
+// Tests for the data substrate: generators, simulated datasets,
+// normalization, and CSV I/O.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/math_utils.h"
+#include "core/rng.h"
+#include "data/csv.h"
+#include "data/datasets.h"
+#include "data/generators.h"
+#include "data/normalize.h"
+
+namespace capp {
+namespace {
+
+// -------------------------------------------------------------- generators --
+
+TEST(GeneratorsTest, ConstantSeries) {
+  const auto xs = ConstantSeries(10, 0.3);
+  ASSERT_EQ(xs.size(), 10u);
+  for (double x : xs) EXPECT_DOUBLE_EQ(x, 0.3);
+}
+
+TEST(GeneratorsTest, PulseSeriesPlacesPeaks) {
+  const auto xs = PulseSeries(10, 5, 0.0, 1.0);
+  ASSERT_EQ(xs.size(), 10u);
+  EXPECT_DOUBLE_EQ(xs[4], 1.0);
+  EXPECT_DOUBLE_EQ(xs[9], 1.0);
+  EXPECT_DOUBLE_EQ(xs[0], 0.0);
+  EXPECT_DOUBLE_EQ(xs[5], 0.0);
+}
+
+TEST(GeneratorsTest, SinusoidPeriodicity) {
+  const auto xs = SinusoidSeries(100, 20.0, 0.4, 0.5);
+  EXPECT_NEAR(xs[0], xs[20], 1e-9);
+  EXPECT_NEAR(xs[5], 0.9, 1e-9);  // quarter period: offset + amplitude
+}
+
+TEST(GeneratorsTest, Ar1IsStationaryAroundMean) {
+  Rng rng(701);
+  const auto xs = Ar1Series(20000, 0.9, 0.05, 0.4, rng);
+  EXPECT_NEAR(Mean(xs), 0.4, 0.05);
+}
+
+TEST(GeneratorsTest, OrnsteinUhlenbeckRevertsToMu) {
+  Rng rng(703);
+  const auto xs = OrnsteinUhlenbeckSeries(20000, 0.1, 0.6, 0.01, 0.0, rng);
+  // After burn-in the walk hovers around mu.
+  const std::span<const double> tail(xs.data() + 1000, xs.size() - 1000);
+  EXPECT_NEAR(Mean(tail), 0.6, 0.05);
+}
+
+TEST(GeneratorsTest, ReflectedWalkStaysInUnit) {
+  Rng rng(707);
+  const auto xs = ReflectedRandomWalk(5000, 0.2, 0.5, rng);
+  for (double x : xs) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(GeneratorsTest, PiecewiseConstantRunsWithinBounds) {
+  Rng rng(709);
+  const double levels[] = {0.0, 0.5, 1.0};
+  const auto xs = PiecewiseConstantSeries(500, 5, 10, levels, rng);
+  ASSERT_EQ(xs.size(), 500u);
+  // Count run lengths; all interior runs must be within [5, 10].
+  size_t run = 1;
+  std::vector<size_t> runs;
+  for (size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] == xs[i - 1]) {
+      ++run;
+    } else {
+      runs.push_back(run);
+      run = 1;
+    }
+  }
+  for (size_t i = 0; i + 1 < runs.size(); ++i) {
+    EXPECT_GE(runs[i], 5u);
+    // Adjacent runs can merge if the same level is drawn twice.
+    EXPECT_LE(runs[i], 30u);
+  }
+}
+
+TEST(GeneratorsTest, TrafficVolumeInUnitRange) {
+  Rng rng(711);
+  const auto xs = TrafficVolumeSeries(24 * 14, rng);
+  for (double x : xs) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+  // Rush hour (8am) should on average exceed night (3am).
+  double rush = 0.0, night = 0.0;
+  int days = 14;
+  for (int d = 0; d < days; ++d) {
+    rush += xs[d * 24 + 8];
+    night += xs[d * 24 + 3];
+  }
+  EXPECT_GT(rush, night);
+}
+
+// ---------------------------------------------------------------- datasets --
+
+TEST(DatasetsTest, AllStreamsNormalized) {
+  for (const auto* name :
+       {"volume", "c6h6", "taxi", "power", "constant", "pulse",
+        "sinusoidal"}) {
+    auto ds = DatasetByName(name);
+    ASSERT_TRUE(ds.ok()) << name;
+    ASSERT_FALSE(ds->users.empty()) << name;
+    for (const auto& stream : ds->users) {
+      for (double x : stream) {
+        EXPECT_GE(x, 0.0) << name;
+        EXPECT_LE(x, 1.0) << name;
+      }
+    }
+  }
+  EXPECT_FALSE(DatasetByName("nope").ok());
+}
+
+TEST(DatasetsTest, ExpectedShapes) {
+  EXPECT_EQ(SimulatedVolume(2000).users.size(), 1u);
+  EXPECT_EQ(SimulatedVolume(2000).stream().size(), 2000u);
+  EXPECT_EQ(SimulatedC6h6(500).stream().size(), 500u);
+  const Dataset taxi = SimulatedTaxi(25, 100);
+  EXPECT_EQ(taxi.users.size(), 25u);
+  EXPECT_EQ(taxi.users[3].size(), 100u);
+  const Dataset power = SimulatedPower(30, 96);
+  EXPECT_EQ(power.users.size(), 30u);
+  EXPECT_EQ(power.users[0].size(), 96u);
+}
+
+TEST(DatasetsTest, DeterministicForFixedSeed) {
+  const Dataset a = SimulatedC6h6(300, 42);
+  const Dataset b = SimulatedC6h6(300, 42);
+  EXPECT_EQ(a.stream(), b.stream());
+  const Dataset c = SimulatedC6h6(300, 43);
+  EXPECT_NE(a.stream(), c.stream());
+}
+
+TEST(DatasetsTest, TaxiIsConcentrated) {
+  const Dataset taxi = SimulatedTaxi(100, 200);
+  // Pooled variance of taxi latitudes must be small (the paper's Taxi MSEs
+  // are tiny because normalized latitudes concentrate).
+  std::vector<double> pooled;
+  for (const auto& u : taxi.users) {
+    pooled.insert(pooled.end(), u.begin(), u.end());
+  }
+  EXPECT_LT(Variance(pooled), 0.05);
+}
+
+TEST(DatasetsTest, PowerHasManyConstantWindows) {
+  const Dataset power = SimulatedPower(50, 96);
+  int constant_windows = 0, total_windows = 0;
+  const size_t w = 10;
+  for (const auto& u : power.users) {
+    for (size_t start = 0; start + w <= u.size(); start += w) {
+      bool constant = true;
+      for (size_t i = 1; i < w; ++i) {
+        if (u[start + i] != u[start]) {
+          constant = false;
+          break;
+        }
+      }
+      constant_windows += constant;
+      ++total_windows;
+    }
+  }
+  EXPECT_GT(static_cast<double>(constant_windows) / total_windows, 0.4);
+}
+
+// --------------------------------------------------------------- normalize --
+
+TEST(NormalizeTest, FitRejectsEmpty) {
+  EXPECT_FALSE(FitMinMax({}).ok());
+}
+
+TEST(NormalizeTest, FitAndNormalizeUnitRange) {
+  const std::vector<double> xs = {10.0, 20.0, 15.0};
+  auto normalized = FitAndNormalize(xs);
+  ASSERT_TRUE(normalized.ok());
+  EXPECT_DOUBLE_EQ((*normalized)[0], 0.0);
+  EXPECT_DOUBLE_EQ((*normalized)[1], 1.0);
+  EXPECT_DOUBLE_EQ((*normalized)[2], 0.5);
+}
+
+TEST(NormalizeTest, TargetRangeMapping) {
+  auto range = FitMinMax(std::vector<double>{0.0, 10.0});
+  ASSERT_TRUE(range.ok());
+  EXPECT_DOUBLE_EQ(NormalizeValue(5.0, *range, -1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizeValue(10.0, *range, -1.0, 1.0), 1.0);
+}
+
+TEST(NormalizeTest, RoundTrip) {
+  auto range = FitMinMax(std::vector<double>{3.0, 9.0});
+  ASSERT_TRUE(range.ok());
+  for (double x : {3.0, 5.5, 9.0}) {
+    const double y = NormalizeValue(x, *range, 0.0, 1.0);
+    EXPECT_NEAR(DenormalizeValue(y, *range, 0.0, 1.0), x, 1e-12);
+  }
+}
+
+TEST(NormalizeTest, ConstantSeriesWidened) {
+  auto range = FitMinMax(std::vector<double>{4.0, 4.0, 4.0});
+  ASSERT_TRUE(range.ok());
+  EXPECT_GT(range->width(), 0.0);
+  // The constant maps to the middle of the target range.
+  EXPECT_DOUBLE_EQ(NormalizeValue(4.0, *range, 0.0, 1.0), 0.5);
+}
+
+// --------------------------------------------------------------------- csv --
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("capp_csv_test_" +
+              std::to_string(::testing::UnitTest::GetInstance()
+                                 ->random_seed()) +
+              ".csv"))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CsvTest, RoundTrip) {
+  const std::vector<std::vector<double>> rows = {
+      {1.0, 2.5, -3.0}, {4.0, 5.0, 6.0}};
+  ASSERT_TRUE(SaveCsv(path_, rows, "a,b,c").ok());
+  auto loaded = LoadCsv(path_, /*skip_header=*/true);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_DOUBLE_EQ((*loaded)[0][1], 2.5);
+  EXPECT_DOUBLE_EQ((*loaded)[1][2], 6.0);
+}
+
+TEST_F(CsvTest, LoadColumn) {
+  const std::vector<std::vector<double>> rows = {{1.0, 10.0}, {2.0, 20.0}};
+  ASSERT_TRUE(SaveCsv(path_, rows).ok());
+  auto col = LoadCsvColumn(path_, 1);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(*col, (std::vector<double>{10.0, 20.0}));
+  EXPECT_FALSE(LoadCsvColumn(path_, 5).ok());
+}
+
+TEST_F(CsvTest, MissingFileIsNotFound) {
+  auto loaded = LoadCsv("/nonexistent/definitely/missing.csv");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CsvTest, RejectsNonNumericCells) {
+  {
+    std::ofstream out(path_);
+    out << "1.0,abc\n";
+  }
+  auto loaded = LoadCsv(path_);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, SkipsBlankLinesAndCrLf) {
+  {
+    std::ofstream out(path_);
+    out << "1.0,2.0\r\n\n3.0,4.0\n";
+  }
+  auto loaded = LoadCsv(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_DOUBLE_EQ((*loaded)[0][1], 2.0);
+}
+
+}  // namespace
+}  // namespace capp

@@ -1,0 +1,433 @@
+// Unit and property tests for the LDP mechanisms: Square Wave, Laplace,
+// Duchi SR, Piecewise, Hybrid. Includes deterministic privacy-ratio checks
+// (density ratios bounded by e^eps) and statistical unbiasedness checks.
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/math_utils.h"
+#include "core/rng.h"
+#include "mechanisms/duchi_sr.h"
+#include "mechanisms/hybrid.h"
+#include "mechanisms/laplace.h"
+#include "mechanisms/mechanism.h"
+#include "mechanisms/piecewise_mech.h"
+#include "mechanisms/square_wave.h"
+
+namespace capp {
+namespace {
+
+// ----------------------------------------------------------- validation --
+
+TEST(MechanismTest, RejectsInvalidEpsilon) {
+  EXPECT_FALSE(SquareWave::Create(0.0).ok());
+  EXPECT_FALSE(SquareWave::Create(-1.0).ok());
+  EXPECT_FALSE(SquareWave::Create(51.0).ok());
+  EXPECT_FALSE(
+      SquareWave::Create(std::numeric_limits<double>::quiet_NaN()).ok());
+  EXPECT_FALSE(
+      SquareWave::Create(std::numeric_limits<double>::infinity()).ok());
+  EXPECT_FALSE(LaplaceMechanism::Create(0.0).ok());
+  EXPECT_FALSE(DuchiSr::Create(-2.0).ok());
+  EXPECT_FALSE(PiecewiseMechanism::Create(0.0).ok());
+  EXPECT_FALSE(HybridMechanism::Create(0.0).ok());
+}
+
+TEST(MechanismTest, FactoryCreatesEveryKind) {
+  for (MechanismKind kind :
+       {MechanismKind::kSquareWave, MechanismKind::kLaplace,
+        MechanismKind::kDuchiSr, MechanismKind::kPiecewise,
+        MechanismKind::kHybrid}) {
+    auto m = CreateMechanism(kind, 1.0);
+    ASSERT_TRUE(m.ok()) << MechanismKindName(kind);
+    EXPECT_EQ((*m)->name(), MechanismKindName(kind));
+    EXPECT_DOUBLE_EQ((*m)->epsilon(), 1.0);
+  }
+}
+
+// ---------------------------------------------------------- Square Wave --
+
+TEST(SquareWaveTest, ParamsSatisfyDefiningIdentities) {
+  for (double eps : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    auto params = SquareWave::ComputeParams(eps);
+    ASSERT_TRUE(params.ok()) << eps;
+    const double b = params->b;
+    const double p = params->p;
+    const double q = params->q;
+    // p/q = e^eps exactly.
+    EXPECT_NEAR(p / q, std::exp(eps), 1e-9 * std::exp(eps)) << eps;
+    // Total mass: p*2b + q*1 = 1 (far region always has width 1).
+    EXPECT_NEAR(p * 2.0 * b + q, 1.0, 1e-12) << eps;
+    EXPECT_GT(b, 0.0);
+    EXPECT_LE(b, 0.5 + 1e-12);
+  }
+}
+
+TEST(SquareWaveTest, BandApproachesHalfAsEpsilonVanishes) {
+  auto params = SquareWave::ComputeParams(1e-5);
+  ASSERT_TRUE(params.ok());
+  EXPECT_NEAR(params->b, 0.5, 1e-4);
+}
+
+TEST(SquareWaveTest, BandShrinksForLargeEpsilon) {
+  auto small = SquareWave::ComputeParams(1.0);
+  auto large = SquareWave::ComputeParams(8.0);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_LT(large->b, small->b);
+  EXPECT_LT(large->b, 0.01);
+}
+
+TEST(SquareWaveTest, ParamsNumericallyStableAtTinyEpsilon) {
+  // The raw formula catastrophically cancels here; the expm1 form must not.
+  for (double eps : {1e-6, 1e-5, 1e-4, 1e-3}) {
+    auto params = SquareWave::ComputeParams(eps);
+    ASSERT_TRUE(params.ok()) << eps;
+    EXPECT_GT(params->b, 0.45) << eps;
+    EXPECT_LE(params->b, 0.5 + 1e-9) << eps;
+    EXPECT_TRUE(std::isfinite(params->p));
+    EXPECT_TRUE(std::isfinite(params->q));
+  }
+}
+
+TEST(SquareWaveTest, OutputsStayInRange) {
+  auto sw = SquareWave::Create(1.0);
+  ASSERT_TRUE(sw.ok());
+  Rng rng(101);
+  for (double v : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    for (int i = 0; i < 20000; ++i) {
+      const double y = sw->Perturb(v, rng);
+      EXPECT_GE(y, sw->output_lo());
+      EXPECT_LE(y, sw->output_hi());
+    }
+  }
+}
+
+TEST(SquareWaveTest, InputClampedDefensively) {
+  auto sw = SquareWave::Create(1.0);
+  ASSERT_TRUE(sw.ok());
+  Rng rng(103);
+  // Out-of-domain inputs behave like the clamped value (no UB, in-range
+  // output).
+  for (int i = 0; i < 1000; ++i) {
+    const double y = sw->Perturb(7.0, rng);
+    EXPECT_GE(y, sw->output_lo());
+    EXPECT_LE(y, sw->output_hi());
+  }
+}
+
+TEST(SquareWaveTest, EmpiricalMeanMatchesOutputMean) {
+  auto sw = SquareWave::Create(1.5);
+  ASSERT_TRUE(sw.ok());
+  Rng rng(107);
+  for (double v : {0.0, 0.3, 0.7, 1.0}) {
+    RunningMoments m;
+    for (int i = 0; i < 200000; ++i) m.Add(sw->Perturb(v, rng));
+    EXPECT_NEAR(m.Mean(), sw->OutputMean(v), 0.005) << v;
+    EXPECT_NEAR(m.VariancePopulation(), sw->OutputVariance(v), 0.01) << v;
+  }
+}
+
+TEST(SquareWaveTest, OutputMeanMatchesDensityIntegral) {
+  for (double eps : {0.2, 1.0, 3.0}) {
+    auto sw = SquareWave::Create(eps);
+    ASSERT_TRUE(sw.ok());
+    for (double v : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      auto density = sw->OutputDensity(v);
+      ASSERT_TRUE(density.ok());
+      EXPECT_NEAR(sw->OutputMean(v), density->Mean(), 1e-10)
+          << "eps=" << eps << " v=" << v;
+      EXPECT_NEAR(sw->OutputVariance(v), density->Variance(), 1e-10)
+          << "eps=" << eps << " v=" << v;
+    }
+  }
+}
+
+TEST(SquareWaveTest, UnbiasedEstimateInvertsMeanLine) {
+  auto sw = SquareWave::Create(2.0);
+  ASSERT_TRUE(sw.ok());
+  for (double v : {0.0, 0.4, 1.0}) {
+    EXPECT_NEAR(sw->UnbiasedEstimate(sw->OutputMean(v)), v, 1e-9);
+  }
+}
+
+TEST(SquareWaveTest, UnbiasedEstimateDegeneratesGracefully) {
+  auto sw = SquareWave::Create(1e-6);
+  ASSERT_TRUE(sw.ok());
+  // Slope ~ 0: estimator returns the domain midpoint instead of exploding.
+  EXPECT_DOUBLE_EQ(sw->UnbiasedEstimate(0.3), 0.5);
+}
+
+TEST(SquareWaveTest, DensityIntegratesToOne) {
+  for (double eps : {0.1, 1.0, 4.0}) {
+    auto sw = SquareWave::Create(eps);
+    ASSERT_TRUE(sw.ok());
+    for (double v : {0.0, 0.5, 1.0}) {
+      auto density = sw->OutputDensity(v);
+      ASSERT_TRUE(density.ok());
+      EXPECT_NEAR(density->Cdf(sw->output_hi()), 1.0, 1e-12);
+    }
+  }
+}
+
+// Deterministic privacy check: for any inputs v1, v2 and any output y, the
+// density ratio is bounded by e^eps. SW's density takes only values p and
+// q, so the worst ratio is exactly p/q = e^eps.
+class SwPrivacyRatioTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SwPrivacyRatioTest, DensityRatioBoundedByExpEps) {
+  const double eps = GetParam();
+  auto sw = SquareWave::Create(eps);
+  ASSERT_TRUE(sw.ok());
+  const double bound = std::exp(eps) * (1.0 + 1e-9);
+  const auto inputs = LinSpace(0.0, 1.0, 9);
+  const auto outputs = LinSpace(sw->output_lo(), sw->output_hi(), 41);
+  for (double v1 : inputs) {
+    auto d1 = sw->OutputDensity(v1);
+    ASSERT_TRUE(d1.ok());
+    for (double v2 : inputs) {
+      auto d2 = sw->OutputDensity(v2);
+      ASSERT_TRUE(d2.ok());
+      for (double y : outputs) {
+        const double f1 = d1->DensityAt(y);
+        const double f2 = d2->DensityAt(y);
+        if (f2 > 0.0) {
+          EXPECT_LE(f1 / f2, bound)
+              << "eps=" << eps << " v1=" << v1 << " v2=" << v2 << " y=" << y;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsilonGrid, SwPrivacyRatioTest,
+                         ::testing::Values(0.05, 0.1, 0.5, 1.0, 2.0, 3.0,
+                                           5.0));
+
+// ---------------------------------------------------------------- Laplace --
+
+TEST(LaplaceTest, ScaleIsTwoOverEpsilon) {
+  auto m = LaplaceMechanism::Create(0.5);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->scale(), 4.0);
+}
+
+TEST(LaplaceTest, UnbiasedAndVarianceMatches) {
+  auto m = LaplaceMechanism::Create(1.0);
+  ASSERT_TRUE(m.ok());
+  Rng rng(109);
+  for (double v : {-1.0, 0.0, 0.8}) {
+    RunningMoments s;
+    for (int i = 0; i < 300000; ++i) {
+      s.Add(m->UnbiasedEstimate(m->Perturb(v, rng)));
+    }
+    EXPECT_NEAR(s.Mean(), v, 0.02) << v;
+    EXPECT_NEAR(s.VariancePopulation(), m->OutputVariance(v), 0.15) << v;
+  }
+}
+
+// ---------------------------------------------------------------- DuchiSR --
+
+TEST(DuchiSrTest, OutputsAreBinary) {
+  auto m = DuchiSr::Create(1.0);
+  ASSERT_TRUE(m.ok());
+  Rng rng(113);
+  for (int i = 0; i < 10000; ++i) {
+    const double y = m->Perturb(0.3, rng);
+    EXPECT_TRUE(y == m->c() || y == -m->c()) << y;
+  }
+}
+
+TEST(DuchiSrTest, CMatchesClosedForm) {
+  for (double eps : {0.1, 1.0, 3.0}) {
+    auto m = DuchiSr::Create(eps);
+    ASSERT_TRUE(m.ok());
+    EXPECT_NEAR(m->c(), (std::exp(eps) + 1.0) / (std::exp(eps) - 1.0),
+                1e-9 * m->c());
+  }
+}
+
+TEST(DuchiSrTest, UnbiasedForAllInputs) {
+  auto m = DuchiSr::Create(1.0);
+  ASSERT_TRUE(m.ok());
+  Rng rng(127);
+  for (double v : {-1.0, -0.5, 0.0, 0.5, 1.0}) {
+    RunningMoments s;
+    for (int i = 0; i < 400000; ++i) s.Add(m->Perturb(v, rng));
+    EXPECT_NEAR(s.Mean(), v, 0.02) << v;
+    EXPECT_NEAR(s.VariancePopulation(), m->OutputVariance(v), 0.05) << v;
+  }
+}
+
+TEST(DuchiSrTest, ProbabilityRatioBounded) {
+  // PMF ratio for the two outputs across any input pair is <= e^eps.
+  const double eps = 1.0;
+  auto m = DuchiSr::Create(eps);
+  ASSERT_TRUE(m.ok());
+  auto p_plus = [&](double v) { return 0.5 + v / (2.0 * m->c()); };
+  const double bound = std::exp(eps) * (1.0 + 1e-9);
+  for (double v1 : LinSpace(-1.0, 1.0, 9)) {
+    for (double v2 : LinSpace(-1.0, 1.0, 9)) {
+      EXPECT_LE(p_plus(v1) / p_plus(v2), bound);
+      EXPECT_LE((1.0 - p_plus(v1)) / (1.0 - p_plus(v2)), bound);
+    }
+  }
+}
+
+// -------------------------------------------------------------- Piecewise --
+
+TEST(PiecewiseTest, BandEdgesMatchEndpoints) {
+  auto m = PiecewiseMechanism::Create(1.0);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->BandLo(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(m->BandHi(1.0), m->c(), 1e-12);
+  EXPECT_NEAR(m->BandLo(-1.0), -m->c(), 1e-12);
+  EXPECT_NEAR(m->BandHi(-1.0), -1.0, 1e-12);
+}
+
+TEST(PiecewiseTest, OutputsStayInRange) {
+  auto m = PiecewiseMechanism::Create(0.8);
+  ASSERT_TRUE(m.ok());
+  Rng rng(131);
+  for (double v : {-1.0, 0.0, 1.0}) {
+    for (int i = 0; i < 20000; ++i) {
+      const double y = m->Perturb(v, rng);
+      EXPECT_GE(y, -m->c());
+      EXPECT_LE(y, m->c());
+    }
+  }
+}
+
+TEST(PiecewiseTest, UnbiasedAndVarianceMatchesClosedForm) {
+  auto m = PiecewiseMechanism::Create(2.0);
+  ASSERT_TRUE(m.ok());
+  Rng rng(137);
+  for (double v : {-0.9, 0.0, 0.6}) {
+    RunningMoments s;
+    for (int i = 0; i < 400000; ++i) s.Add(m->Perturb(v, rng));
+    EXPECT_NEAR(s.Mean(), v, 0.02) << v;
+    EXPECT_NEAR(s.VariancePopulation(), m->OutputVariance(v),
+                0.03 * m->OutputVariance(v) + 0.02)
+        << v;
+  }
+}
+
+TEST(PiecewiseTest, ClosedFormVarianceMatchesDensityIntegral) {
+  for (double eps : {0.5, 1.0, 2.0, 4.0}) {
+    auto m = PiecewiseMechanism::Create(eps);
+    ASSERT_TRUE(m.ok());
+    for (double v : {-1.0, -0.3, 0.0, 0.7, 1.0}) {
+      auto density = m->OutputDensity(v);
+      ASSERT_TRUE(density.ok()) << density.status();
+      EXPECT_NEAR(density->Mean(), v, 1e-9) << "eps=" << eps << " v=" << v;
+      EXPECT_NEAR(density->Variance(), m->OutputVariance(v),
+                  1e-8 * m->OutputVariance(v))
+          << "eps=" << eps << " v=" << v;
+    }
+  }
+}
+
+TEST(PiecewiseTest, DensityRatioBoundedByExpEps) {
+  const double eps = 1.2;
+  auto m = PiecewiseMechanism::Create(eps);
+  ASSERT_TRUE(m.ok());
+  const double bound = std::exp(eps) * (1.0 + 1e-9);
+  for (double v1 : LinSpace(-1.0, 1.0, 7)) {
+    auto d1 = m->OutputDensity(v1);
+    ASSERT_TRUE(d1.ok());
+    for (double v2 : LinSpace(-1.0, 1.0, 7)) {
+      auto d2 = m->OutputDensity(v2);
+      ASSERT_TRUE(d2.ok());
+      for (double y : LinSpace(-m->c(), m->c(), 33)) {
+        const double f1 = d1->DensityAt(y);
+        const double f2 = d2->DensityAt(y);
+        if (f2 > 0.0) {
+          EXPECT_LE(f1 / f2, bound);
+        }
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------------- Hybrid --
+
+TEST(HybridTest, DegeneratesToSrBelowThreshold) {
+  auto m = HybridMechanism::Create(0.5);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->pm_probability(), 0.0);
+  auto sr = DuchiSr::Create(0.5);
+  ASSERT_TRUE(sr.ok());
+  Rng rng(139);
+  for (int i = 0; i < 1000; ++i) {
+    const double y = m->Perturb(0.2, rng);
+    EXPECT_TRUE(std::fabs(std::fabs(y) - sr->c()) < 1e-9);
+  }
+}
+
+TEST(HybridTest, MixesAboveThreshold) {
+  auto m = HybridMechanism::Create(2.0);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->pm_probability(), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(HybridTest, UnbiasedAcrossInputs) {
+  auto m = HybridMechanism::Create(1.5);
+  ASSERT_TRUE(m.ok());
+  Rng rng(149);
+  for (double v : {-0.8, 0.0, 0.8}) {
+    RunningMoments s;
+    for (int i = 0; i < 400000; ++i) s.Add(m->Perturb(v, rng));
+    EXPECT_NEAR(s.Mean(), v, 0.02) << v;
+    EXPECT_NEAR(s.VariancePopulation(), m->OutputVariance(v),
+                0.03 * m->OutputVariance(v) + 0.02)
+        << v;
+  }
+}
+
+TEST(HybridTest, OutputRangeExplodesAtTinyEpsilon) {
+  // The paper's motivation for SW: HM output range ~ +/- 2/eps.
+  auto m = HybridMechanism::Create(0.025);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m->output_hi(), 79.0);
+  EXPECT_LT(m->output_lo(), -79.0);
+}
+
+// Parameterized over epsilon: unbiasedness of every [-1,1] mechanism.
+struct MechCase {
+  MechanismKind kind;
+  double eps;
+};
+
+class UnbiasedMechanismTest : public ::testing::TestWithParam<MechCase> {};
+
+TEST_P(UnbiasedMechanismTest, PointEstimateIsUnbiased) {
+  const auto& param = GetParam();
+  auto m = CreateMechanism(param.kind, param.eps);
+  ASSERT_TRUE(m.ok());
+  Rng rng(151 + static_cast<uint64_t>(param.eps * 100));
+  const double v = 0.4;  // mid-domain probe ([-1,1] mechanisms)
+  RunningMoments s;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    s.Add((*m)->UnbiasedEstimate((*m)->Perturb(v, rng)));
+  }
+  const double stderr_bound =
+      4.0 * std::sqrt((*m)->OutputVariance(v) / n) + 0.01;
+  EXPECT_NEAR(s.Mean(), v, stderr_bound)
+      << MechanismKindName(param.kind) << " eps=" << param.eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, UnbiasedMechanismTest,
+    ::testing::Values(MechCase{MechanismKind::kLaplace, 0.5},
+                      MechCase{MechanismKind::kLaplace, 2.0},
+                      MechCase{MechanismKind::kDuchiSr, 0.5},
+                      MechCase{MechanismKind::kDuchiSr, 2.0},
+                      MechCase{MechanismKind::kPiecewise, 0.5},
+                      MechCase{MechanismKind::kPiecewise, 2.0},
+                      MechCase{MechanismKind::kHybrid, 0.5},
+                      MechCase{MechanismKind::kHybrid, 2.0}));
+
+}  // namespace
+}  // namespace capp

@@ -1,0 +1,135 @@
+// Tests for the high-dimensional strategies: Budget-Split and Sample-Split
+// (Section IV-C, Fig. 10).
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "data/datasets.h"
+#include "multidim/budget_split.h"
+#include "multidim/sample_split.h"
+#include "stream/accountant.h"
+
+namespace capp {
+namespace {
+
+TEST(BudgetSplitTest, RejectsZeroDimensions) {
+  EXPECT_FALSE(BudgetSplitPerturber::Create(0, {1.0, 10}).ok());
+}
+
+TEST(BudgetSplitTest, NamesReflectInnerAlgorithm) {
+  auto bs = BudgetSplitPerturber::Create(3, {1.0, 10}, AlgorithmKind::kApp);
+  ASSERT_TRUE(bs.ok());
+  EXPECT_EQ((*bs)->name(), "app-bs");
+  EXPECT_EQ((*bs)->dimensions(), 3u);
+}
+
+TEST(BudgetSplitTest, OutputHasOneReportPerDimension) {
+  auto bs = BudgetSplitPerturber::Create(4, {1.0, 10});
+  ASSERT_TRUE(bs.ok());
+  Rng rng(501);
+  const std::vector<double> x = {0.1, 0.4, 0.6, 0.9};
+  const auto y = (*bs)->ProcessVector(x, rng);
+  EXPECT_EQ(y.size(), 4u);
+}
+
+TEST(BudgetSplitTest, LedgerSumsAcrossDimensions) {
+  const size_t d = 5;
+  const double eps = 1.0;
+  const int w = 10;
+  auto bs = BudgetSplitPerturber::Create(d, {eps, w}, AlgorithmKind::kCapp);
+  ASSERT_TRUE(bs.ok());
+  WEventAccountant ledger;
+  (*bs)->AttachAccountant(&ledger);
+  Rng rng(503);
+  const std::vector<double> x(d, 0.5);
+  for (int t = 0; t < 50; ++t) (*bs)->ProcessVector(x, rng);
+  // Each slot spends d * eps/(d*w) = eps/w; any window spends exactly eps.
+  EXPECT_TRUE(ledger.VerifyBudget(w, eps).ok())
+      << ledger.MaxWindowSpend(w);
+  EXPECT_NEAR(ledger.MaxWindowSpend(w), eps, 1e-9);
+}
+
+TEST(SampleSplitTest, OnlyActiveDimensionChanges) {
+  const size_t d = 3;
+  auto ss = SampleSplitPerturber::Create(d, {1.0, 10});
+  ASSERT_TRUE(ss.ok());
+  Rng rng(509);
+  const std::vector<double> x = {0.2, 0.5, 0.8};
+  auto prev = (*ss)->ProcessVector(x, rng);
+  for (int t = 1; t < 12; ++t) {
+    const auto cur = (*ss)->ProcessVector(x, rng);
+    int changed = 0;
+    for (size_t k = 0; k < d; ++k) {
+      if (cur[k] != prev[k]) ++changed;
+    }
+    EXPECT_LE(changed, 1) << "slot " << t;
+    prev = cur;
+  }
+}
+
+TEST(SampleSplitTest, RoundRobinCoversAllDimensions) {
+  const size_t d = 4;
+  auto ss = SampleSplitPerturber::Create(d, {1.0, 10});
+  ASSERT_TRUE(ss.ok());
+  Rng rng(521);
+  const std::vector<double> x = {0.2, 0.4, 0.6, 0.8};
+  std::vector<double> first = (*ss)->ProcessVector(x, rng);
+  std::vector<bool> updated(d, false);
+  updated[0] = true;  // slot 0 updates dim 0
+  auto prev = first;
+  for (int t = 1; t < static_cast<int>(d); ++t) {
+    const auto cur = (*ss)->ProcessVector(x, rng);
+    for (size_t k = 0; k < d; ++k) {
+      if (cur[k] != prev[k]) updated[k] = true;
+    }
+    prev = cur;
+  }
+  for (size_t k = 0; k < d; ++k) EXPECT_TRUE(updated[k]) << "dim " << k;
+}
+
+TEST(SampleSplitTest, LedgerSpendsEpsOverWPerSlot) {
+  const size_t d = 4;
+  const double eps = 2.0;
+  const int w = 8;
+  auto ss = SampleSplitPerturber::Create(d, {eps, w}, AlgorithmKind::kApp);
+  ASSERT_TRUE(ss.ok());
+  WEventAccountant ledger;
+  (*ss)->AttachAccountant(&ledger);
+  Rng rng(523);
+  const std::vector<double> x(d, 0.5);
+  for (int t = 0; t < 40; ++t) (*ss)->ProcessVector(x, rng);
+  EXPECT_TRUE(ledger.VerifyBudget(w, eps).ok());
+  EXPECT_NEAR(ledger.MaxWindowSpend(w), eps, 1e-9);
+  EXPECT_NEAR(ledger.SlotSpend(0), eps / w, 1e-12);
+}
+
+TEST(SampleSplitTest, ResetRestartsRoundRobin) {
+  auto ss = SampleSplitPerturber::Create(2, {1.0, 10});
+  ASSERT_TRUE(ss.ok());
+  Rng rng(541);
+  const std::vector<double> x = {0.3, 0.7};
+  (*ss)->ProcessVector(x, rng);
+  (*ss)->Reset();
+  WEventAccountant ledger;
+  (*ss)->AttachAccountant(&ledger);
+  (*ss)->ProcessVector(x, rng);
+  EXPECT_GT(ledger.SlotSpend(0), 0.0);  // slot counter restarted at 0
+}
+
+TEST(MultiDimSinusoidTest, ShapeAndRange) {
+  const auto dims = MultiDimSinusoid(5, 200);
+  ASSERT_EQ(dims.size(), 5u);
+  for (const auto& dim : dims) {
+    ASSERT_EQ(dim.size(), 200u);
+    for (double v : dim) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+  // Distinct frequencies -> dimensions differ.
+  EXPECT_NE(dims[0], dims[1]);
+}
+
+}  // namespace
+}  // namespace capp

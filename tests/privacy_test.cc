@@ -1,0 +1,166 @@
+// Empirical end-to-end privacy validation of the stream algorithms --
+// the statistical counterpart of the paper's Theorems 3 and 4.
+//
+// For a window of w = 2 slots with total budget eps, two w-neighboring
+// streams X = {x1, x2} and X' = {x1', x2'} must satisfy, for every output
+// event S:  P[A(X) in S] <= e^eps * P[A(X') in S].
+// We estimate the joint output distribution over a coarse 2-D grid from
+// many runs and check every well-populated cell's probability ratio against
+// e^eps plus sampling slack. This catches budget-accounting mistakes (e.g.
+// spending eps per slot instead of eps/w) that unit tests on mechanisms
+// alone cannot see, because it exercises the full algorithm including the
+// deviation feedback, clipping, and normalization paths.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/factory.h"
+#include "core/rng.h"
+
+namespace capp {
+namespace {
+
+// Joint histogram of (y1, y2) over kGrid x kGrid cells spanning
+// [-range, 1 + range]^2.
+class JointHistogram {
+ public:
+  static constexpr int kGrid = 5;
+
+  explicit JointHistogram(double range) : lo_(-range), hi_(1.0 + range) {}
+
+  void Add(double y1, double y2) {
+    ++counts_[Bucket(y1) * kGrid + Bucket(y2)];
+    ++total_;
+  }
+
+  double Probability(int cell) const {
+    return static_cast<double>(counts_[cell]) / total_;
+  }
+  int64_t CellCount(int cell) const { return counts_[cell]; }
+  static int num_cells() { return kGrid * kGrid; }
+
+ private:
+  int Bucket(double y) const {
+    int b = static_cast<int>((y - lo_) / (hi_ - lo_) * kGrid);
+    if (b < 0) b = 0;
+    if (b >= kGrid) b = kGrid - 1;
+    return b;
+  }
+
+  double lo_;
+  double hi_;
+  int64_t counts_[kGrid * kGrid] = {};
+  int64_t total_ = 0;
+};
+
+struct PrivacyCase {
+  AlgorithmKind kind;
+  double epsilon;
+};
+
+std::string PrivacyCaseName(
+    const ::testing::TestParamInfo<PrivacyCase>& info) {
+  std::string name(AlgorithmKindName(info.param.kind));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_eps" +
+         std::to_string(static_cast<int>(info.param.epsilon * 10));
+}
+
+class EmpiricalPrivacyTest : public ::testing::TestWithParam<PrivacyCase> {};
+
+TEST_P(EmpiricalPrivacyTest, JointOutputRatioBoundedOnNeighbors) {
+  const AlgorithmKind kind = GetParam().kind;
+  const double eps = GetParam().epsilon;
+  const int w = 2;
+  // Maximally different neighboring streams (both slots differ -- allowed
+  // within one window of size 2).
+  const std::vector<double> stream_a = {0.1, 0.2};
+  const std::vector<double> stream_b = {0.9, 0.8};
+  constexpr int kRuns = 400000;
+
+  JointHistogram hist_a(/*range=*/0.8);
+  JointHistogram hist_b(/*range=*/0.8);
+  Rng rng(90210);
+  for (int run = 0; run < kRuns; ++run) {
+    auto pa = CreatePerturber(kind, {eps, w});
+    auto pb = CreatePerturber(kind, {eps, w});
+    ASSERT_TRUE(pa.ok() && pb.ok());
+    const auto ya = (*pa)->PerturbSequence(stream_a, rng);
+    const auto yb = (*pb)->PerturbSequence(stream_b, rng);
+    hist_a.Add(ya[0], ya[1]);
+    hist_b.Add(yb[0], yb[1]);
+  }
+
+  // Sampling slack: with >= kMinCount samples per cell the relative error
+  // of each probability is ~ 1/sqrt(kMinCount); allow 5 sigma on the
+  // ratio, plus the grid-discretization softness.
+  constexpr int64_t kMinCount = 2000;
+  const double slack = 1.35;
+  const double bound = std::exp(eps) * slack;
+  int checked = 0;
+  for (int cell = 0; cell < JointHistogram::num_cells(); ++cell) {
+    if (hist_a.CellCount(cell) < kMinCount ||
+        hist_b.CellCount(cell) < kMinCount) {
+      continue;
+    }
+    ++checked;
+    const double pa = hist_a.Probability(cell);
+    const double pb = hist_b.Probability(cell);
+    EXPECT_LE(pa / pb, bound) << "cell " << cell;
+    EXPECT_LE(pb / pa, bound) << "cell " << cell;
+  }
+  // The grid must actually be exercised, or the test proves nothing.
+  EXPECT_GE(checked, 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StreamAlgorithms, EmpiricalPrivacyTest,
+    ::testing::Values(PrivacyCase{AlgorithmKind::kSwDirect, 1.0},
+                      PrivacyCase{AlgorithmKind::kIpp, 1.0},
+                      PrivacyCase{AlgorithmKind::kApp, 1.0},
+                      PrivacyCase{AlgorithmKind::kApp, 2.0},
+                      PrivacyCase{AlgorithmKind::kCapp, 1.0},
+                      PrivacyCase{AlgorithmKind::kCapp, 2.0}),
+    PrivacyCaseName);
+
+// Negative control: an (intentionally) broken accounting -- spending the
+// whole eps on EVERY slot -- must be detected by the same harness. This
+// guards the test's own power: if this stops failing the slack is too
+// loose.
+TEST(EmpiricalPrivacyTest, HarnessDetectsOverspending) {
+  const double eps = 1.0;
+  constexpr int kRuns = 400000;
+  JointHistogram hist_a(0.8);
+  JointHistogram hist_b(0.8);
+  Rng rng(31337);
+  const std::vector<double> stream_a = {0.1, 0.2};
+  const std::vector<double> stream_b = {0.9, 0.8};
+  for (int run = 0; run < kRuns; ++run) {
+    // Window w = 1 gives each slot the full budget; over a 2-slot window
+    // this is a deliberate 2x overspend.
+    auto pa = CreatePerturber(AlgorithmKind::kSwDirect, {eps, 1});
+    auto pb = CreatePerturber(AlgorithmKind::kSwDirect, {eps, 1});
+    ASSERT_TRUE(pa.ok() && pb.ok());
+    const auto ya = (*pa)->PerturbSequence(stream_a, rng);
+    const auto yb = (*pb)->PerturbSequence(stream_b, rng);
+    hist_a.Add(ya[0], ya[1]);
+    hist_b.Add(yb[0], yb[1]);
+  }
+  double worst = 0.0;
+  for (int cell = 0; cell < JointHistogram::num_cells(); ++cell) {
+    if (hist_a.CellCount(cell) < 2000 || hist_b.CellCount(cell) < 2000) {
+      continue;
+    }
+    const double pa = hist_a.Probability(cell);
+    const double pb = hist_b.Probability(cell);
+    worst = std::max(worst, std::max(pa / pb, pb / pa));
+  }
+  EXPECT_GT(worst, std::exp(eps) * 1.35);
+}
+
+}  // namespace
+}  // namespace capp

@@ -1,0 +1,347 @@
+// Property-based suites: invariants that must hold for EVERY algorithm and
+// EVERY mechanism across a parameter grid -- output shape, determinism,
+// reset semantics, range containment, metric axioms, and accountant
+// monotonicity.
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/clip_bounds.h"
+#include "algorithms/factory.h"
+#include "analysis/empirical.h"
+#include "core/math_utils.h"
+#include "core/rng.h"
+#include "data/generators.h"
+#include "mechanisms/mechanism.h"
+#include "stream/accountant.h"
+#include "stream/smoothing.h"
+
+namespace capp {
+namespace {
+
+// ------------------------------------------------ algorithm properties ----
+
+struct AlgoCase {
+  AlgorithmKind kind;
+  double epsilon;
+  int window;
+};
+
+std::string AlgoCaseName(const ::testing::TestParamInfo<AlgoCase>& info) {
+  std::string name(AlgorithmKindName(info.param.kind));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_eps" +
+         std::to_string(static_cast<int>(info.param.epsilon * 10)) + "_w" +
+         std::to_string(info.param.window);
+}
+
+class AlgorithmPropertyTest : public ::testing::TestWithParam<AlgoCase> {
+ protected:
+  std::unique_ptr<StreamPerturber> Make() {
+    auto p = CreatePerturber(GetParam().kind,
+                             {GetParam().epsilon, GetParam().window});
+    EXPECT_TRUE(p.ok());
+    return std::move(p).value();
+  }
+  std::vector<double> Stream(size_t n) {
+    Rng rng(12345);
+    return ReflectedRandomWalk(n, 0.05, 0.5, rng);
+  }
+};
+
+TEST_P(AlgorithmPropertyTest, OutputLengthMatchesInput) {
+  auto p = Make();
+  Rng rng(1);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{64}}) {
+    p->Reset();
+    EXPECT_EQ(p->PerturbSequence(Stream(n), rng).size(), n);
+  }
+}
+
+TEST_P(AlgorithmPropertyTest, OutputsAreFinite) {
+  auto p = Make();
+  Rng rng(2);
+  for (double y : p->PerturbSequence(Stream(120), rng)) {
+    EXPECT_TRUE(std::isfinite(y));
+  }
+}
+
+TEST_P(AlgorithmPropertyTest, DeterministicUnderSeed) {
+  auto a = Make();
+  auto b = Make();
+  Rng rng_a(77), rng_b(77);
+  const auto stream = Stream(50);
+  EXPECT_EQ(a->PerturbSequence(stream, rng_a),
+            b->PerturbSequence(stream, rng_b));
+}
+
+TEST_P(AlgorithmPropertyTest, ResetRestoresInitialBehavior) {
+  auto p = Make();
+  const auto stream = Stream(40);
+  Rng rng_a(31);
+  const auto first = p->PerturbSequence(stream, rng_a);
+  p->Reset();
+  Rng rng_b(31);
+  const auto second = p->PerturbSequence(stream, rng_b);
+  EXPECT_EQ(first, second);
+}
+
+TEST_P(AlgorithmPropertyTest, SlotsAdvanceAcrossSequences) {
+  auto p = Make();
+  Rng rng(3);
+  p->PerturbSequence(Stream(30), rng);
+  EXPECT_EQ(p->slots_processed(), 30u);
+  p->PerturbSequence(Stream(12), rng);
+  EXPECT_EQ(p->slots_processed(), 42u);
+  p->Reset();
+  EXPECT_EQ(p->slots_processed(), 0u);
+}
+
+TEST_P(AlgorithmPropertyTest, LedgerNeverOverspends) {
+  auto p = Make();
+  WEventAccountant ledger;
+  p->AttachAccountant(&ledger);
+  Rng rng(4);
+  p->PerturbSequence(Stream(150), rng);
+  EXPECT_TRUE(
+      ledger.VerifyBudget(GetParam().window, GetParam().epsilon).ok())
+      << "max window spend " << ledger.MaxWindowSpend(GetParam().window);
+}
+
+TEST_P(AlgorithmPropertyTest, NonFiniteInputsAreSanitized) {
+  // Sensor glitches (NaN/Inf) must not poison the algorithm state: the
+  // base class maps them to the domain midpoint before processing.
+  auto p = Make();
+  Rng rng(6);
+  std::vector<double> glitchy = Stream(20);
+  glitchy[3] = std::numeric_limits<double>::quiet_NaN();
+  glitchy[7] = std::numeric_limits<double>::infinity();
+  glitchy[11] = -std::numeric_limits<double>::infinity();
+  const auto reports = p->PerturbSequence(glitchy, rng);
+  ASSERT_EQ(reports.size(), glitchy.size());
+  for (double y : reports) EXPECT_TRUE(std::isfinite(y));
+  // ...and subsequent clean values still produce finite reports.
+  for (double y : p->PerturbSequence(Stream(10), rng)) {
+    EXPECT_TRUE(std::isfinite(y));
+  }
+}
+
+TEST_P(AlgorithmPropertyTest, ExtremeInputsStayFinite) {
+  auto p = Make();
+  Rng rng(5);
+  // Constant extremes and alternating jumps -- worst cases for deviation
+  // accumulation and clipping.
+  std::vector<double> extreme;
+  for (int i = 0; i < 30; ++i) extreme.push_back(0.0);
+  for (int i = 0; i < 30; ++i) extreme.push_back(1.0);
+  for (int i = 0; i < 30; ++i) extreme.push_back(i % 2 == 0 ? 0.0 : 1.0);
+  for (double y : p->PerturbSequence(extreme, rng)) {
+    EXPECT_TRUE(std::isfinite(y));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, AlgorithmPropertyTest,
+    ::testing::Values(
+        AlgoCase{AlgorithmKind::kSwDirect, 1.0, 10},
+        AlgoCase{AlgorithmKind::kSwDirect, 0.5, 30},
+        AlgoCase{AlgorithmKind::kIpp, 1.0, 10},
+        AlgoCase{AlgorithmKind::kIpp, 3.0, 50},
+        AlgoCase{AlgorithmKind::kApp, 1.0, 10},
+        AlgoCase{AlgorithmKind::kApp, 0.5, 20},
+        AlgoCase{AlgorithmKind::kCapp, 1.0, 10},
+        AlgoCase{AlgorithmKind::kCapp, 2.0, 40},
+        AlgoCase{AlgorithmKind::kBaSw, 1.0, 10},
+        AlgoCase{AlgorithmKind::kBaSw, 4.0, 20},
+        AlgoCase{AlgorithmKind::kTopl, 1.0, 10},
+        AlgoCase{AlgorithmKind::kTopl, 2.0, 25},
+        AlgoCase{AlgorithmKind::kSampling, 1.0, 10},
+        AlgoCase{AlgorithmKind::kAppS, 1.0, 15},
+        AlgoCase{AlgorithmKind::kCappS, 2.0, 10}),
+    AlgoCaseName);
+
+// ------------------------------------------------ mechanism properties ----
+
+struct MechPropCase {
+  MechanismKind kind;
+  double epsilon;
+};
+
+class MechanismPropertyTest
+    : public ::testing::TestWithParam<MechPropCase> {};
+
+TEST_P(MechanismPropertyTest, OutputsWithinDeclaredSupport) {
+  auto m = CreateMechanism(GetParam().kind, GetParam().epsilon);
+  ASSERT_TRUE(m.ok());
+  Rng rng(101);
+  const double lo = (*m)->output_lo();
+  const double hi = (*m)->output_hi();
+  for (double v : LinSpace((*m)->input_lo(), (*m)->input_hi(), 5)) {
+    for (int i = 0; i < 5000; ++i) {
+      const double y = (*m)->Perturb(v, rng);
+      EXPECT_GE(y, lo);
+      EXPECT_LE(y, hi);
+    }
+  }
+}
+
+TEST_P(MechanismPropertyTest, EpsilonRoundTrips) {
+  auto m = CreateMechanism(GetParam().kind, GetParam().epsilon);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ((*m)->epsilon(), GetParam().epsilon);
+}
+
+TEST_P(MechanismPropertyTest, OutputMeanWithinSupport) {
+  auto m = CreateMechanism(GetParam().kind, GetParam().epsilon);
+  ASSERT_TRUE(m.ok());
+  for (double v : LinSpace((*m)->input_lo(), (*m)->input_hi(), 9)) {
+    const double mean = (*m)->OutputMean(v);
+    EXPECT_GE(mean, (*m)->output_lo());
+    EXPECT_LE(mean, (*m)->output_hi());
+    EXPECT_GE((*m)->OutputVariance(v), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMechanisms, MechanismPropertyTest,
+    ::testing::Values(MechPropCase{MechanismKind::kSquareWave, 0.1},
+                      MechPropCase{MechanismKind::kSquareWave, 1.0},
+                      MechPropCase{MechanismKind::kSquareWave, 5.0},
+                      MechPropCase{MechanismKind::kLaplace, 1.0},
+                      MechPropCase{MechanismKind::kDuchiSr, 0.1},
+                      MechPropCase{MechanismKind::kDuchiSr, 2.0},
+                      MechPropCase{MechanismKind::kPiecewise, 0.5},
+                      MechPropCase{MechanismKind::kPiecewise, 3.0},
+                      MechPropCase{MechanismKind::kHybrid, 0.3},
+                      MechPropCase{MechanismKind::kHybrid, 2.0}));
+
+// ----------------------------------------------------- metric axioms ------
+
+TEST(MetricAxiomsTest, Wasserstein1IsAMetricOnRandomSets) {
+  Rng rng(211);
+  for (int rep = 0; rep < 25; ++rep) {
+    std::vector<double> a, b, c;
+    const size_t na = 3 + rng.UniformInt(10);
+    const size_t nb = 3 + rng.UniformInt(10);
+    const size_t nc = 3 + rng.UniformInt(10);
+    for (size_t i = 0; i < na; ++i) a.push_back(rng.Uniform(-2.0, 2.0));
+    for (size_t i = 0; i < nb; ++i) b.push_back(rng.Uniform(-2.0, 2.0));
+    for (size_t i = 0; i < nc; ++i) c.push_back(rng.Uniform(-2.0, 2.0));
+    const double ab = Wasserstein1(a, b);
+    const double ba = Wasserstein1(b, a);
+    const double ac = Wasserstein1(a, c);
+    const double cb = Wasserstein1(c, b);
+    EXPECT_NEAR(ab, ba, 1e-12);                 // symmetry
+    EXPECT_GE(ab, 0.0);                         // non-negativity
+    EXPECT_LE(ab, ac + cb + 1e-12);             // triangle inequality
+    EXPECT_NEAR(Wasserstein1(a, a), 0.0, 1e-12);  // identity
+  }
+}
+
+TEST(MetricAxiomsTest, KsDistanceIsAMetricOnRandomSets) {
+  Rng rng(223);
+  for (int rep = 0; rep < 25; ++rep) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 8; ++i) {
+      a.push_back(rng.UniformDouble());
+      b.push_back(rng.UniformDouble());
+    }
+    auto fa = EmpiricalCdf::Create(a);
+    auto fb = EmpiricalCdf::Create(b);
+    ASSERT_TRUE(fa.ok() && fb.ok());
+    const double d = EmpiricalCdf::KsDistance(*fa, *fb);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+    EXPECT_NEAR(EmpiricalCdf::KsDistance(*fa, *fa), 0.0, 1e-12);
+    EXPECT_NEAR(EmpiricalCdf::KsDistance(*fb, *fa), d, 1e-12);
+  }
+}
+
+// ----------------------------------------------------- SMA properties -----
+
+TEST(SmaPropertiesTest, LinearSeriesFixedInterior) {
+  // A centered average of a linear ramp equals the ramp away from edges.
+  std::vector<double> ramp;
+  for (int i = 0; i < 50; ++i) ramp.push_back(0.1 * i);
+  for (int window : {3, 5, 9}) {
+    auto out = SimpleMovingAverage(ramp, window);
+    ASSERT_TRUE(out.ok());
+    const int k = window / 2;
+    for (size_t t = k; t + k < ramp.size(); ++t) {
+      EXPECT_NEAR((*out)[t], ramp[t], 1e-9) << "w=" << window << " t=" << t;
+    }
+  }
+}
+
+TEST(SmaPropertiesTest, OutputRangeWithinInputRange) {
+  Rng rng(227);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.Uniform(-3.0, 7.0));
+  auto out = SimpleMovingAverage(xs, 7);
+  ASSERT_TRUE(out.ok());
+  const double lo = *std::min_element(xs.begin(), xs.end());
+  const double hi = *std::max_element(xs.begin(), xs.end());
+  for (double v : *out) {
+    EXPECT_GE(v, lo - 1e-12);
+    EXPECT_LE(v, hi + 1e-12);
+  }
+}
+
+// ------------------------------------------------- accountant property ----
+
+TEST(AccountantPropertiesTest, WindowSpendMonotoneInWindowSize) {
+  Rng rng(229);
+  WEventAccountant acc;
+  for (size_t slot = 0; slot < 100; ++slot) {
+    if (rng.Bernoulli(0.7)) acc.Record(slot, rng.Uniform(0.0, 0.2));
+  }
+  double prev = 0.0;
+  for (size_t w = 1; w <= 100; ++w) {
+    const double spend = acc.MaxWindowSpend(w);
+    EXPECT_GE(spend, prev - 1e-12) << w;
+    prev = spend;
+  }
+  EXPECT_NEAR(acc.MaxWindowSpend(100), acc.TotalSpend(), 1e-9);
+}
+
+// ------------------------------------------------ clip-bound selectors ----
+
+TEST(ClipBoundProxyTest, RejectsNegativeLambda) {
+  EXPECT_FALSE(SelectClipBoundsProxy(0.1, -1.0).ok());
+}
+
+TEST(ClipBoundProxyTest, StaysWithinRecommendedBand) {
+  for (double eps : {0.05, 0.1, 0.3, 1.0, 3.0}) {
+    auto bounds = SelectClipBoundsProxy(eps);
+    ASSERT_TRUE(bounds.ok()) << eps;
+    EXPECT_GE(bounds->delta, kMinDelta);
+    EXPECT_LE(bounds->delta, kMaxDelta);
+    EXPECT_DOUBLE_EQ(bounds->l, -bounds->delta);
+    EXPECT_DOUBLE_EQ(bounds->u, 1.0 + bounds->delta);
+  }
+}
+
+TEST(ClipBoundProxyTest, PrefersNarrowingAtStreamBudgets) {
+  // At per-slot budgets the report-noise term dominates, so the proxy
+  // narrows the interval (negative delta) -- where the Fig. 11 sweep's
+  // empirical optimum sits.
+  auto bounds = SelectClipBoundsProxy(0.1);
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_LT(bounds->delta, 0.0);
+}
+
+TEST(ClipBoundProxyTest, ZeroLambdaMaximallyNarrows) {
+  // Without a truncation penalty the noise term alone drives delta to the
+  // band's lower edge.
+  auto bounds = SelectClipBoundsProxy(0.1, 0.0);
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_NEAR(bounds->delta, kMinDelta, 1e-9);
+}
+
+}  // namespace
+}  // namespace capp

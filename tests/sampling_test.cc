@@ -1,0 +1,282 @@
+// Tests for PP-S (Algorithm 3) and the n_s selection criterion (Section V).
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/ns_selector.h"
+#include "algorithms/sampling.h"
+#include "algorithms/sw_direct.h"
+#include "core/math_utils.h"
+#include "core/rng.h"
+#include "data/generators.h"
+#include "mechanisms/square_wave.h"
+#include "stream/accountant.h"
+
+namespace capp {
+namespace {
+
+// ------------------------------------------------------------ ns selector --
+
+TEST(NsSelectorTest, RejectsBadArguments) {
+  EXPECT_FALSE(SelectSampleCount(1.0, 0, 10).ok());
+  EXPECT_FALSE(SelectSampleCount(1.0, 10, 0).ok());
+  EXPECT_FALSE(SelectSampleCount(0.0, 10, 10).ok());
+}
+
+TEST(NsSelectorTest, VarianceOfSampleVarianceFormula) {
+  // Gaussian sanity: mu4 = 3 sigma^4, so Var(S^2) = sigma^4 (3/n -
+  // (n-3)/(n(n-1))) = 2 sigma^4 / (n-1).
+  const double sigma2 = 1.7;
+  const double mu4 = 3.0 * sigma2 * sigma2;
+  for (int n : {2, 5, 20, 100}) {
+    EXPECT_NEAR(VarianceOfSampleVariance(n, sigma2, mu4),
+                2.0 * sigma2 * sigma2 / (n - 1), 1e-12)
+        << n;
+  }
+}
+
+TEST(NsSelectorTest, EmpiricalVarianceOfSampleVariance) {
+  // Monte-Carlo check of the formula against SW outputs at x = 1.
+  const double eps = 1.0;
+  auto sw = SquareWave::Create(eps);
+  ASSERT_TRUE(sw.ok());
+  auto density = sw->OutputDensity(1.0);
+  ASSERT_TRUE(density.ok());
+  const double sigma2 = density->CentralMoment(2);
+  const double mu4 = density->CentralMoment(4);
+  const int n = 10;
+  Rng rng(401);
+  RunningMoments s2_moments;
+  for (int rep = 0; rep < 60000; ++rep) {
+    RunningMoments batch;
+    for (int i = 0; i < n; ++i) batch.Add(sw->Perturb(1.0, rng));
+    s2_moments.Add(batch.VarianceSample());
+  }
+  EXPECT_NEAR(s2_moments.VariancePopulation(),
+              VarianceOfSampleVariance(n, sigma2, mu4),
+              0.1 * VarianceOfSampleVariance(n, sigma2, mu4));
+}
+
+TEST(NsSelectorTest, SelectionIsWithinRangeAndConsistent) {
+  for (double eps : {0.5, 1.0, 3.0}) {
+    for (int w : {10, 30}) {
+      for (int q : {10, 20, 40}) {
+        auto sel = SelectSampleCount(eps, w, q);
+        ASSERT_TRUE(sel.ok());
+        EXPECT_GE(sel->ns, 1);
+        EXPECT_LE(sel->ns, q);
+        EXPECT_EQ(sel->segment_length, q / sel->ns);
+        EXPECT_EQ(sel->uploads_per_window,
+                  std::min(sel->ns, (w - 1) / sel->segment_length + 1));
+        EXPECT_NEAR(sel->epsilon_per_upload,
+                    eps / sel->uploads_per_window, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(NsSelectorTest, MatchesBruteForceEnumeration) {
+  const double eps = 1.0;
+  const int w = 20, q = 30;
+  auto sel = SelectSampleCount(eps, w, q);
+  ASSERT_TRUE(sel.ok());
+  // Recompute the objective for every candidate and confirm the selector's
+  // choice attains the minimum.
+  double best = std::numeric_limits<double>::infinity();
+  for (int ns = 1; ns <= q; ++ns) {
+    const int len = q / ns;
+    if (len < 1) break;
+    const int nw = std::min(ns, (w - 1) / len + 1);
+    auto sw = SquareWave::Create(eps / nw);
+    ASSERT_TRUE(sw.ok());
+    auto density = sw->OutputDensity(1.0);
+    ASSERT_TRUE(density.ok());
+    const double sigma2 = density->CentralMoment(2);
+    const double mu4 = density->CentralMoment(4);
+    const double var =
+        ns == 1 ? mu4 : VarianceOfSampleVariance(ns, sigma2, mu4);
+    best = std::min(best, ns * var);
+  }
+  EXPECT_NEAR(sel->objective, best, 1e-12);
+}
+
+TEST(NsSelectorTest, PaperFormulaVariantAlsoSelects) {
+  auto sel = SelectSampleCount(1.0, 20, 30, /*use_paper_formula=*/true);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_GE(sel->ns, 1);
+  EXPECT_LE(sel->ns, 30);
+}
+
+// ------------------------------------------------------------------ PP-S --
+
+TEST(PpSamplerTest, KindNames) {
+  EXPECT_EQ(PpKindName(PpKind::kDirect), "sampling");
+  EXPECT_EQ(PpKindName(PpKind::kIpp), "ipp-s");
+  EXPECT_EQ(PpKindName(PpKind::kApp), "app-s");
+  EXPECT_EQ(PpKindName(PpKind::kCapp), "capp-s");
+}
+
+TEST(PpSamplerTest, RejectsBadNs) {
+  EXPECT_FALSE(
+      PpSampler::Create(SamplingOptions{{1.0, 10}, 0}, PpKind::kApp).ok());
+}
+
+TEST(PpSamplerTest, DoesNotSupportOnline) {
+  auto p = PpSampler::Create(SamplingOptions{{1.0, 10}, std::nullopt},
+                             PpKind::kApp);
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE((*p)->supports_online());
+}
+
+TEST(PpSamplerTest, OutputLengthMatchesInput) {
+  auto p = PpSampler::Create(SamplingOptions{{1.0, 10}, 3}, PpKind::kApp);
+  ASSERT_TRUE(p.ok());
+  Rng rng(409);
+  Rng data_rng(411);
+  const auto stream = ReflectedRandomWalk(31, 0.05, 0.5, data_rng);
+  const auto out = (*p)->PerturbSequence(stream, rng);
+  EXPECT_EQ(out.size(), stream.size());
+}
+
+TEST(PpSamplerTest, SegmentsAreConstantAndRemainderJoinsLast) {
+  // q = 10, ns = 3 -> segments of length 3, 3, 4.
+  auto p = PpSampler::Create(SamplingOptions{{1.0, 5}, 3}, PpKind::kDirect);
+  ASSERT_TRUE(p.ok());
+  Rng rng(419);
+  std::vector<double> stream(10);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    stream[i] = static_cast<double>(i) / 10.0;
+  }
+  const auto out = (*p)->PerturbSequence(stream, rng);
+  ASSERT_EQ(out.size(), 10u);
+  EXPECT_EQ((*p)->last_selection().ns, 3);
+  EXPECT_EQ((*p)->last_selection().segment_length, 3);
+  // Segment 1: slots 0-2; segment 2: slots 3-5; segment 3: slots 6-9.
+  EXPECT_DOUBLE_EQ(out[0], out[1]);
+  EXPECT_DOUBLE_EQ(out[1], out[2]);
+  EXPECT_DOUBLE_EQ(out[3], out[5]);
+  EXPECT_DOUBLE_EQ(out[6], out[9]);
+  // Distinct perturbed values across segments (w.h.p. under SW noise).
+  const std::set<double> uniq(out.begin(), out.end());
+  EXPECT_EQ(uniq.size(), 3u);
+}
+
+TEST(PpSamplerTest, SingleSegmentGetsFullBudgetWindow) {
+  // L >= w -> one upload per window -> eps_u == eps (the Fig. 3 example).
+  auto p = PpSampler::Create(SamplingOptions{{1.0, 3}, 1}, PpKind::kDirect);
+  ASSERT_TRUE(p.ok());
+  Rng rng(421);
+  const std::vector<double> stream(9, 0.5);
+  (*p)->PerturbSequence(stream, rng);
+  EXPECT_EQ((*p)->last_selection().uploads_per_window, 1);
+  EXPECT_DOUBLE_EQ((*p)->last_selection().epsilon_per_upload, 1.0);
+}
+
+TEST(PpSamplerTest, LedgerRespectsWindowBudget) {
+  for (int ns : {1, 2, 5, 10}) {
+    auto p =
+        PpSampler::Create(SamplingOptions{{1.0, 10}, ns}, PpKind::kCapp);
+    ASSERT_TRUE(p.ok());
+    WEventAccountant ledger;
+    (*p)->AttachAccountant(&ledger);
+    Rng rng(431);
+    Rng data_rng(433);
+    const auto stream = ReflectedRandomWalk(40, 0.05, 0.5, data_rng);
+    (*p)->PerturbSequence(stream, rng);
+    EXPECT_TRUE(ledger.VerifyBudget(10, 1.0).ok())
+        << "ns=" << ns << " max=" << ledger.MaxWindowSpend(10);
+  }
+}
+
+TEST(PpSamplerTest, AutoNsUsesSelector) {
+  auto p = PpSampler::Create(SamplingOptions{{1.0, 10}, std::nullopt},
+                             PpKind::kApp);
+  ASSERT_TRUE(p.ok());
+  Rng rng(439);
+  Rng data_rng(441);
+  const auto stream = ReflectedRandomWalk(30, 0.05, 0.5, data_rng);
+  (*p)->PerturbSequence(stream, rng);
+  auto expected = SelectSampleCount(1.0, 10, 30);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ((*p)->last_selection().ns, expected->ns);
+}
+
+TEST(PpSamplerTest, EmptyInputYieldsEmptyOutput) {
+  auto p = PpSampler::Create(SamplingOptions{{1.0, 10}, std::nullopt},
+                             PpKind::kApp);
+  ASSERT_TRUE(p.ok());
+  Rng rng(443);
+  EXPECT_TRUE((*p)->PerturbSequence({}, rng).empty());
+}
+
+TEST(PpSamplerTest, NsLargerThanQIsClamped) {
+  auto p = PpSampler::Create(SamplingOptions{{1.0, 5}, 100}, PpKind::kApp);
+  ASSERT_TRUE(p.ok());
+  Rng rng(449);
+  const std::vector<double> stream(8, 0.4);
+  const auto out = (*p)->PerturbSequence(stream, rng);
+  EXPECT_EQ(out.size(), 8u);
+  EXPECT_EQ((*p)->last_selection().ns, 8);
+}
+
+// Sampling improves subsequence-mean estimation over direct perturbation
+// when the per-upload budget is large enough that SW's variance decays
+// (the Fig. 6 effect): here one segment-mean upload at eps = 6 beats ten
+// per-slot uploads at eps = 0.3 each.
+TEST(PpSamplerTest, SamplingBeatsDirectForMeanAtHighBudget) {
+  Rng data_rng(457);
+  const auto stream = ReflectedRandomWalk(10, 0.02, 0.5, data_rng);
+  const int trials = 300;
+  double mse_sampled = 0.0, mse_direct = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng_a(6000 + t), rng_b(6000 + t);
+    auto sampler = PpSampler::Create(SamplingOptions{{6.0, 20}, 1},
+                                     PpKind::kApp);
+    auto direct = MechanismDirect::Create(PerturberOptions{6.0, 20});
+    ASSERT_TRUE(sampler.ok() && direct.ok());
+    const auto ys = (*sampler)->PerturbSequence(stream, rng_a);
+    const auto yd = (*direct)->PerturbSequence(stream, rng_b);
+    const double es = Mean(ys) - Mean(stream);
+    const double ed = Mean(yd) - Mean(stream);
+    mse_sampled += es * es;
+    mse_direct += ed * ed;
+  }
+  EXPECT_LT(mse_sampled, mse_direct);
+}
+
+// The paper-figure mode hands every upload the full window budget; the
+// attached ledger must report the overspend whenever segments are shorter
+// than the window.
+TEST(PpSamplerTest, FullBudgetModeFlagsOverspend) {
+  SamplingOptions options{{1.0, 10}, 5};
+  options.full_budget_per_upload = true;
+  auto p = PpSampler::Create(options, PpKind::kApp);
+  ASSERT_TRUE(p.ok());
+  WEventAccountant ledger;
+  (*p)->AttachAccountant(&ledger);
+  Rng rng(461);
+  const std::vector<double> stream(20, 0.5);  // L = 4 < w = 10
+  (*p)->PerturbSequence(stream, rng);
+  EXPECT_DOUBLE_EQ((*p)->last_selection().epsilon_per_upload, 1.0);
+  EXPECT_FALSE(ledger.VerifyBudget(10, 1.0).ok());
+}
+
+// ...and is sound when the segment length reaches w.
+TEST(PpSamplerTest, FullBudgetModeSoundForLongSegments) {
+  SamplingOptions options{{1.0, 5}, 2};
+  options.full_budget_per_upload = true;
+  auto p = PpSampler::Create(options, PpKind::kApp);
+  ASSERT_TRUE(p.ok());
+  WEventAccountant ledger;
+  (*p)->AttachAccountant(&ledger);
+  Rng rng(463);
+  const std::vector<double> stream(20, 0.5);  // L = 10 >= w = 5
+  (*p)->PerturbSequence(stream, rng);
+  EXPECT_TRUE(ledger.VerifyBudget(5, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace capp

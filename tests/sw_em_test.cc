@@ -1,0 +1,240 @@
+// Tests for the EM (MLE) distribution reconstruction behind Square Wave
+// outputs (Li et al.'s EM/EMS estimators), used by ToPL range learning.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/empirical.h"
+#include "core/math_utils.h"
+#include "core/rng.h"
+#include "mechanisms/sw_em.h"
+
+namespace capp {
+namespace {
+
+SquareWave MakeSw(double eps) {
+  auto sw = SquareWave::Create(eps);
+  EXPECT_TRUE(sw.ok());
+  return std::move(sw).value();
+}
+
+TEST(SwEmTest, RejectsBadOptions) {
+  const SquareWave sw = MakeSw(1.0);
+  SwEmOptions opts;
+  opts.input_buckets = 1;
+  EXPECT_FALSE(SwDistributionEstimator::Create(sw, opts).ok());
+  opts = SwEmOptions{};
+  opts.output_buckets = 0;
+  EXPECT_FALSE(SwDistributionEstimator::Create(sw, opts).ok());
+  opts = SwEmOptions{};
+  opts.max_iterations = 0;
+  EXPECT_FALSE(SwDistributionEstimator::Create(sw, opts).ok());
+  opts = SwEmOptions{};
+  opts.tolerance = 0.0;
+  EXPECT_FALSE(SwDistributionEstimator::Create(sw, opts).ok());
+  opts = SwEmOptions{};
+  opts.smooth_interval = 0;
+  EXPECT_FALSE(SwDistributionEstimator::Create(sw, opts).ok());
+}
+
+TEST(SwEmTest, RecoversBimodalPopulationAtModerateBudget) {
+  // The distribution_analytics example's scenario: two clusters at 0.25 /
+  // 0.75, eps_slot = 0.8 -- the EM must place most mass near the modes and
+  // little in the valley between them.
+  const SquareWave sw = MakeSw(0.8);
+  SwEmOptions opts;
+  opts.input_buckets = 20;
+  opts.output_buckets = 40;
+  auto est = SwDistributionEstimator::Create(sw, opts);
+  ASSERT_TRUE(est.ok());
+  Rng rng(29);
+  std::vector<double> outputs;
+  for (int i = 0; i < 40000; ++i) {
+    const double center = rng.Bernoulli(0.5) ? 0.25 : 0.75;
+    const double v = Clamp(rng.Gaussian(center, 0.05), 0.0, 1.0);
+    outputs.push_back(sw.Perturb(v, rng));
+  }
+  const auto hist = est->Estimate(outputs);
+  auto mass = [&](double lo, double hi) {
+    double m = 0.0;
+    for (int b = 0; b < 20; ++b) {
+      const double center = (b + 0.5) / 20.0;
+      if (center >= lo && center <= hi) m += hist[b];
+    }
+    return m;
+  };
+  const double near_modes = mass(0.15, 0.35) + mass(0.65, 0.85);
+  const double valley = mass(0.42, 0.58);
+  EXPECT_GT(near_modes, 0.45);
+  EXPECT_LT(valley, near_modes / 2.0);
+}
+
+TEST(SwEmTest, TinyBudgetReconstructionIsNearUniform) {
+  // At eps_slot = 0.1 the SW band spans almost the whole domain; the
+  // deconvolution is ill-posed and the regularized MLE is close to
+  // uniform. This pins down the documented behavior rather than a bug.
+  const SquareWave sw = MakeSw(0.1);
+  auto est = SwDistributionEstimator::Create(sw);
+  ASSERT_TRUE(est.ok());
+  Rng rng(33);
+  std::vector<double> outputs;
+  for (int i = 0; i < 20000; ++i) {
+    outputs.push_back(sw.Perturb(0.75, rng));
+  }
+  const auto hist = est->Estimate(outputs);
+  const double uniform = 1.0 / est->input_buckets();
+  for (double h : hist) EXPECT_LT(h, 4.0 * uniform);
+}
+
+TEST(SwEmTest, TransitionColumnsSumToOne) {
+  const SquareWave sw = MakeSw(1.0);
+  auto est = SwDistributionEstimator::Create(sw);
+  ASSERT_TRUE(est.ok());
+  const auto& t = est->transition();
+  for (int i = 0; i < est->input_buckets(); ++i) {
+    double col = 0.0;
+    for (int o = 0; o < est->output_buckets(); ++o) col += t[o][i];
+    EXPECT_NEAR(col, 1.0, 1e-9) << "input bucket " << i;
+  }
+}
+
+TEST(SwEmTest, EmptyInputGivesUniform) {
+  const SquareWave sw = MakeSw(1.0);
+  auto est = SwDistributionEstimator::Create(sw);
+  ASSERT_TRUE(est.ok());
+  const auto hist = est->Estimate({});
+  for (double h : hist) {
+    EXPECT_NEAR(h, 1.0 / est->input_buckets(), 1e-12);
+  }
+}
+
+TEST(SwEmTest, EstimateIsProbabilityVector) {
+  const SquareWave sw = MakeSw(1.0);
+  auto est = SwDistributionEstimator::Create(sw);
+  ASSERT_TRUE(est.ok());
+  Rng rng(7);
+  std::vector<double> outputs;
+  for (int i = 0; i < 5000; ++i) {
+    outputs.push_back(sw.Perturb(rng.UniformDouble(), rng));
+  }
+  const auto hist = est->Estimate(outputs);
+  double total = 0.0;
+  for (double h : hist) {
+    EXPECT_GE(h, 0.0);
+    total += h;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SwEmTest, RecoversPointMassLocation) {
+  const SquareWave sw = MakeSw(3.0);
+  auto est = SwDistributionEstimator::Create(sw);
+  ASSERT_TRUE(est.ok());
+  Rng rng(11);
+  std::vector<double> outputs;
+  const double truth = 0.72;
+  for (int i = 0; i < 30000; ++i) outputs.push_back(sw.Perturb(truth, rng));
+  const auto hist = est->Estimate(outputs);
+  EXPECT_NEAR(est->HistogramMean(hist), truth, 0.05);
+}
+
+TEST(SwEmTest, RecoversUniformMean) {
+  const SquareWave sw = MakeSw(1.0);
+  auto est = SwDistributionEstimator::Create(sw);
+  ASSERT_TRUE(est.ok());
+  Rng rng(13);
+  std::vector<double> outputs;
+  for (int i = 0; i < 40000; ++i) {
+    outputs.push_back(sw.Perturb(rng.UniformDouble(), rng));
+  }
+  const auto hist = est->Estimate(outputs);
+  EXPECT_NEAR(est->HistogramMean(hist), 0.5, 0.05);
+}
+
+TEST(SwEmTest, RecoversBimodalShape) {
+  const SquareWave sw = MakeSw(2.0);
+  auto est = SwDistributionEstimator::Create(sw);
+  ASSERT_TRUE(est.ok());
+  Rng rng(17);
+  std::vector<double> inputs, outputs;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.Bernoulli(0.5) ? rng.Uniform(0.1, 0.3)
+                                        : rng.Uniform(0.7, 0.9);
+    inputs.push_back(v);
+    outputs.push_back(sw.Perturb(v, rng));
+  }
+  const auto hist = est->Estimate(outputs);
+  // Mass in [0.1, 0.3] and [0.7, 0.9] should dominate the middle band.
+  const int nb = est->input_buckets();
+  auto mass = [&](double lo, double hi) {
+    double m = 0.0;
+    for (int i = 0; i < nb; ++i) {
+      const double center = (i + 0.5) / nb;
+      if (center >= lo && center <= hi) m += hist[i];
+    }
+    return m;
+  };
+  EXPECT_GT(mass(0.05, 0.35), 0.25);
+  EXPECT_GT(mass(0.65, 0.95), 0.25);
+  EXPECT_LT(mass(0.40, 0.60), 0.30);
+  EXPECT_NEAR(est->HistogramMean(hist), 0.5, 0.05);
+}
+
+TEST(SwEmTest, QuantileBracketsDistribution) {
+  const SquareWave sw = MakeSw(2.0);
+  auto est = SwDistributionEstimator::Create(sw);
+  ASSERT_TRUE(est.ok());
+  Rng rng(19);
+  std::vector<double> outputs;
+  for (int i = 0; i < 30000; ++i) {
+    outputs.push_back(sw.Perturb(rng.Uniform(0.2, 0.4), rng));
+  }
+  const auto hist = est->Estimate(outputs);
+  const double q98 = est->HistogramQuantile(hist, 0.98);
+  EXPECT_GE(q98, 0.35);  // must cover the true upper end
+  EXPECT_LE(q98, 0.70);  // but not wildly overshoot
+  EXPECT_LE(est->HistogramQuantile(hist, 0.1),
+            est->HistogramQuantile(hist, 0.9));
+}
+
+TEST(SwEmTest, QuantileEdgeCases) {
+  const SquareWave sw = MakeSw(1.0);
+  auto est = SwDistributionEstimator::Create(sw);
+  ASSERT_TRUE(est.ok());
+  std::vector<double> hist(est->input_buckets(), 0.0);
+  hist[0] = 1.0;  // all mass in the first bucket
+  EXPECT_NEAR(est->HistogramQuantile(hist, 1.0), 1.0 / est->input_buckets(),
+              1e-12);
+  EXPECT_NEAR(est->HistogramQuantile(hist, 0.0), 1.0 / est->input_buckets(),
+              1e-12);
+}
+
+TEST(SwEmTest, SmoothingImprovesSmallSampleStability) {
+  const SquareWave sw = MakeSw(0.5);
+  SwEmOptions smooth_opts;
+  smooth_opts.smooth = true;
+  SwEmOptions rough_opts;
+  rough_opts.smooth = false;
+  auto smooth_est = SwDistributionEstimator::Create(sw, smooth_opts);
+  auto rough_est = SwDistributionEstimator::Create(sw, rough_opts);
+  ASSERT_TRUE(smooth_est.ok() && rough_est.ok());
+  Rng rng(23);
+  std::vector<double> outputs;
+  for (int i = 0; i < 2000; ++i) {
+    outputs.push_back(sw.Perturb(rng.Uniform(0.4, 0.6), rng));
+  }
+  const auto hs = smooth_est->Estimate(outputs);
+  const auto hr = rough_est->Estimate(outputs);
+  // Total variation between adjacent buckets (roughness) should be lower
+  // with smoothing.
+  auto roughness = [](const std::vector<double>& h) {
+    double r = 0.0;
+    for (size_t i = 1; i < h.size(); ++i) r += std::fabs(h[i] - h[i - 1]);
+    return r;
+  };
+  EXPECT_LE(roughness(hs), roughness(hr) + 1e-9);
+}
+
+}  // namespace
+}  // namespace capp

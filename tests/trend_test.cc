@@ -1,0 +1,137 @@
+// Tests for trend extraction and trend-agreement metrics.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/trend.h"
+#include "core/rng.h"
+#include "data/generators.h"
+
+namespace capp {
+namespace {
+
+TEST(TrendTest, LinearSlopeKnownAnswers) {
+  EXPECT_DOUBLE_EQ(LinearSlope(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(LinearSlope(std::vector<double>{5.0}), 0.0);
+  EXPECT_NEAR(LinearSlope(std::vector<double>{0.0, 1.0, 2.0, 3.0}), 1.0,
+              1e-12);
+  EXPECT_NEAR(LinearSlope(std::vector<double>{3.0, 2.0, 1.0}), -1.0, 1e-12);
+  EXPECT_NEAR(LinearSlope(std::vector<double>{2.0, 2.0, 2.0}), 0.0, 1e-12);
+}
+
+TEST(TrendTest, StepDirections) {
+  const std::vector<double> xs = {0.0, 0.5, 0.5001, 0.2};
+  const auto dirs = StepDirections(xs, 0.01);
+  ASSERT_EQ(dirs.size(), 3u);
+  EXPECT_EQ(dirs[0], TrendDirection::kUp);
+  EXPECT_EQ(dirs[1], TrendDirection::kFlat);
+  EXPECT_EQ(dirs[2], TrendDirection::kDown);
+}
+
+TEST(TrendTest, ExtractValidatesOptions) {
+  const std::vector<double> xs = {0.0, 1.0};
+  TrendOptions bad;
+  bad.flat_threshold = -1.0;
+  EXPECT_FALSE(ExtractTrends(xs, bad).ok());
+  bad = TrendOptions{};
+  bad.min_run = 0;
+  EXPECT_FALSE(ExtractTrends(xs, bad).ok());
+}
+
+TEST(TrendTest, ExtractTriangleWave) {
+  // Up for 10 slots, down for 10, up for 10.
+  std::vector<double> xs;
+  for (int i = 0; i <= 10; ++i) xs.push_back(i / 10.0);
+  for (int i = 9; i >= 0; --i) xs.push_back(i / 10.0);
+  for (int i = 1; i <= 10; ++i) xs.push_back(i / 10.0);
+  auto segments = ExtractTrends(xs);
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments->size(), 3u);
+  EXPECT_EQ((*segments)[0].direction, TrendDirection::kUp);
+  EXPECT_EQ((*segments)[1].direction, TrendDirection::kDown);
+  EXPECT_EQ((*segments)[2].direction, TrendDirection::kUp);
+  EXPECT_GT((*segments)[0].slope, 0.0);
+  EXPECT_LT((*segments)[1].slope, 0.0);
+  // Segments tile the series.
+  EXPECT_EQ((*segments)[0].begin, 0u);
+  EXPECT_EQ((*segments)[2].end, xs.size());
+}
+
+TEST(TrendTest, ConstantSeriesIsOneFlatSegment) {
+  const std::vector<double> xs(20, 0.4);
+  auto segments = ExtractTrends(xs);
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments->size(), 1u);
+  EXPECT_EQ((*segments)[0].direction, TrendDirection::kFlat);
+  EXPECT_EQ((*segments)[0].length(), 20u);
+}
+
+TEST(TrendTest, ShortBlipsMergedIntoNeighbor) {
+  // A long rise with one single-step dip: min_run=2 merges the dip.
+  std::vector<double> xs;
+  for (int i = 0; i < 10; ++i) xs.push_back(i * 0.1);
+  xs.push_back(0.85);  // one-step dip
+  for (int i = 10; i < 20; ++i) xs.push_back(i * 0.1);
+  TrendOptions options;
+  options.min_run = 2;
+  auto segments = ExtractTrends(xs, options);
+  ASSERT_TRUE(segments.ok());
+  EXPECT_LE(segments->size(), 2u);
+  EXPECT_EQ((*segments)[0].direction, TrendDirection::kUp);
+}
+
+TEST(TrendTest, DegenerateInputs) {
+  EXPECT_TRUE(ExtractTrends(std::vector<double>{})->empty());
+  EXPECT_TRUE(ExtractTrends(std::vector<double>{1.0})->empty());
+}
+
+TEST(TrendTest, AgreementBounds) {
+  Rng rng(61);
+  std::vector<double> a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(rng.UniformDouble());
+    b.push_back(rng.UniformDouble());
+  }
+  const double agreement = TrendAgreement(a, b);
+  EXPECT_GE(agreement, 0.0);
+  EXPECT_LE(agreement, 1.0);
+  EXPECT_DOUBLE_EQ(TrendAgreement(a, a), 1.0);
+}
+
+TEST(TrendTest, AgreementOfOppositeSeriesIsZero) {
+  std::vector<double> up, down;
+  for (int i = 0; i < 50; ++i) {
+    up.push_back(i * 0.01);
+    down.push_back(-i * 0.01);
+  }
+  EXPECT_DOUBLE_EQ(TrendAgreement(up, down), 0.0);
+}
+
+TEST(TrendTest, TrivialLengthAgreesFully) {
+  EXPECT_DOUBLE_EQ(TrendAgreement(std::vector<double>{1.0},
+                                  std::vector<double>{2.0}),
+                   1.0);
+}
+
+// Published (smoothed) streams preserve more of the true trend profile
+// than raw perturbed ones -- the practical motivation for trend analysis
+// on top of CAPP publication.
+TEST(TrendTest, SmoothedPublicationPreservesTrendsBetter) {
+  Rng rng(67);
+  const auto truth = SinusoidSeries(400, 80.0, 0.4, 0.5);
+  // Raw noisy version vs 5-point smoothed version of the same noise.
+  std::vector<double> noisy;
+  noisy.reserve(truth.size());
+  for (double x : truth) noisy.push_back(x + rng.Gaussian(0.0, 0.2));
+  std::vector<double> smoothed(noisy);
+  for (size_t i = 2; i + 2 < smoothed.size(); ++i) {
+    smoothed[i] = (noisy[i - 2] + noisy[i - 1] + noisy[i] + noisy[i + 1] +
+                   noisy[i + 2]) / 5.0;
+  }
+  const double raw_agreement = TrendAgreement(noisy, truth, 1e-4);
+  const double smooth_agreement = TrendAgreement(smoothed, truth, 1e-4);
+  EXPECT_GT(smooth_agreement, raw_agreement);
+}
+
+}  // namespace
+}  // namespace capp
