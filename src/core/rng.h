@@ -10,6 +10,12 @@
 
 namespace capp {
 
+/// One stateless splitmix64 mixing step: a high-quality 64-bit hash of `x`.
+/// Used to derive uncorrelated per-user seeds from (base seed, user id)
+/// pairs; the engine's determinism contract depends on this being a pure
+/// function of its input.
+uint64_t SplitMix64Mix(uint64_t x);
+
 /// xoshiro256++ pseudo-random generator with a stable set of sampling
 /// helpers. Copyable; copies continue independently from the same state.
 class Rng {

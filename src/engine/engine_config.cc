@@ -1,0 +1,73 @@
+#include "engine/engine_config.h"
+
+#include <cstdio>
+
+#include "algorithms/perturber.h"
+
+namespace capp {
+
+std::string_view SignalKindName(SignalKind kind) {
+  switch (kind) {
+    case SignalKind::kConstant:
+      return "constant";
+    case SignalKind::kSinusoid:
+      return "sinusoid";
+    case SignalKind::kAr1:
+      return "ar1";
+    case SignalKind::kRandomWalk:
+      return "walk";
+    case SignalKind::kPiecewise:
+      return "piecewise";
+  }
+  return "unknown";
+}
+
+Result<SignalKind> ParseSignalKind(std::string_view name) {
+  for (SignalKind kind :
+       {SignalKind::kConstant, SignalKind::kSinusoid, SignalKind::kAr1,
+        SignalKind::kRandomWalk, SignalKind::kPiecewise}) {
+    if (name == SignalKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown signal kind: " + std::string(name));
+}
+
+Status ValidateEngineConfig(const EngineConfig& config) {
+  PerturberOptions options;
+  options.epsilon = config.epsilon;
+  options.window = config.window;
+  CAPP_RETURN_IF_ERROR(ValidatePerturberOptions(options));
+  if (config.num_users < 1) {
+    return Status::InvalidArgument("num_users must be >= 1");
+  }
+  if (config.num_slots < 1) {
+    return Status::InvalidArgument("num_slots must be >= 1");
+  }
+  if (config.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0 (0 = auto)");
+  }
+  if (config.chunk_size < 1) {
+    return Status::InvalidArgument("chunk_size must be >= 1");
+  }
+  if (config.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (config.smoothing_window < 0 ||
+      (config.smoothing_window != 0 && config.smoothing_window % 2 == 0)) {
+    return Status::InvalidArgument(
+        "smoothing_window must be odd, or 0 for the algorithm default");
+  }
+  return Status::OK();
+}
+
+std::string EngineStats::ToString() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "%zu users x %zu slots: %zu reports in %.2fs (%.0f "
+                "reports/s, %zu threads), slot-mean MSE %.3e, digest %016llx",
+                users, slots, reports, elapsed_seconds, reports_per_sec,
+                threads, mean_slot_mse,
+                static_cast<unsigned long long>(stream_digest));
+  return buffer;
+}
+
+}  // namespace capp

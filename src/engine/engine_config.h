@@ -1,0 +1,107 @@
+// Scenario configuration and result counters for the stream-publication
+// engine. An EngineConfig describes one simulated deployment -- which
+// algorithm the fleet's devices run, at what privacy level, how many users
+// and slots, and how the simulator should execute it -- and an EngineStats
+// records what happened (throughput, accuracy, and the determinism digest).
+#ifndef CAPP_ENGINE_ENGINE_CONFIG_H_
+#define CAPP_ENGINE_ENGINE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "algorithms/factory.h"
+#include "core/status.h"
+
+namespace capp {
+
+/// Synthetic per-user workload families the fleet can generate. Every
+/// family derives each user's stream purely from that user's own RNG, which
+/// is what makes fleet runs independent of thread scheduling.
+enum class SignalKind {
+  kConstant,   ///< Per-user constant level drawn uniformly from [0.3, 0.7].
+  kSinusoid,   ///< Shared daily sinusoid, per-user phase and noise.
+  kAr1,        ///< AR(1) around 0.5 (phi = 0.9).
+  kRandomWalk, ///< Reflected random walk in [0, 1].
+  kPiecewise,  ///< Piecewise-constant on/off levels (device duty cycles).
+};
+
+/// Short display name of a signal kind ("constant", "sinusoid", ...).
+std::string_view SignalKindName(SignalKind kind);
+
+/// Parses a display name back into a SignalKind.
+Result<SignalKind> ParseSignalKind(std::string_view name);
+
+/// One simulated deployment scenario.
+struct EngineConfig {
+  /// Algorithm every device runs. Must support online operation.
+  AlgorithmKind algorithm = AlgorithmKind::kCapp;
+  /// w-event privacy level for every device.
+  double epsilon = 1.0;
+  int window = 10;
+
+  /// Fleet shape.
+  size_t num_users = 1000;
+  size_t num_slots = 100;
+  SignalKind signal = SignalKind::kSinusoid;
+
+  /// Execution. num_threads 0 means one thread per hardware thread.
+  /// chunk_size is the number of users per work unit; chunk boundaries are
+  /// fixed by this value alone, so stats stay identical across thread
+  /// counts.
+  int num_threads = 1;
+  size_t chunk_size = 4096;
+  uint64_t seed = 1;
+
+  /// Collector storage. keep_streams = true retains every raw report for
+  /// per-user queries; false keeps only streaming per-slot aggregates
+  /// (required at million-user scale).
+  size_t num_shards = 16;
+  bool keep_streams = false;
+
+  /// Collector-side SMA window for published streams; 0 uses the
+  /// algorithm's own recommendation (3 for the PP family, 1 for baselines).
+  int smoothing_window = 0;
+};
+
+/// Validates an EngineConfig (delegates perturber knobs to
+/// ValidatePerturberOptions and checks the engine-specific fields).
+Status ValidateEngineConfig(const EngineConfig& config);
+
+/// Counters from one Fleet run.
+struct EngineStats {
+  size_t users = 0;
+  size_t slots = 0;
+  size_t reports = 0;  ///< Total reports delivered to the collector.
+  size_t threads = 0;  ///< Worker threads actually used.
+  size_t chunks = 0;   ///< Work units the population was split into.
+
+  double elapsed_seconds = 0.0;
+  double reports_per_sec = 0.0;
+
+  /// Mean over slots of (published population mean - true population
+  /// mean)^2, the engine-level analogue of the paper's per-slot MSE.
+  double mean_slot_mse = 0.0;
+  /// Mean over slots of |published population mean - true population mean|.
+  double mean_abs_error = 0.0;
+
+  /// Per-slot series behind the error statistics: the true population mean
+  /// and the published (smoothed) estimate, both of length `slots`.
+  std::vector<double> true_slot_means;
+  std::vector<double> published_slot_means;
+
+  /// Order-independent digest of every user's published (smoothed) stream:
+  /// XOR over users of a per-user FNV-1a hash of (user id, stream bits).
+  /// Bit-identical across runs with the same config and seed regardless of
+  /// thread count -- the engine's determinism contract in one number.
+  uint64_t stream_digest = 0;
+
+  /// One-line human-readable summary.
+  std::string ToString() const;
+};
+
+}  // namespace capp
+
+#endif  // CAPP_ENGINE_ENGINE_CONFIG_H_

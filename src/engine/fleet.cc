@@ -1,0 +1,216 @@
+#include "engine/fleet.h"
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "core/check.h"
+#include "core/math_utils.h"
+#include "data/generators.h"
+#include "engine/report_batch.h"
+#include "engine/thread_pool.h"
+#include "stream/session.h"
+#include "stream/smoothing.h"
+
+namespace capp {
+namespace {
+
+// FNV-1a over one user's published stream. XORing these per-user hashes
+// into the fleet digest is order-independent, which is what lets runs with
+// different thread counts be compared bit-for-bit.
+uint64_t HashPublishedStream(uint64_t user_id,
+                             std::span<const double> stream) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](uint64_t word) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (word >> (8 * byte)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  };
+  mix(user_id);
+  for (double x : stream) mix(std::bit_cast<uint64_t>(x));
+  return h;
+}
+
+// Per-chunk accumulators, reduced in chunk order after the parallel phase.
+struct ChunkSums {
+  std::vector<double> true_sum;
+  std::vector<double> report_sum;
+  uint64_t digest = 0;
+  size_t reports = 0;
+};
+
+}  // namespace
+
+uint64_t UserStreamSeed(uint64_t fleet_seed, uint64_t user_id,
+                        uint64_t stream) {
+  return SplitMix64Mix(SplitMix64Mix(fleet_seed ^ SplitMix64Mix(user_id)) +
+                       stream);
+}
+
+std::vector<double> GenerateUserSignal(SignalKind kind, size_t num_slots,
+                                       Rng& rng) {
+  switch (kind) {
+    case SignalKind::kConstant:
+      return ConstantSeries(num_slots, rng.Uniform(0.3, 0.7));
+    case SignalKind::kSinusoid: {
+      // A shared daily cycle with per-user phase jitter and sensor noise.
+      std::vector<double> xs = SinusoidSeries(
+          num_slots, /*period=*/24.0, /*amplitude=*/0.15, /*offset=*/0.5,
+          /*phase=*/rng.Uniform(-0.5, 0.5));
+      for (double& x : xs) x = Clamp(x + rng.Gaussian(0.0, 0.03), 0.0, 1.0);
+      return xs;
+    }
+    case SignalKind::kAr1: {
+      std::vector<double> xs =
+          Ar1Series(num_slots, /*phi=*/0.9, /*sigma=*/0.05, /*mean=*/0.5,
+                    rng);
+      for (double& x : xs) x = Clamp(x, 0.0, 1.0);
+      return xs;
+    }
+    case SignalKind::kRandomWalk:
+      return ReflectedRandomWalk(num_slots, /*sigma=*/0.05,
+                                 /*x0=*/rng.Uniform(0.2, 0.8), rng);
+    case SignalKind::kPiecewise: {
+      static constexpr double kLevels[] = {0.1, 0.35, 0.65, 0.9};
+      return PiecewiseConstantSeries(num_slots, /*min_run=*/5,
+                                     /*max_run=*/20, kLevels, rng);
+    }
+  }
+  CAPP_CHECK(false);  // Unreachable: all kinds handled above.
+  return {};
+}
+
+Fleet::Fleet(EngineConfig config, ShardedCollector collector,
+             int smoothing_window)
+    : config_(std::move(config)),
+      collector_(std::move(collector)),
+      smoothing_window_(smoothing_window) {}
+
+Result<Fleet> Fleet::Create(EngineConfig config) {
+  CAPP_RETURN_IF_ERROR(ValidateEngineConfig(config));
+  // Probe the algorithm once: rejects sampling-only kinds and yields the
+  // publication smoothing recommendation.
+  PerturberOptions options{config.epsilon, config.window};
+  CAPP_ASSIGN_OR_RETURN(auto probe, CreatePerturber(config.algorithm,
+                                                    options));
+  if (!probe->supports_online()) {
+    return Status::InvalidArgument(
+        "fleet devices need an online algorithm; sampling kinds perturb "
+        "whole subsequences");
+  }
+  const int smoothing = config.smoothing_window != 0
+                            ? config.smoothing_window
+                            : probe->publication_smoothing_window();
+  ShardedCollectorOptions collector_options;
+  collector_options.num_shards = config.num_shards;
+  collector_options.keep_streams = config.keep_streams;
+  CAPP_ASSIGN_OR_RETURN(ShardedCollector collector,
+                        ShardedCollector::Create(collector_options));
+  return Fleet(std::move(config), std::move(collector), smoothing);
+}
+
+Result<EngineStats> Fleet::Run() {
+  if (ran_) {
+    return Status::FailedPrecondition("Fleet::Run may be called only once");
+  }
+  ran_ = true;
+
+  const size_t users = config_.num_users;
+  const size_t slots = config_.num_slots;
+  const size_t chunk_size = config_.chunk_size;
+  const size_t num_chunks = (users + chunk_size - 1) / chunk_size;
+  const int threads =
+      static_cast<int>(std::min<size_t>(ResolveThreadCount(
+                                            config_.num_threads),
+                                        num_chunks));
+
+  std::vector<ChunkSums> chunk_sums(num_chunks);
+  const auto start = std::chrono::steady_clock::now();
+
+  ParallelFor(num_chunks, threads, [&](size_t chunk) {
+    const uint64_t begin = chunk * chunk_size;
+    const uint64_t end =
+        std::min<uint64_t>(users, begin + chunk_size);
+    ChunkSums& sums = chunk_sums[chunk];
+    sums.true_sum.assign(slots, 0.0);
+    sums.report_sum.assign(slots, 0.0);
+    ReportBatch batch(&collector_);
+    std::vector<double> report_values(slots);
+
+    for (uint64_t uid = begin; uid < end; ++uid) {
+      Rng signal_rng(UserStreamSeed(config_.seed, uid, 0));
+      const std::vector<double> truth =
+          GenerateUserSignal(config_.signal, slots, signal_rng);
+      auto session =
+          UserSession::Create(uid, config_.algorithm,
+                              {config_.epsilon, config_.window},
+                              UserStreamSeed(config_.seed, uid, 1));
+      CAPP_CHECK(session.ok());  // Config was validated in Create.
+      for (size_t t = 0; t < slots; ++t) {
+        const SlotReport report = session->Report(truth[t]);
+        report_values[t] = report.value;
+        sums.true_sum[t] += truth[t];
+        sums.report_sum[t] += report.value;
+        batch.Add(report);
+      }
+      sums.reports += slots;
+      auto published = SimpleMovingAverage(report_values, smoothing_window_);
+      CAPP_CHECK(published.ok());
+      sums.digest ^= HashPublishedStream(uid, *published);
+    }
+    // ReportBatch flushes on destruction.
+  });
+
+  const auto stop = std::chrono::steady_clock::now();
+
+  // Sequential reduction in chunk order: chunk boundaries depend only on
+  // chunk_size, so these sums are independent of the thread count.
+  std::vector<double> true_mean(slots, 0.0);
+  std::vector<double> report_mean(slots, 0.0);
+  EngineStats stats;
+  for (const ChunkSums& sums : chunk_sums) {
+    for (size_t t = 0; t < slots; ++t) {
+      true_mean[t] += sums.true_sum[t];
+      report_mean[t] += sums.report_sum[t];
+    }
+    stats.stream_digest ^= sums.digest;
+    stats.reports += sums.reports;
+  }
+  const double inv_users = 1.0 / static_cast<double>(users);
+  for (size_t t = 0; t < slots; ++t) {
+    true_mean[t] *= inv_users;
+    report_mean[t] *= inv_users;
+  }
+  // The published population mean: SMA is linear, so smoothing the mean of
+  // the raw reports equals the mean of the per-user smoothed streams.
+  auto published_mean = SimpleMovingAverage(report_mean, smoothing_window_);
+  CAPP_CHECK(published_mean.ok());
+
+  KahanSum mse;
+  KahanSum mae;
+  for (size_t t = 0; t < slots; ++t) {
+    const double err = (*published_mean)[t] - true_mean[t];
+    mse.Add(err * err);
+    mae.Add(std::fabs(err));
+  }
+
+  stats.users = users;
+  stats.slots = slots;
+  stats.threads = static_cast<size_t>(threads);
+  stats.chunks = num_chunks;
+  stats.elapsed_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  stats.reports_per_sec =
+      stats.elapsed_seconds > 0.0
+          ? static_cast<double>(stats.reports) / stats.elapsed_seconds
+          : 0.0;
+  stats.mean_slot_mse = mse.Total() / static_cast<double>(slots);
+  stats.mean_abs_error = mae.Total() / static_cast<double>(slots);
+  stats.true_slot_means = std::move(true_mean);
+  stats.published_slot_means = std::move(*published_mean);
+  return stats;
+}
+
+}  // namespace capp

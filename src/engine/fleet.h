@@ -1,0 +1,69 @@
+// Fleet: a thread-pool-driven simulator of the paper's many-device
+// deployment (Fig. 1) at population scale.
+//
+// A Fleet owns one simulated population. Each user is an independent
+// UserSession whose RNG seeds are derived from (fleet seed, user id) with
+// splitmix64, so a user's perturbed stream is a pure function of the config
+// -- never of thread scheduling. The population is split into fixed-size
+// chunks of users; worker threads claim chunks, advance every session in
+// the chunk slot-by-slot, and deliver the resulting reports to the sharded
+// collector through per-thread ReportBatches. Per-chunk accumulators are
+// reduced in chunk order afterwards, so the reported statistics (and the
+// published-stream digest) are bit-identical for any thread count.
+#ifndef CAPP_ENGINE_FLEET_H_
+#define CAPP_ENGINE_FLEET_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+#include "engine/engine_config.h"
+#include "engine/sharded_collector.h"
+
+namespace capp {
+
+/// Derives the RNG seed for one user's stream from the fleet seed. `stream`
+/// distinguishes independent per-user randomness consumers (0 = workload
+/// signal, 1 = perturbation). Pure function: the determinism contract.
+uint64_t UserStreamSeed(uint64_t fleet_seed, uint64_t user_id,
+                        uint64_t stream);
+
+/// Generates one user's true (unperturbed) workload, already in [0, 1].
+/// Deterministic given the Rng state.
+std::vector<double> GenerateUserSignal(SignalKind kind, size_t num_slots,
+                                       Rng& rng);
+
+/// A simulated population of UserSessions feeding one ShardedCollector.
+class Fleet {
+ public:
+  /// Validates the config (including that the algorithm supports online
+  /// per-slot operation) and prepares an empty collector.
+  static Result<Fleet> Create(EngineConfig config);
+
+  /// Simulates the whole fleet over all slots, ingesting every report into
+  /// the collector, and returns throughput/accuracy statistics. Run once
+  /// per Fleet.
+  Result<EngineStats> Run();
+
+  /// The collector that received the fleet's reports (valid after Run).
+  const ShardedCollector& collector() const { return collector_; }
+
+  const EngineConfig& config() const { return config_; }
+
+  /// The collector-side SMA window in effect (config override or the
+  /// algorithm's recommendation).
+  int smoothing_window() const { return smoothing_window_; }
+
+ private:
+  Fleet(EngineConfig config, ShardedCollector collector,
+        int smoothing_window);
+
+  EngineConfig config_;
+  ShardedCollector collector_;
+  int smoothing_window_;
+  bool ran_ = false;
+};
+
+}  // namespace capp
+
+#endif  // CAPP_ENGINE_FLEET_H_

@@ -1,0 +1,56 @@
+// Per-thread report staging buffer.
+//
+// Fleet workers never touch the collector's shard locks on the per-report
+// hot path: each worker accumulates reports locally and hands the collector
+// a whole batch at a time (ShardedCollector::IngestBatch groups the batch
+// by shard and takes each shard lock once). With the default capacity a
+// worker amortizes lock traffic over thousands of reports.
+#ifndef CAPP_ENGINE_REPORT_BATCH_H_
+#define CAPP_ENGINE_REPORT_BATCH_H_
+
+#include <vector>
+
+#include "engine/sharded_collector.h"
+#include "stream/report.h"
+
+namespace capp {
+
+/// Buffers reports and flushes them to a (non-owned) ShardedCollector when
+/// full or on destruction. One instance per worker thread; not thread-safe.
+class ReportBatch {
+ public:
+  explicit ReportBatch(ShardedCollector* collector, size_t capacity = 8192)
+      : collector_(collector), capacity_(capacity) {
+    buffer_.reserve(capacity_);
+  }
+
+  ReportBatch(const ReportBatch&) = delete;
+  ReportBatch& operator=(const ReportBatch&) = delete;
+
+  ~ReportBatch() { Flush(); }
+
+  /// Stages one report, flushing to the collector when the buffer is full.
+  void Add(const SlotReport& report) {
+    buffer_.push_back(report);
+    if (buffer_.size() >= capacity_) Flush();
+  }
+
+  /// Delivers all staged reports to the collector.
+  void Flush() {
+    if (buffer_.empty()) return;
+    collector_->IngestBatch(buffer_);
+    buffer_.clear();
+  }
+
+  /// Reports staged but not yet delivered.
+  size_t pending() const { return buffer_.size(); }
+
+ private:
+  ShardedCollector* collector_;
+  size_t capacity_;
+  std::vector<SlotReport> buffer_;
+};
+
+}  // namespace capp
+
+#endif  // CAPP_ENGINE_REPORT_BATCH_H_

@@ -1,0 +1,274 @@
+#include "engine/sharded_collector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+#include "core/math_utils.h"
+#include "core/rng.h"
+#include "stream/gap_fill.h"
+
+namespace capp {
+namespace {
+
+constexpr double kMissing = std::numeric_limits<double>::quiet_NaN();
+
+// Reads values[slot][dense] treating short rows as missing.
+double RawValueAt(const std::vector<std::vector<double>>& values, size_t slot,
+                  uint32_t dense) {
+  if (slot >= values.size()) return kMissing;
+  const std::vector<double>& row = values[slot];
+  return dense < row.size() ? row[dense] : kMissing;
+}
+
+}  // namespace
+
+void SlotAggregate::Add(double x) {
+  ++count;
+  const double d = x - mean;
+  mean += d / static_cast<double>(count);
+  m2 += d * (x - mean);
+}
+
+void SlotAggregate::Remove(double x) {
+  CAPP_DCHECK(count > 0);
+  if (count == 1) {
+    *this = SlotAggregate{};
+    return;
+  }
+  --count;
+  const double d = x - mean;
+  mean -= d / static_cast<double>(count);
+  m2 -= d * (x - mean);
+  // Cancellation can leave a tiny negative residue.
+  if (m2 < 0.0) m2 = 0.0;
+}
+
+void SlotAggregate::Replace(double old_value, double new_value) {
+  Remove(old_value);
+  Add(new_value);
+}
+
+void SlotAggregate::Merge(const SlotAggregate& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count);
+  const double nb = static_cast<double>(other.count);
+  const double n = na + nb;
+  const double delta = other.mean - mean;
+  mean += delta * nb / n;
+  m2 += other.m2 + delta * delta * na * nb / n;
+  count += other.count;
+}
+
+Result<ShardedCollector> ShardedCollector::Create(
+    ShardedCollectorOptions options) {
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  return ShardedCollector(options);
+}
+
+ShardedCollector::ShardedCollector(ShardedCollectorOptions options)
+    : options_(options) {
+  shards_.reserve(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+size_t ShardedCollector::ShardIndex(uint64_t user_id) const {
+  // Hash rather than modulo directly: sequential fleet user ids would
+  // otherwise stripe perfectly, which is fine for balance but makes shard
+  // membership depend on the population layout instead of the id alone.
+  return SplitMix64Mix(user_id) % shards_.size();
+}
+
+void ShardedCollector::IngestLocked(Shard& shard, const SlotReport& report) {
+  // Non-finite values would collide with the NaN missing-slot sentinel and
+  // poison the streaming aggregates; no library path produces them
+  // (perturbers sanitize, report I/O validates), so a garbage report from
+  // an external transport is simply discarded.
+  if (!std::isfinite(report.value)) return;
+  const auto [it, inserted] =
+      shard.index.try_emplace(report.user_id,
+                              static_cast<uint32_t>(shard.last_slot.size()));
+  const uint32_t dense = it->second;
+  if (inserted) {
+    shard.last_slot.push_back(static_cast<uint32_t>(report.slot));
+    shard.reports_per_user.push_back(0);
+  } else {
+    shard.last_slot[dense] = std::max(shard.last_slot[dense],
+                                      static_cast<uint32_t>(report.slot));
+  }
+  if (report.slot >= shard.slots.size()) shard.slots.resize(report.slot + 1);
+
+  if (options_.keep_streams) {
+    if (report.slot >= shard.values.size()) {
+      shard.values.resize(report.slot + 1);
+    }
+    std::vector<double>& row = shard.values[report.slot];
+    if (dense >= row.size()) row.resize(dense + 1, kMissing);
+    const double old_value = row[dense];
+    row[dense] = report.value;
+    if (std::isnan(old_value)) {
+      shard.slots[report.slot].Add(report.value);
+      ++shard.reports_per_user[dense];
+      ++shard.report_count;
+    } else {
+      shard.slots[report.slot].Replace(old_value, report.value);
+    }
+  } else {
+    // Aggregate-only mode cannot see a previous value, so every report is
+    // treated as new (the documented at-most-once contract).
+    shard.slots[report.slot].Add(report.value);
+    ++shard.reports_per_user[dense];
+    ++shard.report_count;
+  }
+}
+
+void ShardedCollector::Ingest(const SlotReport& report) {
+  Shard& shard = *shards_[ShardIndex(report.user_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  IngestLocked(shard, report);
+}
+
+void ShardedCollector::IngestBatch(std::span<const SlotReport> reports) {
+  if (reports.empty()) return;
+  if (shards_.size() == 1) {
+    Shard& shard = *shards_[0];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const SlotReport& report : reports) IngestLocked(shard, report);
+    return;
+  }
+  // Bucket report indices by shard in one pass, then lock each shard once.
+  std::vector<std::vector<uint32_t>> buckets(shards_.size());
+  for (size_t i = 0; i < reports.size(); ++i) {
+    buckets[ShardIndex(reports[i].user_id)].push_back(
+        static_cast<uint32_t>(i));
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (buckets[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (uint32_t i : buckets[s]) IngestLocked(shard, reports[i]);
+  }
+}
+
+size_t ShardedCollector::user_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->index.size();
+  }
+  return total;
+}
+
+size_t ShardedCollector::report_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->report_count;
+  }
+  return total;
+}
+
+bool ShardedCollector::Contains(uint64_t user_id) const {
+  const Shard& shard = *shards_[ShardIndex(user_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.index.contains(user_id);
+}
+
+size_t ShardedCollector::SlotCount(uint64_t user_id) const {
+  const Shard& shard = *shards_[ShardIndex(user_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(user_id);
+  return it == shard.index.end() ? 0 : shard.reports_per_user[it->second];
+}
+
+size_t ShardedCollector::SlotSpan() const {
+  size_t span = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    span = std::max(span, shard->slots.size());
+  }
+  return span;
+}
+
+Result<std::vector<double>> ShardedCollector::GapFilledStream(
+    uint64_t user_id) const {
+  if (!options_.keep_streams) {
+    return Status::FailedPrecondition(
+        "per-user streams require keep_streams = true");
+  }
+  const Shard& shard = *shards_[ShardIndex(user_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(user_id);
+  if (it == shard.index.end()) return Status::NotFound("unknown user");
+  const uint32_t dense = it->second;
+  const size_t n = static_cast<size_t>(shard.last_slot[dense]) + 1;
+  std::vector<double> raw(n);
+  for (size_t t = 0; t < n; ++t) {
+    raw[t] = RawValueAt(shard.values, t, dense);
+  }
+  return FillGapsForward(raw);
+}
+
+Result<double> ShardedCollector::SubsequenceMean(uint64_t user_id,
+                                                 size_t begin,
+                                                 size_t len) const {
+  if (len == 0) return Status::InvalidArgument("len must be >= 1");
+  if (!options_.keep_streams) {
+    return Status::FailedPrecondition(
+        "per-user streams require keep_streams = true");
+  }
+  const Shard& shard = *shards_[ShardIndex(user_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(user_id);
+  if (it == shard.index.end()) return Status::NotFound("unknown user");
+  const uint32_t dense = it->second;
+  KahanSum sum;
+  size_t count = 0;
+  for (size_t t = begin; t < begin + len; ++t) {
+    const double v = RawValueAt(shard.values, t, dense);
+    if (!std::isnan(v)) {
+      sum.Add(v);
+      ++count;
+    }
+  }
+  if (count == 0) {
+    return Status::NotFound("no reports in the requested interval");
+  }
+  return sum.Total() / static_cast<double>(count);
+}
+
+std::vector<SlotAggregate> ShardedCollector::PopulationSlotAggregates() const {
+  std::vector<SlotAggregate> merged;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    // Sized inside the lock: a concurrent ingest may have grown a shard
+    // past any span observed before this loop.
+    if (shard->slots.size() > merged.size()) {
+      merged.resize(shard->slots.size());
+    }
+    for (size_t t = 0; t < shard->slots.size(); ++t) {
+      merged[t].Merge(shard->slots[t]);
+    }
+  }
+  return merged;
+}
+
+std::vector<double> ShardedCollector::PopulationSlotMeans() const {
+  const std::vector<SlotAggregate> aggregates = PopulationSlotAggregates();
+  std::vector<double> means(aggregates.size(), kMissing);
+  for (size_t t = 0; t < aggregates.size(); ++t) {
+    if (aggregates[t].count > 0) means[t] = aggregates[t].mean;
+  }
+  return means;
+}
+
+}  // namespace capp

@@ -1,0 +1,153 @@
+// Sharded, thread-safe collector storage: the scaling backend behind
+// CollectorSession and the Fleet simulator.
+//
+// The seed collector stored reports in std::map<user, std::map<slot, v>>,
+// which is pointer-chasing-heavy and single-threaded. ShardedCollector
+// replaces it with:
+//
+//   * N independent shards, each guarded by its own mutex; a report's shard
+//     is a splitmix64 hash of its user id, so concurrent writers touching
+//     different users rarely contend.
+//   * Flat per-shard storage: user ids map to dense indices through one
+//     unordered_map lookup; values live in slot-major arrays
+//     (values[slot][dense_user]) with NaN marking missing reports.
+//   * Streaming per-slot aggregates (count/mean/M2 via Welford updates,
+//     including the reverse update for overwritten reports), so population
+//     means and variances are O(1) per report and remain available in
+//     aggregate-only mode where raw streams are never materialized.
+//
+// Aggregate-only mode (keep_streams = false) is what lets the engine run
+// million-user fleets: per-report cost and memory are independent of the
+// population's total report volume.
+#ifndef CAPP_ENGINE_SHARDED_COLLECTOR_H_
+#define CAPP_ENGINE_SHARDED_COLLECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+#include "stream/report.h"
+
+namespace capp {
+
+/// Storage knobs for a sharded collector.
+struct ShardedCollectorOptions {
+  /// Number of independent storage shards (>= 1). More shards mean less
+  /// lock contention under concurrent ingest; 16 is plenty below ~32 cores.
+  size_t num_shards = 16;
+  /// When true, raw per-(user, slot) values are kept and per-user stream
+  /// queries work. When false only the per-slot aggregates are maintained:
+  /// memory stays O(shards * slots) no matter how many users report, but
+  /// each (user, slot) pair must then be ingested at most once (overwrites
+  /// cannot be detected without the raw values).
+  bool keep_streams = true;
+};
+
+/// Streaming per-slot population moments (Welford form).
+struct SlotAggregate {
+  size_t count = 0;   ///< Users that reported this slot.
+  double mean = 0.0;  ///< Mean of their reports.
+  double m2 = 0.0;    ///< Sum of squared deviations from the mean.
+
+  /// Population variance of the slot's reports (0 when count < 2).
+  double Variance() const { return count < 2 ? 0.0 : m2 / count; }
+
+  /// Welford forward update with one new report.
+  void Add(double x);
+  /// Reverse Welford update removing a previously added report.
+  void Remove(double x);
+  /// Replaces a previously added report (overwrite semantics).
+  void Replace(double old_value, double new_value);
+  /// Chan's parallel combination of two aggregates.
+  void Merge(const SlotAggregate& other);
+};
+
+/// Thread-safe sharded report store with streaming per-slot aggregates.
+/// All methods are safe to call concurrently.
+class ShardedCollector {
+ public:
+  static Result<ShardedCollector> Create(ShardedCollectorOptions options = {});
+
+  ShardedCollector(ShardedCollector&&) = default;
+  ShardedCollector& operator=(ShardedCollector&&) = default;
+
+  /// Ingests one report. Slots may arrive in any order per user; a repeated
+  /// (user, slot) pair overwrites (last write wins), matching the legacy
+  /// collector (overwrites require keep_streams). Reports with non-finite
+  /// values are discarded: they cannot be represented next to the NaN
+  /// missing-slot sentinel, and no library path emits them.
+  void Ingest(const SlotReport& report);
+
+  /// Ingests a batch, grouping reports by shard so each shard's lock is
+  /// taken once per call instead of once per report.
+  void IngestBatch(std::span<const SlotReport> reports);
+
+  /// Number of distinct users seen so far.
+  size_t user_count() const;
+
+  /// Total reports ingested (overwrites count once).
+  size_t report_count() const;
+
+  /// True if the user has reported at least once.
+  bool Contains(uint64_t user_id) const;
+
+  /// Number of distinct slots reported by a user (0 if unknown). In
+  /// aggregate-only mode this counts the user's ingested reports, which
+  /// equals distinct slots under that mode's at-most-once contract.
+  size_t SlotCount(uint64_t user_id) const;
+
+  /// Highest slot seen + 1 over all users (0 when empty).
+  size_t SlotSpan() const;
+
+  /// The user's raw stream over slots [0, user's last slot], with missing
+  /// slots gap-filled by the shared last-observation policy (gap_fill.h).
+  /// NotFound for unknown users; FailedPrecondition in aggregate-only mode.
+  Result<std::vector<double>> GapFilledStream(uint64_t user_id) const;
+
+  /// Mean of the user's reports over slots [begin, begin+len), counting
+  /// only slots the user actually reported. NotFound when none exist.
+  Result<double> SubsequenceMean(uint64_t user_id, size_t begin,
+                                 size_t len) const;
+
+  /// Per-slot population mean over all users that reported each slot, for
+  /// slots [0, SlotSpan()). Slots nobody reported yield NaN.
+  std::vector<double> PopulationSlotMeans() const;
+
+  /// Per-slot population aggregates (count/mean/variance), merged across
+  /// shards, for slots [0, SlotSpan()).
+  std::vector<SlotAggregate> PopulationSlotAggregates() const;
+
+  const ShardedCollectorOptions& options() const { return options_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, uint32_t> index;  // user id -> dense index
+    std::vector<uint32_t> last_slot;               // per dense index
+    std::vector<uint32_t> reports_per_user;        // per dense index
+    // Slot-major raw values, values[slot][dense_index]; NaN = missing.
+    // Inner rows grow lazily, so reads must treat short rows as missing.
+    // Unused in aggregate-only mode.
+    std::vector<std::vector<double>> values;
+    std::vector<SlotAggregate> slots;  // per-slot streaming aggregates
+    size_t report_count = 0;
+  };
+
+  explicit ShardedCollector(ShardedCollectorOptions options);
+
+  size_t ShardIndex(uint64_t user_id) const;
+  // Applies one report to a shard. Caller holds the shard's lock.
+  void IngestLocked(Shard& shard, const SlotReport& report);
+
+  ShardedCollectorOptions options_;
+  // unique_ptr keeps the collector movable despite the per-shard mutexes.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace capp
+
+#endif  // CAPP_ENGINE_SHARDED_COLLECTOR_H_

@@ -1,0 +1,38 @@
+#include "engine/thread_pool.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace capp {
+
+int ResolveThreadCount(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ParallelFor(size_t n, int threads,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t workers = std::min<size_t>(ResolveThreadCount(threads), n);
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (size_t w = 1; w < workers; ++w) pool.emplace_back(worker);
+  worker();  // The caller's thread participates.
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace capp

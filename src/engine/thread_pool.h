@@ -1,0 +1,26 @@
+// Minimal data-parallel execution for the engine: a work-stealing-free
+// ParallelFor over an index range, with dynamic load balancing through an
+// atomic cursor. Work units (fleet chunks) are coarse -- thousands of users
+// each -- so one fetch_add per unit is negligible and idle threads never
+// spin.
+#ifndef CAPP_ENGINE_THREAD_POOL_H_
+#define CAPP_ENGINE_THREAD_POOL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace capp {
+
+/// Runs fn(i) for every i in [0, n), distributing indices dynamically over
+/// `threads` worker threads. threads <= 1 (or n <= 1) runs inline on the
+/// caller's thread. Blocks until all indices are processed. `fn` must be
+/// safe to call concurrently from different threads for different i.
+void ParallelFor(size_t n, int threads, const std::function<void(size_t)>& fn);
+
+/// The number of worker threads `requested` resolves to: values >= 1 pass
+/// through; 0 means "one per hardware thread" (at least 1).
+int ResolveThreadCount(int requested);
+
+}  // namespace capp
+
+#endif  // CAPP_ENGINE_THREAD_POOL_H_

@@ -1,0 +1,17 @@
+#include "stream/gap_fill.h"
+
+#include <cmath>
+
+namespace capp {
+
+std::vector<double> FillGapsForward(std::span<const double> xs, double prior) {
+  std::vector<double> filled(xs.size());
+  double last = prior;
+  for (size_t t = 0; t < xs.size(); ++t) {
+    if (!std::isnan(xs[t])) last = xs[t];
+    filled[t] = last;
+  }
+  return filled;
+}
+
+}  // namespace capp

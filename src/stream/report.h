@@ -1,0 +1,23 @@
+// The wire-level unit of the paper's deployment model (Fig. 1): one
+// sanitized report leaving a user's device per time slot. Reports are
+// transport-agnostic -- any RPC/MQTT/file transport can carry them -- and
+// already private (perturbation happened on-device), so collectors, brokers
+// and archives may handle them freely.
+#ifndef CAPP_STREAM_REPORT_H_
+#define CAPP_STREAM_REPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace capp {
+
+/// One sanitized report leaving a user's device.
+struct SlotReport {
+  uint64_t user_id = 0;
+  size_t slot = 0;
+  double value = 0.0;
+};
+
+}  // namespace capp
+
+#endif  // CAPP_STREAM_REPORT_H_

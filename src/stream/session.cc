@@ -1,8 +1,6 @@
 #include "stream/session.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
+#include <utility>
 
 #include "core/math_utils.h"
 
@@ -22,9 +20,6 @@ Result<UserSession> UserSession::Create(uint64_t user_id, AlgorithmKind kind,
 }
 
 SlotReport UserSession::Report(double value) {
-  // Re-attach on every call: UserSession is movable, and the ledger's
-  // address changes with it.
-  perturber_->AttachAccountant(&ledger_);
   SlotReport report;
   report.user_id = user_id_;
   report.slot = perturber_->slots_processed();
@@ -36,75 +31,19 @@ Result<CollectorSession> CollectorSession::Create(int smoothing_window) {
   if (smoothing_window < 1 || smoothing_window % 2 == 0) {
     return Status::InvalidArgument("smoothing_window must be odd and >= 1");
   }
-  return CollectorSession(smoothing_window);
+  CAPP_ASSIGN_OR_RETURN(ShardedCollector backend, ShardedCollector::Create());
+  return CollectorSession(smoothing_window, std::move(backend));
 }
 
 void CollectorSession::Ingest(const SlotReport& report) {
-  raw_[report.user_id][report.slot] = report.value;
-  max_slot_ = any_report_ ? std::max(max_slot_, report.slot) : report.slot;
-  any_report_ = true;
-}
-
-size_t CollectorSession::SlotCount(uint64_t user_id) const {
-  const auto it = raw_.find(user_id);
-  return it == raw_.end() ? 0 : it->second.size();
+  backend_.Ingest(report);
 }
 
 Result<std::vector<double>> CollectorSession::PublishedStream(
     uint64_t user_id) const {
-  const auto it = raw_.find(user_id);
-  if (it == raw_.end()) {
-    return Status::NotFound("unknown user");
-  }
-  const auto& slots = it->second;
-  const size_t n = slots.rbegin()->first + 1;
-  std::vector<double> stream(n, 0.5);
-  double last = 0.5;
-  for (size_t t = 0; t < n; ++t) {
-    const auto slot_it = slots.find(t);
-    if (slot_it != slots.end()) last = slot_it->second;
-    stream[t] = last;
-  }
-  return SimpleMovingAverage(stream, smoothing_window_);
-}
-
-Result<double> CollectorSession::SubsequenceMean(uint64_t user_id,
-                                                 size_t begin,
-                                                 size_t len) const {
-  if (len == 0) return Status::InvalidArgument("len must be >= 1");
-  const auto it = raw_.find(user_id);
-  if (it == raw_.end()) return Status::NotFound("unknown user");
-  KahanSum sum;
-  size_t count = 0;
-  for (size_t t = begin; t < begin + len; ++t) {
-    const auto slot_it = it->second.find(t);
-    if (slot_it != it->second.end()) {
-      sum.Add(slot_it->second);
-      ++count;
-    }
-  }
-  if (count == 0) {
-    return Status::NotFound("no reports in the requested interval");
-  }
-  return sum.Total() / static_cast<double>(count);
-}
-
-std::vector<double> CollectorSession::PopulationSlotMeans() const {
-  if (!any_report_) return {};
-  std::vector<double> sums(max_slot_ + 1, 0.0);
-  std::vector<size_t> counts(max_slot_ + 1, 0);
-  for (const auto& [user, slots] : raw_) {
-    for (const auto& [slot, value] : slots) {
-      sums[slot] += value;
-      counts[slot] += 1;
-    }
-  }
-  std::vector<double> means(max_slot_ + 1,
-                            std::numeric_limits<double>::quiet_NaN());
-  for (size_t t = 0; t <= max_slot_; ++t) {
-    if (counts[t] > 0) means[t] = sums[t] / counts[t];
-  }
-  return means;
+  CAPP_ASSIGN_OR_RETURN(std::vector<double> filled,
+                        backend_.GapFilledStream(user_id));
+  return SimpleMovingAverage(filled, smoothing_window_);
 }
 
 }  // namespace capp

@@ -6,7 +6,9 @@
 //   * CollectorSession -- runs at the untrusted collector. Ingests the
 //     per-slot reports of many users, maintains per-user published streams
 //     (with each algorithm's smoothing), per-slot population means, and
-//     subsequence statistics.
+//     subsequence statistics. Storage is delegated to the engine's
+//     ShardedCollector, so the same session scales from unit tests to
+//     concurrent million-user fleets.
 //
 // The sessions are deliberately transport-agnostic: a report is just
 // (user_id, slot, value); any RPC/MQTT/file transport can carry it.
@@ -14,7 +16,6 @@
 #define CAPP_STREAM_SESSION_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -22,17 +23,12 @@
 #include "algorithms/perturber.h"
 #include "core/rng.h"
 #include "core/status.h"
+#include "engine/sharded_collector.h"
 #include "stream/accountant.h"
+#include "stream/report.h"
 #include "stream/smoothing.h"
 
 namespace capp {
-
-/// One sanitized report leaving a user's device.
-struct SlotReport {
-  uint64_t user_id = 0;
-  size_t slot = 0;
-  double value = 0.0;
-};
 
 /// Per-device session: perturb values as they arrive, with a built-in
 /// privacy audit.
@@ -41,6 +37,26 @@ class UserSession {
   /// Creates a session for one user. `seed` drives the device's RNG.
   static Result<UserSession> Create(uint64_t user_id, AlgorithmKind kind,
                                     PerturberOptions options, uint64_t seed);
+
+  // The perturber records spends against the ledger by address, so every
+  // construction and move must re-point it at this object's ledger (the
+  // null check keeps moved-from sessions harmless).
+  UserSession(UserSession&& other) noexcept
+      : user_id_(other.user_id_),
+        perturber_(std::move(other.perturber_)),
+        ledger_(std::move(other.ledger_)),
+        rng_(other.rng_) {
+    if (perturber_) perturber_->AttachAccountant(&ledger_);
+  }
+  UserSession& operator=(UserSession&& other) noexcept {
+    if (this == &other) return *this;
+    user_id_ = other.user_id_;
+    perturber_ = std::move(other.perturber_);
+    ledger_ = std::move(other.ledger_);
+    rng_ = other.rng_;
+    if (perturber_) perturber_->AttachAccountant(&ledger_);
+    return *this;
+  }
 
   /// Perturbs the current slot's value and returns the outgoing report.
   /// Values are clamped into [0,1] (normalize upstream if necessary).
@@ -63,13 +79,14 @@ class UserSession {
  private:
   UserSession(uint64_t user_id, std::unique_ptr<StreamPerturber> perturber,
               uint64_t seed)
-      : user_id_(user_id), perturber_(std::move(perturber)), rng_(seed) {}
+      : user_id_(user_id), perturber_(std::move(perturber)), rng_(seed) {
+    perturber_->AttachAccountant(&ledger_);
+  }
 
   uint64_t user_id_;
   std::unique_ptr<StreamPerturber> perturber_;
   WEventAccountant ledger_;
   Rng rng_;
-  int smoothing_window_ = 1;
 };
 
 /// Collector-side session: ingest reports, publish streams and statistics.
@@ -84,31 +101,34 @@ class CollectorSession {
   void Ingest(const SlotReport& report);
 
   /// Number of users seen so far.
-  size_t user_count() const { return raw_.size(); }
+  size_t user_count() const { return backend_.user_count(); }
 
   /// Number of slots seen for a user (0 if unknown).
-  size_t SlotCount(uint64_t user_id) const;
+  size_t SlotCount(uint64_t user_id) const {
+    return backend_.SlotCount(user_id);
+  }
 
   /// The user's published (smoothed) stream. Missing slots are filled with
-  /// the user's last preceding report (0.5 if none).
+  /// the user's last preceding report (0.5 if none; see stream/gap_fill.h).
   Result<std::vector<double>> PublishedStream(uint64_t user_id) const;
 
   /// Mean of the user's reports over slots [begin, begin+len).
   Result<double> SubsequenceMean(uint64_t user_id, size_t begin,
-                                 size_t len) const;
+                                 size_t len) const {
+    return backend_.SubsequenceMean(user_id, begin, len);
+  }
 
   /// Per-slot population mean over all users that reported that slot, for
   /// slots [0, max_slot]. Slots nobody reported yield NaN.
-  std::vector<double> PopulationSlotMeans() const;
+  std::vector<double> PopulationSlotMeans() const {
+    return backend_.PopulationSlotMeans();
+  }
 
  private:
-  explicit CollectorSession(int smoothing_window)
-      : smoothing_window_(smoothing_window) {}
+  CollectorSession(int smoothing_window, ShardedCollector backend)
+      : backend_(std::move(backend)), smoothing_window_(smoothing_window) {}
 
-  // user -> (slot -> report value).
-  std::map<uint64_t, std::map<size_t, double>> raw_;
-  size_t max_slot_ = 0;
-  bool any_report_ = false;
+  ShardedCollector backend_;
   int smoothing_window_;
 };
 

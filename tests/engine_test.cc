@@ -1,0 +1,533 @@
+// Tests for the sharded stream-publication engine: the gap-fill policy,
+// Welford slot aggregates, ShardedCollector equivalence with the legacy
+// map-based collector, and the Fleet determinism contract.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "engine/engine_config.h"
+#include "engine/fleet.h"
+#include "engine/report_batch.h"
+#include "engine/sharded_collector.h"
+#include "engine/thread_pool.h"
+#include "stream/gap_fill.h"
+#include "stream/session.h"
+
+namespace capp {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// ------------------------------------------------------------- gap fill ----
+
+TEST(GapFillTest, LeadingGapsUsePrior) {
+  const double xs[] = {kNaN, kNaN, 0.8, kNaN};
+  const std::vector<double> filled = FillGapsForward(xs);
+  ASSERT_EQ(filled.size(), 4u);
+  EXPECT_DOUBLE_EQ(filled[0], kGapFillPrior);
+  EXPECT_DOUBLE_EQ(filled[1], kGapFillPrior);
+  EXPECT_DOUBLE_EQ(filled[2], 0.8);
+  EXPECT_DOUBLE_EQ(filled[3], 0.8);  // carried forward
+}
+
+TEST(GapFillTest, DenseInputPassesThrough) {
+  const double xs[] = {0.1, 0.2, 0.3};
+  const std::vector<double> filled = FillGapsForward(xs);
+  EXPECT_EQ(filled, (std::vector<double>{0.1, 0.2, 0.3}));
+}
+
+TEST(GapFillTest, CustomPrior) {
+  const double xs[] = {kNaN, 0.4};
+  const std::vector<double> filled = FillGapsForward(xs, 0.0);
+  EXPECT_DOUBLE_EQ(filled[0], 0.0);
+  EXPECT_DOUBLE_EQ(filled[1], 0.4);
+}
+
+TEST(GapFillTest, EmptyInput) {
+  EXPECT_TRUE(FillGapsForward({}).empty());
+}
+
+// ------------------------------------------------------ slot aggregates ----
+
+TEST(SlotAggregateTest, AddMatchesBatchMoments) {
+  SlotAggregate agg;
+  const std::vector<double> xs = {0.1, 0.4, 0.7, 0.2, 0.9};
+  double sum = 0.0;
+  for (double x : xs) {
+    agg.Add(x);
+    sum += x;
+  }
+  const double mean = sum / xs.size();
+  double m2 = 0.0;
+  for (double x : xs) m2 += (x - mean) * (x - mean);
+  EXPECT_EQ(agg.count, xs.size());
+  EXPECT_NEAR(agg.mean, mean, 1e-12);
+  EXPECT_NEAR(agg.Variance(), m2 / xs.size(), 1e-12);
+}
+
+TEST(SlotAggregateTest, ReplaceEqualsRebuild) {
+  SlotAggregate replaced;
+  for (double x : {0.3, 0.6, 0.9}) replaced.Add(x);
+  replaced.Replace(0.6, 0.1);
+
+  SlotAggregate rebuilt;
+  for (double x : {0.3, 0.1, 0.9}) rebuilt.Add(x);
+  EXPECT_EQ(replaced.count, rebuilt.count);
+  EXPECT_NEAR(replaced.mean, rebuilt.mean, 1e-12);
+  EXPECT_NEAR(replaced.m2, rebuilt.m2, 1e-12);
+}
+
+TEST(SlotAggregateTest, RemoveToEmptyResets) {
+  SlotAggregate agg;
+  agg.Add(0.5);
+  agg.Remove(0.5);
+  EXPECT_EQ(agg.count, 0u);
+  EXPECT_DOUBLE_EQ(agg.mean, 0.0);
+  EXPECT_DOUBLE_EQ(agg.m2, 0.0);
+}
+
+TEST(SlotAggregateTest, MergeEqualsSequential) {
+  SlotAggregate a;
+  SlotAggregate b;
+  SlotAggregate all;
+  for (double x : {0.1, 0.2, 0.35}) {
+    a.Add(x);
+    all.Add(x);
+  }
+  for (double x : {0.8, 0.65}) {
+    b.Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count, all.count);
+  EXPECT_NEAR(a.mean, all.mean, 1e-12);
+  EXPECT_NEAR(a.m2, all.m2, 1e-12);
+}
+
+// --------------------------------------------- sharded collector basics ----
+
+TEST(ShardedCollectorTest, RejectsZeroShards) {
+  EXPECT_FALSE(ShardedCollector::Create({.num_shards = 0}).ok());
+}
+
+TEST(ShardedCollectorTest, OverwriteIsLastWriteWins) {
+  auto collector = ShardedCollector::Create();
+  ASSERT_TRUE(collector.ok());
+  collector->Ingest({7, 2, 0.1});
+  collector->Ingest({7, 2, 0.9});
+  EXPECT_EQ(collector->user_count(), 1u);
+  EXPECT_EQ(collector->SlotCount(7), 1u);
+  EXPECT_EQ(collector->report_count(), 1u);
+  const auto means = collector->PopulationSlotMeans();
+  ASSERT_EQ(means.size(), 3u);
+  EXPECT_DOUBLE_EQ(means[2], 0.9);
+}
+
+TEST(ShardedCollectorTest, NonFiniteReportsAreDiscarded) {
+  auto collector = ShardedCollector::Create();
+  ASSERT_TRUE(collector.ok());
+  collector->Ingest({1, 0, kNaN});
+  collector->Ingest({1, 0, std::numeric_limits<double>::infinity()});
+  // A garbage report must not register the user or touch aggregates...
+  EXPECT_FALSE(collector->Contains(1));
+  EXPECT_EQ(collector->report_count(), 0u);
+  EXPECT_TRUE(collector->PopulationSlotMeans().empty());
+  // ...and must not shadow a later valid report for the same (user, slot).
+  collector->Ingest({1, 0, 0.3});
+  EXPECT_EQ(collector->SlotCount(1), 1u);
+  const auto means = collector->PopulationSlotMeans();
+  ASSERT_EQ(means.size(), 1u);
+  EXPECT_DOUBLE_EQ(means[0], 0.3);
+}
+
+TEST(ShardedCollectorTest, AggregateOnlyModeRefusesStreamQueries) {
+  auto collector = ShardedCollector::Create({.keep_streams = false});
+  ASSERT_TRUE(collector.ok());
+  collector->Ingest({1, 0, 0.4});
+  EXPECT_TRUE(collector->Contains(1));
+  EXPECT_FALSE(collector->GapFilledStream(1).ok());
+  EXPECT_FALSE(collector->SubsequenceMean(1, 0, 1).ok());
+  // Aggregates still stream.
+  const auto means = collector->PopulationSlotMeans();
+  ASSERT_EQ(means.size(), 1u);
+  EXPECT_DOUBLE_EQ(means[0], 0.4);
+}
+
+TEST(ShardedCollectorTest, UnknownUserIsNotFound) {
+  auto collector = ShardedCollector::Create();
+  ASSERT_TRUE(collector.ok());
+  EXPECT_FALSE(collector->Contains(5));
+  EXPECT_FALSE(collector->GapFilledStream(5).ok());
+  EXPECT_FALSE(collector->SubsequenceMean(5, 0, 3).ok());
+  EXPECT_EQ(collector->SlotCount(5), 0u);
+}
+
+// ----------------------------------- equivalence with legacy collector ----
+
+// The seed's collector storage, reimplemented as the test oracle: nested
+// ordered maps, last-write-wins, gap fill with the last preceding report.
+class ReferenceCollector {
+ public:
+  void Ingest(const SlotReport& r) { raw_[r.user_id][r.slot] = r.value; }
+
+  std::vector<double> GapFilledStream(uint64_t user) const {
+    const auto& slots = raw_.at(user);
+    const size_t n = slots.rbegin()->first + 1;
+    std::vector<double> stream(n, kGapFillPrior);
+    double last = kGapFillPrior;
+    for (size_t t = 0; t < n; ++t) {
+      const auto it = slots.find(t);
+      if (it != slots.end()) last = it->second;
+      stream[t] = last;
+    }
+    return stream;
+  }
+
+  std::vector<double> PopulationSlotMeans() const {
+    size_t span = 0;
+    for (const auto& [user, slots] : raw_) {
+      span = std::max(span, slots.rbegin()->first + 1);
+    }
+    std::vector<double> sums(span, 0.0);
+    std::vector<size_t> counts(span, 0);
+    for (const auto& [user, slots] : raw_) {
+      for (const auto& [slot, value] : slots) {
+        sums[slot] += value;
+        counts[slot] += 1;
+      }
+    }
+    std::vector<double> means(span, kNaN);
+    for (size_t t = 0; t < span; ++t) {
+      if (counts[t] > 0) means[t] = sums[t] / counts[t];
+    }
+    return means;
+  }
+
+  const std::map<uint64_t, std::map<size_t, double>>& raw() const {
+    return raw_;
+  }
+
+ private:
+  std::map<uint64_t, std::map<size_t, double>> raw_;
+};
+
+TEST(ShardedCollectorTest, MatchesLegacyOnRandomReportOrders) {
+  Rng rng(2024);
+  // Sparse, adversarial user ids: same low bits, huge magnitudes.
+  const std::vector<uint64_t> users = {0,  1,  2,  16, 32, 1ULL << 40,
+                                       (1ULL << 63) + 5, 999999937};
+  std::vector<SlotReport> reports;
+  for (uint64_t user : users) {
+    const size_t n_reports = 1 + rng.UniformInt(30);
+    for (size_t i = 0; i < n_reports; ++i) {
+      reports.push_back({user, static_cast<size_t>(rng.UniformInt(40)),
+                         rng.UniformDouble()});
+    }
+  }
+  // Shuffle so ingest order is unrelated to (user, slot) order; duplicates
+  // exercise last-write-wins.
+  for (size_t i = reports.size() - 1; i > 0; --i) {
+    std::swap(reports[i], reports[rng.UniformInt(i + 1)]);
+  }
+
+  ReferenceCollector reference;
+  for (const SlotReport& r : reports) reference.Ingest(r);
+
+  for (size_t shards : {size_t{1}, size_t{3}, size_t{16}}) {
+    SCOPED_TRACE(shards);
+    auto sharded = ShardedCollector::Create({.num_shards = shards});
+    ASSERT_TRUE(sharded.ok());
+    // Mix the two ingest paths: half one-by-one, half batched.
+    const size_t half = reports.size() / 2;
+    for (size_t i = 0; i < half; ++i) sharded->Ingest(reports[i]);
+    sharded->IngestBatch(std::span(reports).subspan(half));
+
+    EXPECT_EQ(sharded->user_count(), reference.raw().size());
+    for (uint64_t user : users) {
+      SCOPED_TRACE(user);
+      EXPECT_EQ(sharded->SlotCount(user), reference.raw().at(user).size());
+      auto stream = sharded->GapFilledStream(user);
+      ASSERT_TRUE(stream.ok());
+      const std::vector<double> expected = reference.GapFilledStream(user);
+      ASSERT_EQ(stream->size(), expected.size());
+      for (size_t t = 0; t < expected.size(); ++t) {
+        EXPECT_DOUBLE_EQ((*stream)[t], expected[t]) << "slot " << t;
+      }
+    }
+    const std::vector<double> expected_means =
+        reference.PopulationSlotMeans();
+    const std::vector<double> means = sharded->PopulationSlotMeans();
+    ASSERT_EQ(means.size(), expected_means.size());
+    for (size_t t = 0; t < means.size(); ++t) {
+      if (std::isnan(expected_means[t])) {
+        EXPECT_TRUE(std::isnan(means[t])) << "slot " << t;
+      } else {
+        EXPECT_NEAR(means[t], expected_means[t], 1e-12) << "slot " << t;
+      }
+    }
+  }
+}
+
+TEST(ShardedCollectorTest, ConcurrentIngestMatchesSerial) {
+  // The same reports ingested from 8 threads and from 1 thread must yield
+  // identical queryable state (ingest order may differ; last-write-wins
+  // conflicts are avoided by unique (user, slot) pairs).
+  const size_t kUsers = 64;
+  const size_t kSlots = 32;
+  std::vector<SlotReport> reports;
+  Rng rng(7);
+  for (uint64_t u = 0; u < kUsers; ++u) {
+    for (size_t t = 0; t < kSlots; ++t) {
+      reports.push_back({u, t, rng.UniformDouble()});
+    }
+  }
+  auto serial = ShardedCollector::Create();
+  ASSERT_TRUE(serial.ok());
+  serial->IngestBatch(reports);
+
+  auto concurrent = ShardedCollector::Create();
+  ASSERT_TRUE(concurrent.ok());
+  const size_t kChunk = 256;
+  const size_t n_chunks = (reports.size() + kChunk - 1) / kChunk;
+  ParallelFor(n_chunks, 8, [&](size_t c) {
+    const size_t begin = c * kChunk;
+    const size_t end = std::min(reports.size(), begin + kChunk);
+    concurrent->IngestBatch(
+        std::span(reports).subspan(begin, end - begin));
+  });
+
+  EXPECT_EQ(concurrent->user_count(), serial->user_count());
+  EXPECT_EQ(concurrent->report_count(), serial->report_count());
+  for (uint64_t u = 0; u < kUsers; ++u) {
+    auto a = serial->GapFilledStream(u);
+    auto b = concurrent->GapFilledStream(u);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b) << "user " << u;
+  }
+  const auto ma = serial->PopulationSlotMeans();
+  const auto mb = concurrent->PopulationSlotMeans();
+  ASSERT_EQ(ma.size(), mb.size());
+  for (size_t t = 0; t < ma.size(); ++t) {
+    EXPECT_NEAR(ma[t], mb[t], 1e-12) << "slot " << t;
+  }
+}
+
+// --------------------------------------------------------- report batch ----
+
+TEST(ReportBatchTest, FlushesWhenFullAndOnDestruction) {
+  auto collector = ShardedCollector::Create();
+  ASSERT_TRUE(collector.ok());
+  {
+    ReportBatch batch(&*collector, /*capacity=*/4);
+    for (uint64_t u = 0; u < 5; ++u) batch.Add({u, 0, 0.5});
+    // Capacity 4: the first four flushed, the fifth is still staged.
+    EXPECT_EQ(batch.pending(), 1u);
+    EXPECT_EQ(collector->report_count(), 4u);
+  }
+  EXPECT_EQ(collector->report_count(), 5u);
+}
+
+// ------------------------------------------------------- engine config ----
+
+TEST(EngineConfigTest, SignalKindNamesRoundTrip) {
+  for (SignalKind kind :
+       {SignalKind::kConstant, SignalKind::kSinusoid, SignalKind::kAr1,
+        SignalKind::kRandomWalk, SignalKind::kPiecewise}) {
+    auto parsed = ParseSignalKind(SignalKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseSignalKind("nope").ok());
+}
+
+TEST(EngineConfigTest, ValidationCatchesBadKnobs) {
+  EngineConfig good;
+  EXPECT_TRUE(ValidateEngineConfig(good).ok());
+
+  EngineConfig bad = good;
+  bad.epsilon = 0.0;
+  EXPECT_FALSE(ValidateEngineConfig(bad).ok());
+  bad = good;
+  bad.num_users = 0;
+  EXPECT_FALSE(ValidateEngineConfig(bad).ok());
+  bad = good;
+  bad.num_slots = 0;
+  EXPECT_FALSE(ValidateEngineConfig(bad).ok());
+  bad = good;
+  bad.chunk_size = 0;
+  EXPECT_FALSE(ValidateEngineConfig(bad).ok());
+  bad = good;
+  bad.num_shards = 0;
+  EXPECT_FALSE(ValidateEngineConfig(bad).ok());
+  bad = good;
+  bad.smoothing_window = 2;
+  EXPECT_FALSE(ValidateEngineConfig(bad).ok());
+}
+
+TEST(FleetTest, RejectsSamplingAlgorithms) {
+  EngineConfig config;
+  config.algorithm = AlgorithmKind::kCappS;
+  EXPECT_FALSE(Fleet::Create(config).ok());
+}
+
+// ---------------------------------------------------- fleet determinism ----
+
+EngineConfig SmallFleetConfig() {
+  EngineConfig config;
+  config.algorithm = AlgorithmKind::kCapp;
+  config.epsilon = 1.0;
+  config.window = 10;
+  config.num_users = 500;
+  config.num_slots = 40;
+  config.chunk_size = 64;
+  config.seed = 99;
+  config.signal = SignalKind::kSinusoid;
+  config.keep_streams = true;
+  return config;
+}
+
+TEST(FleetTest, PublishedStreamsBitIdenticalAcrossThreadCounts) {
+  EngineStats baseline;
+  std::vector<std::vector<double>> baseline_streams;
+  const std::vector<uint64_t> probes = {0, 1, 63, 64, 499};
+
+  for (int threads : {1, 4, 8}) {
+    SCOPED_TRACE(threads);
+    EngineConfig config = SmallFleetConfig();
+    config.num_threads = threads;
+    auto fleet = Fleet::Create(config);
+    ASSERT_TRUE(fleet.ok());
+    auto stats = fleet->Run();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->reports, config.num_users * config.num_slots);
+    EXPECT_EQ(fleet->collector().user_count(), config.num_users);
+
+    std::vector<std::vector<double>> streams;
+    for (uint64_t user : probes) {
+      auto stream = fleet->collector().GapFilledStream(user);
+      ASSERT_TRUE(stream.ok());
+      streams.push_back(*stream);
+    }
+    if (threads == 1) {
+      baseline = *stats;
+      baseline_streams = streams;
+      continue;
+    }
+    // The determinism contract: digests, error statistics, and the raw
+    // per-user streams are all bit-identical regardless of thread count.
+    EXPECT_EQ(stats->stream_digest, baseline.stream_digest);
+    EXPECT_EQ(stats->mean_slot_mse, baseline.mean_slot_mse);
+    EXPECT_EQ(stats->mean_abs_error, baseline.mean_abs_error);
+    for (size_t i = 0; i < probes.size(); ++i) {
+      EXPECT_EQ(streams[i], baseline_streams[i]) << "user " << probes[i];
+    }
+  }
+}
+
+TEST(FleetTest, DigestInvariantToChunkSizeAndShardCount) {
+  EngineStats baseline;
+  bool first = true;
+  for (size_t chunk_size : {size_t{17}, size_t{500}}) {
+    for (size_t shards : {size_t{1}, size_t{16}}) {
+      SCOPED_TRACE(chunk_size);
+      SCOPED_TRACE(shards);
+      EngineConfig config = SmallFleetConfig();
+      config.chunk_size = chunk_size;
+      config.num_shards = shards;
+      config.num_threads = 4;
+      auto fleet = Fleet::Create(config);
+      ASSERT_TRUE(fleet.ok());
+      auto stats = fleet->Run();
+      ASSERT_TRUE(stats.ok());
+      if (first) {
+        baseline = *stats;
+        first = false;
+        continue;
+      }
+      // Per-user streams depend only on (seed, user id), so the digest is
+      // also invariant to chunking and shard layout.
+      EXPECT_EQ(stats->stream_digest, baseline.stream_digest);
+    }
+  }
+}
+
+TEST(FleetTest, DifferentSeedsDiffer) {
+  EngineConfig config = SmallFleetConfig();
+  auto fleet_a = Fleet::Create(config);
+  config.seed = 100;
+  auto fleet_b = Fleet::Create(config);
+  ASSERT_TRUE(fleet_a.ok() && fleet_b.ok());
+  auto stats_a = fleet_a->Run();
+  auto stats_b = fleet_b->Run();
+  ASSERT_TRUE(stats_a.ok() && stats_b.ok());
+  EXPECT_NE(stats_a->stream_digest, stats_b->stream_digest);
+}
+
+TEST(FleetTest, RunIsOneShot) {
+  auto fleet = Fleet::Create(SmallFleetConfig());
+  ASSERT_TRUE(fleet.ok());
+  ASSERT_TRUE(fleet->Run().ok());
+  EXPECT_FALSE(fleet->Run().ok());
+}
+
+// ------------------------------------------------- 100k-user smoke test ----
+
+TEST(FleetTest, HundredThousandUserAccuracySmoke) {
+  EngineConfig config;
+  config.algorithm = AlgorithmKind::kCapp;
+  config.epsilon = 2.0;
+  config.window = 10;
+  config.num_users = 100000;
+  config.num_slots = 30;
+  config.num_threads = 0;  // all hardware threads
+  config.signal = SignalKind::kConstant;
+  config.keep_streams = false;  // aggregate-only: the scaling mode
+  auto fleet = Fleet::Create(config);
+  ASSERT_TRUE(fleet.ok());
+  auto stats = fleet->Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->reports, config.num_users * config.num_slots);
+  EXPECT_GT(stats->reports_per_sec, 0.0);
+  // With 100k users the sampling error of the population mean is tiny;
+  // what remains is the SW mechanism's per-slot bias, which CAPP's
+  // deviation feedback keeps small near mid-domain. Generous bounds keep
+  // this green across platforms while still catching real regressions.
+  EXPECT_LT(stats->mean_abs_error, 0.05);
+  EXPECT_LT(stats->mean_slot_mse, 0.005);
+  // The collector aggregates agree with the fleet's own error statistics:
+  // every slot's count must equal the full population.
+  const auto aggregates = fleet->collector().PopulationSlotAggregates();
+  ASSERT_EQ(aggregates.size(), config.num_slots);
+  for (const SlotAggregate& agg : aggregates) {
+    EXPECT_EQ(agg.count, config.num_users);
+    EXPECT_GT(agg.Variance(), 0.0);
+  }
+}
+
+// ------------------------------------------------- user session (moved) ----
+
+// Regression for the accountant hoist: the ledger keeps recording after a
+// session is moved, because construction/move re-attach it.
+TEST(UserSessionMoveTest, LedgerFollowsMove) {
+  auto created = UserSession::Create(3, AlgorithmKind::kCapp, {1.0, 10}, 5);
+  ASSERT_TRUE(created.ok());
+  UserSession session = std::move(*created);
+  for (int t = 0; t < 12; ++t) session.Report(0.5);
+  EXPECT_TRUE(session.AuditBudget().ok());
+  EXPECT_NEAR(session.MaxWindowSpend(), 1.0, 1e-9);
+
+  std::vector<UserSession> fleet;
+  fleet.push_back(std::move(session));
+  for (int t = 0; t < 12; ++t) fleet[0].Report(0.5);
+  EXPECT_TRUE(fleet[0].AuditBudget().ok());
+  EXPECT_NEAR(fleet[0].MaxWindowSpend(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace capp
