@@ -4,22 +4,31 @@
 //   $ ./bench_engine_throughput                      # 1M users x 100 slots
 //   $ ./bench_engine_throughput --users=200000 --slots=50 --threads=8
 //   $ ./bench_engine_throughput --quick              # CI smoke sizing
+//   $ ./bench_engine_throughput --json=perf.json     # result file path
 //
 // The benchmark runs the same scenario twice -- single-threaded, then with
 // the requested (default: all) hardware threads -- and verifies the
 // engine's determinism contract: both runs must produce bit-identical
 // published-stream digests. Exit status is non-zero on a digest mismatch,
 // so this doubles as a stress check.
+//
+// Every run also writes a machine-readable result file (default:
+// BENCH_engine_throughput.json in the working directory) with the
+// scenario, per-run reports/s and thread counts, and the determinism
+// digest, so the perf trajectory is tracked across PRs. --json= (empty
+// path) disables it.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <string_view>
 
 #include "core/check.h"
 #include "engine/engine_config.h"
 #include "engine/fleet.h"
 #include "engine/thread_pool.h"
+#include "harness/json_out.h"
 
 namespace capp::bench {
 namespace {
@@ -33,6 +42,7 @@ struct EngineBenchFlags {
   uint64_t seed = 1;
   std::string_view algorithm = "capp";
   std::string_view signal = "sinusoid";
+  std::string_view json_path = "BENCH_engine_throughput.json";
 };
 
 [[noreturn]] void Usage(const char* argv0) {
@@ -40,7 +50,7 @@ struct EngineBenchFlags {
       stderr,
       "usage: %s [--users=N] [--slots=N] [--threads=N] [--epsilon=X]\n"
       "          [--window=N] [--seed=N] [--algorithm=NAME]\n"
-      "          [--signal=NAME] [--quick]\n",
+      "          [--signal=NAME] [--json=PATH] [--quick]\n",
       argv0);
   std::exit(2);
 }
@@ -76,6 +86,8 @@ EngineBenchFlags ParseEngineFlags(int argc, char** argv) {
       flags.algorithm = value;
     } else if (ParseValue(arg, "--signal=", &value)) {
       flags.signal = value;
+    } else if (ParseValue(arg, "--json=", &value)) {
+      flags.json_path = value;
     } else {
       Usage(argv[0]);
     }
@@ -115,6 +127,51 @@ EngineStats RunOnce(const EngineBenchFlags& flags, int threads) {
   return *stats;
 }
 
+JsonObjectWriter RunJson(const EngineStats& stats) {
+  JsonObjectWriter run;
+  run.AddInt("threads", stats.threads);
+  run.AddNumber("elapsed_seconds", stats.elapsed_seconds);
+  run.AddNumber("reports_per_sec", stats.reports_per_sec);
+  run.AddNumber("reports_per_sec_per_thread",
+                stats.reports_per_sec /
+                    static_cast<double>(stats.threads > 0 ? stats.threads
+                                                          : 1));
+  run.AddNumber("mean_slot_mse", stats.mean_slot_mse);
+  return run;
+}
+
+void WriteResultJson(const EngineBenchFlags& flags, const EngineStats& single,
+                     const EngineStats& parallel) {
+  if (flags.json_path.empty()) return;
+  JsonObjectWriter json;
+  json.AddString("bench", "engine_throughput");
+  json.AddString("algorithm", flags.algorithm);
+  json.AddString("signal", flags.signal);
+  json.AddNumber("epsilon", flags.epsilon);
+  json.AddInt("window", static_cast<uint64_t>(flags.window));
+  json.AddInt("users", flags.users);
+  json.AddInt("slots", flags.slots);
+  json.AddInt("seed", flags.seed);
+  json.AddInt("reports", single.reports);
+  json.AddObject("single_thread", RunJson(single));
+  json.AddObject("multi_thread", RunJson(parallel));
+  json.AddNumber("speedup",
+                 single.reports_per_sec > 0.0
+                     ? parallel.reports_per_sec / single.reports_per_sec
+                     : 0.0);
+  json.AddHex("digest", single.stream_digest);
+  json.AddString("digest_match",
+                 single.stream_digest == parallel.stream_digest ? "ok"
+                                                                : "MISMATCH");
+  const std::string path(flags.json_path);
+  const Status written = WriteJsonFile(path, json);
+  if (!written.ok()) {
+    std::fprintf(stderr, "warning: %s\n", written.ToString().c_str());
+    return;
+  }
+  std::printf("result file: %s\n", path.c_str());
+}
+
 int Run(int argc, char** argv) {
   const EngineBenchFlags flags = ParseEngineFlags(argc, argv);
   const int multi = ResolveThreadCount(flags.threads);
@@ -141,6 +198,7 @@ int Run(int argc, char** argv) {
               parallel.reports_per_sec / single.reports_per_sec);
   std::printf("accuracy:   slot-mean MSE %.3e, mean |err| %.3e\n",
               parallel.mean_slot_mse, parallel.mean_abs_error);
+  WriteResultJson(flags, single, parallel);
 
   if (single.stream_digest != parallel.stream_digest) {
     std::fprintf(stderr,

@@ -1,0 +1,95 @@
+#include "harness/json_out.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace capp::bench {
+namespace {
+
+std::string QuoteString(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void JsonObjectWriter::AddString(std::string_view key,
+                                 std::string_view value) {
+  AddRaw(key, QuoteString(value));
+}
+
+void JsonObjectWriter::AddNumber(std::string_view key, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no Inf/NaN; null is the conventional stand-in.
+    AddRaw(key, "null");
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  AddRaw(key, buf);
+}
+
+void JsonObjectWriter::AddInt(std::string_view key, uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  AddRaw(key, buf);
+}
+
+void JsonObjectWriter::AddHex(std::string_view key, uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "\"%016" PRIx64 "\"", value);
+  AddRaw(key, buf);
+}
+
+void JsonObjectWriter::AddObject(std::string_view key,
+                                 const JsonObjectWriter& value) {
+  AddRaw(key, value.ToString());
+}
+
+void JsonObjectWriter::AddRaw(std::string_view key, std::string value) {
+  if (!body_.empty()) body_ += ", ";
+  body_ += QuoteString(key);
+  body_ += ": ";
+  body_ += value;
+}
+
+std::string JsonObjectWriter::ToString() const { return "{" + body_ + "}"; }
+
+Status WriteJsonFile(const std::string& path, const JsonObjectWriter& json) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  out << json.ToString() << "\n";
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace capp::bench

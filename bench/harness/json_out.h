@@ -1,0 +1,45 @@
+// Minimal machine-readable benchmark output: a flat-ish JSON object writer
+// for the BENCH_*.json result files that track the perf trajectory across
+// PRs (reports/s, thread counts, determinism digests). Deliberately tiny --
+// ordered key/value pairs, one nesting level of sub-objects -- so benches
+// stay dependency-free.
+#ifndef CAPP_BENCH_HARNESS_JSON_OUT_H_
+#define CAPP_BENCH_HARNESS_JSON_OUT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/status.h"
+
+namespace capp::bench {
+
+/// Builds one JSON object incrementally, preserving insertion order.
+/// Numbers are emitted with enough precision to round-trip doubles; 64-bit
+/// hashes should go through AddHex (JSON numbers lose integer precision
+/// past 2^53).
+class JsonObjectWriter {
+ public:
+  void AddString(std::string_view key, std::string_view value);
+  void AddNumber(std::string_view key, double value);
+  void AddInt(std::string_view key, uint64_t value);
+  /// Emits the value as a 16-digit lower-case hex string ("0123..cdef").
+  void AddHex(std::string_view key, uint64_t value);
+  /// Emits a nested object (already serialized by another writer).
+  void AddObject(std::string_view key, const JsonObjectWriter& value);
+
+  /// The serialized object, e.g. {"users": 1000000, "digest": "ab.."}.
+  std::string ToString() const;
+
+ private:
+  void AddRaw(std::string_view key, std::string value);
+
+  std::string body_;  // comma-joined "key": value pairs
+};
+
+/// Writes `json` to `path` (truncating), with a trailing newline.
+Status WriteJsonFile(const std::string& path, const JsonObjectWriter& json);
+
+}  // namespace capp::bench
+
+#endif  // CAPP_BENCH_HARNESS_JSON_OUT_H_

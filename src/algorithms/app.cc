@@ -1,6 +1,7 @@
 #include "algorithms/app.h"
 
 #include "core/math_utils.h"
+#include "mechanisms/square_wave.h"
 
 namespace capp {
 
@@ -27,6 +28,31 @@ double App::DoProcessValue(double x, Rng& rng) {
   // Lines 6-7: d_t = x_t - x'_t;  D += d_t.
   accumulated_deviation_ += x - report;
   return report;
+}
+
+void App::DoProcessChunk(std::span<const double> in, std::span<double> out,
+                         Rng& rng) {
+  const std::optional<SwBatchPlan> plan = PlanSwBatch(mechanism_.get());
+  if (!plan) {
+    StreamPerturber::DoProcessChunk(in, out, rng);
+    return;
+  }
+  RecordSpendRun(in.size(), mechanism_->epsilon());
+  const SwParams params = plan->params;
+  const double near_mass = plan->near_mass;
+  internal::ForEachSwSlot(
+      in, out, rng, [&](double raw, double u1, double u2) {
+        const double x = SanitizeUnitValue(raw);
+        const double input =
+            Clamp(x + accumulated_deviation_, 0.0, 1.0);
+        // DomainMap is the identity for SW (input domain [0,1]); see the
+        // IPP chunk loop for the bit-identity argument.
+        const double report =
+            SwSampleFromUniforms(params, near_mass, input, u1, u2);
+        accumulated_deviation_ += x - report;
+        return report;
+      });
+  AdvanceSlots(in.size());
 }
 
 }  // namespace capp

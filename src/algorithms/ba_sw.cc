@@ -63,7 +63,9 @@ double BaSw::DoProcessValue(double x, Rng& rng) {
     const double noisy_dissim = std::fabs(x - last_release_) + noise;
     // Expected error of publishing now with the banked budget: the standard
     // deviation of SW at the banked budget (mid-domain input).
-    auto sw_or = SquareWave::Create(std::max(banked_, 1e-8));
+    // Cached: banked budgets cycle through a small set of allowance
+    // multiples, and re-deriving exp/expm1 per slot dominated BA-SW's cost.
+    auto sw_or = SquareWave::CreateCached(std::max(banked_, 1e-8));
     CAPP_CHECK(sw_or.ok());
     const double publish_error = std::sqrt(sw_or->OutputVariance(0.5));
     publish = noisy_dissim > publish_error;
@@ -82,7 +84,7 @@ double BaSw::DoProcessValue(double x, Rng& rng) {
       std::max(1, static_cast<int>(std::floor(eps_pub / allowance + 1e-9)));
   nullified_ = multiples - 1;
   RecordSpend(eps_pub);
-  auto sw_or = SquareWave::Create(eps_pub);
+  auto sw_or = SquareWave::CreateCached(eps_pub);
   CAPP_CHECK(sw_or.ok());
   const double report = sw_or->Perturb(x, rng);
   last_release_ = report;

@@ -1,6 +1,7 @@
 #include "algorithms/capp.h"
 
 #include "core/math_utils.h"
+#include "mechanisms/square_wave.h"
 
 namespace capp {
 
@@ -46,6 +47,34 @@ double Capp::DoProcessValue(double x, Rng& rng) {
   // Lines 10-11: update the accumulated deviation.
   accumulated_deviation_ += x - report;
   return report;
+}
+
+void Capp::DoProcessChunk(std::span<const double> in, std::span<double> out,
+                          Rng& rng) {
+  const std::optional<SwBatchPlan> plan = PlanSwBatch(mechanism_.get());
+  if (!plan) {
+    StreamPerturber::DoProcessChunk(in, out, rng);
+    return;
+  }
+  RecordSpendRun(in.size(), mechanism_->epsilon());
+  const SwParams params = plan->params;
+  const double near_mass = plan->near_mass;
+  const double width = bounds_.u - bounds_.l;
+  internal::ForEachSwSlot(
+      in, out, rng, [&](double raw, double u1, double u2) {
+        const double x = SanitizeUnitValue(raw);
+        const double input = Clamp(x + accumulated_deviation_, bounds_.l,
+                                   bounds_.u);
+        const double normalized = (input - bounds_.l) / width;
+        // DomainMap is the identity for SW (input domain [0,1]); see the
+        // IPP chunk loop for the bit-identity argument.
+        const double y =
+            SwSampleFromUniforms(params, near_mass, normalized, u1, u2);
+        const double report = y * width + bounds_.l;
+        accumulated_deviation_ += x - report;
+        return report;
+      });
+  AdvanceSlots(in.size());
 }
 
 }  // namespace capp

@@ -63,6 +63,10 @@ class Capp final : public StreamPerturber {
 
  protected:
   double DoProcessValue(double x, Rng& rng) override;
+  /// SW fast path: block-RNG + inline sampling (see square_wave.h);
+  /// non-SW mechanisms fall back to the scalar loop. Bit-identical.
+  void DoProcessChunk(std::span<const double> in, std::span<double> out,
+                      Rng& rng) override;
   void DoReset() override { accumulated_deviation_ = 0.0; }
 
  private:

@@ -20,7 +20,8 @@ double SwDiscardingError(const SquareWave& sw) {
 }
 
 Result<ClipBounds> SelectClipBounds(double epsilon_per_slot) {
-  CAPP_ASSIGN_OR_RETURN(SquareWave sw, SquareWave::Create(epsilon_per_slot));
+  CAPP_ASSIGN_OR_RETURN(SquareWave sw,
+                        SquareWave::CreateCached(epsilon_per_slot));
   ClipBounds bounds;
   bounds.sensitivity_error = SwSensitivityError(sw);
   bounds.discarding_error = SwDiscardingError(sw);
@@ -50,7 +51,8 @@ Result<ClipBounds> SelectClipBoundsProxy(double epsilon_per_slot,
   if (!(lambda >= 0.0)) {
     return Status::InvalidArgument("lambda must be >= 0");
   }
-  CAPP_ASSIGN_OR_RETURN(SquareWave sw, SquareWave::Create(epsilon_per_slot));
+  CAPP_ASSIGN_OR_RETURN(SquareWave sw,
+                        SquareWave::CreateCached(epsilon_per_slot));
   const double mid_variance = sw.OutputVariance(0.5);
   ClipBounds best;
   double best_proxy = std::numeric_limits<double>::infinity();

@@ -1,6 +1,7 @@
 #include "algorithms/ipp.h"
 
 #include "core/math_utils.h"
+#include "mechanisms/square_wave.h"
 
 namespace capp {
 
@@ -27,6 +28,32 @@ double Ipp::DoProcessValue(double x, Rng& rng) {
   const double report = map_.FromMechanism(y);
   last_deviation_ = x - report;
   return report;
+}
+
+void Ipp::DoProcessChunk(std::span<const double> in, std::span<double> out,
+                         Rng& rng) {
+  const std::optional<SwBatchPlan> plan = PlanSwBatch(mechanism_.get());
+  if (!plan) {
+    StreamPerturber::DoProcessChunk(in, out, rng);
+    return;
+  }
+  RecordSpendRun(in.size(), mechanism_->epsilon());
+  const SwParams params = plan->params;
+  const double near_mass = plan->near_mass;
+  internal::ForEachSwSlot(
+      in, out, rng, [&](double raw, double u1, double u2) {
+        const double x = SanitizeUnitValue(raw);
+        const double input = Clamp(x + last_deviation_, 0.0, 1.0);
+        // SW's input domain is [0,1], so DomainMap is exactly the identity
+        // here: skipping it removes a dependent mul/add/div from the
+        // feedback chain without changing a bit (x*1.0, y-0.0, and /1.0
+        // are exact; the +-0.0 corner yields identical sampler output).
+        const double report =
+            SwSampleFromUniforms(params, near_mass, input, u1, u2);
+        last_deviation_ = x - report;
+        return report;
+      });
+  AdvanceSlots(in.size());
 }
 
 }  // namespace capp

@@ -18,7 +18,7 @@ struct SwWorstCaseMoments {
 };
 
 Result<SwWorstCaseMoments> MomentsAtOne(double epsilon) {
-  CAPP_ASSIGN_OR_RETURN(SquareWave sw, SquareWave::Create(epsilon));
+  CAPP_ASSIGN_OR_RETURN(SquareWave sw, SquareWave::CreateCached(epsilon));
   CAPP_ASSIGN_OR_RETURN(PiecewiseConstantDensity density,
                         sw.OutputDensity(1.0));
   SwWorstCaseMoments m;

@@ -1,7 +1,5 @@
 #include "algorithms/perturber.h"
 
-#include <cmath>
-
 #include "core/check.h"
 
 namespace capp {
@@ -19,18 +17,26 @@ Status ValidatePerturberOptions(const PerturberOptions& options) {
   return Status::OK();
 }
 
-double SanitizeUnitValue(double x) {
-  if (!std::isfinite(x)) return 0.5;
-  if (x < 0.0) return 0.0;
-  if (x > 1.0) return 1.0;
-  return x;
-}
-
 double StreamPerturber::ProcessValue(double x, Rng& rng) {
   CAPP_CHECK(supports_online());
   const double report = DoProcessValue(SanitizeUnitValue(x), rng);
   ++slot_;
   return report;
+}
+
+void StreamPerturber::ProcessChunk(std::span<const double> in,
+                                   std::span<double> out, Rng& rng) {
+  CAPP_CHECK(supports_online());
+  CAPP_CHECK(in.size() == out.size());
+  DoProcessChunk(in, out, rng);
+}
+
+void StreamPerturber::DoProcessChunk(std::span<const double> in,
+                                     std::span<double> out, Rng& rng) {
+  for (size_t i = 0; i < in.size(); ++i) {
+    out[i] = DoProcessValue(SanitizeUnitValue(in[i]), rng);
+    ++slot_;
+  }
 }
 
 std::vector<double> StreamPerturber::PerturbSequence(
@@ -53,6 +59,10 @@ void StreamPerturber::Reset() {
 
 void StreamPerturber::RecordSpend(double epsilon) {
   if (accountant_ != nullptr) accountant_->Record(slot_, epsilon);
+}
+
+void StreamPerturber::RecordSpendRun(size_t n, double epsilon) {
+  if (accountant_ != nullptr) accountant_->RecordRun(slot_, n, epsilon);
 }
 
 void StreamPerturber::RecordSpendAt(size_t slot, double epsilon) {

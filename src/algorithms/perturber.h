@@ -11,6 +11,7 @@
 #ifndef CAPP_ALGORITHMS_PERTURBER_H_
 #define CAPP_ALGORITHMS_PERTURBER_H_
 
+#include <cmath>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -36,7 +37,13 @@ Status ValidatePerturberOptions(const PerturberOptions& options);
 /// values (sensor glitches) become the domain midpoint, everything else is
 /// clamped. Applied by StreamPerturber::ProcessValue before any algorithm
 /// sees the value, so downstream state can never be poisoned by a NaN.
-double SanitizeUnitValue(double x);
+/// Inline: runs once per slot on every perturbation path.
+inline double SanitizeUnitValue(double x) {
+  if (!std::isfinite(x)) return 0.5;
+  if (x < 0.0) return 0.0;
+  if (x > 1.0) return 1.0;
+  return x;
+}
 
 /// Base class for user-side stream perturbation algorithms.
 class StreamPerturber {
@@ -59,6 +66,15 @@ class StreamPerturber {
   /// Perturbs the value of the next time slot and returns the report.
   /// Precondition: supports_online().
   double ProcessValue(double x, Rng& rng);
+
+  /// Perturbs the next in.size() consecutive slots: out[i] is the report
+  /// for in[i]. Bit-identical to calling ProcessValue per element (same
+  /// sanitation, RNG draws, ledger state, and slot counter), but concrete
+  /// algorithms amortize virtual dispatch, budget bookkeeping, and RNG
+  /// block generation over the chunk. Requires supports_online() and
+  /// out.size() == in.size(); in and out must not overlap.
+  void ProcessChunk(std::span<const double> in, std::span<double> out,
+                    Rng& rng);
 
   /// Perturbs a whole subsequence; returns one report per input value.
   std::vector<double> PerturbSequence(std::span<const double> xs, Rng& rng);
@@ -83,6 +99,13 @@ class StreamPerturber {
   /// Per-slot hook implemented by concrete algorithms.
   virtual double DoProcessValue(double x, Rng& rng) = 0;
 
+  /// Chunk hook; inputs arrive unsanitized (apply SanitizeUnitValue per
+  /// element, exactly like the scalar path). The default loops
+  /// DoProcessValue and advances the slot counter per element; overrides
+  /// must preserve that observable behavior bit for bit.
+  virtual void DoProcessChunk(std::span<const double> in,
+                              std::span<double> out, Rng& rng);
+
   /// Whole-sequence hook; the default loops over DoProcessValue.
   virtual std::vector<double> DoPerturbSequence(std::span<const double> xs,
                                                 Rng& rng);
@@ -92,6 +115,10 @@ class StreamPerturber {
 
   /// Records a privacy spend for the slot currently being processed.
   void RecordSpend(double epsilon);
+
+  /// Records a uniform per-slot spend for the next `n` slots in one ledger
+  /// operation (chunk overrides whose every slot spends the same budget).
+  void RecordSpendRun(size_t n, double epsilon);
 
   /// Records a privacy spend for an explicit slot (used by sequence-level
   /// algorithms such as PP-S whose uploads are sparse).

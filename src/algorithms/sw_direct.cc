@@ -22,4 +22,19 @@ double MechanismDirect::DoProcessValue(double x, Rng& rng) {
   return map_.FromMechanism(y);
 }
 
+void MechanismDirect::DoProcessChunk(std::span<const double> in,
+                                     std::span<double> out, Rng& rng) {
+  RecordSpendRun(in.size(), mechanism_->epsilon());
+  chunk_scratch_.resize(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    chunk_scratch_[i] =
+        map_.ToMechanism(Clamp(SanitizeUnitValue(in[i]), 0.0, 1.0));
+  }
+  mechanism_->PerturbBatch(chunk_scratch_, out, rng);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = map_.FromMechanism(out[i]);
+  }
+  AdvanceSlots(in.size());
+}
+
 }  // namespace capp

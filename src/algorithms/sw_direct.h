@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "algorithms/perturber.h"
 #include "mechanisms/mechanism.h"
@@ -51,6 +52,11 @@ class MechanismDirect final : public StreamPerturber {
 
  protected:
   double DoProcessValue(double x, Rng& rng) override;
+  /// No cross-slot state, so the whole chunk goes through
+  /// Mechanism::PerturbBatch on a reused scratch buffer. Bit-identical to
+  /// the scalar loop for every mechanism.
+  void DoProcessChunk(std::span<const double> in, std::span<double> out,
+                      Rng& rng) override;
   void DoReset() override {}
 
  private:
@@ -62,6 +68,7 @@ class MechanismDirect final : public StreamPerturber {
   std::unique_ptr<Mechanism> mechanism_;
   DomainMap map_;
   std::string name_;
+  std::vector<double> chunk_scratch_;  // mapped inputs for PerturbBatch
 };
 
 }  // namespace capp

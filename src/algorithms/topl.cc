@@ -24,7 +24,7 @@ Result<std::unique_ptr<Topl>> Topl::Create(ToplOptions options) {
   const double eps_slot = options.base.epsilon / options.base.window;
   CAPP_ASSIGN_OR_RETURN(
       SquareWave range_sw,
-      SquareWave::Create(options.range_fraction * eps_slot));
+      SquareWave::CreateCached(options.range_fraction * eps_slot));
   CAPP_ASSIGN_OR_RETURN(
       HybridMechanism publish_hm,
       HybridMechanism::Create((1.0 - options.range_fraction) * eps_slot));

@@ -13,7 +13,7 @@ Result<PopulationEstimator> PopulationEstimator::Create(
     return Status::InvalidArgument("histogram_buckets must be >= 2");
   }
   CAPP_ASSIGN_OR_RETURN(SquareWave sw,
-                        SquareWave::Create(options.epsilon_per_slot));
+                        SquareWave::CreateCached(options.epsilon_per_slot));
   SwEmOptions em_options;
   em_options.input_buckets = options.histogram_buckets;
   em_options.output_buckets = 2 * options.histogram_buckets;

@@ -56,13 +56,6 @@ double Variance(std::span<const double> xs) {
   return m.VariancePopulation();
 }
 
-double Clamp(double x, double lo, double hi) {
-  CAPP_DCHECK(lo <= hi);
-  if (x < lo) return lo;
-  if (x > hi) return hi;
-  return x;
-}
-
 std::vector<double> LinSpace(double lo, double hi, size_t n) {
   std::vector<double> out;
   if (n == 0) return out;

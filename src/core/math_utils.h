@@ -7,6 +7,8 @@
 #include <span>
 #include <vector>
 
+#include "core/check.h"
+
 namespace capp {
 
 /// Kahan–Neumaier compensated accumulator. Sums long streams of doubles
@@ -47,8 +49,14 @@ double Mean(std::span<const double> xs);
 /// Population variance; 0 for spans with fewer than 2 elements.
 double Variance(std::span<const double> xs);
 
-/// Clamps x into [lo, hi].
-double Clamp(double x, double lo, double hi);
+/// Clamps x into [lo, hi]. NaN passes through (both comparisons are
+/// false). Inline: every perturbation hot path clamps per slot.
+inline double Clamp(double x, double lo, double hi) {
+  CAPP_DCHECK(lo <= hi);
+  if (x < lo) return lo;
+  if (x > hi) return hi;
+  return x;
+}
 
 /// n evenly spaced points from lo to hi inclusive (n >= 2), or {lo} if n==1.
 std::vector<double> LinSpace(double lo, double hi, size_t n);

@@ -12,8 +12,6 @@ uint64_t SplitMix64(uint64_t* state) {
   return SplitMix64Mix(*state += 0x9E3779B97F4A7C15ULL);
 }
 
-uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 }  // namespace
 
 uint64_t SplitMix64Mix(uint64_t x) {
@@ -31,21 +29,36 @@ Rng::Rng(uint64_t seed) {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
-uint64_t Rng::NextUint64() {
-  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
-  const uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = Rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::UniformDouble() {
-  // 53 high bits -> [0, 1).
-  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+void Rng::FillUniform(std::span<double> out) {
+  // Same recurrence as NextUint64, with the state held in locals so the
+  // compiler keeps the four lanes in registers across the unrolled body.
+  uint64_t s0 = s_[0];
+  uint64_t s1 = s_[1];
+  uint64_t s2 = s_[2];
+  uint64_t s3 = s_[3];
+  const auto step = [&]() -> double {
+    const uint64_t result = Rotl(s0 + s3, 23) + s0;
+    const uint64_t t = s1 << 17;
+    s2 ^= s0;
+    s3 ^= s1;
+    s1 ^= s2;
+    s0 ^= s3;
+    s2 ^= t;
+    s3 = Rotl(s3, 45);
+    return static_cast<double>(result >> 11) * 0x1.0p-53;
+  };
+  size_t i = 0;
+  for (; i + 4 <= out.size(); i += 4) {
+    out[i] = step();
+    out[i + 1] = step();
+    out[i + 2] = step();
+    out[i + 3] = step();
+  }
+  for (; i < out.size(); ++i) out[i] = step();
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
 }
 
 double Rng::Uniform(double lo, double hi) {
@@ -77,27 +90,6 @@ double Rng::Laplace(double scale) {
   if (u == -0.5) u = -0.5 + 1e-16;
   const double sign = (u < 0) ? -1.0 : 1.0;
   return -scale * sign * std::log1p(-2.0 * std::fabs(u));
-}
-
-double Rng::Gaussian() {
-  if (has_gauss_spare_) {
-    has_gauss_spare_ = false;
-    return gauss_spare_;
-  }
-  double u, v, s;
-  do {
-    u = 2.0 * UniformDouble() - 1.0;
-    v = 2.0 * UniformDouble() - 1.0;
-    s = u * u + v * v;
-  } while (s >= 1.0 || s == 0.0);
-  const double factor = std::sqrt(-2.0 * std::log(s) / s);
-  gauss_spare_ = v * factor;
-  has_gauss_spare_ = true;
-  return u * factor;
-}
-
-double Rng::Gaussian(double mean, double stddev) {
-  return mean + stddev * Gaussian();
 }
 
 double Rng::Exponential(double rate) {

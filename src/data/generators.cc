@@ -9,7 +9,13 @@
 namespace capp {
 
 std::vector<double> ConstantSeries(size_t n, double value) {
-  return std::vector<double>(n, value);
+  std::vector<double> out;
+  ConstantSeriesInto(n, value, out);
+  return out;
+}
+
+void ConstantSeriesInto(size_t n, double value, std::vector<double>& out) {
+  out.assign(n, value);
 }
 
 std::vector<double> PulseSeries(size_t n, size_t period, double base,
@@ -22,8 +28,16 @@ std::vector<double> PulseSeries(size_t n, size_t period, double base,
 
 std::vector<double> SinusoidSeries(size_t n, double period, double amplitude,
                                    double offset, double phase) {
-  CAPP_CHECK(period > 0.0);
   std::vector<double> out;
+  SinusoidSeriesInto(n, period, amplitude, offset, phase, out);
+  return out;
+}
+
+void SinusoidSeriesInto(size_t n, double period, double amplitude,
+                        double offset, double phase,
+                        std::vector<double>& out) {
+  CAPP_CHECK(period > 0.0);
+  out.clear();
   out.reserve(n);
   for (size_t t = 0; t < n; ++t) {
     out.push_back(offset + amplitude * std::sin(2.0 * std::numbers::pi *
@@ -31,19 +45,24 @@ std::vector<double> SinusoidSeries(size_t n, double period, double amplitude,
                                                     period +
                                                 phase));
   }
-  return out;
 }
 
 std::vector<double> Ar1Series(size_t n, double phi, double sigma, double mean,
                               Rng& rng) {
   std::vector<double> out;
+  Ar1SeriesInto(n, phi, sigma, mean, rng, out);
+  return out;
+}
+
+void Ar1SeriesInto(size_t n, double phi, double sigma, double mean, Rng& rng,
+                   std::vector<double>& out) {
+  out.clear();
   out.reserve(n);
   double x = mean;
   for (size_t t = 0; t < n; ++t) {
     x = mean + phi * (x - mean) + rng.Gaussian(0.0, sigma);
     out.push_back(x);
   }
-  return out;
 }
 
 std::vector<double> OrnsteinUhlenbeckSeries(size_t n, double theta, double mu,
@@ -62,6 +81,13 @@ std::vector<double> OrnsteinUhlenbeckSeries(size_t n, double theta, double mu,
 std::vector<double> ReflectedRandomWalk(size_t n, double sigma, double x0,
                                         Rng& rng) {
   std::vector<double> out;
+  ReflectedRandomWalkInto(n, sigma, x0, rng, out);
+  return out;
+}
+
+void ReflectedRandomWalkInto(size_t n, double sigma, double x0, Rng& rng,
+                             std::vector<double>& out) {
+  out.clear();
   out.reserve(n);
   double x = Clamp(x0, 0.0, 1.0);
   for (size_t t = 0; t < n; ++t) {
@@ -73,16 +99,23 @@ std::vector<double> ReflectedRandomWalk(size_t n, double sigma, double x0,
     }
     out.push_back(x);
   }
-  return out;
 }
 
 std::vector<double> PiecewiseConstantSeries(size_t n, size_t min_run,
                                             size_t max_run,
                                             std::span<const double> levels,
                                             Rng& rng) {
+  std::vector<double> out;
+  PiecewiseConstantSeriesInto(n, min_run, max_run, levels, rng, out);
+  return out;
+}
+
+void PiecewiseConstantSeriesInto(size_t n, size_t min_run, size_t max_run,
+                                 std::span<const double> levels, Rng& rng,
+                                 std::vector<double>& out) {
   CAPP_CHECK(min_run >= 1 && max_run >= min_run);
   CAPP_CHECK(!levels.empty());
-  std::vector<double> out;
+  out.clear();
   out.reserve(n);
   while (out.size() < n) {
     const size_t run =
@@ -90,7 +123,6 @@ std::vector<double> PiecewiseConstantSeries(size_t n, size_t min_run,
     const double level = levels[rng.UniformInt(levels.size())];
     for (size_t i = 0; i < run && out.size() < n; ++i) out.push_back(level);
   }
-  return out;
 }
 
 std::vector<double> TrafficVolumeSeries(size_t n, Rng& rng) {

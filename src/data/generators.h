@@ -14,8 +14,14 @@
 
 namespace capp {
 
+// The *Into variants write into a caller-owned vector (cleared and
+// refilled, capacity reused), for hot loops that generate one series per
+// simulated user; values and RNG consumption are identical to the
+// vector-returning forms, which are thin wrappers around them.
+
 /// n copies of `value`.
 std::vector<double> ConstantSeries(size_t n, double value);
+void ConstantSeriesInto(size_t n, double value, std::vector<double>& out);
 
 /// Zeros with `peak` inserted every `period` points (the paper's Pulse:
 /// "zeros with a value of 1 inserted every five points").
@@ -25,10 +31,14 @@ std::vector<double> PulseSeries(size_t n, size_t period, double base,
 /// offset + amplitude * sin(2*pi*t/period + phase).
 std::vector<double> SinusoidSeries(size_t n, double period, double amplitude,
                                    double offset, double phase = 0.0);
+void SinusoidSeriesInto(size_t n, double period, double amplitude,
+                        double offset, double phase, std::vector<double>& out);
 
 /// AR(1): x_t = mean + phi*(x_{t-1} - mean) + N(0, sigma).
 std::vector<double> Ar1Series(size_t n, double phi, double sigma, double mean,
                               Rng& rng);
+void Ar1SeriesInto(size_t n, double phi, double sigma, double mean, Rng& rng,
+                   std::vector<double>& out);
 
 /// Ornstein-Uhlenbeck (mean-reverting walk):
 /// x_t = x_{t-1} + theta*(mu - x_{t-1}) + N(0, sigma).
@@ -39,6 +49,8 @@ std::vector<double> OrnsteinUhlenbeckSeries(size_t n, double theta, double mu,
 /// Random walk with N(0, sigma) increments, reflected into [0, 1].
 std::vector<double> ReflectedRandomWalk(size_t n, double sigma, double x0,
                                         Rng& rng);
+void ReflectedRandomWalkInto(size_t n, double sigma, double x0, Rng& rng,
+                             std::vector<double>& out);
 
 /// Piecewise-constant schedule: runs of uniform length in
 /// [min_run, max_run], each at a level drawn uniformly from `levels`
@@ -47,6 +59,9 @@ std::vector<double> PiecewiseConstantSeries(size_t n, size_t min_run,
                                             size_t max_run,
                                             std::span<const double> levels,
                                             Rng& rng);
+void PiecewiseConstantSeriesInto(size_t n, size_t min_run, size_t max_run,
+                                 std::span<const double> levels, Rng& rng,
+                                 std::vector<double>& out);
 
 /// Hourly traffic-volume shape: daily sinusoid with morning/evening rush
 /// bumps, weekly (weekday/weekend) modulation, and heteroscedastic noise.

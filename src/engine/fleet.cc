@@ -3,12 +3,12 @@
 #include <bit>
 #include <chrono>
 #include <cmath>
+#include <numbers>
 #include <utility>
 
 #include "core/check.h"
 #include "core/math_utils.h"
 #include "data/generators.h"
-#include "engine/report_batch.h"
 #include "engine/thread_pool.h"
 #include "stream/session.h"
 #include "stream/smoothing.h"
@@ -16,22 +16,23 @@
 namespace capp {
 namespace {
 
-// FNV-1a over one user's published stream. XORing these per-user hashes
-// into the fleet digest is order-independent, which is what lets runs with
-// different thread counts be compared bit-for-bit.
-uint64_t HashPublishedStream(uint64_t user_id,
-                             std::span<const double> stream) {
-  uint64_t h = 0xCBF29CE484222325ULL;
-  auto mix = [&h](uint64_t word) {
-    for (int byte = 0; byte < 8; ++byte) {
-      h ^= (word >> (8 * byte)) & 0xFF;
-      h *= 0x100000001B3ULL;
-    }
-  };
-  mix(user_id);
-  for (double x : stream) mix(std::bit_cast<uint64_t>(x));
+// One FNV-1a step over the 8 bytes of `word`. The byte chain is serial
+// (xor feeds the multiply), so hashing costs its full latency -- callers
+// interleave independent work with it (see the fleet worker loop).
+inline uint64_t FnvMixWord(uint64_t h, uint64_t word) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (word >> (8 * byte)) & 0xFF;
+    h *= 0x100000001B3ULL;
+  }
   return h;
 }
+
+// The fleet digest is the XOR over users of the FNV-1a hash of (user id,
+// published stream bits), seeded with the standard offset basis. XOR
+// commutes, which is what lets runs with different thread counts be
+// compared bit-for-bit. The hash itself is computed inline in the worker
+// loop, fused with the slot-sum accumulation.
+constexpr uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ULL;
 
 // Per-chunk accumulators, reduced in chunk order after the parallel phase.
 struct ChunkSums {
@@ -39,6 +40,37 @@ struct ChunkSums {
   std::vector<double> report_sum;
   uint64_t digest = 0;
   size_t reports = 0;
+};
+
+// Shared base angles of the sinusoid workload: sin/cos(2*pi*t/period) for
+// every slot, cached per thread. The per-user series is then one sincos of
+// the user's phase plus two multiply-adds per slot (angle addition),
+// instead of a libm sin call per (user, slot) -- which profiling showed
+// was the single largest per-report cost after the perturbation hot path
+// was batched. The identity is exact in real arithmetic; the generated
+// signal can differ from naive per-slot sin evaluation in the last ulp,
+// identically for every thread count and for the scalar and batched
+// perturbation paths (the workload is input data, generated before either
+// path runs).
+struct SinusoidBase {
+  size_t n = 0;
+  double period = 0.0;
+  std::vector<double> sin_base;
+  std::vector<double> cos_base;
+
+  void Ensure(size_t num_slots, double new_period) {
+    if (n == num_slots && period == new_period) return;
+    sin_base.resize(num_slots);
+    cos_base.resize(num_slots);
+    for (size_t t = 0; t < num_slots; ++t) {
+      const double angle =
+          2.0 * std::numbers::pi * static_cast<double>(t) / new_period;
+      sin_base[t] = std::sin(angle);
+      cos_base[t] = std::cos(angle);
+    }
+    n = num_slots;
+    period = new_period;
+  }
 };
 
 }  // namespace
@@ -51,35 +83,58 @@ uint64_t UserStreamSeed(uint64_t fleet_seed, uint64_t user_id,
 
 std::vector<double> GenerateUserSignal(SignalKind kind, size_t num_slots,
                                        Rng& rng) {
+  std::vector<double> out;
+  GenerateUserSignalInto(kind, num_slots, rng, out);
+  return out;
+}
+
+void GenerateUserSignalInto(SignalKind kind, size_t num_slots, Rng& rng,
+                            std::vector<double>& out) {
   switch (kind) {
     case SignalKind::kConstant:
-      return ConstantSeries(num_slots, rng.Uniform(0.3, 0.7));
+      ConstantSeriesInto(num_slots, rng.Uniform(0.3, 0.7), out);
+      return;
     case SignalKind::kSinusoid: {
-      // A shared daily cycle with per-user phase jitter and sensor noise.
-      std::vector<double> xs = SinusoidSeries(
-          num_slots, /*period=*/24.0, /*amplitude=*/0.15, /*offset=*/0.5,
-          /*phase=*/rng.Uniform(-0.5, 0.5));
-      for (double& x : xs) x = Clamp(x + rng.Gaussian(0.0, 0.03), 0.0, 1.0);
-      return xs;
+      // A shared daily cycle with per-user phase jitter and sensor noise:
+      // 0.5 + 0.15 * sin(2*pi*t/24 + phase) + N(0, 0.03), clamped. The
+      // sin(a + phase) term expands over the cached base angles (see
+      // SinusoidBase above); the RNG draw order (phase, then one Gaussian
+      // per slot) is part of the workload's determinism contract.
+      constexpr double kPeriod = 24.0;
+      constexpr double kAmplitude = 0.15;
+      constexpr double kOffset = 0.5;
+      thread_local SinusoidBase base;
+      base.Ensure(num_slots, kPeriod);
+      const double phase = rng.Uniform(-0.5, 0.5);
+      const double sin_phase = std::sin(phase);
+      const double cos_phase = std::cos(phase);
+      out.resize(num_slots);
+      for (size_t t = 0; t < num_slots; ++t) {
+        const double wave =
+            base.sin_base[t] * cos_phase + base.cos_base[t] * sin_phase;
+        out[t] = Clamp(kOffset + kAmplitude * wave + rng.Gaussian(0.0, 0.03),
+                       0.0, 1.0);
+      }
+      return;
     }
     case SignalKind::kAr1: {
-      std::vector<double> xs =
-          Ar1Series(num_slots, /*phi=*/0.9, /*sigma=*/0.05, /*mean=*/0.5,
-                    rng);
-      for (double& x : xs) x = Clamp(x, 0.0, 1.0);
-      return xs;
+      Ar1SeriesInto(num_slots, /*phi=*/0.9, /*sigma=*/0.05, /*mean=*/0.5,
+                    rng, out);
+      for (double& x : out) x = Clamp(x, 0.0, 1.0);
+      return;
     }
     case SignalKind::kRandomWalk:
-      return ReflectedRandomWalk(num_slots, /*sigma=*/0.05,
-                                 /*x0=*/rng.Uniform(0.2, 0.8), rng);
+      ReflectedRandomWalkInto(num_slots, /*sigma=*/0.05,
+                              /*x0=*/rng.Uniform(0.2, 0.8), rng, out);
+      return;
     case SignalKind::kPiecewise: {
       static constexpr double kLevels[] = {0.1, 0.35, 0.65, 0.9};
-      return PiecewiseConstantSeries(num_slots, /*min_run=*/5,
-                                     /*max_run=*/20, kLevels, rng);
+      PiecewiseConstantSeriesInto(num_slots, /*min_run=*/5,
+                                  /*max_run=*/20, kLevels, rng, out);
+      return;
     }
   }
   CAPP_CHECK(false);  // Unreachable: all kinds handled above.
-  return {};
 }
 
 Fleet::Fleet(EngineConfig config, ShardedCollector collector,
@@ -127,6 +182,7 @@ Result<EngineStats> Fleet::Run() {
                                         num_chunks));
 
   std::vector<ChunkSums> chunk_sums(num_chunks);
+  collector_.ReserveUsers(users);
   const auto start = std::chrono::steady_clock::now();
 
   ParallelFor(num_chunks, threads, [&](size_t chunk) {
@@ -136,31 +192,47 @@ Result<EngineStats> Fleet::Run() {
     ChunkSums& sums = chunk_sums[chunk];
     sums.true_sum.assign(slots, 0.0);
     sums.report_sum.assign(slots, 0.0);
-    ReportBatch batch(&collector_);
+    // Pooled per-worker state, reused across every user in the chunk: one
+    // session (reseeded per user via ResetForUser -- no perturber or
+    // mechanism construction on the per-user path) and preallocated
+    // signal/report/smoothing buffers. The per-report hot path is
+    // allocation-free after the first user.
+    auto session = UserSession::Create(begin, config_.algorithm,
+                                       {config_.epsilon, config_.window},
+                                       /*seed=*/0);
+    CAPP_CHECK(session.ok());  // Config was validated in Create.
+    std::vector<double> truth;
     std::vector<double> report_values(slots);
+    std::vector<double> published;
+    std::vector<double> sma_scratch;
 
     for (uint64_t uid = begin; uid < end; ++uid) {
       Rng signal_rng(UserStreamSeed(config_.seed, uid, 0));
-      const std::vector<double> truth =
-          GenerateUserSignal(config_.signal, slots, signal_rng);
-      auto session =
-          UserSession::Create(uid, config_.algorithm,
-                              {config_.epsilon, config_.window},
-                              UserStreamSeed(config_.seed, uid, 1));
-      CAPP_CHECK(session.ok());  // Config was validated in Create.
-      for (size_t t = 0; t < slots; ++t) {
-        const SlotReport report = session->Report(truth[t]);
-        report_values[t] = report.value;
-        sums.true_sum[t] += truth[t];
-        sums.report_sum[t] += report.value;
-        batch.Add(report);
-      }
+      GenerateUserSignalInto(config_.signal, slots, signal_rng, truth);
+      session->ResetForUser(uid, UserStreamSeed(config_.seed, uid, 1));
+      // All of the user's slots go through the batched perturbation
+      // pipeline in one call (bit-identical to per-slot Report).
+      session->ReportChunk(truth, report_values);
+      // The device's whole stream is delivered as one run: one shard
+      // lookup and lock acquisition per user instead of per-report
+      // staging through SlotReport buffers.
+      collector_.IngestUserRun(uid, /*base_slot=*/0, report_values);
       sums.reports += slots;
-      auto published = SimpleMovingAverage(report_values, smoothing_window_);
-      CAPP_CHECK(published.ok());
-      sums.digest ^= HashPublishedStream(uid, *published);
+      CAPP_CHECK(SimpleMovingAverageInto(report_values, smoothing_window_,
+                                         published, sma_scratch)
+                     .ok());
+      // Fused digest + accumulation pass: the FNV byte chain is pure
+      // latency (the multiply feeds the next xor), so the slot-sum updates
+      // execute in its shadow. Produces exactly
+      // HashPublishedStream(uid, published).
+      uint64_t h = FnvMixWord(kFnvOffsetBasis, uid);
+      for (size_t t = 0; t < slots; ++t) {
+        h = FnvMixWord(h, std::bit_cast<uint64_t>(published[t]));
+        sums.true_sum[t] += truth[t];
+        sums.report_sum[t] += report_values[t];
+      }
+      sums.digest ^= h;
     }
-    // ReportBatch flushes on destruction.
   });
 
   const auto stop = std::chrono::steady_clock::now();

@@ -33,6 +33,12 @@ uint64_t UserStreamSeed(uint64_t fleet_seed, uint64_t user_id,
 std::vector<double> GenerateUserSignal(SignalKind kind, size_t num_slots,
                                        Rng& rng);
 
+/// In-place variant: writes the signal into `out` (cleared and refilled,
+/// capacity reused). Identical values and RNG consumption; the fleet
+/// workers call this once per user on a pooled buffer.
+void GenerateUserSignalInto(SignalKind kind, size_t num_slots, Rng& rng,
+                            std::vector<double>& out);
+
 /// A simulated population of UserSessions feeding one ShardedCollector.
 class Fleet {
  public:

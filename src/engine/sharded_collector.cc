@@ -131,6 +131,77 @@ void ShardedCollector::IngestLocked(Shard& shard, const SlotReport& report) {
   }
 }
 
+void ShardedCollector::ReserveUsers(size_t expected_users) {
+  // Shard assignment is a splitmix64 hash, so the population spreads
+  // near-uniformly; a small headroom factor covers the imbalance tail.
+  const size_t per_shard = expected_users / shards_.size() +
+                           expected_users / (4 * shards_.size()) + 16;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->index.reserve(per_shard);
+    shard->last_slot.reserve(per_shard);
+    shard->reports_per_user.reserve(per_shard);
+  }
+}
+
+void ShardedCollector::IngestUserRun(uint64_t user_id, size_t base_slot,
+                                     std::span<const double> values) {
+  // Like Ingest, non-finite values are discarded -- before registration,
+  // so a run with no finite value must not create the user.
+  size_t first = 0;
+  while (first < values.size() && !std::isfinite(values[first])) ++first;
+  if (first == values.size()) return;
+  size_t last = values.size() - 1;
+  while (!std::isfinite(values[last])) --last;  // exists: first <= last
+
+  Shard& shard = *shards_[ShardIndex(user_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Resolve the user's dense index once for the run.
+  const auto [it, inserted] =
+      shard.index.try_emplace(user_id,
+                              static_cast<uint32_t>(shard.last_slot.size()));
+  const uint32_t dense = it->second;
+  if (inserted) {
+    shard.last_slot.push_back(static_cast<uint32_t>(base_slot + first));
+    shard.reports_per_user.push_back(0);
+  }
+  shard.last_slot[dense] = std::max(
+      shard.last_slot[dense], static_cast<uint32_t>(base_slot + last));
+  const size_t end_slot = base_slot + last + 1;  // one past the run
+  if (end_slot > shard.slots.size()) shard.slots.resize(end_slot);
+
+  if (!options_.keep_streams) {
+    // Aggregate-only fast path: one Welford add per slot and bulk counter
+    // updates; nothing else to maintain.
+    size_t ingested = 0;
+    for (size_t i = first; i <= last; ++i) {
+      if (!std::isfinite(values[i])) continue;
+      shard.slots[base_slot + i].Add(values[i]);
+      ++ingested;
+    }
+    shard.reports_per_user[dense] += static_cast<uint32_t>(ingested);
+    shard.report_count += ingested;
+    return;
+  }
+
+  if (end_slot > shard.values.size()) shard.values.resize(end_slot);
+  for (size_t i = first; i <= last; ++i) {
+    if (!std::isfinite(values[i])) continue;
+    const size_t slot = base_slot + i;
+    std::vector<double>& row = shard.values[slot];
+    if (dense >= row.size()) row.resize(dense + 1, kMissing);
+    const double old_value = row[dense];
+    row[dense] = values[i];
+    if (std::isnan(old_value)) {
+      shard.slots[slot].Add(values[i]);
+      ++shard.reports_per_user[dense];
+      ++shard.report_count;
+    } else {
+      shard.slots[slot].Replace(old_value, values[i]);
+    }
+  }
+}
+
 void ShardedCollector::Ingest(const SlotReport& report) {
   Shard& shard = *shards_[ShardIndex(report.user_id)];
   std::lock_guard<std::mutex> lock(shard.mu);

@@ -86,6 +86,20 @@ class ShardedCollector {
   /// taken once per call instead of once per report.
   void IngestBatch(std::span<const SlotReport> reports);
 
+  /// Pre-sizes every shard's user index and per-user bookkeeping for an
+  /// expected population (a hint; populations may exceed it). Eliminates
+  /// rehash stalls while a large fleet registers its users.
+  void ReserveUsers(size_t expected_users);
+
+  /// Ingests one user's run of consecutive slots: values[i] is the report
+  /// for slot base_slot + i. Equivalent to Ingest({user_id, base_slot+i,
+  /// values[i]}) per element in order, but the shard hash, lock
+  /// acquisition, and user-index resolution happen once for the whole run
+  /// -- the fleet's per-user fast path (a simulated device uploads its
+  /// stream in one piece).
+  void IngestUserRun(uint64_t user_id, size_t base_slot,
+                     std::span<const double> values);
+
   /// Number of distinct users seen so far.
   size_t user_count() const;
 

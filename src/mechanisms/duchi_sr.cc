@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/check.h"
 #include "core/math_utils.h"
 
 namespace capp {
@@ -18,6 +19,16 @@ double DuchiSr::Perturb(double v, Rng& rng) const {
   v = Clamp(v, -1.0, 1.0);
   const double p_plus = 0.5 + v / (2.0 * c_);
   return rng.Bernoulli(p_plus) ? c_ : -c_;
+}
+
+void DuchiSr::PerturbBatch(std::span<const double> in, std::span<double> out,
+                           Rng& rng) const {
+  CAPP_CHECK(in.size() == out.size());
+  // Qualified call: devirtualized, and any future change to the scalar
+  // sampler is inherited instead of silently diverging.
+  for (size_t i = 0; i < in.size(); ++i) {
+    out[i] = DuchiSr::Perturb(in[i], rng);
+  }
 }
 
 double DuchiSr::OutputMean(double v) const { return Clamp(v, -1.0, 1.0); }

@@ -31,6 +31,10 @@ class DuchiSr final : public Mechanism {
   double c() const { return c_; }
 
   double Perturb(double v, Rng& rng) const override;
+  /// Devirtualized scalar loop; bit-identical to per-element Perturb (the
+  /// Bernoulli draw count depends on each p_plus, so no block layout).
+  void PerturbBatch(std::span<const double> in, std::span<double> out,
+                    Rng& rng) const override;
   double UnbiasedEstimate(double y) const override { return y; }
   double OutputMean(double v) const override;
   double OutputVariance(double v) const override;

@@ -1,5 +1,6 @@
 #include "mechanisms/laplace.h"
 
+#include "core/check.h"
 #include "core/math_utils.h"
 
 namespace capp {
@@ -12,6 +13,16 @@ Result<LaplaceMechanism> LaplaceMechanism::Create(double epsilon) {
 double LaplaceMechanism::Perturb(double v, Rng& rng) const {
   v = Clamp(v, -1.0, 1.0);
   return v + rng.Laplace(scale_);
+}
+
+void LaplaceMechanism::PerturbBatch(std::span<const double> in,
+                                    std::span<double> out, Rng& rng) const {
+  CAPP_CHECK(in.size() == out.size());
+  // Qualified call: devirtualized, and any future change to the scalar
+  // sampler is inherited instead of silently diverging.
+  for (size_t i = 0; i < in.size(); ++i) {
+    out[i] = LaplaceMechanism::Perturb(in[i], rng);
+  }
 }
 
 double LaplaceMechanism::OutputMean(double v) const {

@@ -32,6 +32,10 @@ class LaplaceMechanism final : public Mechanism {
   double scale() const { return scale_; }
 
   double Perturb(double v, Rng& rng) const override;
+  /// Devirtualized scalar loop (inverse-CDF sampling has no batch form that
+  /// preserves the draw stream); bit-identical to per-element Perturb.
+  void PerturbBatch(std::span<const double> in, std::span<double> out,
+                    Rng& rng) const override;
   /// The raw output is already unbiased.
   double UnbiasedEstimate(double y) const override { return y; }
   double OutputMean(double v) const override;

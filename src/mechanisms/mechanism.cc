@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/check.h"
 #include "mechanisms/duchi_sr.h"
 #include "mechanisms/hybrid.h"
 #include "mechanisms/laplace.h"
@@ -9,6 +10,12 @@
 #include "mechanisms/square_wave.h"
 
 namespace capp {
+
+void Mechanism::PerturbBatch(std::span<const double> in,
+                             std::span<double> out, Rng& rng) const {
+  CAPP_CHECK(in.size() == out.size());
+  for (size_t i = 0; i < in.size(); ++i) out[i] = Perturb(in[i], rng);
+}
 
 Status Mechanism::ValidateEpsilon(double epsilon) {
   if (!std::isfinite(epsilon)) {
@@ -43,7 +50,7 @@ Result<std::unique_ptr<Mechanism>> CreateMechanism(MechanismKind kind,
                                                    double epsilon) {
   switch (kind) {
     case MechanismKind::kSquareWave: {
-      CAPP_ASSIGN_OR_RETURN(SquareWave sw, SquareWave::Create(epsilon));
+      CAPP_ASSIGN_OR_RETURN(SquareWave sw, SquareWave::CreateCached(epsilon));
       return std::unique_ptr<Mechanism>(new SquareWave(std::move(sw)));
     }
     case MechanismKind::kLaplace: {

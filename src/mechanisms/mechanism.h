@@ -9,6 +9,7 @@
 #define CAPP_MECHANISMS_MECHANISM_H_
 
 #include <memory>
+#include <span>
 #include <string_view>
 
 #include "core/rng.h"
@@ -37,6 +38,15 @@ class Mechanism {
 
   /// Perturbs v (defensively clamped into the input domain).
   virtual double Perturb(double v, Rng& rng) const = 0;
+
+  /// Perturbs a batch: out[i] = Perturb(in[i]) for every i, consuming RNG
+  /// draws in the exact order of the equivalent scalar loop, so outputs are
+  /// bit-identical to calling Perturb element-by-element. Requires
+  /// out.size() == in.size(); in and out must not overlap unless equal.
+  /// The base implementation is the scalar loop; overrides amortize
+  /// sampling over the batch (e.g. Square Wave pre-fills a uniform block).
+  virtual void PerturbBatch(std::span<const double> in, std::span<double> out,
+                            Rng& rng) const;
 
   /// Point estimate of the input that is unbiased over the mechanism's
   /// randomness: E[UnbiasedEstimate(Perturb(v))] == v.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/check.h"
 #include "core/math_utils.h"
 
 namespace capp {
@@ -35,6 +36,14 @@ double PiecewiseMechanism::Perturb(double v, Rng& rng) const {
   const double u = rng.Uniform(0.0, c_ + 1.0);
   if (u < left_width) return -c_ + u;
   return hi + (u - left_width);
+}
+
+void PiecewiseMechanism::PerturbBatch(std::span<const double> in,
+                                      std::span<double> out, Rng& rng) const {
+  CAPP_CHECK(in.size() == out.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    out[i] = PiecewiseMechanism::Perturb(in[i], rng);
+  }
 }
 
 double PiecewiseMechanism::OutputMean(double v) const {

@@ -39,6 +39,10 @@ class PiecewiseMechanism final : public Mechanism {
   double BandHi(double v) const;
 
   double Perturb(double v, Rng& rng) const override;
+  /// Devirtualized scalar loop; bit-identical to per-element Perturb (PM's
+  /// band choice draws conditionally, so no fixed block layout exists).
+  void PerturbBatch(std::span<const double> in, std::span<double> out,
+                    Rng& rng) const override;
   double UnbiasedEstimate(double y) const override { return y; }
   double OutputMean(double v) const override;
   double OutputVariance(double v) const override;

@@ -1,11 +1,82 @@
 #include "mechanisms/square_wave.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
 
 #include "core/check.h"
 #include "core/math_utils.h"
 
 namespace capp {
+namespace {
+
+// Process-wide epsilon -> SwParams memo. Keyed by the exact bit pattern so
+// the cache can never change results: a hit returns precisely what
+// ComputeParams returned for that epsilon the first time.
+struct SwParamsStore {
+  std::shared_mutex mutex;
+  std::unordered_map<uint64_t, SwParams> map;
+};
+
+SwParamsStore& GlobalSwParamsStore() {
+  // Leaked intentionally: the cache must outlive any static perturber that
+  // might consult it during program teardown.
+  static SwParamsStore* store = new SwParamsStore;
+  return *store;
+}
+
+// Small direct-mapped thread-local memo in front of the shared map. BA-SW
+// alternates between a handful of banked budgets, so nearly every per-slot
+// lookup resolves here without touching the shared mutex.
+struct TlsSwParamsEntry {
+  uint64_t key = 0;
+  bool valid = false;
+  SwParams params;
+};
+constexpr size_t kTlsSwParamsSlots = 8;
+
+// Unbounded distinct epsilons (adversarial input) must not grow the shared
+// map without limit; past this size new values are computed but no longer
+// inserted.
+constexpr size_t kMaxCachedParams = 1 << 16;
+
+}  // namespace
+
+std::optional<SwBatchPlan> PlanSwBatch(const Mechanism* mechanism) {
+  const auto* sw = dynamic_cast<const SquareWave*>(mechanism);
+  if (sw == nullptr) return std::nullopt;
+  const double near_mass = SwNearBandMass(sw->params());
+  if (!SwBatchable(near_mass)) return std::nullopt;
+  return SwBatchPlan{sw->params(), near_mass};
+}
+
+Result<SwParams> CachedSwParams(double epsilon) {
+  thread_local TlsSwParamsEntry tls[kTlsSwParamsSlots];
+  const uint64_t key = std::bit_cast<uint64_t>(epsilon);
+  TlsSwParamsEntry& slot = tls[SplitMix64Mix(key) % kTlsSwParamsSlots];
+  if (slot.valid && slot.key == key) return slot.params;
+
+  SwParamsStore& store = GlobalSwParamsStore();
+  {
+    std::shared_lock lock(store.mutex);
+    const auto it = store.map.find(key);
+    if (it != store.map.end()) {
+      slot = {key, true, it->second};
+      return it->second;
+    }
+  }
+  // Invalid epsilons are not cached: the error path is cold by definition.
+  CAPP_ASSIGN_OR_RETURN(SwParams params, SquareWave::ComputeParams(epsilon));
+  {
+    std::unique_lock lock(store.mutex);
+    if (store.map.size() < kMaxCachedParams) store.map.emplace(key, params);
+  }
+  slot = {key, true, params};
+  return params;
+}
 
 Result<SwParams> SquareWave::ComputeParams(double epsilon) {
   CAPP_RETURN_IF_ERROR(ValidateEpsilon(epsilon));
@@ -31,6 +102,11 @@ Result<SquareWave> SquareWave::Create(double epsilon) {
   return SquareWave(epsilon, params);
 }
 
+Result<SquareWave> SquareWave::CreateCached(double epsilon) {
+  CAPP_ASSIGN_OR_RETURN(SwParams params, CachedSwParams(epsilon));
+  return SquareWave(epsilon, params);
+}
+
 double SquareWave::Perturb(double v, Rng& rng) const {
   v = Clamp(v, 0.0, 1.0);
   const double b = params_.b;
@@ -44,6 +120,26 @@ double SquareWave::Perturb(double v, Rng& rng) const {
   const double t = rng.UniformDouble();  // in [0, 1)
   if (t < v) return -b + t;
   return v + b + (t - v);
+}
+
+void SquareWave::PerturbBatch(std::span<const double> in,
+                              std::span<double> out, Rng& rng) const {
+  CAPP_CHECK(in.size() == out.size());
+  const double near_mass = SwNearBandMass(params_);
+  if (!SwBatchable(near_mass)) {
+    // Degenerate rounding of the band mass: the scalar Bernoulli would skip
+    // a draw, so the two-uniform block layout no longer applies.
+    Mechanism::PerturbBatch(in, out, rng);
+    return;
+  }
+  internal::ForEachSwSlot(in, out, rng,
+                          [&](double raw, double u1, double u2) {
+                            // The defensive clamp lives here (off any
+                            // dependency chain); the sampler assumes it.
+                            const double v = Clamp(raw, 0.0, 1.0);
+                            return SwSampleFromUniforms(params_, near_mass,
+                                                        v, u1, u2);
+                          });
 }
 
 double SquareWave::MeanSlope() const {

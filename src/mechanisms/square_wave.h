@@ -14,8 +14,12 @@
 #ifndef CAPP_MECHANISMS_SQUARE_WAVE_H_
 #define CAPP_MECHANISMS_SQUARE_WAVE_H_
 
+#include <algorithm>
+#include <cstddef>
+#include <optional>
 #include <string_view>
 
+#include "core/math_utils.h"
 #include "core/piecewise_density.h"
 #include "core/rng.h"
 #include "core/status.h"
@@ -30,6 +34,92 @@ struct SwParams {
   double q = 0.0;  ///< Density outside the near band.
 };
 
+/// Memoized SquareWave::ComputeParams: the exp/expm1 derivation runs once
+/// per distinct epsilon bit pattern and is then served from a process-wide
+/// cache (thread-safe; a small thread-local memo makes repeat lookups
+/// lock-free). BA-SW re-derives SW at its banked budget on every published
+/// slot, which made the transcendentals a per-slot cost before this cache.
+Result<SwParams> CachedSwParams(double epsilon);
+
+/// Probability mass of the near band [v-b, v+b], written with the exact
+/// expression the scalar sampler feeds to Rng::Bernoulli so batched callers
+/// reproduce its rounding.
+inline double SwNearBandMass(const SwParams& params) {
+  return 2.0 * params.b * params.p;
+}
+
+/// Samples one SW output from input v (caller-guaranteed to already lie in
+/// [0, 1], making Perturb's defensive clamp the identity) and two uniform
+/// draws, branch-free. `near_mass` must be SwNearBandMass(params) and must
+/// lie strictly inside (0, 1) -- callers check once per batch (see
+/// SwBatchable). Consumes u1 for the band choice and u2 for the position,
+/// matching SquareWave::Perturb's draw order and arithmetic bit for bit:
+/// both selects compile to conditional moves, no RNG call leaves the
+/// caller's loop, and nothing rides the caller's feedback chain but the
+/// sampler arithmetic itself.
+inline double SwSampleFromUniforms(const SwParams& params, double near_mass,
+                                   double v, double u1, double u2) {
+  const double lo = v - params.b;
+  const double hi = v + params.b;
+  // Near band: Uniform(lo, hi) = lo + (hi - lo) * u2.
+  const double near_val = lo + (hi - lo) * u2;
+  // Far region: left part [-b, v-b) has width v, right part (v+b, 1+b]
+  // has width 1-v; total width exactly 1, addressed directly by u2.
+  const double far_val = u2 < v ? -params.b + u2 : hi + (u2 - v);
+  return u1 < near_mass ? near_val : far_val;
+}
+
+/// True when the batched two-uniform sampler is exact for these params:
+/// Rng::Bernoulli(p) consumes a draw only for p strictly inside (0, 1), so
+/// a near-band mass rounding onto the boundary would desynchronize the
+/// draw streams. Mathematically 0 < 2bp < 1 always; this guards the
+/// pathological rounding case.
+inline bool SwBatchable(double near_mass) {
+  return near_mass > 0.0 && near_mass < 1.0;
+}
+
+/// The once-per-chunk setup shared by every algorithm with an SW batch
+/// fast path: the sampler parameters and the precomputed near-band mass.
+struct SwBatchPlan {
+  SwParams params;
+  double near_mass = 0.0;
+};
+
+/// Returns the batch plan when `mechanism` is a SquareWave whose
+/// parameters admit the exact two-uniform block sampler (see SwBatchable),
+/// nullopt otherwise -- in which case callers must take their scalar
+/// fallback. Centralizing the guard keeps the batchability condition from
+/// drifting between the algorithms that share it.
+std::optional<SwBatchPlan> PlanSwBatch(const Mechanism* mechanism);
+
+namespace internal {
+
+/// Block driver shared by every batched SW sampler (SquareWave's own
+/// PerturbBatch and the direct/IPP/APP/CAPP chunk loops): runs
+/// out[i] = sample(in[i], u1, u2) over the chunk with the uniform pairs
+/// pulled from `rng` in blocks, two draws per slot in the exact scalar
+/// order. `sample` is invoked strictly in slot order, so feedback state
+/// may be carried between calls. Living in one place keeps the block size
+/// and draw layout -- which the scalar/batched draw-stream equivalence
+/// depends on -- from ever diverging between callers.
+template <typename Sample>
+void ForEachSwSlot(std::span<const double> in, std::span<double> out,
+                   Rng& rng, Sample&& sample) {
+  // 128 slots -> a 2 KiB uniform block: resident in L1 next to in/out.
+  constexpr size_t kBlockReports = 128;
+  double uniforms[2 * kBlockReports];
+  for (size_t done = 0; done < in.size(); done += kBlockReports) {
+    const size_t count = std::min(in.size() - done, kBlockReports);
+    rng.FillUniform(std::span<double>(uniforms, 2 * count));
+    for (size_t i = 0; i < count; ++i) {
+      out[done + i] =
+          sample(in[done + i], uniforms[2 * i], uniforms[2 * i + 1]);
+    }
+  }
+}
+
+}  // namespace internal
+
 /// The Square Wave mechanism.
 class SquareWave final : public Mechanism {
  public:
@@ -38,6 +128,11 @@ class SquareWave final : public Mechanism {
 
   /// Builds an SW mechanism; fails for invalid epsilon.
   static Result<SquareWave> Create(double epsilon);
+
+  /// Create() through the CachedSwParams memo: identical result, but the
+  /// transcendental parameter derivation is amortized across calls. Use on
+  /// per-slot paths (BA-SW banked budgets, bound selectors).
+  static Result<SquareWave> CreateCached(double epsilon);
 
   std::string_view name() const override { return "sw"; }
   double input_lo() const override { return 0.0; }
@@ -48,6 +143,13 @@ class SquareWave final : public Mechanism {
   const SwParams& params() const { return params_; }
 
   double Perturb(double v, Rng& rng) const override;
+
+  /// Batched Perturb: pre-fills a uniform block with Rng::FillUniform (two
+  /// draws per report, exact scalar order) and selects near/far bands
+  /// branch-free via SwSampleFromUniforms. Bit-identical to the scalar
+  /// loop.
+  void PerturbBatch(std::span<const double> in, std::span<double> out,
+                    Rng& rng) const override;
 
   /// Inverts the output-mean line E[y|v] = alpha*v + beta. Degenerates as
   /// eps -> 0 (alpha -> 0); then returns the domain midpoint 0.5.

@@ -13,6 +13,15 @@ void WEventAccountant::Record(size_t slot, double epsilon) {
   spend_[slot] += epsilon;
 }
 
+void WEventAccountant::RecordRun(size_t begin_slot, size_t n,
+                                 double epsilon) {
+  CAPP_CHECK(epsilon >= 0.0);
+  if (n == 0) return;
+  const size_t end = begin_slot + n;
+  if (end > spend_.size()) spend_.resize(end, 0.0);
+  for (size_t slot = begin_slot; slot < end; ++slot) spend_[slot] += epsilon;
+}
+
 double WEventAccountant::SlotSpend(size_t slot) const {
   return slot < spend_.size() ? spend_[slot] : 0.0;
 }

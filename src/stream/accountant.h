@@ -27,6 +27,11 @@ class WEventAccountant {
   /// accumulate (e.g., dissimilarity + publication spends in BA-SW).
   void Record(size_t slot, double epsilon);
 
+  /// Records `epsilon` at each of the `n` slots [begin_slot, begin_slot+n).
+  /// Ledger state is identical to n individual Record calls; the vector is
+  /// grown once, which is what the batched perturbation path relies on.
+  void RecordRun(size_t begin_slot, size_t n, double epsilon);
+
   /// Number of slots with at least one record (== highest slot + 1).
   size_t num_slots() const { return spend_.size(); }
 

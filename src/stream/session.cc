@@ -19,12 +19,28 @@ Result<UserSession> UserSession::Create(uint64_t user_id, AlgorithmKind kind,
   return UserSession(user_id, std::move(perturber), seed);
 }
 
+void UserSession::ResetForUser(uint64_t user_id, uint64_t seed) {
+  user_id_ = user_id;
+  perturber_->Reset();
+  ledger_.Reset();
+  rng_ = Rng(seed);
+}
+
 SlotReport UserSession::Report(double value) {
   SlotReport report;
   report.user_id = user_id_;
   report.slot = perturber_->slots_processed();
   report.value = perturber_->ProcessValue(Clamp(value, 0.0, 1.0), rng_);
   return report;
+}
+
+void UserSession::ReportChunk(std::span<const double> values,
+                              std::span<double> out) {
+  clamp_scratch_.resize(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    clamp_scratch_[i] = Clamp(values[i], 0.0, 1.0);
+  }
+  perturber_->ProcessChunk(clamp_scratch_, out, rng_);
 }
 
 Result<CollectorSession> CollectorSession::Create(int smoothing_window) {

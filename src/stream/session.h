@@ -45,7 +45,8 @@ class UserSession {
       : user_id_(other.user_id_),
         perturber_(std::move(other.perturber_)),
         ledger_(std::move(other.ledger_)),
-        rng_(other.rng_) {
+        rng_(other.rng_),
+        clamp_scratch_(std::move(other.clamp_scratch_)) {
     if (perturber_) perturber_->AttachAccountant(&ledger_);
   }
   UserSession& operator=(UserSession&& other) noexcept {
@@ -54,13 +55,30 @@ class UserSession {
     perturber_ = std::move(other.perturber_);
     ledger_ = std::move(other.ledger_);
     rng_ = other.rng_;
+    clamp_scratch_ = std::move(other.clamp_scratch_);
     if (perturber_) perturber_->AttachAccountant(&ledger_);
     return *this;
   }
 
+  /// Re-purposes this session for another user: algorithm state, budget
+  /// ledger, and slot counter are reset and the RNG is reseeded, leaving
+  /// the session indistinguishable from a freshly created one -- while the
+  /// perturber and ledger allocations are reused. The engine's fleet
+  /// workers pool one session per worker through this instead of paying a
+  /// mechanism construction per simulated user.
+  void ResetForUser(uint64_t user_id, uint64_t seed);
+
   /// Perturbs the current slot's value and returns the outgoing report.
   /// Values are clamped into [0,1] (normalize upstream if necessary).
   SlotReport Report(double value);
+
+  /// Perturbs values.size() consecutive slots in one call: out[i] is the
+  /// report *value* for slot slots_processed()+i (the caller composes
+  /// SlotReports, which keeps bulk producers free of per-report structs).
+  /// Bit-identical to calling Report per element; the batched path is
+  /// described at StreamPerturber::ProcessChunk. out.size() must equal
+  /// values.size().
+  void ReportChunk(std::span<const double> values, std::span<double> out);
 
   uint64_t user_id() const { return user_id_; }
   size_t slots_processed() const { return perturber_->slots_processed(); }
@@ -87,6 +105,7 @@ class UserSession {
   std::unique_ptr<StreamPerturber> perturber_;
   WEventAccountant ledger_;
   Rng rng_;
+  std::vector<double> clamp_scratch_;  // ReportChunk's clamped inputs
 };
 
 /// Collector-side session: ingest reports, publish streams and statistics.

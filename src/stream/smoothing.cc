@@ -8,22 +8,35 @@ namespace capp {
 
 Result<std::vector<double>> SimpleMovingAverage(std::span<const double> xs,
                                                 int window) {
+  std::vector<double> out;
+  std::vector<double> prefix;
+  CAPP_RETURN_IF_ERROR(SimpleMovingAverageInto(xs, window, out, prefix));
+  return out;
+}
+
+Status SimpleMovingAverageInto(std::span<const double> xs, int window,
+                               std::vector<double>& out,
+                               std::vector<double>& prefix_scratch) {
   if (window < 1 || window % 2 == 0) {
     return Status::InvalidArgument("SMA window must be odd and >= 1");
   }
-  std::vector<double> out(xs.begin(), xs.end());
-  if (window == 1 || xs.size() <= 1) return out;
+  out.assign(xs.begin(), xs.end());
+  if (window == 1 || xs.size() <= 1) return Status::OK();
   const int k = window / 2;
   const int n = static_cast<int>(xs.size());
   // Prefix sums for O(n) evaluation.
-  std::vector<double> prefix(n + 1, 0.0);
-  for (int i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + xs[i];
+  prefix_scratch.resize(n + 1);
+  prefix_scratch[0] = 0.0;
+  for (int i = 0; i < n; ++i) {
+    prefix_scratch[i + 1] = prefix_scratch[i] + xs[i];
+  }
   for (int t = 0; t < n; ++t) {
     const int lo = std::max(0, t - k);
     const int hi = std::min(n - 1, t + k);
-    out[t] = (prefix[hi + 1] - prefix[lo]) / static_cast<double>(hi - lo + 1);
+    out[t] = (prefix_scratch[hi + 1] - prefix_scratch[lo]) /
+             static_cast<double>(hi - lo + 1);
   }
-  return out;
+  return Status::OK();
 }
 
 std::vector<double> Sma3(std::span<const double> xs) {

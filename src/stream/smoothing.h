@@ -21,6 +21,15 @@ namespace capp {
 Result<std::vector<double>> SimpleMovingAverage(std::span<const double> xs,
                                                 int window);
 
+/// Scratch-buffer variant for per-user hot loops: writes the smoothed
+/// series into `out` and keeps the prefix sums in `prefix_scratch`, both
+/// resized as needed so repeated calls reuse their capacity. Values are
+/// identical to SimpleMovingAverage (which wraps this). `xs` must not
+/// alias `out` or `prefix_scratch`.
+Status SimpleMovingAverageInto(std::span<const double> xs, int window,
+                               std::vector<double>& out,
+                               std::vector<double>& prefix_scratch);
+
 /// Convenience overload used throughout the paper: window = 3.
 std::vector<double> Sma3(std::span<const double> xs);
 
