@@ -1,0 +1,255 @@
+// Transport throughput benchmark: what does the wire cost? Runs the same
+// fleet scenario through all three transports -- direct in-process ingest,
+// the MPSC queue of structured run batches, and the queue of binary wire
+// frames (encode + CRC-checked decode per run) -- and reports sustained
+// reports/s, frames/s, and backpressure stalls for each.
+//
+//   $ ./bench_transport_throughput                    # 1M users x 100 slots
+//   $ ./bench_transport_throughput --users=200000 --consumers=4
+//   $ ./bench_transport_throughput --quick            # CI smoke sizing
+//
+// Every run re-verifies the transport determinism contract: the published
+// -stream digest must be bit-identical across all three transports (exit
+// status is non-zero otherwise), and writes BENCH_transport_throughput.json
+// with the scenario, per-transport throughput, and queue/direct ratios.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "core/check.h"
+#include "engine/engine_config.h"
+#include "engine/fleet.h"
+#include "engine/thread_pool.h"
+#include "harness/json_out.h"
+#include "transport/transport.h"
+
+namespace capp::bench {
+namespace {
+
+struct TransportBenchFlags {
+  size_t users = 1000000;
+  size_t slots = 100;
+  int threads = 0;  // producer threads; 0 = all hardware threads
+  int consumers = 2;
+  size_t queue_capacity = 256;
+  size_t batch_runs = 64;
+  double epsilon = 1.0;
+  int window = 10;
+  uint64_t seed = 1;
+  std::string_view algorithm = "capp";
+  std::string_view signal = "sinusoid";
+  std::string_view json_path = "BENCH_transport_throughput.json";
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--users=N] [--slots=N] [--threads=N] [--consumers=N]\n"
+      "          [--capacity=N] [--batch-runs=N] [--epsilon=X] [--window=N]\n"
+      "          [--seed=N] [--algorithm=NAME] [--signal=NAME]\n"
+      "          [--json=PATH] [--quick]\n",
+      argv0);
+  std::exit(2);
+}
+
+bool ParseValue(std::string_view arg, std::string_view name,
+                std::string_view* value) {
+  if (!arg.starts_with(name)) return false;
+  *value = arg.substr(name.size());
+  return true;
+}
+
+TransportBenchFlags ParseFlags(int argc, char** argv) {
+  TransportBenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string_view value;
+    if (arg == "--quick") {
+      flags.users = 50000;
+      flags.slots = 20;
+    } else if (ParseValue(arg, "--users=", &value)) {
+      flags.users = std::strtoull(value.data(), nullptr, 10);
+    } else if (ParseValue(arg, "--slots=", &value)) {
+      flags.slots = std::strtoull(value.data(), nullptr, 10);
+    } else if (ParseValue(arg, "--threads=", &value)) {
+      flags.threads = std::atoi(value.data());
+    } else if (ParseValue(arg, "--consumers=", &value)) {
+      flags.consumers = std::atoi(value.data());
+    } else if (ParseValue(arg, "--capacity=", &value)) {
+      flags.queue_capacity = std::strtoull(value.data(), nullptr, 10);
+    } else if (ParseValue(arg, "--batch-runs=", &value)) {
+      flags.batch_runs = std::strtoull(value.data(), nullptr, 10);
+    } else if (ParseValue(arg, "--epsilon=", &value)) {
+      flags.epsilon = std::strtod(value.data(), nullptr);
+    } else if (ParseValue(arg, "--window=", &value)) {
+      flags.window = std::atoi(value.data());
+    } else if (ParseValue(arg, "--seed=", &value)) {
+      flags.seed = std::strtoull(value.data(), nullptr, 10);
+    } else if (ParseValue(arg, "--algorithm=", &value)) {
+      flags.algorithm = value;
+    } else if (ParseValue(arg, "--signal=", &value)) {
+      flags.signal = value;
+    } else if (ParseValue(arg, "--json=", &value)) {
+      flags.json_path = value;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  return flags;
+}
+
+EngineStats RunOnce(const TransportBenchFlags& flags, TransportKind kind) {
+  EngineConfig config;
+  auto algorithm = ParseAlgorithmKind(flags.algorithm);
+  auto signal = ParseSignalKind(flags.signal);
+  if (!algorithm.ok() || !signal.ok()) {
+    std::fprintf(stderr, "bad --algorithm/--signal\n");
+    std::exit(2);
+  }
+  config.algorithm = *algorithm;
+  config.signal = *signal;
+  config.epsilon = flags.epsilon;
+  config.window = flags.window;
+  config.num_users = flags.users;
+  config.num_slots = flags.slots;
+  config.num_threads = flags.threads;
+  config.seed = flags.seed;
+  config.keep_streams = false;  // aggregate-only: the scaling configuration
+  config.transport.kind = kind;
+  config.transport.num_consumers = flags.consumers;
+  config.transport.queue_capacity = flags.queue_capacity;
+  config.transport.max_batch_runs = flags.batch_runs;
+  auto fleet = Fleet::Create(config);
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "config rejected: %s\n",
+                 fleet.status().ToString().c_str());
+    std::exit(2);
+  }
+  auto stats = fleet->Run();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 stats.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *stats;
+}
+
+void PrintRun(TransportKind kind, const EngineStats& stats) {
+  std::printf("[%-6s] %.0f reports/s (%.2fs, %zu producer threads)",
+              std::string(TransportKindName(kind)).c_str(),
+              stats.reports_per_sec, stats.elapsed_seconds, stats.threads);
+  if (kind != TransportKind::kDirect) {
+    const TransportStats& t = stats.transport;
+    const double frames_per_sec =
+        stats.elapsed_seconds > 0.0
+            ? static_cast<double>(t.frames) / stats.elapsed_seconds
+            : 0.0;
+    std::printf(", %llu frames (%.0f frames/s), %llu push stalls, "
+                "%llu pop waits",
+                static_cast<unsigned long long>(t.frames), frames_per_sec,
+                static_cast<unsigned long long>(t.push_stalls),
+                static_cast<unsigned long long>(t.pop_waits));
+    if (t.wire_bytes > 0) {
+      std::printf(", %.1f MB on the wire",
+                  static_cast<double>(t.wire_bytes) / 1048576.0);
+    }
+  }
+  std::printf("\n");
+}
+
+JsonObjectWriter RunJson(const EngineStats& stats) {
+  JsonObjectWriter run;
+  run.AddInt("producer_threads", stats.threads);
+  run.AddNumber("elapsed_seconds", stats.elapsed_seconds);
+  run.AddNumber("reports_per_sec", stats.reports_per_sec);
+  const TransportStats& t = stats.transport;
+  run.AddInt("frames", t.frames);
+  run.AddNumber("frames_per_sec",
+                stats.elapsed_seconds > 0.0
+                    ? static_cast<double>(t.frames) / stats.elapsed_seconds
+                    : 0.0);
+  run.AddInt("push_stalls", t.push_stalls);
+  run.AddInt("pop_waits", t.pop_waits);
+  run.AddInt("wire_bytes", t.wire_bytes);
+  run.AddInt("consumers", t.consumer_runs.size());
+  return run;
+}
+
+int Run(int argc, char** argv) {
+  const TransportBenchFlags flags = ParseFlags(argc, argv);
+  std::printf("=== Transport throughput: %s, eps=%.2f, %zu users x %zu "
+              "slots, %d consumers, capacity %zu, %zu runs/frame ===\n\n",
+              std::string(flags.algorithm).c_str(), flags.epsilon,
+              flags.users, flags.slots, flags.consumers,
+              flags.queue_capacity, flags.batch_runs);
+
+  const EngineStats direct = RunOnce(flags, TransportKind::kDirect);
+  PrintRun(TransportKind::kDirect, direct);
+  const EngineStats queued = RunOnce(flags, TransportKind::kQueue);
+  PrintRun(TransportKind::kQueue, queued);
+  const EngineStats framed = RunOnce(flags, TransportKind::kQueueFramed);
+  PrintRun(TransportKind::kQueueFramed, framed);
+
+  const double queue_ratio =
+      direct.reports_per_sec > 0.0
+          ? queued.reports_per_sec / direct.reports_per_sec
+          : 0.0;
+  const double framed_ratio =
+      direct.reports_per_sec > 0.0
+          ? framed.reports_per_sec / direct.reports_per_sec
+          : 0.0;
+  std::printf("\nqueue sustains %.0f%% of direct ingest; framed (encode + "
+              "CRC decode) %.0f%%\n",
+              100.0 * queue_ratio, 100.0 * framed_ratio);
+
+  if (!flags.json_path.empty()) {
+    JsonObjectWriter json;
+    json.AddString("bench", "transport_throughput");
+    json.AddString("algorithm", flags.algorithm);
+    json.AddString("signal", flags.signal);
+    json.AddNumber("epsilon", flags.epsilon);
+    json.AddInt("users", flags.users);
+    json.AddInt("slots", flags.slots);
+    json.AddInt("seed", flags.seed);
+    json.AddInt("queue_capacity", flags.queue_capacity);
+    json.AddInt("batch_runs", flags.batch_runs);
+    json.AddObject("direct", RunJson(direct));
+    json.AddObject("queue", RunJson(queued));
+    json.AddObject("queue_framed", RunJson(framed));
+    json.AddNumber("queue_vs_direct", queue_ratio);
+    json.AddNumber("framed_vs_direct", framed_ratio);
+    json.AddHex("digest", direct.stream_digest);
+    const bool match = direct.stream_digest == queued.stream_digest &&
+                       direct.stream_digest == framed.stream_digest;
+    json.AddString("digest_match", match ? "ok" : "MISMATCH");
+    const std::string path(flags.json_path);
+    const Status written = WriteJsonFile(path, json);
+    if (written.ok()) {
+      std::printf("result file: %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: %s\n", written.ToString().c_str());
+    }
+  }
+
+  if (direct.stream_digest != queued.stream_digest ||
+      direct.stream_digest != framed.stream_digest) {
+    std::fprintf(stderr,
+                 "DETERMINISM VIOLATION: digests differ across transports "
+                 "(%016llx direct, %016llx queue, %016llx framed)\n",
+                 static_cast<unsigned long long>(direct.stream_digest),
+                 static_cast<unsigned long long>(queued.stream_digest),
+                 static_cast<unsigned long long>(framed.stream_digest));
+    return 1;
+  }
+  std::printf("determinism: digest %016llx identical across all three "
+              "transports\n",
+              static_cast<unsigned long long>(direct.stream_digest));
+  return 0;
+}
+
+}  // namespace
+}  // namespace capp::bench
+
+int main(int argc, char** argv) { return capp::bench::Run(argc, argv); }

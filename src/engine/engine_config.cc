@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "algorithms/perturber.h"
+#include "transport/wire_format.h"
 
 namespace capp {
 
@@ -55,6 +56,17 @@ Status ValidateEngineConfig(const EngineConfig& config) {
       (config.smoothing_window != 0 && config.smoothing_window % 2 == 0)) {
     return Status::InvalidArgument(
         "smoothing_window must be odd, or 0 for the algorithm default");
+  }
+  CAPP_RETURN_IF_ERROR(ValidateTransportOptions(config.transport));
+  if (config.transport.kind != TransportKind::kDirect &&
+      config.num_slots > kWireMaxRunLength) {
+    // A fleet device uploads its whole stream as one run; the queued
+    // transports cap a run at the wire codec's frame limit. Reject at
+    // validation rather than CHECK-failing mid-run.
+    return Status::InvalidArgument(
+        "queued transports carry at most " +
+        std::to_string(kWireMaxRunLength) +
+        " slots per user run; lower num_slots or use kDirect");
   }
   return Status::OK();
 }

@@ -14,6 +14,7 @@
 
 #include "algorithms/factory.h"
 #include "core/status.h"
+#include "transport/transport.h"
 
 namespace capp {
 
@@ -64,6 +65,14 @@ struct EngineConfig {
   /// Collector-side SMA window for published streams; 0 uses the
   /// algorithm's own recommendation (3 for the PP family, 1 for baselines).
   int smoothing_window = 0;
+
+  /// How reports travel from the fleet's workers to the collector:
+  /// kDirect calls ShardedCollector::IngestUserRun in place; kQueue and
+  /// kQueueFramed route every run through the transport hub's bounded
+  /// MPSC ring (and, for kQueueFramed, the binary wire codec) drained by
+  /// transport.num_consumers threads. Results are bit-identical across
+  /// all three kinds and any thread mix.
+  TransportOptions transport;
 };
 
 /// Validates an EngineConfig (delegates perturber knobs to
@@ -97,6 +106,10 @@ struct EngineStats {
   /// Bit-identical across runs with the same config and seed regardless of
   /// thread count -- the engine's determinism contract in one number.
   uint64_t stream_digest = 0;
+
+  /// Transport counters (zero under TransportKind::kDirect, where no
+  /// queue exists).
+  TransportStats transport;
 
   /// One-line human-readable summary.
   std::string ToString() const;

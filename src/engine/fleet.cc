@@ -3,7 +3,9 @@
 #include <bit>
 #include <chrono>
 #include <cmath>
+#include <memory>
 #include <numbers>
+#include <optional>
 #include <utility>
 
 #include "core/check.h"
@@ -12,6 +14,7 @@
 #include "engine/thread_pool.h"
 #include "stream/session.h"
 #include "stream/smoothing.h"
+#include "transport/transport_hub.h"
 
 namespace capp {
 namespace {
@@ -183,6 +186,17 @@ Result<EngineStats> Fleet::Run() {
 
   std::vector<ChunkSums> chunk_sums(num_chunks);
   collector_.ReserveUsers(users);
+  // kDirect keeps the historical in-place ingest (no hub, no branch cost
+  // beyond a null check per user); the queued kinds put the transport tier
+  // between workers and collector. Either way the published streams -- and
+  // with SlotAggregate's exact sums, the collector aggregates -- are
+  // bit-identical.
+  std::unique_ptr<TransportHub> hub;
+  if (config_.transport.kind != TransportKind::kDirect) {
+    CAPP_ASSIGN_OR_RETURN(hub,
+                          TransportHub::Create(&collector_,
+                                               config_.transport));
+  }
   const auto start = std::chrono::steady_clock::now();
 
   ParallelFor(num_chunks, threads, [&](size_t chunk) {
@@ -205,6 +219,8 @@ Result<EngineStats> Fleet::Run() {
     std::vector<double> report_values(slots);
     std::vector<double> published;
     std::vector<double> sma_scratch;
+    std::optional<TransportHub::Producer> producer;
+    if (hub != nullptr) producer.emplace(hub->MakeProducer());
 
     for (uint64_t uid = begin; uid < end; ++uid) {
       Rng signal_rng(UserStreamSeed(config_.seed, uid, 0));
@@ -215,8 +231,13 @@ Result<EngineStats> Fleet::Run() {
       session->ReportChunk(truth, report_values);
       // The device's whole stream is delivered as one run: one shard
       // lookup and lock acquisition per user instead of per-report
-      // staging through SlotReport buffers.
-      collector_.IngestUserRun(uid, /*base_slot=*/0, report_values);
+      // staging through SlotReport buffers. Queued transports stage the
+      // run into a pooled frame instead of touching the collector here.
+      if (producer.has_value()) {
+        producer->Publish(uid, /*base_slot=*/0, report_values);
+      } else {
+        collector_.IngestUserRun(uid, /*base_slot=*/0, report_values);
+      }
       sums.reports += slots;
       CAPP_CHECK(SimpleMovingAverageInto(report_values, smoothing_window_,
                                          published, sma_scratch)
@@ -235,13 +256,21 @@ Result<EngineStats> Fleet::Run() {
     }
   });
 
+  EngineStats stats;
+  if (hub != nullptr) {
+    // Every producer flushed when its chunk lambda returned; Drain pushes
+    // the poison pills, joins the consumers, and verifies nothing was
+    // lost. The clock stops after the drain so reports/s measures
+    // end-to-end ingest, not just production.
+    CAPP_RETURN_IF_ERROR(hub->Drain());
+    stats.transport = hub->stats();
+  }
   const auto stop = std::chrono::steady_clock::now();
 
   // Sequential reduction in chunk order: chunk boundaries depend only on
   // chunk_size, so these sums are independent of the thread count.
   std::vector<double> true_mean(slots, 0.0);
   std::vector<double> report_mean(slots, 0.0);
-  EngineStats stats;
   for (const ChunkSums& sums : chunk_sums) {
     for (size_t t = 0; t < slots; ++t) {
       true_mean[t] += sums.true_sum[t];

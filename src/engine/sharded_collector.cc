@@ -24,45 +24,26 @@ double RawValueAt(const std::vector<std::vector<double>>& values, size_t slot,
 
 }  // namespace
 
-void SlotAggregate::Add(double x) {
-  ++count;
-  const double d = x - mean;
-  mean += d / static_cast<double>(count);
-  m2 += d * (x - mean);
+double SlotAggregate::Mean() const {
+  if (count_ == 0) return 0.0;
+  return (static_cast<double>(sum_) / kSumScale) /
+         static_cast<double>(count_);
 }
 
-void SlotAggregate::Remove(double x) {
-  CAPP_DCHECK(count > 0);
-  if (count == 1) {
-    *this = SlotAggregate{};
-    return;
-  }
-  --count;
-  const double d = x - mean;
-  mean -= d / static_cast<double>(count);
-  m2 -= d * (x - mean);
-  // Cancellation can leave a tiny negative residue.
-  if (m2 < 0.0) m2 = 0.0;
-}
-
-void SlotAggregate::Replace(double old_value, double new_value) {
-  Remove(old_value);
-  Add(new_value);
+double SlotAggregate::M2() const {
+  if (count_ == 0) return 0.0;
+  const double sx = static_cast<double>(sum_) / kSumScale;
+  const double sxx = static_cast<double>(sum_sq_) / kSqScale;
+  const double m2 = sxx - sx * sx / static_cast<double>(count_);
+  // The quantized squares and the double conversions can leave a tiny
+  // negative residue for near-constant slots.
+  return m2 < 0.0 ? 0.0 : m2;
 }
 
 void SlotAggregate::Merge(const SlotAggregate& other) {
-  if (other.count == 0) return;
-  if (count == 0) {
-    *this = other;
-    return;
-  }
-  const double na = static_cast<double>(count);
-  const double nb = static_cast<double>(other.count);
-  const double n = na + nb;
-  const double delta = other.mean - mean;
-  mean += delta * nb / n;
-  m2 += other.m2 + delta * delta * na * nb / n;
-  count += other.count;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
 }
 
 Result<ShardedCollector> ShardedCollector::Create(
@@ -337,7 +318,7 @@ std::vector<double> ShardedCollector::PopulationSlotMeans() const {
   const std::vector<SlotAggregate> aggregates = PopulationSlotAggregates();
   std::vector<double> means(aggregates.size(), kMissing);
   for (size_t t = 0; t < aggregates.size(); ++t) {
-    if (aggregates[t].count > 0) means[t] = aggregates[t].mean;
+    if (aggregates[t].Count() > 0) means[t] = aggregates[t].Mean();
   }
   return means;
 }

@@ -11,10 +11,11 @@
 //   * Flat per-shard storage: user ids map to dense indices through one
 //     unordered_map lookup; values live in slot-major arrays
 //     (values[slot][dense_user]) with NaN marking missing reports.
-//   * Streaming per-slot aggregates (count/mean/M2 via Welford updates,
-//     including the reverse update for overwritten reports), so population
-//     means and variances are O(1) per report and remain available in
-//     aggregate-only mode where raw streams are never materialized.
+//   * Streaming per-slot aggregates (count / fixed-point exact sums of x
+//     and x^2, including the reverse update for overwritten reports), so
+//     population means and variances are O(1) per report, bit-identical
+//     for any ingest order, and remain available in aggregate-only mode
+//     where raw streams are never materialized.
 //
 // Aggregate-only mode (keep_streams = false) is what lets the engine run
 // million-user fleets: per-report cost and memory are independent of the
@@ -22,6 +23,7 @@
 #ifndef CAPP_ENGINE_SHARDED_COLLECTOR_H_
 #define CAPP_ENGINE_SHARDED_COLLECTOR_H_
 
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -29,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/check.h"
 #include "core/status.h"
 #include "stream/report.h"
 
@@ -47,24 +50,110 @@ struct ShardedCollectorOptions {
   bool keep_streams = true;
 };
 
-/// Streaming per-slot population moments (Welford form).
+/// Streaming per-slot population moments with an order-independent
+/// accumulation: each report is mapped to fixed-point integers (the value
+/// at scale 2^-80, its square at scale 2^-60) and summed in 128-bit
+/// integers. Integer addition commutes and never rounds, so an aggregate
+/// -- and every statistic derived from it -- is a pure function of the
+/// multiset of reports, bit-identical no matter which thread, transport,
+/// shard layout, or arrival order delivered them. (The previous Welford
+/// form rounded per-update, so concurrent ingest produced low-bit
+/// differences that varied with scheduling.) The 2^-80 grid represents
+/// every normal double down to 2^-28 in magnitude exactly, so a single
+/// report's mean is that report bit-for-bit; below that, truncation costs
+/// < 2^-80 per report. Magnitudes saturate at +/-2^16, far above any
+/// sanitized mechanism output and small enough that neither sum can
+/// overflow before ~2^31 worst-case (2^46 unit-range) reports per
+/// (shard, slot).
 struct SlotAggregate {
-  size_t count = 0;   ///< Users that reported this slot.
-  double mean = 0.0;  ///< Mean of their reports.
-  double m2 = 0.0;    ///< Sum of squared deviations from the mean.
-
+  /// Users that reported this slot.
+  size_t Count() const { return count_; }
+  /// Mean of their reports (0 when empty).
+  double Mean() const;
+  /// Sum of squared deviations from the mean (the Welford-style m2),
+  /// derived as sxx - sx^2/n from the exact integer sums. The derivation
+  /// is deterministic and order-independent but, unlike the old Welford
+  /// recurrence, carries the naive formula's cancellation: absolute error
+  /// is ~2^-52 * sxx, which is negligible for sanitized unit-range
+  /// reports (~1e-10 at 1e9 reports) but loses relative accuracy when
+  /// mean^2 dwarfs the variance near the 2^16 saturation bound.
+  double M2() const;
   /// Population variance of the slot's reports (0 when count < 2).
-  double Variance() const { return count < 2 ? 0.0 : m2 / count; }
+  double Variance() const { return count_ < 2 ? 0.0 : M2() / count_; }
 
-  /// Welford forward update with one new report.
+  /// Adds one report. `x` must not be NaN (the collector filters
+  /// non-finite reports before aggregation); +/-infinity clamps to the
+  /// saturation bound.
   void Add(double x);
-  /// Reverse Welford update removing a previously added report.
+  /// Removes a previously added report (the exact inverse of Add).
   void Remove(double x);
   /// Replaces a previously added report (overwrite semantics).
-  void Replace(double old_value, double new_value);
-  /// Chan's parallel combination of two aggregates.
+  void Replace(double old_value, double new_value) {
+    Remove(old_value);
+    Add(new_value);
+  }
+  /// Combines two aggregates (exact, commutative, associative).
   void Merge(const SlotAggregate& other);
+
+ private:
+  // Scales are exact powers of two, so the pre-cast multiplies never
+  // round: quantization error comes only from the final truncating cast,
+  // a pure function of the input value. |x| <= 2^16 puts the value sum at
+  // <= 2^96 per report and the squared sum at <= 2^92 per report, leaving
+  // >= 2^31 reports of headroom in a signed 128-bit accumulator even at
+  // the saturation bound.
+  static constexpr double kSumScale = 0x1p80;    // value grid 2^-80
+  static constexpr double kSqScale = 0x1p60;     // squared grid 2^-60
+  static constexpr double kFxLimit = 65536.0;    // saturation bound, 2^16
+
+  static double ClampToRange(double x) {
+    return x < -kFxLimit ? -kFxLimit : x > kFxLimit ? kFxLimit : x;
+  }
+
+  // trunc(x * 2^80) for |x| <= 2^16, as two int64 truncations instead of
+  // one double->int128 conversion (which compilers expand to a ~4x slower
+  // fixup sequence on the ingest hot path). hi = trunc(x * 2^46) fits 62
+  // bits; the remainder is exact -- hi's integer part is representable
+  // and the subtraction falls under Sterbenz's lemma -- so lo < 2^34
+  // recovers the missing low bits. Verified bit-identical to the direct
+  // cast across the full clamped range.
+  static __int128 ToFixed80(double x) {
+    const int64_t hi = static_cast<int64_t>(x * 0x1p46);
+    const double rem = x - static_cast<double>(hi) * 0x1p-46;
+    const int64_t lo = static_cast<int64_t>(rem * 0x1p80);
+    return (static_cast<__int128>(hi) << 34) + lo;
+  }
+
+  // trunc(x * 2^60) for x in [0, 2^32] (squared clamped reports).
+  static __int128 ToFixed60(double x) {
+    const int64_t hi = static_cast<int64_t>(x * 0x1p27);
+    const double rem = x - static_cast<double>(hi) * 0x1p-27;
+    const int64_t lo = static_cast<int64_t>(rem * 0x1p60);
+    return (static_cast<__int128>(hi) << 33) + lo;
+  }
+
+  size_t count_ = 0;
+  __int128 sum_ = 0;     // sum of quantized reports, scale 2^-80
+  __int128 sum_sq_ = 0;  // sum of quantized squared reports, scale 2^-60
 };
+
+inline void SlotAggregate::Add(double x) {
+  CAPP_DCHECK(!std::isnan(x));  // NaN would reach an undefined fp->int cast
+  const double clamped = ClampToRange(x);
+  ++count_;
+  sum_ += ToFixed80(clamped);
+  sum_sq_ += ToFixed60(clamped * clamped);
+}
+
+inline void SlotAggregate::Remove(double x) {
+  // Exact inverse of Add(x): the quantized integers depend only on x.
+  CAPP_DCHECK(count_ > 0);
+  CAPP_DCHECK(!std::isnan(x));
+  const double clamped = ClampToRange(x);
+  --count_;
+  sum_ -= ToFixed80(clamped);
+  sum_sq_ -= ToFixed60(clamped * clamped);
+}
 
 /// Thread-safe sharded report store with streaming per-slot aggregates.
 /// All methods are safe to call concurrently.
@@ -79,7 +168,10 @@ class ShardedCollector {
   /// (user, slot) pair overwrites (last write wins), matching the legacy
   /// collector (overwrites require keep_streams). Reports with non-finite
   /// values are discarded: they cannot be represented next to the NaN
-  /// missing-slot sentinel, and no library path emits them.
+  /// missing-slot sentinel, and no library path emits them. Raw streams
+  /// store any finite value, but the per-slot aggregates saturate report
+  /// magnitudes at 2^16 (see SlotAggregate) -- far beyond any sanitized
+  /// mechanism output.
   void Ingest(const SlotReport& report);
 
   /// Ingests a batch, grouping reports by shard so each shard's lock is

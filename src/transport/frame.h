@@ -1,0 +1,46 @@
+// The unit carried by the transport queue: one pooled batch of user runs.
+//
+// A frame holds many devices' runs so queue traffic is amortized -- the
+// ring sees one Push per ~max_batch_runs users, not one per report. The
+// same object serves both queue modes: kQueue fills the structured
+// (runs, values) views; kQueueFramed fills `bytes` with concatenated wire
+// frames (transport/wire_format.h). Frames are recycled through the hub's
+// pool, so steady-state transport allocates nothing.
+#ifndef CAPP_TRANSPORT_FRAME_H_
+#define CAPP_TRANSPORT_FRAME_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace capp {
+
+/// One batch of user runs in flight between producers and consumers.
+struct ReportFrame {
+  /// One device's run of consecutive slots: values[offset, offset+count)
+  /// are the reports for slots base_slot, base_slot+1, ...
+  struct RunHeader {
+    uint64_t user_id = 0;
+    uint64_t base_slot = 0;
+    uint32_t offset = 0;
+    uint32_t count = 0;
+  };
+
+  std::vector<RunHeader> runs;  ///< Structured runs (kQueue).
+  std::vector<double> values;   ///< Flat backing store for `runs`.
+  std::vector<uint8_t> bytes;   ///< Encoded wire frames (kQueueFramed).
+  uint64_t run_count = 0;       ///< Runs staged, either representation.
+  bool poison = false;          ///< Shutdown sentinel: consumer exits.
+
+  /// Resets content, keeping capacity (pool reuse).
+  void Clear() {
+    runs.clear();
+    values.clear();
+    bytes.clear();
+    run_count = 0;
+    poison = false;
+  }
+};
+
+}  // namespace capp
+
+#endif  // CAPP_TRANSPORT_FRAME_H_

@@ -1,0 +1,122 @@
+// Bounded multi-producer multi-consumer ring queue with blocking
+// backpressure: the in-process stand-in for the wire between the fleet's
+// devices and the collector tier.
+//
+// The queue is deliberately a mutex + two condvars around a fixed ring
+// rather than a lock-free structure: transport items are whole report
+// frames (dozens of user runs each), so queue operations run at the frame
+// rate -- thousands of times fewer than the report rate -- and a fair,
+// TSan-clean blocking design wins over lock-free complexity. Backpressure
+// is the feature, not a failure mode: when consumers fall behind, Push
+// blocks (counted in push_stalls) instead of growing without bound.
+//
+// Shutdown follows the poison-pill protocol (see TransportHub): producers
+// finish and flush, then the coordinator pushes one sentinel item per
+// consumer; FIFO order guarantees every data item is popped before any
+// consumer sees its pill. Close() exists as an abnormal-teardown escape
+// hatch that unblocks everything.
+#ifndef CAPP_TRANSPORT_MPSC_QUEUE_H_
+#define CAPP_TRANSPORT_MPSC_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace capp {
+
+/// Bounded blocking FIFO. All methods are thread-safe -- including Pop
+/// from many threads at once: despite the transport-conventional "MPSC"
+/// name, the hub drains this queue with N consumer threads, so any
+/// replacement implementation must stay multi-consumer-safe.
+template <typename T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(size_t capacity)
+      : ring_(capacity < 1 ? 1 : capacity) {}
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Enqueues `item`, blocking while the queue is full. Returns false (and
+  /// drops the item) if the queue was closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (count_ == ring_.size() && !closed_) {
+      ++push_stalls_;
+      not_full_.wait(lock,
+                     [this] { return count_ < ring_.size() || closed_; });
+    }
+    if (closed_) return false;
+    ring_[(head_ + count_) % ring_.size()] = std::move(item);
+    ++count_;
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeues the oldest item, blocking while the queue is empty. Returns
+  /// nullopt once the queue is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (count_ == 0 && !closed_) {
+      ++pop_waits_;
+      not_empty_.wait(lock, [this] { return count_ > 0 || closed_; });
+    }
+    if (count_ == 0) return std::nullopt;  // closed and drained
+    T item = std::move(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Permanently unblocks all producers and consumers. Queued items remain
+  /// poppable; further Push calls fail.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t capacity() const { return ring_.size(); }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+  /// Times a Push found the ring full and had to block.
+  uint64_t push_stalls() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return push_stalls_;
+  }
+
+  /// Times a Pop found the ring empty and had to block.
+  uint64_t pop_waits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pop_waits_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<T> ring_;
+  size_t head_ = 0;   // index of the oldest item
+  size_t count_ = 0;  // items currently queued
+  bool closed_ = false;
+  uint64_t push_stalls_ = 0;
+  uint64_t pop_waits_ = 0;
+};
+
+}  // namespace capp
+
+#endif  // CAPP_TRANSPORT_MPSC_QUEUE_H_

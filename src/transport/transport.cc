@@ -1,0 +1,41 @@
+#include "transport/transport.h"
+
+#include <string>
+
+namespace capp {
+
+std::string_view TransportKindName(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kDirect:
+      return "direct";
+    case TransportKind::kQueue:
+      return "queue";
+    case TransportKind::kQueueFramed:
+      return "framed";
+  }
+  return "unknown";
+}
+
+Result<TransportKind> ParseTransportKind(std::string_view name) {
+  for (TransportKind kind : {TransportKind::kDirect, TransportKind::kQueue,
+                             TransportKind::kQueueFramed}) {
+    if (name == TransportKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown transport kind: " +
+                                 std::string(name));
+}
+
+Status ValidateTransportOptions(const TransportOptions& options) {
+  if (options.queue_capacity < 1) {
+    return Status::InvalidArgument("transport queue_capacity must be >= 1");
+  }
+  if (options.num_consumers < 1) {
+    return Status::InvalidArgument("transport num_consumers must be >= 1");
+  }
+  if (options.max_batch_runs < 1) {
+    return Status::InvalidArgument("transport max_batch_runs must be >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace capp

@@ -1,0 +1,62 @@
+// Transport selection and counters: how perturbed reports travel from the
+// fleet's producers to the collector. Kept free of engine dependencies so
+// EngineConfig can embed these knobs without a layering cycle.
+#ifndef CAPP_TRANSPORT_TRANSPORT_H_
+#define CAPP_TRANSPORT_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace capp {
+
+/// How reports reach the collector.
+enum class TransportKind {
+  kDirect,       ///< In-process function call (no queue, no consumers).
+  kQueue,        ///< MPSC ring of structured run batches.
+  kQueueFramed,  ///< MPSC ring of binary wire frames (encode + CRC-checked
+                 ///< decode on every run: the full wire path, in process).
+};
+
+/// Short display name ("direct", "queue", "framed").
+std::string_view TransportKindName(TransportKind kind);
+
+/// Parses a display name back into a TransportKind.
+Result<TransportKind> ParseTransportKind(std::string_view name);
+
+/// Knobs for the queued transports. Validated for every kind (a config
+/// should not become invalid by flipping the kind); only the queued kinds
+/// exercise them at runtime.
+struct TransportOptions {
+  TransportKind kind = TransportKind::kDirect;
+  /// Ring capacity in frames. Small values exercise backpressure; the
+  /// default absorbs scheduling jitter at ~max_batch_runs users per frame.
+  size_t queue_capacity = 256;
+  /// Consumer threads draining the queue into the collector.
+  int num_consumers = 2;
+  /// User runs per frame before a producer pushes it.
+  size_t max_batch_runs = 64;
+};
+
+/// Validates transport knobs (>= 1 capacity / consumers / batch runs).
+Status ValidateTransportOptions(const TransportOptions& options);
+
+/// Counters from one transport session (final after TransportHub::Drain).
+struct TransportStats {
+  uint64_t frames = 0;        ///< Frames pushed through the queue.
+  uint64_t runs = 0;          ///< User runs published.
+  uint64_t reports = 0;       ///< Individual slot reports published.
+  uint64_t push_stalls = 0;   ///< Producer blocks on a full ring.
+  uint64_t pop_waits = 0;     ///< Consumer blocks on an empty ring.
+  uint64_t wire_bytes = 0;    ///< Encoded bytes (kQueueFramed only).
+  uint64_t decode_failures = 0;  ///< Frames rejected by the codec.
+  /// Runs ingested per consumer thread (utilization / balance).
+  std::vector<uint64_t> consumer_runs;
+};
+
+}  // namespace capp
+
+#endif  // CAPP_TRANSPORT_TRANSPORT_H_

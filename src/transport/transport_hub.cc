@@ -1,0 +1,230 @@
+#include "transport/transport_hub.h"
+
+#include <limits>
+#include <utility>
+
+#include "core/check.h"
+#include "transport/wire_format.h"
+
+namespace capp {
+
+TransportHub::TransportHub(ShardedCollector* collector,
+                           const TransportOptions& options)
+    : collector_(collector),
+      options_(options),
+      queue_(options.queue_capacity) {}
+
+Result<std::unique_ptr<TransportHub>> TransportHub::Create(
+    ShardedCollector* collector, const TransportOptions& options) {
+  if (collector == nullptr) {
+    return Status::InvalidArgument("transport hub needs a collector");
+  }
+  CAPP_RETURN_IF_ERROR(ValidateTransportOptions(options));
+  // unique_ptr: consumer threads capture `this`, so the hub must not move.
+  std::unique_ptr<TransportHub> hub(new TransportHub(collector, options));
+  if (options.kind != TransportKind::kDirect) {
+    const size_t consumers = static_cast<size_t>(options.num_consumers);
+    hub->consumer_counters_.resize(consumers);
+    hub->consumers_.reserve(consumers);
+    for (size_t c = 0; c < consumers; ++c) {
+      hub->consumers_.emplace_back(
+          [hub = hub.get(), c] { hub->ConsumerMain(c); });
+    }
+  }
+  return hub;
+}
+
+TransportHub::~TransportHub() {
+  // Normal callers Drain() explicitly (and check its Status); this is the
+  // abnormal-teardown path.
+  if (!drained_) {
+    queue_.Close();
+    for (std::thread& t : consumers_) t.join();
+    consumers_.clear();
+    drained_ = true;
+  }
+}
+
+// ------------------------------------------------------------- producer ----
+
+TransportHub::Producer::Producer(Producer&& other) noexcept
+    : hub_(other.hub_),
+      frame_(std::move(other.frame_)),
+      frames_(other.frames_),
+      runs_(other.runs_),
+      reports_(other.reports_),
+      wire_bytes_(other.wire_bytes_) {
+  other.hub_ = nullptr;
+}
+
+TransportHub::Producer::~Producer() {
+  if (hub_ == nullptr) return;
+  Flush();
+  hub_->MergeProducerCounters(*this);
+  hub_->live_producers_.fetch_sub(1, std::memory_order_release);
+}
+
+void TransportHub::Producer::Publish(uint64_t user_id, size_t base_slot,
+                                     std::span<const double> values) {
+  ++runs_;
+  reports_ += values.size();
+  if (hub_->options_.kind == TransportKind::kDirect) {
+    hub_->collector_->IngestUserRun(user_id, base_slot, values);
+    return;
+  }
+  if (frame_ == nullptr) frame_ = hub_->AcquireFrame();
+  if (hub_->options_.kind == TransportKind::kQueue) {
+    // RunHeader offsets are uint32; a pathological max_batch_runs x run
+    // length combination must push early rather than wrap.
+    if (!frame_->runs.empty() &&
+        frame_->values.size() + values.size() >
+            std::numeric_limits<uint32_t>::max()) {
+      hub_->PushFrame(*this);
+      frame_ = hub_->AcquireFrame();
+    }
+    frame_->runs.push_back(
+        {user_id, base_slot, static_cast<uint32_t>(frame_->values.size()),
+         static_cast<uint32_t>(values.size())});
+    frame_->values.insert(frame_->values.end(), values.begin(),
+                          values.end());
+  } else {
+    AppendUserRunFrame(user_id, base_slot, values, frame_->bytes);
+  }
+  if (++frame_->run_count >= hub_->options_.max_batch_runs) {
+    hub_->PushFrame(*this);
+  }
+}
+
+void TransportHub::Producer::Flush() {
+  if (frame_ != nullptr && frame_->run_count > 0) hub_->PushFrame(*this);
+}
+
+void TransportHub::PushFrame(Producer& producer) {
+  producer.wire_bytes_ += producer.frame_->bytes.size();
+  ++producer.frames_;
+  const bool pushed = queue_.Push(std::move(producer.frame_));
+  // The queue is only closed by Drain/teardown, which require all
+  // producers to be done first.
+  CAPP_CHECK(pushed);
+}
+
+void TransportHub::MergeProducerCounters(const Producer& producer) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.frames += producer.frames_;
+  stats_.runs += producer.runs_;
+  stats_.reports += producer.reports_;
+  stats_.wire_bytes += producer.wire_bytes_;
+}
+
+// ------------------------------------------------------------- consumer ----
+
+void TransportHub::ConsumerMain(size_t consumer_index) {
+  std::vector<double> scratch;
+  for (;;) {
+    std::optional<std::unique_ptr<ReportFrame>> frame = queue_.Pop();
+    if (!frame.has_value()) return;  // closed: abnormal teardown
+    const bool poison = (*frame)->poison;
+    if (!poison) IngestFrame(**frame, consumer_index, scratch);
+    ReleaseFrame(std::move(*frame));
+    if (poison) return;
+  }
+}
+
+void TransportHub::IngestFrame(const ReportFrame& frame,
+                               size_t consumer_index,
+                               std::vector<double>& scratch) {
+  ConsumerCounters& counters = consumer_counters_[consumer_index];
+  if (options_.kind == TransportKind::kQueue) {
+    for (const ReportFrame::RunHeader& run : frame.runs) {
+      collector_->IngestUserRun(
+          run.user_id, run.base_slot,
+          std::span(frame.values.data() + run.offset, run.count));
+      ++counters.runs;
+    }
+    return;
+  }
+  std::span<const uint8_t> bytes(frame.bytes);
+  size_t cursor = 0;
+  while (cursor < bytes.size()) {
+    uint64_t user_id = 0;
+    uint64_t base_slot = 0;
+    auto used = DecodeUserRunFrame(bytes.subspan(cursor), &user_id,
+                                   &base_slot, scratch);
+    if (!used.ok()) {
+      // A corrupted frame cannot be resynchronized; count it and drop the
+      // rest of the batch. Drain() turns a nonzero count into an error.
+      ++counters.decode_failures;
+      return;
+    }
+    collector_->IngestUserRun(user_id, base_slot, scratch);
+    ++counters.runs;
+    cursor += *used;
+  }
+}
+
+// ------------------------------------------------------------ frame pool ----
+
+std::unique_ptr<ReportFrame> TransportHub::AcquireFrame() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!pool_.empty()) {
+      std::unique_ptr<ReportFrame> frame = std::move(pool_.back());
+      pool_.pop_back();
+      return frame;
+    }
+  }
+  return std::make_unique<ReportFrame>();
+}
+
+void TransportHub::ReleaseFrame(std::unique_ptr<ReportFrame> frame) {
+  frame->Clear();
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  pool_.push_back(std::move(frame));
+}
+
+// -------------------------------------------------------------- shutdown ----
+
+Status TransportHub::Drain() {
+  // Idempotent, including the failure: a repeat call re-reports the first
+  // drain's verdict instead of masking corruption or loss with OK.
+  if (drained_) return drain_status_;
+  // A Producer outliving Drain() could flush a frame after the pills --
+  // pushed successfully but never popped, i.e. silent loss the run-count
+  // cross-check below cannot see. Make the misuse loud instead.
+  CAPP_DCHECK(live_producers_.load(std::memory_order_acquire) == 0);
+  if (options_.kind != TransportKind::kDirect) {
+    // One pill per consumer: FIFO guarantees every data frame ahead of the
+    // pills is ingested first, and each consumer stops after exactly one
+    // pill, so all pills are consumed and all consumers exit.
+    for (size_t c = 0; c < consumers_.size(); ++c) {
+      auto pill = AcquireFrame();
+      pill->poison = true;
+      CAPP_CHECK(queue_.Push(std::move(pill)));
+    }
+    for (std::thread& t : consumers_) t.join();
+    consumers_.clear();
+  }
+  drained_ = true;
+
+  stats_.push_stalls = queue_.push_stalls();
+  stats_.pop_waits = queue_.pop_waits();
+  uint64_t consumed_runs = 0;
+  for (const ConsumerCounters& counters : consumer_counters_) {
+    stats_.consumer_runs.push_back(counters.runs);
+    stats_.decode_failures += counters.decode_failures;
+    consumed_runs += counters.runs;
+  }
+  if (stats_.decode_failures > 0) {
+    drain_status_ = Status::Internal("transport dropped " +
+                                     std::to_string(stats_.decode_failures) +
+                                     " corrupted wire frame(s)");
+  } else if (options_.kind != TransportKind::kDirect &&
+             consumed_runs != stats_.runs) {
+    drain_status_ = Status::Internal(
+        "transport lost runs: published " + std::to_string(stats_.runs) +
+        ", ingested " + std::to_string(consumed_runs));
+  }
+  return drain_status_;
+}
+
+}  // namespace capp

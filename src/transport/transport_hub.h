@@ -1,0 +1,137 @@
+// TransportHub: the broker tier between report producers and the sharded
+// collector. Producers stage user runs into pooled frames and push them
+// onto a bounded MPSC ring; N consumer threads drain the ring and ingest
+// every run via ShardedCollector::IngestUserRun. Under kQueueFramed each
+// run additionally round-trips the binary wire codec (encode on the
+// producer, CRC-checked decode on the consumer), so the in-process queue
+// exercises exactly the bytes a socket transport would carry.
+//
+// Determinism: the hub delivers whole user runs, and the collector's
+// per-slot aggregates accumulate in exact integer arithmetic
+// (SlotAggregate), so collector state is a pure function of the multiset
+// of runs -- bit-identical across kDirect/kQueue/kQueueFramed and any
+// producer x consumer thread mix. Report loss is impossible by
+// construction: Push blocks instead of dropping (backpressure), Drain
+// flushes and joins before returning, and the poison-pill protocol
+// guarantees FIFO delivery of every data frame before any consumer exits.
+#ifndef CAPP_TRANSPORT_TRANSPORT_HUB_H_
+#define CAPP_TRANSPORT_TRANSPORT_HUB_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/status.h"
+#include "engine/sharded_collector.h"
+#include "transport/frame.h"
+#include "transport/mpsc_queue.h"
+#include "transport/transport.h"
+
+namespace capp {
+
+/// One transport session: create, publish through Producers, Drain.
+class TransportHub {
+ public:
+  /// A per-producer-thread staging handle; not thread-safe. Destroying (or
+  /// Flush()ing) delivers any partially filled frame. All Producers must
+  /// be destroyed before Drain().
+  class Producer {
+   public:
+    Producer(Producer&& other) noexcept;
+    Producer& operator=(Producer&&) = delete;
+    Producer(const Producer&) = delete;
+    Producer& operator=(const Producer&) = delete;
+    ~Producer();
+
+    /// Publishes one device's run of consecutive slot reports.
+    void Publish(uint64_t user_id, size_t base_slot,
+                 std::span<const double> values);
+
+    /// Pushes the partially filled frame, if any.
+    void Flush();
+
+   private:
+    friend class TransportHub;
+    explicit Producer(TransportHub* hub) : hub_(hub) {}
+
+    TransportHub* hub_;  // null after move
+    std::unique_ptr<ReportFrame> frame_;
+    // Local counters, merged into the hub once on destruction.
+    uint64_t frames_ = 0;
+    uint64_t runs_ = 0;
+    uint64_t reports_ = 0;
+    uint64_t wire_bytes_ = 0;
+  };
+
+  /// Starts the consumer threads (none under kDirect). `collector` must
+  /// outlive the hub.
+  static Result<std::unique_ptr<TransportHub>> Create(
+      ShardedCollector* collector, const TransportOptions& options);
+
+  ~TransportHub();
+
+  TransportHub(const TransportHub&) = delete;
+  TransportHub& operator=(const TransportHub&) = delete;
+
+  Producer MakeProducer() {
+    live_producers_.fetch_add(1, std::memory_order_relaxed);
+    return Producer(this);
+  }
+
+  /// Shuts the transport down cleanly: pushes one poison pill per
+  /// consumer, joins them, and finalizes stats(). Requires every Producer
+  /// to be destroyed or flushed first. Idempotent. Fails if any consumer
+  /// rejected a frame (codec corruption) -- report loss must be loud.
+  Status Drain();
+
+  const TransportOptions& options() const { return options_; }
+
+  /// Transport counters; stable only after Drain().
+  const TransportStats& stats() const { return stats_; }
+
+ private:
+  // Per-consumer counters, indexed by consumer id; each consumer writes
+  // only its own slot while running, and Drain merges after joining.
+  // Cache-line-aligned so sibling consumers' per-run increments don't
+  // false-share.
+  struct alignas(64) ConsumerCounters {
+    uint64_t runs = 0;
+    uint64_t decode_failures = 0;
+  };
+
+  TransportHub(ShardedCollector* collector, const TransportOptions& options);
+
+  void ConsumerMain(size_t consumer_index);
+  void IngestFrame(const ReportFrame& frame, size_t consumer_index,
+                   std::vector<double>& scratch);
+
+  std::unique_ptr<ReportFrame> AcquireFrame();
+  void ReleaseFrame(std::unique_ptr<ReportFrame> frame);
+  void PushFrame(Producer& producer);
+  void MergeProducerCounters(const Producer& producer);
+
+  ShardedCollector* collector_;
+  TransportOptions options_;
+  MpscQueue<std::unique_ptr<ReportFrame>> queue_;
+
+  std::mutex pool_mu_;
+  std::vector<std::unique_ptr<ReportFrame>> pool_;
+
+  std::mutex stats_mu_;  // guards stats_ while producers merge
+  TransportStats stats_;
+
+  std::vector<ConsumerCounters> consumer_counters_;
+  std::vector<std::thread> consumers_;
+  // Producers alive (created minus destroyed): a frame flushed after the
+  // pills would never be popped, so Drain() asserts this hit zero.
+  std::atomic<int> live_producers_{0};
+  bool drained_ = false;
+  Status drain_status_;  // the first Drain()'s verdict, re-reported after
+};
+
+}  // namespace capp
+
+#endif  // CAPP_TRANSPORT_TRANSPORT_HUB_H_

@@ -1,0 +1,140 @@
+#include "transport/wire_format.h"
+
+#include <array>
+#include <bit>
+#include <string>
+
+#include "core/check.h"
+
+namespace capp {
+namespace {
+
+constexpr std::array<uint32_t, 256> kCrcTable = [] {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}();
+
+// Varints cap at 10 bytes: ceil(64 / 7).
+constexpr size_t kMaxVarintBytes = 10;
+
+void AppendU64Le(uint64_t bits, std::vector<uint8_t>& out) {
+  for (int byte = 0; byte < 8; ++byte) {
+    out.push_back(static_cast<uint8_t>(bits >> (8 * byte)));
+  }
+}
+
+uint64_t ReadU64Le(const uint8_t* p) {
+  uint64_t bits = 0;
+  for (int byte = 0; byte < 8; ++byte) {
+    bits |= static_cast<uint64_t>(p[byte]) << (8 * byte);
+  }
+  return bits;
+}
+
+Status FrameError(const std::string& what) {
+  return Status::InvalidArgument("wire frame: " + what);
+}
+
+}  // namespace
+
+void AppendVarint(uint64_t value, std::vector<uint8_t>& out) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+size_t DecodeVarint(std::span<const uint8_t> bytes, uint64_t* value) {
+  uint64_t result = 0;
+  for (size_t i = 0; i < bytes.size() && i < kMaxVarintBytes; ++i) {
+    const uint8_t byte = bytes[i];
+    // Byte 10 may only carry the single remaining bit of a 64-bit value.
+    if (i == kMaxVarintBytes - 1 && byte > 1) return 0;
+    result |= static_cast<uint64_t>(byte & 0x7F) << (7 * i);
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return i + 1;
+    }
+  }
+  return 0;  // Ran out of bytes with the continuation bit still set.
+}
+
+uint32_t Crc32(std::span<const uint8_t> bytes) {
+  uint32_t c = 0xFFFFFFFFu;
+  for (uint8_t byte : bytes) {
+    c = kCrcTable[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void AppendUserRunFrame(uint64_t user_id, uint64_t base_slot,
+                        std::span<const double> values,
+                        std::vector<uint8_t>& out) {
+  // Encode must honor the same bound decode enforces, or a frame could be
+  // produced that every consumer rejects as corrupt.
+  CAPP_CHECK(values.size() <= kWireMaxRunLength);
+  const size_t start = out.size();
+  out.push_back(kWireFrameMagic);
+  AppendVarint(user_id, out);
+  AppendVarint(base_slot, out);
+  AppendVarint(values.size(), out);
+  for (double v : values) {
+    AppendU64Le(std::bit_cast<uint64_t>(v), out);
+  }
+  const uint32_t crc =
+      Crc32(std::span(out).subspan(start, out.size() - start));
+  for (int byte = 0; byte < 4; ++byte) {
+    out.push_back(static_cast<uint8_t>(crc >> (8 * byte)));
+  }
+}
+
+Result<size_t> DecodeUserRunFrame(std::span<const uint8_t> bytes,
+                                  uint64_t* user_id, uint64_t* base_slot,
+                                  std::vector<double>& values) {
+  if (bytes.empty()) return FrameError("empty input");
+  if (bytes[0] != kWireFrameMagic) return FrameError("bad magic byte");
+  size_t cursor = 1;
+
+  uint64_t count = 0;
+  for (auto [field, name] : {std::pair{user_id, "user_id"},
+                             {base_slot, "base_slot"},
+                             {&count, "count"}}) {
+    const size_t used = DecodeVarint(bytes.subspan(cursor), field);
+    if (used == 0) {
+      return FrameError(std::string("truncated ") + name + " varint");
+    }
+    cursor += used;
+  }
+  if (count > kWireMaxRunLength) return FrameError("absurd run length");
+  // Payload + trailer must fit in what's left (checked before multiplying
+  // blows past the span: count is already <= 2^24).
+  const size_t payload = static_cast<size_t>(count) * 8;
+  if (bytes.size() - cursor < payload + 4) {
+    return FrameError("truncated payload");
+  }
+  const uint32_t computed = Crc32(bytes.subspan(0, cursor + payload));
+  const uint8_t* trailer = bytes.data() + cursor + payload;
+  uint32_t stored = 0;
+  for (int byte = 0; byte < 4; ++byte) {
+    stored |= static_cast<uint32_t>(trailer[byte]) << (8 * byte);
+  }
+  if (computed != stored) return FrameError("CRC mismatch");
+
+  values.clear();
+  values.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    values.push_back(
+        std::bit_cast<double>(ReadU64Le(bytes.data() + cursor + 8 * i)));
+  }
+  return cursor + payload + 4;
+}
+
+}  // namespace capp

@@ -1,0 +1,63 @@
+// Binary wire framing for sanitized user-run report batches: the compact,
+// fast sibling of stream/report_io.h's CSV format. One frame carries one
+// device's run of consecutive slot reports:
+//
+//   [0xC5 magic] [varint user_id] [varint base_slot] [varint count]
+//   [count x 8-byte little-endian IEEE-754 doubles] [4-byte LE CRC32]
+//
+// The CRC32 (IEEE reflected polynomial) covers everything before the
+// trailer, so truncated, bit-flipped, or mis-framed bytes are rejected
+// instead of poisoning the collector. Frames are self-delimiting and
+// concatenate freely: a transport batch is just frames back to back.
+// Reports are already locally perturbed when they reach the wire, so the
+// format carries nothing sensitive and brokers may buffer or replay it
+// freely (the paper's Fig. 1 deployment model).
+#ifndef CAPP_TRANSPORT_WIRE_FORMAT_H_
+#define CAPP_TRANSPORT_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/status.h"
+
+namespace capp {
+
+/// First byte of every user-run frame.
+inline constexpr uint8_t kWireFrameMagic = 0xC5;
+
+/// Upper bound on a frame's report count; decode rejects anything larger
+/// before trusting the length (a corrupted varint must not drive a huge
+/// allocation).
+inline constexpr uint64_t kWireMaxRunLength = 1u << 24;
+
+/// Appends `value` as a LEB128 varint (7 bits per byte, high bit = more).
+void AppendVarint(uint64_t value, std::vector<uint8_t>& out);
+
+/// Decodes a varint from the head of `bytes` into *value. Returns the
+/// number of bytes consumed, or 0 if `bytes` is truncated or the encoding
+/// exceeds 10 bytes / overflows 64 bits.
+size_t DecodeVarint(std::span<const uint8_t> bytes, uint64_t* value);
+
+/// CRC32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF) of `bytes`.
+uint32_t Crc32(std::span<const uint8_t> bytes);
+
+/// Appends one framed user run to `out`. Any double bit pattern
+/// round-trips exactly.
+void AppendUserRunFrame(uint64_t user_id, uint64_t base_slot,
+                        std::span<const double> values,
+                        std::vector<uint8_t>& out);
+
+/// Decodes the frame at the head of `bytes`. On success fills *user_id,
+/// *base_slot, and `values` (cleared and refilled, capacity reused) and
+/// returns the number of bytes consumed, so concatenated frames decode by
+/// advancing a cursor. Fails with InvalidArgument on a bad magic byte,
+/// truncation, an absurd run length, or a CRC mismatch; `values` is
+/// unspecified after a failure.
+Result<size_t> DecodeUserRunFrame(std::span<const uint8_t> bytes,
+                                  uint64_t* user_id, uint64_t* base_slot,
+                                  std::vector<double>& values);
+
+}  // namespace capp
+
+#endif  // CAPP_TRANSPORT_WIRE_FORMAT_H_

@@ -345,9 +345,9 @@ TEST(IngestUserRunTest, MatchesPerReportIngest) {
     const auto mb = run->PopulationSlotAggregates();
     ASSERT_EQ(ma.size(), mb.size());
     for (size_t t = 0; t < ma.size(); ++t) {
-      EXPECT_EQ(ma[t].count, mb[t].count) << t;
-      EXPECT_EQ(std::bit_cast<uint64_t>(ma[t].mean),
-                std::bit_cast<uint64_t>(mb[t].mean))
+      EXPECT_EQ(ma[t].Count(), mb[t].Count()) << t;
+      EXPECT_EQ(std::bit_cast<uint64_t>(ma[t].Mean()),
+                std::bit_cast<uint64_t>(mb[t].Mean()))
           << t;
     }
   }

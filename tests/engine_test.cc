@@ -2,6 +2,7 @@
 // Welford slot aggregates, ShardedCollector equivalence with the legacy
 // map-based collector, and the Fleet determinism contract.
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -66,8 +67,8 @@ TEST(SlotAggregateTest, AddMatchesBatchMoments) {
   const double mean = sum / xs.size();
   double m2 = 0.0;
   for (double x : xs) m2 += (x - mean) * (x - mean);
-  EXPECT_EQ(agg.count, xs.size());
-  EXPECT_NEAR(agg.mean, mean, 1e-12);
+  EXPECT_EQ(agg.Count(), xs.size());
+  EXPECT_NEAR(agg.Mean(), mean, 1e-12);
   EXPECT_NEAR(agg.Variance(), m2 / xs.size(), 1e-12);
 }
 
@@ -78,18 +79,18 @@ TEST(SlotAggregateTest, ReplaceEqualsRebuild) {
 
   SlotAggregate rebuilt;
   for (double x : {0.3, 0.1, 0.9}) rebuilt.Add(x);
-  EXPECT_EQ(replaced.count, rebuilt.count);
-  EXPECT_NEAR(replaced.mean, rebuilt.mean, 1e-12);
-  EXPECT_NEAR(replaced.m2, rebuilt.m2, 1e-12);
+  EXPECT_EQ(replaced.Count(), rebuilt.Count());
+  EXPECT_NEAR(replaced.Mean(), rebuilt.Mean(), 1e-12);
+  EXPECT_NEAR(replaced.M2(), rebuilt.M2(), 1e-12);
 }
 
 TEST(SlotAggregateTest, RemoveToEmptyResets) {
   SlotAggregate agg;
   agg.Add(0.5);
   agg.Remove(0.5);
-  EXPECT_EQ(agg.count, 0u);
-  EXPECT_DOUBLE_EQ(agg.mean, 0.0);
-  EXPECT_DOUBLE_EQ(agg.m2, 0.0);
+  EXPECT_EQ(agg.Count(), 0u);
+  EXPECT_DOUBLE_EQ(agg.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(agg.M2(), 0.0);
 }
 
 TEST(SlotAggregateTest, MergeEqualsSequential) {
@@ -105,9 +106,9 @@ TEST(SlotAggregateTest, MergeEqualsSequential) {
     all.Add(x);
   }
   a.Merge(b);
-  EXPECT_EQ(a.count, all.count);
-  EXPECT_NEAR(a.mean, all.mean, 1e-12);
-  EXPECT_NEAR(a.m2, all.m2, 1e-12);
+  EXPECT_EQ(a.Count(), all.Count());
+  EXPECT_NEAR(a.Mean(), all.Mean(), 1e-12);
+  EXPECT_NEAR(a.M2(), all.M2(), 1e-12);
 }
 
 // --------------------------------------------- sharded collector basics ----
@@ -157,6 +158,72 @@ TEST(ShardedCollectorTest, AggregateOnlyModeRefusesStreamQueries) {
   const auto means = collector->PopulationSlotMeans();
   ASSERT_EQ(means.size(), 1u);
   EXPECT_DOUBLE_EQ(means[0], 0.4);
+}
+
+TEST(ShardedCollectorTest, AggregateOnlyEmptyRunRegistersNothing) {
+  // An empty run -- and a run of only non-finite values -- must not
+  // register the user, bump SlotCount, or touch the aggregates, in either
+  // storage mode.
+  for (bool keep_streams : {false, true}) {
+    SCOPED_TRACE(keep_streams);
+    auto collector =
+        ShardedCollector::Create({.keep_streams = keep_streams});
+    ASSERT_TRUE(collector.ok());
+    collector->IngestUserRun(42, 0, {});
+    const double junk[] = {kNaN, std::numeric_limits<double>::infinity()};
+    collector->IngestUserRun(42, 3, junk);
+    EXPECT_FALSE(collector->Contains(42));
+    EXPECT_EQ(collector->SlotCount(42), 0u);
+    EXPECT_EQ(collector->user_count(), 0u);
+    EXPECT_EQ(collector->report_count(), 0u);
+    EXPECT_TRUE(collector->PopulationSlotAggregates().empty());
+    // A later real run for the same user starts from a clean slate.
+    const double run[] = {0.25, 0.5};
+    collector->IngestUserRun(42, 1, run);
+    EXPECT_TRUE(collector->Contains(42));
+    EXPECT_EQ(collector->SlotCount(42), 2u);
+    const auto aggregates = collector->PopulationSlotAggregates();
+    ASSERT_EQ(aggregates.size(), 3u);
+    EXPECT_EQ(aggregates[0].Count(), 0u);
+    EXPECT_EQ(aggregates[1].Count(), 1u);
+    EXPECT_DOUBLE_EQ(aggregates[1].Mean(), 0.25);
+  }
+}
+
+TEST(ShardedCollectorTest, AggregatesBitIdenticalAcrossShardCounts) {
+  // PopulationSlotAggregates merges shard-local aggregates in shard-index
+  // order; with the exact integer sums the result must be bit-identical
+  // whether one shard held everything or 64 shards each held a sliver.
+  Rng rng(31);
+  std::vector<std::vector<double>> runs;
+  for (uint64_t user = 0; user < 200; ++user) {
+    std::vector<double> run;
+    for (size_t t = 0; t < 12; ++t) run.push_back(rng.UniformDouble());
+    runs.push_back(std::move(run));
+  }
+  std::vector<std::vector<SlotAggregate>> results;
+  for (size_t shards : {size_t{1}, size_t{16}, size_t{64}}) {
+    auto collector = ShardedCollector::Create(
+        {.num_shards = shards, .keep_streams = false});
+    ASSERT_TRUE(collector.ok());
+    for (uint64_t user = 0; user < runs.size(); ++user) {
+      collector->IngestUserRun(user, 0, runs[user]);
+    }
+    results.push_back(collector->PopulationSlotAggregates());
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_EQ(results[i].size(), results[0].size());
+    for (size_t t = 0; t < results[0].size(); ++t) {
+      EXPECT_EQ(results[i][t].Count(), results[0][t].Count()) << t;
+      EXPECT_EQ(std::bit_cast<uint64_t>(results[i][t].Mean()),
+                std::bit_cast<uint64_t>(results[0][t].Mean()))
+          << t;
+      EXPECT_EQ(std::bit_cast<uint64_t>(results[i][t].M2()),
+                std::bit_cast<uint64_t>(results[0][t].M2()))
+          << t;
+    }
+  }
 }
 
 TEST(ShardedCollectorTest, UnknownUserIsNotFound) {
@@ -314,7 +381,11 @@ TEST(ShardedCollectorTest, ConcurrentIngestMatchesSerial) {
   const auto mb = concurrent->PopulationSlotMeans();
   ASSERT_EQ(ma.size(), mb.size());
   for (size_t t = 0; t < ma.size(); ++t) {
-    EXPECT_NEAR(ma[t], mb[t], 1e-12) << "slot " << t;
+    // Bit-identical, not merely close: the exact integer aggregates make
+    // population statistics independent of ingest interleaving.
+    EXPECT_EQ(std::bit_cast<uint64_t>(ma[t]),
+              std::bit_cast<uint64_t>(mb[t]))
+        << "slot " << t;
   }
 }
 
@@ -505,7 +576,7 @@ TEST(FleetTest, HundredThousandUserAccuracySmoke) {
   const auto aggregates = fleet->collector().PopulationSlotAggregates();
   ASSERT_EQ(aggregates.size(), config.num_slots);
   for (const SlotAggregate& agg : aggregates) {
-    EXPECT_EQ(agg.count, config.num_users);
+    EXPECT_EQ(agg.Count(), config.num_users);
     EXPECT_GT(agg.Variance(), 0.0);
   }
 }

@@ -1,7 +1,15 @@
-// Tests for the stream framework: w-event accountant, SMA smoothing, and
-// the collector.
+// Tests for the stream framework: w-event accountant, SMA smoothing, the
+// collector, and the hardened report-CSV loader's rejection paths.
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
@@ -9,6 +17,7 @@
 #include "core/rng.h"
 #include "stream/accountant.h"
 #include "stream/collector.h"
+#include "stream/report_io.h"
 #include "stream/smoothing.h"
 
 namespace capp {
@@ -201,6 +210,131 @@ TEST(CollectorTest, EstimateMeanUsesRawReports) {
   ASSERT_TRUE(collector.ok());
   const std::vector<double> reports = {0.2, 0.4, 0.9};
   EXPECT_NEAR(collector->EstimateMean(reports), 0.5, 1e-12);
+}
+
+// -------------------------------------------- report CSV rejection paths --
+
+class ReportCsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Per-process name: concurrent test runs (Debug + Release trees) must
+    // not race on one shared file.
+    path_ = (std::filesystem::temp_directory_path() /
+             ("capp_stream_report_csv_test." +
+              std::to_string(::getpid()) + ".csv"))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(ReportCsvTest, RejectsDuplicateHeaderLine) {
+  // Two archives blindly concatenated: the second header must not be
+  // parsed over or silently skipped.
+  WriteFile(
+      "user_id,slot,value\n1,0,0.5\nuser_id,slot,value\n2,0,0.25\n");
+  const auto loaded = LoadReportsCsv(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("duplicate header"),
+            std::string::npos);
+}
+
+TEST_F(ReportCsvTest, RejectsTrailingGarbageAfterValue) {
+  WriteFile("user_id,slot,value\n1,0,0.5garbage\n");
+  EXPECT_FALSE(LoadReportsCsv(path_).ok());
+}
+
+TEST_F(ReportCsvTest, RejectsTrailingFieldAfterValue) {
+  WriteFile("user_id,slot,value\n1,0,0.5,extra\n");
+  const auto loaded = LoadReportsCsv(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("trailing field"),
+            std::string::npos);
+}
+
+TEST_F(ReportCsvTest, RejectsOverflowingUserId) {
+  // 2^64 = 18446744073709551616: one past uint64, must not wrap to 0.
+  WriteFile("user_id,slot,value\n18446744073709551616,0,0.5\n");
+  const auto loaded = LoadReportsCsv(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("overflow"), std::string::npos);
+}
+
+TEST_F(ReportCsvTest, RejectsOverflowingSlot) {
+  WriteFile("user_id,slot,value\n1,99999999999999999999999999,0.5\n");
+  EXPECT_FALSE(LoadReportsCsv(path_).ok());
+}
+
+TEST_F(ReportCsvTest, RejectsNonIntegerIds) {
+  // The old double-typed parser accepted these and truncated silently.
+  WriteFile("user_id,slot,value\n1.5,0,0.5\n");
+  EXPECT_FALSE(LoadReportsCsv(path_).ok());
+  WriteFile("user_id,slot,value\n1,2e3,0.5\n");
+  EXPECT_FALSE(LoadReportsCsv(path_).ok());
+}
+
+TEST_F(ReportCsvTest, RejectsNonFiniteValues) {
+  WriteFile("user_id,slot,value\n1,0,inf\n");
+  EXPECT_FALSE(LoadReportsCsv(path_).ok());
+  WriteFile("user_id,slot,value\n1,0,nan\n");
+  EXPECT_FALSE(LoadReportsCsv(path_).ok());
+}
+
+TEST_F(ReportCsvTest, RejectsEmptyOrWhitespaceValueField) {
+  // A whitespace-only field must not scan to the terminator and pass as
+  // 0.0 (trailing whitespace after a real number stays tolerated).
+  WriteFile("user_id,slot,value\n1,0,\n");
+  EXPECT_FALSE(LoadReportsCsv(path_).ok());
+  WriteFile("user_id,slot,value\n1,0, \n");
+  EXPECT_FALSE(LoadReportsCsv(path_).ok());
+  WriteFile("user_id,slot,value\n1,0,\t\n");
+  EXPECT_FALSE(LoadReportsCsv(path_).ok());
+  WriteFile("user_id,slot,value\n1,0,0.5 \n");
+  EXPECT_TRUE(LoadReportsCsv(path_).ok());
+}
+
+TEST_F(ReportCsvTest, RoundTripsHugeUserIdsExactly) {
+  // Ids are integer columns now; the old double round-trip lost precision
+  // above 2^53.
+  const uint64_t huge = (1ULL << 63) + 12345;
+  const std::vector<SlotReport> reports = {{huge, 7, 0.1 + 0.2}};
+  ASSERT_TRUE(SaveReportsCsv(path_, reports).ok());
+  const auto loaded = LoadReportsCsv(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].user_id, huge);
+  EXPECT_EQ((*loaded)[0].slot, 7u);
+  EXPECT_DOUBLE_EQ((*loaded)[0].value, 0.1 + 0.2);  // %.17g round-trips
+}
+
+TEST_F(ReportCsvTest, AcceptsSubnormalValues) {
+  // glibc strtod sets ERANGE on underflow too; only overflow may reject,
+  // or archives containing tiny-but-finite values fail to reload.
+  const std::vector<SlotReport> reports = {{1, 0, 1e-310}, {2, 1, 5e-324}};
+  ASSERT_TRUE(SaveReportsCsv(path_, reports).ok());
+  const auto loaded = LoadReportsCsv(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_DOUBLE_EQ((*loaded)[0].value, 1e-310);
+  EXPECT_DOUBLE_EQ((*loaded)[1].value, 5e-324);
+  // Overflow still rejects.
+  WriteFile("user_id,slot,value\n1,0,1e999\n");
+  EXPECT_FALSE(LoadReportsCsv(path_).ok());
+}
+
+TEST_F(ReportCsvTest, AcceptsHeaderlessFilesAndBlankLines) {
+  WriteFile("3,1,0.75\n\n4,2,-0.25\n");
+  const auto loaded = LoadReportsCsv(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].user_id, 3u);
+  EXPECT_DOUBLE_EQ((*loaded)[1].value, -0.25);
 }
 
 }  // namespace

@@ -1,0 +1,521 @@
+// Tests for the async report transport: varint/CRC wire codec round-trips
+// and corruption rejection, the bounded MPSC queue's backpressure and
+// shutdown, and the headline determinism contract -- fleet digests and
+// collector aggregates bit-identical across kDirect/kQueue/kQueueFramed
+// and every producer x consumer thread mix.
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "engine/engine_config.h"
+#include "engine/fleet.h"
+#include "engine/sharded_collector.h"
+#include "transport/mpsc_queue.h"
+#include "transport/transport.h"
+#include "transport/transport_hub.h"
+#include "transport/wire_format.h"
+
+namespace capp {
+namespace {
+
+// --------------------------------------------------------------- varint ----
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  const uint64_t cases[] = {0,
+                            1,
+                            127,
+                            128,
+                            129,
+                            16383,
+                            16384,
+                            (1ULL << 32) - 1,
+                            1ULL << 32,
+                            (1ULL << 63),
+                            std::numeric_limits<uint64_t>::max()};
+  for (uint64_t value : cases) {
+    SCOPED_TRACE(value);
+    std::vector<uint8_t> bytes;
+    AppendVarint(value, bytes);
+    EXPECT_LE(bytes.size(), 10u);
+    uint64_t decoded = 0;
+    EXPECT_EQ(DecodeVarint(bytes, &decoded), bytes.size());
+    EXPECT_EQ(decoded, value);
+  }
+}
+
+TEST(VarintTest, RejectsTruncationAndOverflow) {
+  std::vector<uint8_t> bytes;
+  AppendVarint(std::numeric_limits<uint64_t>::max(), bytes);
+  uint64_t decoded = 0;
+  // Every strict prefix still has the continuation bit set.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_EQ(DecodeVarint(std::span(bytes).subspan(0, len), &decoded), 0u)
+        << len;
+  }
+  // An 11-byte encoding (or a 10th byte carrying more than 1 bit) is
+  // invalid no matter what follows.
+  const std::vector<uint8_t> overlong(11, 0x80);
+  EXPECT_EQ(DecodeVarint(overlong, &decoded), 0u);
+  std::vector<uint8_t> overflow(9, 0x80);
+  overflow.push_back(0x02);  // bit 64
+  EXPECT_EQ(DecodeVarint(overflow, &decoded), 0u);
+}
+
+// ---------------------------------------------------------------- crc32 ----
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The classic check value: CRC32("123456789") = 0xCBF43926.
+  const uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32(digits), 0xCBF43926u);
+  EXPECT_EQ(Crc32({}), 0x00000000u);
+}
+
+// ----------------------------------------------------------- wire frames ----
+
+TEST(WireFormatTest, RoundTripsArbitraryRuns) {
+  Rng rng(11);
+  std::vector<uint8_t> bytes;
+  for (int trial = 0; trial < 50; ++trial) {
+    SCOPED_TRACE(trial);
+    const uint64_t user = rng.NextUint64();
+    const uint64_t base_slot = rng.UniformInt(1000);
+    std::vector<double> values;
+    const size_t n = rng.UniformInt(40);  // includes empty runs
+    for (size_t i = 0; i < n; ++i) {
+      values.push_back(rng.Uniform(-1e6, 1e6));
+    }
+    bytes.clear();
+    AppendUserRunFrame(user, base_slot, values, bytes);
+
+    uint64_t decoded_user = 0;
+    uint64_t decoded_base = 0;
+    std::vector<double> decoded;
+    auto used = DecodeUserRunFrame(bytes, &decoded_user, &decoded_base,
+                                   decoded);
+    ASSERT_TRUE(used.ok()) << used.status().ToString();
+    EXPECT_EQ(*used, bytes.size());
+    EXPECT_EQ(decoded_user, user);
+    EXPECT_EQ(decoded_base, base_slot);
+    ASSERT_EQ(decoded.size(), values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(std::bit_cast<uint64_t>(decoded[i]),
+                std::bit_cast<uint64_t>(values[i]))
+          << i;
+    }
+  }
+}
+
+TEST(WireFormatTest, RoundTripsNonFinitePayloads) {
+  // The codec is bit-transparent; filtering non-finite values is the
+  // collector's job, not the wire's.
+  const std::vector<double> values = {
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::infinity(), -0.0};
+  std::vector<uint8_t> bytes;
+  AppendUserRunFrame(7, 0, values, bytes);
+  uint64_t user = 0;
+  uint64_t base = 0;
+  std::vector<double> decoded;
+  ASSERT_TRUE(DecodeUserRunFrame(bytes, &user, &base, decoded).ok());
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_TRUE(std::isnan(decoded[0]));
+  EXPECT_TRUE(std::isinf(decoded[1]));
+  EXPECT_EQ(std::bit_cast<uint64_t>(decoded[2]),
+            std::bit_cast<uint64_t>(-0.0));
+}
+
+TEST(WireFormatTest, ConcatenatedFramesDecodeSequentially) {
+  std::vector<uint8_t> bytes;
+  const std::vector<double> run_a = {0.1, 0.2, 0.3};
+  const std::vector<double> run_b = {0.9};
+  AppendUserRunFrame(1, 0, run_a, bytes);
+  AppendUserRunFrame(2, 5, run_b, bytes);
+
+  uint64_t user = 0;
+  uint64_t base = 0;
+  std::vector<double> decoded;
+  auto first = DecodeUserRunFrame(bytes, &user, &base, decoded);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(user, 1u);
+  EXPECT_EQ(decoded, run_a);
+  auto second = DecodeUserRunFrame(std::span(bytes).subspan(*first), &user,
+                                   &base, decoded);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(user, 2u);
+  EXPECT_EQ(base, 5u);
+  EXPECT_EQ(decoded, run_b);
+  EXPECT_EQ(*first + *second, bytes.size());
+}
+
+TEST(WireFormatTest, RejectsEveryTruncation) {
+  std::vector<uint8_t> bytes;
+  const std::vector<double> run = {0.25, -0.5, 1.75};
+  AppendUserRunFrame(123456789, 42, run, bytes);
+  uint64_t user = 0;
+  uint64_t base = 0;
+  std::vector<double> decoded;
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeUserRunFrame(std::span(bytes).subspan(0, len), &user, &base,
+                           decoded)
+            .ok())
+        << "prefix length " << len;
+  }
+}
+
+TEST(WireFormatTest, RejectsEverySingleByteCorruption) {
+  std::vector<uint8_t> bytes;
+  const std::vector<double> run = {0.5, 0.125, -2.0, 0.75};
+  AppendUserRunFrame(99, 3, run, bytes);
+  uint64_t user = 0;
+  uint64_t base = 0;
+  std::vector<double> decoded;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (uint8_t flip : {uint8_t{0x01}, uint8_t{0x80}}) {
+      std::vector<uint8_t> corrupted = bytes;
+      corrupted[i] ^= flip;
+      EXPECT_FALSE(
+          DecodeUserRunFrame(corrupted, &user, &base, decoded).ok())
+          << "byte " << i << " flip " << int{flip};
+    }
+  }
+}
+
+TEST(WireFormatTest, RejectsAbsurdRunLength) {
+  // Hand-build a frame whose count varint claims 2^30 values.
+  std::vector<uint8_t> bytes;
+  bytes.push_back(kWireFrameMagic);
+  AppendVarint(1, bytes);          // user_id
+  AppendVarint(0, bytes);          // base_slot
+  AppendVarint(1ULL << 30, bytes); // count: over the cap
+  const uint32_t crc = Crc32(bytes);
+  for (int b = 0; b < 4; ++b) {
+    bytes.push_back(static_cast<uint8_t>(crc >> (8 * b)));
+  }
+  uint64_t user = 0;
+  uint64_t base = 0;
+  std::vector<double> decoded;
+  EXPECT_FALSE(DecodeUserRunFrame(bytes, &user, &base, decoded).ok());
+}
+
+// ------------------------------------------------------------ mpsc queue ----
+
+TEST(MpscQueueTest, FifoWithinCapacity) {
+  MpscQueue<int> queue(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.Push(i));
+  EXPECT_EQ(queue.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    auto item = queue.Pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_EQ(queue.push_stalls(), 0u);
+}
+
+TEST(MpscQueueTest, WrapsAroundTheRing) {
+  MpscQueue<int> queue(2);
+  int next = 0;
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_TRUE(queue.Push(next++));
+    EXPECT_TRUE(queue.Push(next++));
+    EXPECT_EQ(*queue.Pop(), 2 * round);
+    EXPECT_EQ(*queue.Pop(), 2 * round + 1);
+  }
+}
+
+TEST(MpscQueueTest, PushBlocksUntilPopMakesRoom) {
+  MpscQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::thread producer([&] { EXPECT_TRUE(queue.Push(2)); });
+  // Wait until the producer has actually stalled on the full ring.
+  while (queue.push_stalls() == 0) std::this_thread::yield();
+  EXPECT_EQ(*queue.Pop(), 1);
+  producer.join();
+  EXPECT_EQ(*queue.Pop(), 2);
+  EXPECT_EQ(queue.push_stalls(), 1u);
+}
+
+TEST(MpscQueueTest, PopBlocksUntilPush) {
+  MpscQueue<int> queue(2);
+  std::thread consumer([&] {
+    auto item = queue.Pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, 7);
+  });
+  while (queue.pop_waits() == 0) std::this_thread::yield();
+  EXPECT_TRUE(queue.Push(7));
+  consumer.join();
+}
+
+TEST(MpscQueueTest, CloseUnblocksAndDrains) {
+  MpscQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(1));
+  queue.Close();
+  EXPECT_FALSE(queue.Push(2));          // rejected after close...
+  EXPECT_EQ(*queue.Pop(), 1);           // ...but queued items still drain
+  EXPECT_FALSE(queue.Pop().has_value());  // then closed-and-drained
+}
+
+// ---------------------------------------------- transport kind / options ----
+
+TEST(TransportOptionsTest, KindNamesRoundTrip) {
+  for (TransportKind kind : {TransportKind::kDirect, TransportKind::kQueue,
+                             TransportKind::kQueueFramed}) {
+    auto parsed = ParseTransportKind(TransportKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseTransportKind("carrier-pigeon").ok());
+}
+
+TEST(TransportOptionsTest, ValidationCatchesBadKnobs) {
+  TransportOptions good;
+  EXPECT_TRUE(ValidateTransportOptions(good).ok());
+  TransportOptions bad = good;
+  bad.queue_capacity = 0;
+  EXPECT_FALSE(ValidateTransportOptions(bad).ok());
+  bad = good;
+  bad.num_consumers = 0;
+  EXPECT_FALSE(ValidateTransportOptions(bad).ok());
+  bad = good;
+  bad.max_batch_runs = 0;
+  EXPECT_FALSE(ValidateTransportOptions(bad).ok());
+
+  EngineConfig config;
+  config.transport.num_consumers = 0;
+  EXPECT_FALSE(ValidateEngineConfig(config).ok());
+}
+
+// -------------------------------------------------------- transport hub ----
+
+TEST(TransportHubTest, DeliversRunsToCollector) {
+  for (TransportKind kind :
+       {TransportKind::kQueue, TransportKind::kQueueFramed}) {
+    SCOPED_TRACE(TransportKindName(kind));
+    auto collector = ShardedCollector::Create();
+    ASSERT_TRUE(collector.ok());
+    TransportOptions options;
+    options.kind = kind;
+    options.queue_capacity = 4;
+    options.num_consumers = 2;
+    options.max_batch_runs = 3;
+    auto hub = TransportHub::Create(&*collector, options);
+    ASSERT_TRUE(hub.ok());
+    {
+      auto producer = (*hub)->MakeProducer();
+      const std::vector<double> run = {0.25, 0.5, 0.75};
+      for (uint64_t user = 0; user < 10; ++user) {
+        producer.Publish(user, 2, run);
+      }
+    }
+    ASSERT_TRUE((*hub)->Drain().ok());
+    EXPECT_EQ(collector->user_count(), 10u);
+    EXPECT_EQ(collector->report_count(), 30u);
+    auto stream = collector->GapFilledStream(4);
+    ASSERT_TRUE(stream.ok());
+    EXPECT_EQ(*stream, (std::vector<double>{0.5, 0.5, 0.25, 0.5, 0.75}));
+    const TransportStats& stats = (*hub)->stats();
+    EXPECT_EQ(stats.runs, 10u);
+    EXPECT_EQ(stats.reports, 30u);
+    EXPECT_EQ(stats.frames, 4u);  // ceil(10 runs / 3 per frame)
+    ASSERT_EQ(stats.consumer_runs.size(), 2u);
+    EXPECT_EQ(stats.consumer_runs[0] + stats.consumer_runs[1], 10u);
+    if (kind == TransportKind::kQueueFramed) {
+      EXPECT_GT(stats.wire_bytes, 30u * 8u);
+    } else {
+      EXPECT_EQ(stats.wire_bytes, 0u);
+    }
+    EXPECT_EQ(stats.decode_failures, 0u);
+  }
+}
+
+TEST(TransportHubTest, DirectKindIngestsInPlace) {
+  // A kDirect hub is a pass-through: no queue traffic, no consumer
+  // threads, same collector state and counters as the queued kinds.
+  auto collector = ShardedCollector::Create();
+  ASSERT_TRUE(collector.ok());
+  TransportOptions options;
+  options.kind = TransportKind::kDirect;
+  auto hub = TransportHub::Create(&*collector, options);
+  ASSERT_TRUE(hub.ok());
+  {
+    auto producer = (*hub)->MakeProducer();
+    const std::vector<double> run = {0.25, 0.5, 0.75};
+    for (uint64_t user = 0; user < 10; ++user) {
+      producer.Publish(user, 2, run);
+    }
+  }
+  ASSERT_TRUE((*hub)->Drain().ok());
+  EXPECT_EQ(collector->user_count(), 10u);
+  EXPECT_EQ(collector->report_count(), 30u);
+  const TransportStats& stats = (*hub)->stats();
+  EXPECT_EQ(stats.runs, 10u);
+  EXPECT_EQ(stats.reports, 30u);
+  EXPECT_EQ(stats.frames, 0u);
+  EXPECT_TRUE(stats.consumer_runs.empty());
+}
+
+TEST(TransportHubTest, DrainIsIdempotentAndEmptyHubDrains) {
+  auto collector = ShardedCollector::Create();
+  ASSERT_TRUE(collector.ok());
+  TransportOptions options;
+  options.kind = TransportKind::kQueue;
+  auto hub = TransportHub::Create(&*collector, options);
+  ASSERT_TRUE(hub.ok());
+  EXPECT_TRUE((*hub)->Drain().ok());
+  EXPECT_TRUE((*hub)->Drain().ok());
+  EXPECT_EQ(collector->report_count(), 0u);
+}
+
+TEST(TransportHubTest, NoLossUnderBackpressure) {
+  // A capacity-2 ring, single-run frames, and 8 concurrent producers: the
+  // ring is forced to fill, so correctness here means blocking, not
+  // dropping. Every report must arrive exactly once.
+  auto collector = ShardedCollector::Create({.keep_streams = false});
+  ASSERT_TRUE(collector.ok());
+  TransportOptions options;
+  options.kind = TransportKind::kQueueFramed;
+  options.queue_capacity = 2;
+  options.num_consumers = 1;
+  options.max_batch_runs = 1;
+  auto hub = TransportHub::Create(&*collector, options);
+  ASSERT_TRUE(hub.ok());
+
+  constexpr size_t kProducers = 8;
+  constexpr size_t kUsersPerProducer = 200;
+  const std::vector<double> run = {0.1, 0.9};
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      auto producer = (*hub)->MakeProducer();
+      for (size_t u = 0; u < kUsersPerProducer; ++u) {
+        producer.Publish(p * kUsersPerProducer + u, 0, run);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  ASSERT_TRUE((*hub)->Drain().ok());
+
+  EXPECT_EQ(collector->user_count(), kProducers * kUsersPerProducer);
+  EXPECT_EQ(collector->report_count(),
+            kProducers * kUsersPerProducer * run.size());
+  const TransportStats& stats = (*hub)->stats();
+  EXPECT_EQ(stats.frames, kProducers * kUsersPerProducer);
+  EXPECT_EQ(stats.runs, kProducers * kUsersPerProducer);
+}
+
+// --------------------------------------- fleet determinism across wires ----
+
+EngineConfig TransportFleetConfig(AlgorithmKind algorithm) {
+  EngineConfig config;
+  config.algorithm = algorithm;
+  config.epsilon = 1.0;
+  config.window = 10;
+  config.num_users = 300;
+  config.num_slots = 24;
+  config.chunk_size = 32;
+  config.seed = 1234;
+  config.signal = SignalKind::kSinusoid;
+  config.keep_streams = false;  // aggregate-only: the scaling mode
+  return config;
+}
+
+struct FleetObservation {
+  EngineStats stats;
+  std::vector<SlotAggregate> aggregates;
+  size_t report_count = 0;
+};
+
+FleetObservation RunFleet(EngineConfig config) {
+  auto fleet = Fleet::Create(config);
+  EXPECT_TRUE(fleet.ok());
+  auto stats = fleet->Run();
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  return {*stats, fleet->collector().PopulationSlotAggregates(),
+          fleet->collector().report_count()};
+}
+
+// The headline acceptance test: digests AND collector aggregates are
+// bit-identical between kDirect, kQueue, and kQueueFramed for every
+// producer x consumer mix. Exactness of the aggregates comes from
+// SlotAggregate's integer accumulation; the digest is already computed
+// producer-side from per-user streams.
+TEST(TransportDeterminismTest, BitIdenticalAcrossKindsAndThreadMixes) {
+  for (AlgorithmKind algorithm :
+       {AlgorithmKind::kCapp, AlgorithmKind::kIpp, AlgorithmKind::kApp}) {
+    SCOPED_TRACE(AlgorithmKindName(algorithm));
+    const FleetObservation baseline =
+        RunFleet(TransportFleetConfig(algorithm));
+    ASSERT_FALSE(baseline.aggregates.empty());
+
+    for (int producers : {1, 4, 8}) {
+      for (TransportKind kind :
+           {TransportKind::kDirect, TransportKind::kQueue,
+            TransportKind::kQueueFramed}) {
+        for (int consumers : {1, 2, 4}) {
+          if (kind == TransportKind::kDirect && consumers != 1) continue;
+          SCOPED_TRACE(TransportKindName(kind));
+          SCOPED_TRACE(producers);
+          SCOPED_TRACE(consumers);
+          EngineConfig config = TransportFleetConfig(algorithm);
+          config.num_threads = producers;
+          config.transport.kind = kind;
+          config.transport.num_consumers = consumers;
+          config.transport.queue_capacity = 8;
+          config.transport.max_batch_runs = 16;
+          const FleetObservation run = RunFleet(config);
+
+          EXPECT_EQ(run.stats.stream_digest,
+                    baseline.stats.stream_digest);
+          EXPECT_EQ(run.stats.mean_slot_mse, baseline.stats.mean_slot_mse);
+          EXPECT_EQ(run.report_count, baseline.report_count);
+          ASSERT_EQ(run.aggregates.size(), baseline.aggregates.size());
+          for (size_t t = 0; t < run.aggregates.size(); ++t) {
+            EXPECT_EQ(run.aggregates[t].Count(),
+                      baseline.aggregates[t].Count())
+                << "slot " << t;
+            EXPECT_EQ(std::bit_cast<uint64_t>(run.aggregates[t].Mean()),
+                      std::bit_cast<uint64_t>(
+                          baseline.aggregates[t].Mean()))
+                << "slot " << t;
+            EXPECT_EQ(std::bit_cast<uint64_t>(run.aggregates[t].M2()),
+                      std::bit_cast<uint64_t>(baseline.aggregates[t].M2()))
+                << "slot " << t;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TransportDeterminismTest, QueuedFleetReportsTransportStats) {
+  EngineConfig config = TransportFleetConfig(AlgorithmKind::kCapp);
+  config.num_threads = 4;
+  config.transport.kind = TransportKind::kQueueFramed;
+  config.transport.num_consumers = 2;
+  config.transport.max_batch_runs = 8;
+  const FleetObservation run = RunFleet(config);
+  EXPECT_EQ(run.stats.transport.runs, config.num_users);
+  EXPECT_EQ(run.stats.transport.reports,
+            config.num_users * config.num_slots);
+  EXPECT_GT(run.stats.transport.frames, 0u);
+  EXPECT_GT(run.stats.transport.wire_bytes,
+            config.num_users * config.num_slots * 8);
+  EXPECT_EQ(run.stats.transport.consumer_runs.size(), 2u);
+
+  // The direct fleet leaves transport counters zeroed.
+  const FleetObservation direct =
+      RunFleet(TransportFleetConfig(AlgorithmKind::kCapp));
+  EXPECT_EQ(direct.stats.transport.frames, 0u);
+  EXPECT_EQ(direct.stats.transport.runs, 0u);
+}
+
+}  // namespace
+}  // namespace capp

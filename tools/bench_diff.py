@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json results against a committed baseline.
+
+Usage: bench_diff.py BASELINE.json CURRENT.json... [--warn-drop=PCT] [--strict]
+
+Multiple CURRENT files (repeated runs of the same scenario) are merged by
+taking the best value per throughput metric before diffing -- short smoke
+runs on shared CI runners are noisy, and best-of-N is the standard guard.
+
+Walks both JSON objects and compares every numeric leaf whose key ends in
+"reports_per_sec"; a drop of more than --warn-drop percent (default 10)
+prints a GitHub Actions ::warning:: annotation per metric. Exit status is
+0 unless --strict is given, because absolute throughput is machine-
+dependent (the committed baseline records one reference container; CI
+runners differ) -- the diff exists to make regressions loud, not to gate
+merges on runner lottery. The determinism digest is also compared when
+the scenario matches; a mismatch warns rather than fails, because the
+sinusoid workload goes through libm sin/cos and digests are only pinned
+per libm build (in-run thread-count invariance is enforced by the bench
+binary itself).
+"""
+
+import json
+import sys
+
+SCENARIO_KEYS = ("bench", "algorithm", "signal", "users", "slots", "seed")
+
+
+def numeric_leaves(obj, prefix=""):
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            yield from numeric_leaves(value, f"{prefix}{key}.")
+    elif isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        yield prefix[:-1], float(obj)
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    if len(args) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    warn_drop = 10.0
+    strict = "--strict" in argv
+    for arg in argv[1:]:
+        if arg.startswith("--warn-drop="):
+            warn_drop = float(arg.split("=", 1)[1])
+
+    with open(args[0]) as f:
+        baseline = json.load(f)
+    currents = []
+    for path in args[1:]:
+        with open(path) as f:
+            currents.append(json.load(f))
+    current = currents[0]
+    # Best-of-N: keep each throughput metric's maximum across the repeats.
+    best = dict(numeric_leaves(current))
+    for repeat in currents[1:]:
+        for name, value in numeric_leaves(repeat):
+            if name.endswith("reports_per_sec"):
+                best[name] = max(best.get(name, value), value)
+
+    same_scenario = all(
+        baseline.get(k) == current.get(k) for k in SCENARIO_KEYS
+    )
+    if not same_scenario:
+        diffs = [
+            (k, baseline.get(k), current.get(k))
+            for k in SCENARIO_KEYS
+            if baseline.get(k) != current.get(k)
+        ]
+        print(
+            f"note: scenario differs from baseline ({diffs}); throughput "
+            "and digest are not comparable — refresh bench/baselines/ for "
+            "the new configuration"
+        )
+        return 0
+
+    base_metrics = dict(numeric_leaves(baseline))
+    cur_metrics = best
+    regressions = 0
+    for name, base_value in sorted(base_metrics.items()):
+        if not name.endswith("reports_per_sec") or base_value <= 0:
+            continue
+        cur_value = cur_metrics.get(name)
+        if cur_value is None:
+            print(f"::warning::bench metric vanished: {name}")
+            regressions += 1
+            continue
+        change = 100.0 * (cur_value - base_value) / base_value
+        marker = ""
+        if change < -warn_drop:
+            marker = (
+                f"::warning::bench regression: {name} dropped "
+                f"{-change:.1f}% (baseline {base_value:.0f}, "
+                f"now {cur_value:.0f})"
+            )
+            regressions += 1
+            print(marker)
+        print(f"{name}: {base_value:.0f} -> {cur_value:.0f} ({change:+.1f}%)")
+
+    if same_scenario and "digest" in baseline:
+        if baseline["digest"] != current.get("digest"):
+            print(
+                f"::warning::determinism digest differs from baseline: "
+                f"{baseline['digest']} -> {current.get('digest')}. Expected "
+                "only from a different libm build or a deliberate "
+                "published-value change (refresh the baseline and document "
+                "the bump in that case)."
+            )
+        else:
+            print(f"digest: {baseline['digest']} (matches baseline)")
+
+    if regressions and strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
