@@ -1,7 +1,8 @@
 // Transport throughput benchmark: what does the wire cost? Runs the same
-// fleet scenario through all three transports -- direct in-process ingest,
-// the MPSC queue of structured run batches, and the queue of binary wire
-// frames (encode + CRC-checked decode per run) -- and reports sustained
+// fleet scenario through every transport -- direct in-process ingest, the
+// MPSC queue of structured run batches (with and without shard-affinity
+// routing), the queue of binary wire frames, and the unix-socket stream
+// of those frames (with and without affinity) -- and reports sustained
 // reports/s, frames/s, and backpressure stalls for each.
 //
 //   $ ./bench_transport_throughput                    # 1M users x 100 slots
@@ -9,19 +10,23 @@
 //   $ ./bench_transport_throughput --quick            # CI smoke sizing
 //
 // Every run re-verifies the transport determinism contract: the published
-// -stream digest must be bit-identical across all three transports (exit
-// status is non-zero otherwise), and writes BENCH_transport_throughput.json
-// with the scenario, per-transport throughput, and queue/direct ratios.
+// -stream digest must be bit-identical across all rows (exit status is
+// non-zero otherwise), and writes BENCH_transport_throughput.json with
+// the scenario, per-transport throughput, and ratios against direct --
+// including queue_affinity_vs_queue, the number the shard-affinity
+// routing exists to move.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/check.h"
 #include "engine/engine_config.h"
 #include "engine/fleet.h"
 #include "engine/thread_pool.h"
+#include "harness/flags.h"
 #include "harness/json_out.h"
 #include "transport/transport.h"
 
@@ -41,6 +46,22 @@ struct TransportBenchFlags {
   std::string_view algorithm = "capp";
   std::string_view signal = "sinusoid";
   std::string_view json_path = "BENCH_transport_throughput.json";
+};
+
+// One benchmarked configuration of the transport tier.
+struct TransportRow {
+  const char* name;  // display + JSON key
+  TransportKind kind;
+  bool shard_affinity;
+};
+
+constexpr TransportRow kRows[] = {
+    {"direct", TransportKind::kDirect, false},
+    {"queue", TransportKind::kQueue, false},
+    {"queue_affinity", TransportKind::kQueue, true},
+    {"queue_framed", TransportKind::kQueueFramed, false},
+    {"socket", TransportKind::kSocket, false},
+    {"socket_affinity", TransportKind::kSocket, true},
 };
 
 [[noreturn]] void Usage(const char* argv0) {
@@ -70,23 +91,23 @@ TransportBenchFlags ParseFlags(int argc, char** argv) {
       flags.users = 50000;
       flags.slots = 20;
     } else if (ParseValue(arg, "--users=", &value)) {
-      flags.users = std::strtoull(value.data(), nullptr, 10);
+      flags.users = ParseUint64FlagOrDie("--users", value);
     } else if (ParseValue(arg, "--slots=", &value)) {
-      flags.slots = std::strtoull(value.data(), nullptr, 10);
+      flags.slots = ParseUint64FlagOrDie("--slots", value);
     } else if (ParseValue(arg, "--threads=", &value)) {
-      flags.threads = std::atoi(value.data());
+      flags.threads = ParseIntFlagOrDie("--threads", value, 0);
     } else if (ParseValue(arg, "--consumers=", &value)) {
-      flags.consumers = std::atoi(value.data());
+      flags.consumers = ParseIntFlagOrDie("--consumers", value, 1);
     } else if (ParseValue(arg, "--capacity=", &value)) {
-      flags.queue_capacity = std::strtoull(value.data(), nullptr, 10);
+      flags.queue_capacity = ParseUint64FlagOrDie("--capacity", value);
     } else if (ParseValue(arg, "--batch-runs=", &value)) {
-      flags.batch_runs = std::strtoull(value.data(), nullptr, 10);
+      flags.batch_runs = ParseUint64FlagOrDie("--batch-runs", value);
     } else if (ParseValue(arg, "--epsilon=", &value)) {
-      flags.epsilon = std::strtod(value.data(), nullptr);
+      flags.epsilon = ParseDoubleFlagOrDie("--epsilon", value);
     } else if (ParseValue(arg, "--window=", &value)) {
-      flags.window = std::atoi(value.data());
+      flags.window = ParseIntFlagOrDie("--window", value, 1);
     } else if (ParseValue(arg, "--seed=", &value)) {
-      flags.seed = std::strtoull(value.data(), nullptr, 10);
+      flags.seed = ParseUint64FlagOrDie("--seed", value);
     } else if (ParseValue(arg, "--algorithm=", &value)) {
       flags.algorithm = value;
     } else if (ParseValue(arg, "--signal=", &value)) {
@@ -100,7 +121,8 @@ TransportBenchFlags ParseFlags(int argc, char** argv) {
   return flags;
 }
 
-EngineStats RunOnce(const TransportBenchFlags& flags, TransportKind kind) {
+EngineStats RunOnce(const TransportBenchFlags& flags,
+                    const TransportRow& row) {
   EngineConfig config;
   auto algorithm = ParseAlgorithmKind(flags.algorithm);
   auto signal = ParseSignalKind(flags.signal);
@@ -117,7 +139,8 @@ EngineStats RunOnce(const TransportBenchFlags& flags, TransportKind kind) {
   config.num_threads = flags.threads;
   config.seed = flags.seed;
   config.keep_streams = false;  // aggregate-only: the scaling configuration
-  config.transport.kind = kind;
+  config.transport.kind = row.kind;
+  config.transport.shard_affinity = row.shard_affinity;
   config.transport.num_consumers = flags.consumers;
   config.transport.queue_capacity = flags.queue_capacity;
   config.transport.max_batch_runs = flags.batch_runs;
@@ -136,11 +159,11 @@ EngineStats RunOnce(const TransportBenchFlags& flags, TransportKind kind) {
   return *stats;
 }
 
-void PrintRun(TransportKind kind, const EngineStats& stats) {
-  std::printf("[%-6s] %.0f reports/s (%.2fs, %zu producer threads)",
-              std::string(TransportKindName(kind)).c_str(),
-              stats.reports_per_sec, stats.elapsed_seconds, stats.threads);
-  if (kind != TransportKind::kDirect) {
+void PrintRun(const TransportRow& row, const EngineStats& stats) {
+  std::printf("[%-15s] %.0f reports/s (%.2fs, %zu producer threads)",
+              row.name, stats.reports_per_sec, stats.elapsed_seconds,
+              stats.threads);
+  if (row.kind != TransportKind::kDirect) {
     const TransportStats& t = stats.transport;
     const double frames_per_sec =
         stats.elapsed_seconds > 0.0
@@ -173,8 +196,13 @@ JsonObjectWriter RunJson(const EngineStats& stats) {
   run.AddInt("push_stalls", t.push_stalls);
   run.AddInt("pop_waits", t.pop_waits);
   run.AddInt("wire_bytes", t.wire_bytes);
+  run.AddInt("connections", t.connections);
   run.AddInt("consumers", t.consumer_runs.size());
   return run;
+}
+
+double Ratio(double value, double base) {
+  return base > 0.0 ? value / base : 0.0;
 }
 
 int Run(int argc, char** argv) {
@@ -185,24 +213,31 @@ int Run(int argc, char** argv) {
               flags.users, flags.slots, flags.consumers,
               flags.queue_capacity, flags.batch_runs);
 
-  const EngineStats direct = RunOnce(flags, TransportKind::kDirect);
-  PrintRun(TransportKind::kDirect, direct);
-  const EngineStats queued = RunOnce(flags, TransportKind::kQueue);
-  PrintRun(TransportKind::kQueue, queued);
-  const EngineStats framed = RunOnce(flags, TransportKind::kQueueFramed);
-  PrintRun(TransportKind::kQueueFramed, framed);
+  std::vector<EngineStats> results;
+  for (const TransportRow& row : kRows) {
+    results.push_back(RunOnce(flags, row));
+    PrintRun(row, results.back());
+  }
+  const EngineStats& direct = results[0];
+  const EngineStats& queued = results[1];
+  const EngineStats& queued_affinity = results[2];
+  const EngineStats& framed = results[3];
+  const EngineStats& socket = results[4];
 
   const double queue_ratio =
-      direct.reports_per_sec > 0.0
-          ? queued.reports_per_sec / direct.reports_per_sec
-          : 0.0;
+      Ratio(queued.reports_per_sec, direct.reports_per_sec);
   const double framed_ratio =
-      direct.reports_per_sec > 0.0
-          ? framed.reports_per_sec / direct.reports_per_sec
-          : 0.0;
+      Ratio(framed.reports_per_sec, direct.reports_per_sec);
+  const double affinity_gain =
+      Ratio(queued_affinity.reports_per_sec, queued.reports_per_sec);
   std::printf("\nqueue sustains %.0f%% of direct ingest; framed (encode + "
-              "CRC decode) %.0f%%\n",
-              100.0 * queue_ratio, 100.0 * framed_ratio);
+              "CRC decode) %.0f%%; socket %.0f%%\n",
+              100.0 * queue_ratio, 100.0 * framed_ratio,
+              100.0 * Ratio(socket.reports_per_sec,
+                            direct.reports_per_sec));
+  std::printf("shard affinity moves queue ingest to %.0f%% of the shared-"
+              "queue path\n",
+              100.0 * affinity_gain);
 
   if (!flags.json_path.empty()) {
     JsonObjectWriter json;
@@ -215,14 +250,18 @@ int Run(int argc, char** argv) {
     json.AddInt("seed", flags.seed);
     json.AddInt("queue_capacity", flags.queue_capacity);
     json.AddInt("batch_runs", flags.batch_runs);
-    json.AddObject("direct", RunJson(direct));
-    json.AddObject("queue", RunJson(queued));
-    json.AddObject("queue_framed", RunJson(framed));
+    json.AddInt("consumers", flags.consumers);
+    for (size_t i = 0; i < results.size(); ++i) {
+      json.AddObject(kRows[i].name, RunJson(results[i]));
+    }
     json.AddNumber("queue_vs_direct", queue_ratio);
     json.AddNumber("framed_vs_direct", framed_ratio);
+    json.AddNumber("queue_affinity_vs_queue", affinity_gain);
     json.AddHex("digest", direct.stream_digest);
-    const bool match = direct.stream_digest == queued.stream_digest &&
-                       direct.stream_digest == framed.stream_digest;
+    bool match = true;
+    for (const EngineStats& stats : results) {
+      match = match && stats.stream_digest == direct.stream_digest;
+    }
     json.AddString("digest_match", match ? "ok" : "MISMATCH");
     const std::string path(flags.json_path);
     const Status written = WriteJsonFile(path, json);
@@ -233,19 +272,22 @@ int Run(int argc, char** argv) {
     }
   }
 
-  if (direct.stream_digest != queued.stream_digest ||
-      direct.stream_digest != framed.stream_digest) {
-    std::fprintf(stderr,
-                 "DETERMINISM VIOLATION: digests differ across transports "
-                 "(%016llx direct, %016llx queue, %016llx framed)\n",
-                 static_cast<unsigned long long>(direct.stream_digest),
-                 static_cast<unsigned long long>(queued.stream_digest),
-                 static_cast<unsigned long long>(framed.stream_digest));
-    return 1;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (results[i].stream_digest != direct.stream_digest) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: digest %016llx on %s differs "
+                   "from %016llx on direct\n",
+                   static_cast<unsigned long long>(
+                       results[i].stream_digest),
+                   kRows[i].name,
+                   static_cast<unsigned long long>(direct.stream_digest));
+      return 1;
+    }
   }
-  std::printf("determinism: digest %016llx identical across all three "
-              "transports\n",
-              static_cast<unsigned long long>(direct.stream_digest));
+  std::printf("determinism: digest %016llx identical across all %zu "
+              "transport rows\n",
+              static_cast<unsigned long long>(direct.stream_digest),
+              results.size());
   return 0;
 }
 

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "core/parse.h"
+
 namespace capp::bench {
 namespace {
 
@@ -16,6 +18,40 @@ bool ConsumePrefix(std::string_view arg, std::string_view prefix,
 
 }  // namespace
 
+uint64_t ParseUint64FlagOrDie(std::string_view flag, std::string_view text) {
+  uint64_t value = 0;
+  if (!ParseUint64Text(text, &value)) {
+    std::fprintf(stderr, "%.*s wants an unsigned integer, got '%.*s'\n",
+                 static_cast<int>(flag.size()), flag.data(),
+                 static_cast<int>(text.size()), text.data());
+    std::exit(2);
+  }
+  return value;
+}
+
+int ParseIntFlagOrDie(std::string_view flag, std::string_view text,
+                      int min_value) {
+  int value = 0;
+  if (!ParseIntText(text, min_value, &value)) {
+    std::fprintf(stderr, "%.*s wants an integer >= %d, got '%.*s'\n",
+                 static_cast<int>(flag.size()), flag.data(), min_value,
+                 static_cast<int>(text.size()), text.data());
+    std::exit(2);
+  }
+  return value;
+}
+
+double ParseDoubleFlagOrDie(std::string_view flag, std::string_view text) {
+  double value = 0.0;
+  if (!ParseDoubleText(text, &value)) {
+    std::fprintf(stderr, "%.*s wants a finite number, got '%.*s'\n",
+                 static_cast<int>(flag.size()), flag.data(),
+                 static_cast<int>(text.size()), text.data());
+    std::exit(2);
+  }
+  return value;
+}
+
 BenchFlags ParseFlags(int argc, char** argv) {
   BenchFlags flags;
   for (int i = 1; i < argc; ++i) {
@@ -26,13 +62,13 @@ BenchFlags ParseFlags(int argc, char** argv) {
       flags.trials = 4;
       flags.subsequences = 15;
     } else if (ConsumePrefix(arg, "--trials=", &value)) {
-      flags.trials = std::atoi(std::string(value).c_str());
+      flags.trials = ParseIntFlagOrDie("--trials", value, 1);
     } else if (ConsumePrefix(arg, "--subsequences=", &value)) {
-      flags.subsequences = std::atoi(std::string(value).c_str());
+      flags.subsequences = ParseIntFlagOrDie("--subsequences", value, 1);
     } else if (ConsumePrefix(arg, "--csv=", &value)) {
       flags.csv_path = std::string(value);
     } else if (ConsumePrefix(arg, "--seed=", &value)) {
-      flags.seed = std::strtoull(std::string(value).c_str(), nullptr, 10);
+      flags.seed = ParseUint64FlagOrDie("--seed", value);
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "flags: --trials=N --subsequences=N --quick --csv=PATH "
@@ -43,8 +79,6 @@ BenchFlags ParseFlags(int argc, char** argv) {
       std::exit(2);
     }
   }
-  if (flags.trials < 1) flags.trials = 1;
-  if (flags.subsequences < 1) flags.subsequences = 1;
   return flags;
 }
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace capp::bench {
@@ -25,6 +26,16 @@ struct BenchFlags {
 
 /// Parses flags; unknown flags abort with a usage message.
 BenchFlags ParseFlags(int argc, char** argv);
+
+/// Strict flag-value parsing (core/parse.h underneath), exiting with
+/// status 2 and a "--flag wants ..." message on failure -- "--trials=abc"
+/// silently running one trial and "--seed=junk" silently seeding 0 (the
+/// old atoi/strtoull behavior) are how wrong benchmark numbers get
+/// published. `flag` is the flag's display name ("--trials").
+uint64_t ParseUint64FlagOrDie(std::string_view flag, std::string_view text);
+int ParseIntFlagOrDie(std::string_view flag, std::string_view text,
+                      int min_value);
+double ParseDoubleFlagOrDie(std::string_view flag, std::string_view text);
 
 /// The paper's epsilon grid 0.5..3.0 (step 0.5), or a coarse subset in
 /// quick mode.

@@ -3,6 +3,8 @@
 //   $ ./fleet_simulation                 # 1,000,000 users, 24 slots
 //   $ ./fleet_simulation 250000 48       # custom population / horizon
 //   $ ./fleet_simulation 250000 48 --transport=framed --consumers=4
+//   $ ./fleet_simulation 250000 48 --transport=socket --affinity
+//   $ ./fleet_simulation 250000 48 --connect=/tmp/capp.sock
 //
 // A million simulated devices each run CAPP under w-event LDP over a noisy
 // daily sinusoid. Reports stream into the sharded collector in aggregate-
@@ -11,19 +13,40 @@
 // simulator knows. Demonstrates the estimation-error law the engine exists
 // to exploit: per-slot error shrinks as the population grows.
 //
-// --transport=direct|queue|framed selects how reports travel to the
-// collector (in-place call, MPSC ring of run batches, or the ring carrying
-// CRC-checked binary wire frames); results are bit-identical across all
-// three. --consumers=N sizes the draining thread pool.
+// --transport=direct|queue|framed|socket selects how reports travel to the
+// collector (in-place call, MPSC ring of run batches, the ring carrying
+// CRC-checked binary wire frames, or those frames streamed through a
+// loopback unix socket); results are bit-identical across all four.
+// --consumers=N sizes the draining thread pool and --affinity routes each
+// run to the consumer owning its shard group. --connect=PATH sends the
+// reports to an external collector process instead (tools/collector_server
+// listening on PATH); the accuracy table still prints, because the fleet
+// side computes it from its own ground truth, but the collector-side
+// aggregates then live in the server process.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <string_view>
 
+#include "core/parse.h"
 #include "engine/engine_config.h"
 #include "engine/fleet.h"
 #include "transport/transport.h"
+
+namespace {
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [users] [slots] "
+               "[--transport=direct|queue|framed|socket]\n"
+               "          [--consumers=N] [--affinity] [--connect=PATH]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   capp::EngineConfig config;
@@ -42,38 +65,44 @@ int main(int argc, char** argv) {
     if (arg.starts_with("--transport=")) {
       auto kind = capp::ParseTransportKind(arg.substr(12));
       if (!kind.ok()) {
-        std::fprintf(stderr, "%s (want direct|queue|framed)\n",
+        std::fprintf(stderr, "%s (want direct|queue|framed|socket)\n",
                      kind.status().ToString().c_str());
         return 2;
       }
       config.transport.kind = *kind;
+      // Last flag wins outright: a --transport after a --connect must not
+      // leave a stale socket path behind (a kQueue run that claims a
+      // remote collector would strand the server and hide the results).
+      config.transport.socket_path.clear();
+    } else if (arg.starts_with("--connect=")) {
+      if (arg.size() <= 10) {
+        std::fprintf(stderr, "--connect wants a unix socket path\n");
+        return 2;
+      }
+      config.transport.kind = capp::TransportKind::kSocket;
+      config.transport.socket_path = std::string(arg.substr(10));
+    } else if (arg == "--affinity") {
+      config.transport.shard_affinity = true;
     } else if (arg.starts_with("--consumers=")) {
-      char* end = nullptr;
-      const long consumers = std::strtol(arg.substr(12).data(), &end, 10);
-      if (end == nullptr || *end != '\0' || consumers < 1 ||
+      int consumers = 0;
+      if (!capp::ParseIntText(arg.substr(12), 1, &consumers) ||
           consumers > 1024) {
         std::fprintf(stderr, "--consumers wants an integer in [1, 1024], "
                              "got '%s'\n",
                      arg.substr(12).data());
         return 2;
       }
-      config.transport.num_consumers = static_cast<int>(consumers);
+      config.transport.num_consumers = consumers;
     } else if (arg.starts_with("--")) {
       // A typoed flag must not fall through and be parsed as a 0-user
       // positional.
-      std::fprintf(stderr,
-                   "unknown flag '%s'\nusage: %s [users] [slots] "
-                   "[--transport=direct|queue|framed] [--consumers=N]\n",
-                   arg.data(), argv[0]);
-      return 2;
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.data());
+      Usage(argv[0]);
     } else if (positional < 2) {
       // Same strictness as the flags: "25O000" must not silently run 25
       // users.
-      char* end = nullptr;
-      const unsigned long long parsed = std::strtoull(arg.data(), &end, 10);
-      // strtoull wraps negatives ("-5" -> ~1.8e19), so require a digit.
-      if (arg.empty() || arg[0] < '0' || arg[0] > '9' ||
-          end == arg.data() || *end != '\0' || parsed < 1) {
+      uint64_t parsed = 0;
+      if (!capp::ParseUint64Text(arg, &parsed) || parsed < 1) {
         std::fprintf(stderr, "%s wants a positive integer, got '%s'\n",
                      positional == 0 ? "users" : "slots", arg.data());
         return 2;
@@ -81,20 +110,21 @@ int main(int argc, char** argv) {
       (positional == 0 ? config.num_users : config.num_slots) = parsed;
       ++positional;
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [users] [slots] "
-                   "[--transport=direct|queue|framed] [--consumers=N]\n",
-                   argv[0]);
-      return 2;
+      Usage(argv[0]);
     }
   }
 
+  const bool remote_collector =
+      config.transport.kind == capp::TransportKind::kSocket &&
+      !config.transport.socket_path.empty();
   std::printf("Simulating %zu users x %zu slots (CAPP, eps=%.1f, w=%d, "
-              "%s transport)...\n",
+              "%s transport%s%s)...\n",
               config.num_users, config.num_slots, config.epsilon,
               config.window,
               std::string(capp::TransportKindName(config.transport.kind))
-                  .c_str());
+                  .c_str(),
+              config.transport.shard_affinity ? ", shard affinity" : "",
+              remote_collector ? ", remote collector" : "");
 
   auto fleet = capp::Fleet::Create(config);
   if (!fleet.ok()) {
@@ -154,6 +184,10 @@ int main(int argc, char** argv) {
       std::printf(", %.1f MB on the wire",
                   static_cast<double>(t.wire_bytes) / 1048576.0);
     }
+    if (t.connections > 0) {
+      std::printf(", %llu socket connection(s)",
+                  static_cast<unsigned long long>(t.connections));
+    }
     std::printf("\n");
     for (size_t c = 0; c < t.consumer_runs.size(); ++c) {
       std::printf("  consumer %zu: %llu runs (%.0f%%)\n", c,
@@ -165,6 +199,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (remote_collector) {
+    std::printf("collector aggregates live in the server process "
+                "(see collector_server's summary)\n");
+    return 0;
+  }
   // The collector's own streaming aggregates tell the same story without
   // ever materializing a single per-user stream.
   const auto aggregates = fleet->collector().PopulationSlotAggregates();

@@ -1,0 +1,52 @@
+#include "core/parse.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace capp {
+
+bool ParseUint64Text(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+      return false;  // overflow
+    }
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseIntText(std::string_view text, int min_value, int* out) {
+  uint64_t value = 0;
+  if (!ParseUint64Text(text, &value)) return false;
+  if (value > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+    return false;
+  }
+  const int parsed = static_cast<int>(value);
+  if (parsed < min_value) return false;
+  *out = parsed;
+  return true;
+}
+
+bool ParseDoubleText(std::string_view text, double* out) {
+  if (text.empty() || text.front() == ' ') return false;
+  const std::string copy(text);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (errno != 0 || end != copy.c_str() + copy.size()) return false;
+  if (!(value == value) || value > std::numeric_limits<double>::max() ||
+      value < std::numeric_limits<double>::lowest()) {
+    return false;  // NaN or infinite
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace capp

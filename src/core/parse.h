@@ -1,0 +1,29 @@
+// Strict text-to-number parsing for CLI surfaces (benches, examples,
+// tools). The C library parsers accept leading whitespace, signs, and
+// trailing garbage and saturate on overflow -- exactly the behaviors
+// that turn a typo like "--trials=abc" or "25O000" into a silently
+// wrong run. These helpers accept a value if and only if the whole
+// string is its canonical decimal spelling.
+#ifndef CAPP_CORE_PARSE_H_
+#define CAPP_CORE_PARSE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace capp {
+
+/// Parses a base-10 unsigned integer. The whole of `text` must be
+/// digits; empty input, signs, whitespace, trailing garbage, and values
+/// overflowing uint64 all return false.
+bool ParseUint64Text(std::string_view text, uint64_t* out);
+
+/// ParseUint64Text restricted to [min_value, INT_MAX].
+bool ParseIntText(std::string_view text, int min_value, int* out);
+
+/// Parses a finite double; the whole string must be consumed and no
+/// leading whitespace is accepted.
+bool ParseDoubleText(std::string_view text, double* out);
+
+}  // namespace capp
+
+#endif  // CAPP_CORE_PARSE_H_

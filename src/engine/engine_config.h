@@ -70,8 +70,12 @@ struct EngineConfig {
   /// kDirect calls ShardedCollector::IngestUserRun in place; kQueue and
   /// kQueueFramed route every run through the transport hub's bounded
   /// MPSC ring (and, for kQueueFramed, the binary wire codec) drained by
-  /// transport.num_consumers threads. Results are bit-identical across
-  /// all three kinds and any thread mix.
+  /// transport.num_consumers threads; kSocket streams the wire frames
+  /// through a unix-domain socket to a collector-side acceptor (an
+  /// in-process loopback server, or the external tools/collector_server
+  /// when transport.socket_path is set). transport.shard_affinity routes
+  /// each run to the consumer owning its shard group. Results are
+  /// bit-identical across all kinds, thread mixes, and affinity settings.
   TransportOptions transport;
 };
 
@@ -110,6 +114,11 @@ struct EngineStats {
   /// Transport counters (zero under TransportKind::kDirect, where no
   /// queue exists).
   TransportStats transport;
+
+  /// Reports clamped by the collector's fixed-point aggregates (magnitude
+  /// beyond 2^16). Always zero on a successful run: Fleet::Run fails with
+  /// an Internal error instead of returning silently-wrong aggregates.
+  uint64_t aggregate_saturations = 0;
 
   /// One-line human-readable summary.
   std::string ToString() const;

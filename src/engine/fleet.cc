@@ -259,11 +259,21 @@ Result<EngineStats> Fleet::Run() {
   EngineStats stats;
   if (hub != nullptr) {
     // Every producer flushed when its chunk lambda returned; Drain pushes
-    // the poison pills, joins the consumers, and verifies nothing was
-    // lost. The clock stops after the drain so reports/s measures
-    // end-to-end ingest, not just production.
+    // the poison pills (or FINs the socket), joins everything, and
+    // verifies nothing was lost or saturated. The clock stops after the
+    // drain so reports/s measures end-to-end ingest, not just production.
     CAPP_RETURN_IF_ERROR(hub->Drain());
     stats.transport = hub->stats();
+  }
+  // kDirect has no Drain to fail; surface saturated aggregates just as
+  // loudly here (fleet workloads are sanitized to [0, 1], so this only
+  // fires when an unnormalized signal slips in).
+  stats.aggregate_saturations = collector_.saturated_report_count();
+  if (stats.aggregate_saturations > 0) {
+    return Status::Internal(
+        "collector aggregates saturated " +
+        std::to_string(stats.aggregate_saturations) +
+        " report(s) beyond +/-2^16; per-slot statistics would be wrong");
   }
   const auto stop = std::chrono::steady_clock::now();
 

@@ -97,16 +97,20 @@ void ShardedCollector::IngestLocked(Shard& shard, const SlotReport& report) {
     const double old_value = row[dense];
     row[dense] = report.value;
     if (std::isnan(old_value)) {
-      shard.slots[report.slot].Add(report.value);
+      if (shard.slots[report.slot].Add(report.value)) {
+        ++shard.saturated_reports;
+      }
       ++shard.reports_per_user[dense];
       ++shard.report_count;
-    } else {
-      shard.slots[report.slot].Replace(old_value, report.value);
+    } else if (shard.slots[report.slot].Replace(old_value, report.value)) {
+      ++shard.saturated_reports;
     }
   } else {
     // Aggregate-only mode cannot see a previous value, so every report is
     // treated as new (the documented at-most-once contract).
-    shard.slots[report.slot].Add(report.value);
+    if (shard.slots[report.slot].Add(report.value)) {
+      ++shard.saturated_reports;
+    }
     ++shard.reports_per_user[dense];
     ++shard.report_count;
   }
@@ -157,7 +161,9 @@ void ShardedCollector::IngestUserRun(uint64_t user_id, size_t base_slot,
     size_t ingested = 0;
     for (size_t i = first; i <= last; ++i) {
       if (!std::isfinite(values[i])) continue;
-      shard.slots[base_slot + i].Add(values[i]);
+      if (shard.slots[base_slot + i].Add(values[i])) {
+        ++shard.saturated_reports;
+      }
       ++ingested;
     }
     shard.reports_per_user[dense] += static_cast<uint32_t>(ingested);
@@ -174,11 +180,11 @@ void ShardedCollector::IngestUserRun(uint64_t user_id, size_t base_slot,
     const double old_value = row[dense];
     row[dense] = values[i];
     if (std::isnan(old_value)) {
-      shard.slots[slot].Add(values[i]);
+      if (shard.slots[slot].Add(values[i])) ++shard.saturated_reports;
       ++shard.reports_per_user[dense];
       ++shard.report_count;
-    } else {
-      shard.slots[slot].Replace(old_value, values[i]);
+    } else if (shard.slots[slot].Replace(old_value, values[i])) {
+      ++shard.saturated_reports;
     }
   }
 }
@@ -225,6 +231,15 @@ size_t ShardedCollector::report_count() const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     total += shard->report_count;
+  }
+  return total;
+}
+
+uint64_t ShardedCollector::saturated_report_count() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->saturated_reports;
   }
   return total;
 }

@@ -83,14 +83,19 @@ struct SlotAggregate {
 
   /// Adds one report. `x` must not be NaN (the collector filters
   /// non-finite reports before aggregation); +/-infinity clamps to the
-  /// saturation bound.
-  void Add(double x);
+  /// saturation bound. Returns true when the report was clamped -- the
+  /// aggregate is then wrong for the true value, so callers must count
+  /// and surface the event instead of letting it pass silently (an
+  /// unnormalized workload would otherwise yield bad count/mean/M2 with
+  /// no signal).
+  bool Add(double x);
   /// Removes a previously added report (the exact inverse of Add).
   void Remove(double x);
-  /// Replaces a previously added report (overwrite semantics).
-  void Replace(double old_value, double new_value) {
+  /// Replaces a previously added report (overwrite semantics). Returns
+  /// true when the new value saturated.
+  bool Replace(double old_value, double new_value) {
     Remove(old_value);
-    Add(new_value);
+    return Add(new_value);
   }
   /// Combines two aggregates (exact, commutative, associative).
   void Merge(const SlotAggregate& other);
@@ -137,12 +142,13 @@ struct SlotAggregate {
   __int128 sum_sq_ = 0;  // sum of quantized squared reports, scale 2^-60
 };
 
-inline void SlotAggregate::Add(double x) {
+inline bool SlotAggregate::Add(double x) {
   CAPP_DCHECK(!std::isnan(x));  // NaN would reach an undefined fp->int cast
   const double clamped = ClampToRange(x);
   ++count_;
   sum_ += ToFixed80(clamped);
   sum_sq_ += ToFixed60(clamped * clamped);
+  return clamped != x;
 }
 
 inline void SlotAggregate::Remove(double x) {
@@ -198,6 +204,17 @@ class ShardedCollector {
   /// Total reports ingested (overwrites count once).
   size_t report_count() const;
 
+  /// Reports whose magnitude exceeded the SlotAggregate saturation bound
+  /// (2^16) and were clamped. Nonzero means per-slot count/mean/M2 no
+  /// longer describe the true reports -- the transport hub turns this
+  /// into a Drain() error and Fleet::Run fails loudly.
+  uint64_t saturated_report_count() const;
+
+  /// The shard a user's reports land in: splitmix64(user_id) % num_shards.
+  /// A pure function of (user_id, num_shards), exposed so the transport
+  /// tier can route each run to the consumer owning its shard group.
+  size_t ShardIndexOf(uint64_t user_id) const { return ShardIndex(user_id); }
+
   /// True if the user has reported at least once.
   bool Contains(uint64_t user_id) const;
 
@@ -241,6 +258,7 @@ class ShardedCollector {
     std::vector<std::vector<double>> values;
     std::vector<SlotAggregate> slots;  // per-slot streaming aggregates
     size_t report_count = 0;
+    uint64_t saturated_reports = 0;  // reports clamped by SlotAggregate
   };
 
   explicit ShardedCollector(ShardedCollectorOptions options);

@@ -1,0 +1,173 @@
+// Cross-process socket transport: the wire the paper's Fig. 1 deployment
+// actually implies. Producers (the device fleet) stream the existing
+// binary user-run frames (transport/wire_format.h) through a unix-domain
+// stream socket to a collector-side acceptor, so the fleet process and
+// the collector process scale -- and fail -- independently.
+//
+// Stream protocol, producer -> collector, per connection:
+//
+//   [u32 LE chunk length][chunk: concatenated user-run wire frames] ...
+//   [u32 LE 0]                                  <- FIN marker, then close
+//
+// The length prefix lets the reader batch reads and bound allocations;
+// the zero-length FIN distinguishes a clean end-of-stream from a dropped
+// connection. Every abnormal ending -- truncation mid-chunk, an absurd
+// chunk length, EOF before FIN -- is counted as a stream error and fails
+// SocketCollectorServer::Finish(); corrupted frame bytes inside a chunk
+// are caught by the frame codec's CRC on the consumer side. Silent loss
+// is impossible on this path.
+//
+// Reports are already locally perturbed when they reach the wire, so the
+// stream carries nothing sensitive (the dual-utilization design); no TLS
+// or authentication is layered here. Multi-host RPC and TLS are the
+// recorded follow-on (ROADMAP).
+#ifndef CAPP_TRANSPORT_SOCKET_TRANSPORT_H_
+#define CAPP_TRANSPORT_SOCKET_TRANSPORT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/status.h"
+#include "transport/transport.h"
+
+namespace capp {
+
+class ShardedCollector;
+class TransportHub;
+
+/// Upper bound on one length-prefixed chunk. A corrupted length prefix
+/// must not drive an unbounded allocation; honest producers push frames
+/// of at most max_batch_runs runs, far below this.
+inline constexpr uint32_t kMaxSocketChunkBytes = 1u << 26;
+
+/// A fresh /tmp unix-socket path unique to this process and call (the
+/// loopback hub binds one per transport session).
+std::string MakeLoopbackSocketPath();
+
+/// Producer end of the chunk protocol. Not thread-safe; the hub
+/// serializes writes across producers.
+class SocketClient {
+ public:
+  /// Connects to a listening collector server.
+  static Result<SocketClient> Connect(const std::string& path);
+
+  SocketClient(SocketClient&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  SocketClient& operator=(SocketClient&&) = delete;
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+  ~SocketClient();
+
+  /// Writes one non-empty chunk: 4-byte LE length, then the payload.
+  Status WriteChunk(std::span<const uint8_t> payload);
+
+  /// Writes the zero-length FIN marker; Close() afterwards.
+  Status WriteFin();
+
+  /// Writes raw bytes with no length prefix. Fault-injection hook for
+  /// tests (corrupted prefixes, truncated streams); not used by the hub.
+  Status SendRaw(std::span<const uint8_t> bytes);
+
+  void Close();
+
+ private:
+  explicit SocketClient(int fd) : fd_(fd) {}
+
+  Status WriteAll(const uint8_t* data, size_t n);
+
+  int fd_ = -1;
+};
+
+/// The collector tier of the socket transport: binds a unix socket,
+/// accepts producer connections, and feeds every received frame through
+/// an internal kQueueFramed TransportHub (CRC-checked decode, optional
+/// shard-affinity routing, N consumer threads) into the ShardedCollector.
+/// Used in-process by the loopback kSocket hub and cross-process by
+/// tools/collector_server.
+class SocketCollectorServer {
+ public:
+  struct Options {
+    /// Path to bind; a stale socket file at the path is unlinked first.
+    std::string socket_path;
+    int num_consumers = 2;
+    size_t queue_capacity = 256;
+    size_t max_batch_runs = 64;
+    bool shard_affinity = false;
+  };
+
+  /// Binds, listens, and starts the acceptor + consumer threads.
+  /// `collector` must outlive the server.
+  static Result<std::unique_ptr<SocketCollectorServer>> Create(
+      ShardedCollector* collector, const Options& options);
+
+  ~SocketCollectorServer();
+
+  SocketCollectorServer(const SocketCollectorServer&) = delete;
+  SocketCollectorServer& operator=(const SocketCollectorServer&) = delete;
+
+  const std::string& socket_path() const { return options_.socket_path; }
+
+  /// Blocks until at least `n` connections have terminated (FIN or
+  /// error), or the acceptor has died (Finish() then reports why).
+  /// tools/collector_server waits for its --sessions target here before
+  /// finishing.
+  void WaitForFinishedConnections(uint64_t n);
+
+  /// Stops accepting, forces any half-open connection to EOF, joins every
+  /// reader and consumer, and reports the session's verdict: an error for
+  /// any stream error, rejected frame, lost run, or saturated collector
+  /// aggregate. Idempotent; clean producers must have FIN'd and closed
+  /// (or been abandoned) before the call.
+  Status Finish();
+
+  /// Session counters; stable only after Finish(). frames counts chunks
+  /// received off the wire, wire_bytes the bytes read (prefixes
+  /// included), runs/reports what the readers re-published into the hub.
+  const TransportStats& stats() const { return stats_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread reader;
+  };
+
+  SocketCollectorServer(Options options, std::unique_ptr<TransportHub> hub,
+                        int listen_fd);
+
+  void AcceptorMain();
+  void ServeConnection(int fd, size_t slot);
+
+  Options options_;
+  std::unique_ptr<TransportHub> hub_;
+  int listen_fd_ = -1;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mu_;  // guards conns_ and the counters below
+  std::condition_variable conn_finished_cv_;
+  std::vector<Connection> conns_;
+  uint64_t accepted_ = 0;
+  uint64_t finished_ = 0;       // connections fully terminated
+  uint64_t stream_errors_ = 0;  // terminated abnormally (no FIN)
+  uint64_t reader_decode_failures_ = 0;
+  uint64_t chunks_ = 0;
+  uint64_t bytes_read_ = 0;
+  bool acceptor_failed_ = false;  // died on a fatal accept error
+  Status acceptor_status_;
+
+  bool finished_server_ = false;
+  Status finish_status_;
+  TransportStats stats_;
+};
+
+}  // namespace capp
+
+#endif  // CAPP_TRANSPORT_SOCKET_TRANSPORT_H_

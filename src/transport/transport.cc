@@ -12,13 +12,16 @@ std::string_view TransportKindName(TransportKind kind) {
       return "queue";
     case TransportKind::kQueueFramed:
       return "framed";
+    case TransportKind::kSocket:
+      return "socket";
   }
   return "unknown";
 }
 
 Result<TransportKind> ParseTransportKind(std::string_view name) {
   for (TransportKind kind : {TransportKind::kDirect, TransportKind::kQueue,
-                             TransportKind::kQueueFramed}) {
+                             TransportKind::kQueueFramed,
+                             TransportKind::kSocket}) {
     if (name == TransportKindName(kind)) return kind;
   }
   return Status::InvalidArgument("unknown transport kind: " +
@@ -34,6 +37,14 @@ Status ValidateTransportOptions(const TransportOptions& options) {
   }
   if (options.max_batch_runs < 1) {
     return Status::InvalidArgument("transport max_batch_runs must be >= 1");
+  }
+  // sockaddr_un::sun_path is 108 bytes on Linux; leave headroom for the
+  // terminator. Checked for every kind so a config cannot become invalid
+  // by flipping the kind to kSocket.
+  if (options.socket_path.size() > 100) {
+    return Status::InvalidArgument(
+        "transport socket_path exceeds the unix-socket path limit (100 "
+        "bytes)");
   }
   return Status::OK();
 }

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -19,9 +20,13 @@ enum class TransportKind {
   kQueue,        ///< MPSC ring of structured run batches.
   kQueueFramed,  ///< MPSC ring of binary wire frames (encode + CRC-checked
                  ///< decode on every run: the full wire path, in process).
+  kSocket,       ///< Unix-domain socket stream of wire frames: producers
+                 ///< write length-prefixed chunks to a collector-side
+                 ///< acceptor, so fleet and collector can live in
+                 ///< different processes (tools/collector_server).
 };
 
-/// Short display name ("direct", "queue", "framed").
+/// Short display name ("direct", "queue", "framed", "socket").
 std::string_view TransportKindName(TransportKind kind);
 
 /// Parses a display name back into a TransportKind.
@@ -39,6 +44,19 @@ struct TransportOptions {
   int num_consumers = 2;
   /// User runs per frame before a producer pushes it.
   size_t max_batch_runs = 64;
+  /// Route each user run to the consumer owning its shard group
+  /// (shard_index % num_consumers) through per-consumer sub-queues, so no
+  /// two consumers ever contend on the same ShardedCollector shard mutex.
+  /// Applies to the queued kinds (server-side for kSocket); ignored under
+  /// kDirect. Results are bit-identical either way.
+  bool shard_affinity = false;
+  /// kSocket only. Empty: the hub runs an in-process loopback collector
+  /// server on an auto-generated /tmp path (single-process testing and
+  /// benchmarking of the full socket path). Non-empty: connect to an
+  /// external collector server (tools/collector_server) listening at this
+  /// unix-socket path; the consumer knobs then take effect server-side
+  /// and the local collector stays empty.
+  std::string socket_path;
 };
 
 /// Validates transport knobs (>= 1 capacity / consumers / batch runs).
@@ -51,8 +69,13 @@ struct TransportStats {
   uint64_t reports = 0;       ///< Individual slot reports published.
   uint64_t push_stalls = 0;   ///< Producer blocks on a full ring.
   uint64_t pop_waits = 0;     ///< Consumer blocks on an empty ring.
-  uint64_t wire_bytes = 0;    ///< Encoded bytes (kQueueFramed only).
+  uint64_t wire_bytes = 0;    ///< Encoded bytes (kQueueFramed / kSocket).
   uint64_t decode_failures = 0;  ///< Frames rejected by the codec.
+  uint64_t connections = 0;   ///< Socket connections accepted (kSocket).
+  /// Socket streams that ended abnormally: truncated mid-chunk, an absurd
+  /// chunk length, or a connection dropped before its FIN marker. Any
+  /// nonzero value is report loss and fails Drain().
+  uint64_t stream_errors = 0;
   /// Runs ingested per consumer thread (utilization / balance).
   std::vector<uint64_t> consumer_runs;
 };

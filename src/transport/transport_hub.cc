@@ -1,18 +1,25 @@
 #include "transport/transport_hub.h"
 
 #include <limits>
+#include <optional>
 #include <utility>
 
 #include "core/check.h"
+#include "transport/socket_transport.h"
 #include "transport/wire_format.h"
 
 namespace capp {
+namespace {
+
+bool IsQueuedKind(TransportKind kind) {
+  return kind == TransportKind::kQueue || kind == TransportKind::kQueueFramed;
+}
+
+}  // namespace
 
 TransportHub::TransportHub(ShardedCollector* collector,
                            const TransportOptions& options)
-    : collector_(collector),
-      options_(options),
-      queue_(options.queue_capacity) {}
+    : collector_(collector), options_(options) {}
 
 Result<std::unique_ptr<TransportHub>> TransportHub::Create(
     ShardedCollector* collector, const TransportOptions& options) {
@@ -22,14 +29,44 @@ Result<std::unique_ptr<TransportHub>> TransportHub::Create(
   CAPP_RETURN_IF_ERROR(ValidateTransportOptions(options));
   // unique_ptr: consumer threads capture `this`, so the hub must not move.
   std::unique_ptr<TransportHub> hub(new TransportHub(collector, options));
-  if (options.kind != TransportKind::kDirect) {
+  if (IsQueuedKind(options.kind)) {
     const size_t consumers = static_cast<size_t>(options.num_consumers);
+    // Shard affinity gives each consumer a private sub-queue; producers
+    // route each run to the queue of the consumer owning its shard group.
+    const size_t num_queues = options.shard_affinity ? consumers : 1;
+    for (size_t q = 0; q < num_queues; ++q) {
+      hub->queues_.push_back(
+          std::make_unique<MpscQueue<std::unique_ptr<ReportFrame>>>(
+              options.queue_capacity));
+    }
     hub->consumer_counters_.resize(consumers);
     hub->consumers_.reserve(consumers);
     for (size_t c = 0; c < consumers; ++c) {
       hub->consumers_.emplace_back(
           [hub = hub.get(), c] { hub->ConsumerMain(c); });
     }
+  } else if (options.kind == TransportKind::kSocket) {
+    if (options.socket_path.empty()) {
+      // Loopback: this hub runs the collector server too, so a single
+      // process exercises the full socket path end to end.
+      SocketCollectorServer::Options server_options;
+      server_options.socket_path = MakeLoopbackSocketPath();
+      server_options.num_consumers = options.num_consumers;
+      server_options.queue_capacity = options.queue_capacity;
+      server_options.max_batch_runs = options.max_batch_runs;
+      server_options.shard_affinity = options.shard_affinity;
+      CAPP_ASSIGN_OR_RETURN(
+          hub->socket_server_,
+          SocketCollectorServer::Create(collector, server_options));
+      hub->socket_path_ = hub->socket_server_->socket_path();
+    } else {
+      // Client mode: an external collector_server owns ingest; the local
+      // collector stays empty.
+      hub->socket_path_ = options.socket_path;
+    }
+    CAPP_ASSIGN_OR_RETURN(SocketClient client,
+                          SocketClient::Connect(hub->socket_path_));
+    hub->socket_client_ = std::make_unique<SocketClient>(std::move(client));
   }
   return hub;
 }
@@ -38,9 +75,11 @@ TransportHub::~TransportHub() {
   // Normal callers Drain() explicitly (and check its Status); this is the
   // abnormal-teardown path.
   if (!drained_) {
-    queue_.Close();
+    for (auto& queue : queues_) queue->Close();
     for (std::thread& t : consumers_) t.join();
     consumers_.clear();
+    if (socket_client_ != nullptr) socket_client_->Close();
+    socket_server_.reset();  // force-finishes: joins acceptor and readers
     drained_ = true;
   }
 }
@@ -49,8 +88,8 @@ TransportHub::~TransportHub() {
 
 TransportHub::Producer::Producer(Producer&& other) noexcept
     : hub_(other.hub_),
-      frame_(std::move(other.frame_)),
-      frames_(other.frames_),
+      frames_(std::move(other.frames_)),
+      frames_pushed_(other.frames_pushed_),
       runs_(other.runs_),
       reports_(other.reports_),
       wire_bytes_(other.wire_bytes_) {
@@ -60,57 +99,116 @@ TransportHub::Producer::Producer(Producer&& other) noexcept
 TransportHub::Producer::~Producer() {
   if (hub_ == nullptr) return;
   Flush();
+  for (auto& frame : frames_) {
+    if (frame != nullptr) hub_->ReleaseFrame(std::move(frame));
+  }
   hub_->MergeProducerCounters(*this);
   hub_->live_producers_.fetch_sub(1, std::memory_order_release);
+}
+
+size_t TransportHub::GroupForUser(uint64_t user_id) const {
+  if (!options_.shard_affinity || queues_.size() < 2) return 0;
+  // The consumer that owns the run's shard: two runs landing in the same
+  // shard always route to the same consumer, so shard mutexes are never
+  // contended between consumers.
+  return collector_->ShardIndexOf(user_id) % queues_.size();
 }
 
 void TransportHub::Producer::Publish(uint64_t user_id, size_t base_slot,
                                      std::span<const double> values) {
   ++runs_;
   reports_ += values.size();
-  if (hub_->options_.kind == TransportKind::kDirect) {
+  const TransportKind kind = hub_->options_.kind;
+  if (kind == TransportKind::kDirect) {
     hub_->collector_->IngestUserRun(user_id, base_slot, values);
     return;
   }
-  if (frame_ == nullptr) frame_ = hub_->AcquireFrame();
-  if (hub_->options_.kind == TransportKind::kQueue) {
+  const size_t group = hub_->GroupForUser(user_id);
+  if (frames_.size() <= group) frames_.resize(hub_->ProducerGroupCount());
+  if (frames_[group] == nullptr) frames_[group] = hub_->AcquireFrame();
+  if (kind == TransportKind::kQueue) {
     // RunHeader offsets are uint32; a pathological max_batch_runs x run
     // length combination must push early rather than wrap.
-    if (!frame_->runs.empty() &&
-        frame_->values.size() + values.size() >
+    if (!frames_[group]->runs.empty() &&
+        frames_[group]->values.size() + values.size() >
             std::numeric_limits<uint32_t>::max()) {
-      hub_->PushFrame(*this);
-      frame_ = hub_->AcquireFrame();
+      hub_->PushFrame(*this, group);
+      frames_[group] = hub_->AcquireFrame();
     }
-    frame_->runs.push_back(
-        {user_id, base_slot, static_cast<uint32_t>(frame_->values.size()),
+    ReportFrame& frame = *frames_[group];
+    frame.runs.push_back(
+        {user_id, base_slot, static_cast<uint32_t>(frame.values.size()),
          static_cast<uint32_t>(values.size())});
-    frame_->values.insert(frame_->values.end(), values.begin(),
-                          values.end());
+    frame.values.insert(frame.values.end(), values.begin(), values.end());
   } else {
-    AppendUserRunFrame(user_id, base_slot, values, frame_->bytes);
+    // kQueueFramed and kSocket both stage encoded wire frames; they
+    // differ only in where PushFrame sends the bytes.
+    AppendUserRunFrame(user_id, base_slot, values, frames_[group]->bytes);
   }
-  if (++frame_->run_count >= hub_->options_.max_batch_runs) {
-    hub_->PushFrame(*this);
+  if (++frames_[group]->run_count >= hub_->options_.max_batch_runs) {
+    hub_->PushFrame(*this, group);
+  }
+}
+
+void TransportHub::Producer::PublishEncoded(
+    std::span<const uint8_t> frame_bytes, uint64_t user_id,
+    size_t report_count) {
+  CAPP_DCHECK(hub_->options_.kind == TransportKind::kQueueFramed);
+  ++runs_;
+  reports_ += report_count;
+  const size_t group = hub_->GroupForUser(user_id);
+  if (frames_.size() <= group) frames_.resize(hub_->ProducerGroupCount());
+  if (frames_[group] == nullptr) frames_[group] = hub_->AcquireFrame();
+  ReportFrame& frame = *frames_[group];
+  frame.bytes.insert(frame.bytes.end(), frame_bytes.begin(),
+                     frame_bytes.end());
+  if (++frame.run_count >= hub_->options_.max_batch_runs) {
+    hub_->PushFrame(*this, group);
   }
 }
 
 void TransportHub::Producer::Flush() {
-  if (frame_ != nullptr && frame_->run_count > 0) hub_->PushFrame(*this);
+  for (size_t group = 0; group < frames_.size(); ++group) {
+    if (frames_[group] != nullptr && frames_[group]->run_count > 0) {
+      hub_->PushFrame(*this, group);
+    }
+  }
 }
 
-void TransportHub::PushFrame(Producer& producer) {
-  producer.wire_bytes_ += producer.frame_->bytes.size();
-  ++producer.frames_;
-  const bool pushed = queue_.Push(std::move(producer.frame_));
+void TransportHub::PushFrame(Producer& producer, size_t group) {
+  std::unique_ptr<ReportFrame>& frame = producer.frames_[group];
+  ++producer.frames_pushed_;
+  if (options_.kind == TransportKind::kSocket) {
+    // One length-prefixed chunk per staged frame; the buffer is reused in
+    // place instead of round-tripping the pool.
+    producer.wire_bytes_ += frame->bytes.size() + 4;
+    WriteSocketChunk(frame->bytes);
+    frame->Clear();
+    return;
+  }
+  producer.wire_bytes_ += frame->bytes.size();
+  // group == 0 whenever affinity is off, so this indexes the single
+  // shared ring in that case and the owning consumer's ring otherwise.
+  const bool pushed = queues_[group]->Push(std::move(frame));
   // The queue is only closed by Drain/teardown, which require all
   // producers to be done first.
   CAPP_CHECK(pushed);
 }
 
+void TransportHub::WriteSocketChunk(std::span<const uint8_t> payload) {
+  if (payload.empty()) return;
+  std::lock_guard<std::mutex> lock(socket_mu_);
+  // The stream is ordered: after one failed write nothing later can
+  // arrive intact, so the first failure latches and the rest are skipped
+  // (a dead server would otherwise error once per chunk).
+  if (socket_client_ == nullptr || !socket_status_.ok()) return;
+  Status written = socket_client_->WriteChunk(payload);
+  if (!written.ok()) socket_status_ = std::move(written);
+}
+
 void TransportHub::MergeProducerCounters(const Producer& producer) {
   std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_.frames += producer.frames_;
+  stats_.frames += producer.frames_pushed_;
   stats_.runs += producer.runs_;
   stats_.reports += producer.reports_;
   stats_.wire_bytes += producer.wire_bytes_;
@@ -119,9 +217,13 @@ void TransportHub::MergeProducerCounters(const Producer& producer) {
 // ------------------------------------------------------------- consumer ----
 
 void TransportHub::ConsumerMain(size_t consumer_index) {
+  // Without affinity every consumer drains the one shared ring; with it,
+  // each consumer owns ring consumer_index outright.
+  MpscQueue<std::unique_ptr<ReportFrame>>& queue =
+      *queues_[options_.shard_affinity ? consumer_index : 0];
   std::vector<double> scratch;
   for (;;) {
-    std::optional<std::unique_ptr<ReportFrame>> frame = queue_.Pop();
+    std::optional<std::unique_ptr<ReportFrame>> frame = queue.Pop();
     if (!frame.has_value()) return;  // closed: abnormal teardown
     const bool poison = (*frame)->poison;
     if (!poison) IngestFrame(**frame, consumer_index, scratch);
@@ -184,30 +286,26 @@ void TransportHub::ReleaseFrame(std::unique_ptr<ReportFrame> frame) {
 
 // -------------------------------------------------------------- shutdown ----
 
-Status TransportHub::Drain() {
-  // Idempotent, including the failure: a repeat call re-reports the first
-  // drain's verdict instead of masking corruption or loss with OK.
-  if (drained_) return drain_status_;
-  // A Producer outliving Drain() could flush a frame after the pills --
-  // pushed successfully but never popped, i.e. silent loss the run-count
-  // cross-check below cannot see. Make the misuse loud instead.
-  CAPP_DCHECK(live_producers_.load(std::memory_order_acquire) == 0);
-  if (options_.kind != TransportKind::kDirect) {
-    // One pill per consumer: FIFO guarantees every data frame ahead of the
-    // pills is ingested first, and each consumer stops after exactly one
-    // pill, so all pills are consumed and all consumers exit.
+void TransportHub::DrainQueues() {
+  if (IsQueuedKind(options_.kind)) {
+    // One pill per consumer, pushed onto the ring that consumer drains:
+    // FIFO guarantees every data frame ahead of the pill is ingested
+    // first, and each consumer stops after exactly one pill, so all pills
+    // are consumed and all consumers exit.
     for (size_t c = 0; c < consumers_.size(); ++c) {
       auto pill = AcquireFrame();
       pill->poison = true;
-      CAPP_CHECK(queue_.Push(std::move(pill)));
+      CAPP_CHECK(queues_[options_.shard_affinity ? c : 0]->Push(
+          std::move(pill)));
     }
     for (std::thread& t : consumers_) t.join();
     consumers_.clear();
   }
-  drained_ = true;
 
-  stats_.push_stalls = queue_.push_stalls();
-  stats_.pop_waits = queue_.pop_waits();
+  for (const auto& queue : queues_) {
+    stats_.push_stalls += queue->push_stalls();
+    stats_.pop_waits += queue->pop_waits();
+  }
   uint64_t consumed_runs = 0;
   for (const ConsumerCounters& counters : consumer_counters_) {
     stats_.consumer_runs.push_back(counters.runs);
@@ -223,6 +321,77 @@ Status TransportHub::Drain() {
     drain_status_ = Status::Internal(
         "transport lost runs: published " + std::to_string(stats_.runs) +
         ", ingested " + std::to_string(consumed_runs));
+  }
+}
+
+void TransportHub::DrainSocket() {
+  // Producers have flushed; end the stream. FIN-then-close tells the
+  // server every chunk arrived (a close without FIN is a stream error).
+  {
+    std::lock_guard<std::mutex> lock(socket_mu_);
+    if (socket_client_ != nullptr) {
+      if (socket_status_.ok()) {
+        Status fin = socket_client_->WriteFin();
+        if (!fin.ok()) socket_status_ = std::move(fin);
+      }
+      socket_client_->Close();
+    }
+  }
+  if (socket_server_ == nullptr) {
+    // Client mode: ingest happens in the collector server's process; only
+    // local write failures are observable here. The server's own Finish()
+    // holds the ingest-side verdict.
+    drain_status_ = socket_status_;
+    return;
+  }
+  const Status finish = socket_server_->Finish();
+  const TransportStats& server = socket_server_->stats();
+  // Producer-side counters (frames = chunks written, wire_bytes written)
+  // stay; the ingest-side view comes from the server.
+  stats_.push_stalls = server.push_stalls;
+  stats_.pop_waits = server.pop_waits;
+  stats_.decode_failures = server.decode_failures;
+  stats_.connections = server.connections;
+  stats_.stream_errors = server.stream_errors;
+  stats_.consumer_runs = server.consumer_runs;
+  uint64_t ingested_runs = 0;
+  for (uint64_t runs : server.consumer_runs) ingested_runs += runs;
+  if (!socket_status_.ok()) {
+    drain_status_ = socket_status_;
+  } else if (!finish.ok()) {
+    drain_status_ = finish;
+  } else if (ingested_runs != stats_.runs) {
+    // Covers bytes that arrived but were not published by this hub's own
+    // producers (e.g. an injected raw connection) as well as true loss.
+    drain_status_ = Status::Internal(
+        "transport lost runs: published " + std::to_string(stats_.runs) +
+        ", ingested " + std::to_string(ingested_runs));
+  }
+}
+
+Status TransportHub::Drain() {
+  // Idempotent, including the failure: a repeat call re-reports the first
+  // drain's verdict instead of masking corruption or loss with OK.
+  if (drained_) return drain_status_;
+  // A Producer outliving Drain() could flush a frame after the pills --
+  // pushed successfully but never popped, i.e. silent loss the run-count
+  // cross-check below cannot see. Make the misuse loud instead.
+  CAPP_DCHECK(live_producers_.load(std::memory_order_acquire) == 0);
+  drained_ = true;
+  if (options_.kind == TransportKind::kSocket) {
+    DrainSocket();
+  } else {
+    DrainQueues();
+  }
+  // Saturated aggregates mean the collector's count/mean/M2 no longer
+  // describe the reports that were published -- as loud as losing them.
+  // (The loopback socket path reports this through the server's Finish.)
+  const uint64_t saturated = collector_->saturated_report_count();
+  if (drain_status_.ok() && saturated > 0) {
+    drain_status_ = Status::Internal(
+        "collector aggregates saturated " + std::to_string(saturated) +
+        " report(s) beyond +/-2^16; per-slot count/mean/M2 are wrong for "
+        "this workload (normalize reports before ingest)");
   }
   return drain_status_;
 }

@@ -1,17 +1,27 @@
 // TransportHub: the broker tier between report producers and the sharded
 // collector. Producers stage user runs into pooled frames and push them
-// onto a bounded MPSC ring; N consumer threads drain the ring and ingest
+// onto bounded MPSC rings; N consumer threads drain the rings and ingest
 // every run via ShardedCollector::IngestUserRun. Under kQueueFramed each
 // run additionally round-trips the binary wire codec (encode on the
 // producer, CRC-checked decode on the consumer), so the in-process queue
-// exercises exactly the bytes a socket transport would carry.
+// exercises exactly the bytes a socket transport would carry. Under
+// kSocket the frames really do cross a unix-domain socket: producers
+// write length-prefixed chunks to a collector-side acceptor
+// (SocketCollectorServer) -- an in-process loopback one by default, or an
+// external collector process when TransportOptions::socket_path is set.
+//
+// Shard affinity (TransportOptions::shard_affinity): each consumer owns
+// its own sub-queue, and every run is routed to the consumer owning the
+// run's shard group (shard_index % num_consumers). Two consumers then
+// never ingest into the same shard, so the ShardedCollector shard
+// mutexes are never contended between consumers.
 //
 // Determinism: the hub delivers whole user runs, and the collector's
 // per-slot aggregates accumulate in exact integer arithmetic
 // (SlotAggregate), so collector state is a pure function of the multiset
-// of runs -- bit-identical across kDirect/kQueue/kQueueFramed and any
-// producer x consumer thread mix. Report loss is impossible by
-// construction: Push blocks instead of dropping (backpressure), Drain
+// of runs -- bit-identical across every TransportKind, any producer x
+// consumer thread mix, and affinity on or off. Report loss is impossible
+// by construction: Push blocks instead of dropping (backpressure), Drain
 // flushes and joins before returning, and the poison-pill protocol
 // guarantees FIFO delivery of every data frame before any consumer exits.
 #ifndef CAPP_TRANSPORT_TRANSPORT_HUB_H_
@@ -21,6 +31,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -31,6 +42,9 @@
 #include "transport/transport.h"
 
 namespace capp {
+
+class SocketClient;
+class SocketCollectorServer;
 
 /// One transport session: create, publish through Producers, Drain.
 class TransportHub {
@@ -50,7 +64,14 @@ class TransportHub {
     void Publish(uint64_t user_id, size_t base_slot,
                  std::span<const double> values);
 
-    /// Pushes the partially filled frame, if any.
+    /// Publishes one already-encoded wire frame (kQueueFramed only). The
+    /// socket server's readers use this to re-stage bytes received off a
+    /// connection without decoding and re-encoding them; the consumer
+    /// still CRC-checks every frame before ingest.
+    void PublishEncoded(std::span<const uint8_t> frame_bytes,
+                        uint64_t user_id, size_t report_count);
+
+    /// Pushes the partially filled frames, if any.
     void Flush();
 
    private:
@@ -58,16 +79,18 @@ class TransportHub {
     explicit Producer(TransportHub* hub) : hub_(hub) {}
 
     TransportHub* hub_;  // null after move
-    std::unique_ptr<ReportFrame> frame_;
+    // One staging frame per routing group: a single slot normally, one
+    // per consumer under shard affinity.
+    std::vector<std::unique_ptr<ReportFrame>> frames_;
     // Local counters, merged into the hub once on destruction.
-    uint64_t frames_ = 0;
+    uint64_t frames_pushed_ = 0;
     uint64_t runs_ = 0;
     uint64_t reports_ = 0;
     uint64_t wire_bytes_ = 0;
   };
 
-  /// Starts the consumer threads (none under kDirect). `collector` must
-  /// outlive the hub.
+  /// Starts the consumer threads (none under kDirect; under kSocket they
+  /// live in the collector server). `collector` must outlive the hub.
   static Result<std::unique_ptr<TransportHub>> Create(
       ShardedCollector* collector, const TransportOptions& options);
 
@@ -82,12 +105,20 @@ class TransportHub {
   }
 
   /// Shuts the transport down cleanly: pushes one poison pill per
-  /// consumer, joins them, and finalizes stats(). Requires every Producer
-  /// to be destroyed or flushed first. Idempotent. Fails if any consumer
-  /// rejected a frame (codec corruption) -- report loss must be loud.
+  /// consumer (or FINs the socket and finishes the server), joins
+  /// everything, and finalizes stats(). Requires every Producer to be
+  /// destroyed or flushed first. Idempotent. Fails if any frame was
+  /// rejected (codec corruption), any socket stream ended abnormally, any
+  /// run was lost, or the collector's aggregates saturated -- wrong or
+  /// missing data must be loud.
   Status Drain();
 
   const TransportOptions& options() const { return options_; }
+
+  /// The unix-socket path producers connect to (kSocket only, empty
+  /// otherwise). Loopback mode reports the auto-generated server path;
+  /// tests use it to inject raw byte streams.
+  const std::string& socket_path() const { return socket_path_; }
 
   /// Transport counters; stable only after Drain().
   const TransportStats& stats() const { return stats_; }
@@ -108,14 +139,28 @@ class TransportHub {
   void IngestFrame(const ReportFrame& frame, size_t consumer_index,
                    std::vector<double>& scratch);
 
+  // The routing group of one user's runs: 0 normally; the owning
+  // consumer's index under shard affinity.
+  size_t GroupForUser(uint64_t user_id) const;
+  // Staging groups a Producer needs (1, or num_consumers under affinity).
+  size_t ProducerGroupCount() const {
+    return queues_.size() < 1 ? 1 : queues_.size();
+  }
+
   std::unique_ptr<ReportFrame> AcquireFrame();
   void ReleaseFrame(std::unique_ptr<ReportFrame> frame);
-  void PushFrame(Producer& producer);
+  void PushFrame(Producer& producer, size_t group);
+  void WriteSocketChunk(std::span<const uint8_t> payload);
   void MergeProducerCounters(const Producer& producer);
+  void DrainQueues();
+  void DrainSocket();
 
   ShardedCollector* collector_;
   TransportOptions options_;
-  MpscQueue<std::unique_ptr<ReportFrame>> queue_;
+  // One ring normally; one ring per consumer under shard affinity (the
+  // per-consumer sub-queues). Empty under kDirect and kSocket.
+  std::vector<std::unique_ptr<MpscQueue<std::unique_ptr<ReportFrame>>>>
+      queues_;
 
   std::mutex pool_mu_;
   std::vector<std::unique_ptr<ReportFrame>> pool_;
@@ -125,6 +170,18 @@ class TransportHub {
 
   std::vector<ConsumerCounters> consumer_counters_;
   std::vector<std::thread> consumers_;
+
+  // kSocket state: the loopback collector server (when socket_path was
+  // empty) and the single shared producer-side connection its chunks
+  // funnel through. Write failures latch into socket_status_ -- the
+  // stream is ordered, so nothing after the first failure can arrive
+  // intact anyway -- and Drain reports it.
+  std::unique_ptr<SocketCollectorServer> socket_server_;
+  std::unique_ptr<SocketClient> socket_client_;
+  std::mutex socket_mu_;  // serializes chunk writes across producers
+  Status socket_status_;
+  std::string socket_path_;
+
   // Producers alive (created minus destroyed): a frame flushed after the
   // pills would never be popped, so Drain() asserts this hit zero.
   std::atomic<int> live_producers_{0};

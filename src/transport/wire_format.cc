@@ -60,6 +60,13 @@ size_t DecodeVarint(std::span<const uint8_t> bytes, uint64_t* value) {
     if (i == kMaxVarintBytes - 1 && byte > 1) return 0;
     result |= static_cast<uint64_t>(byte & 0x7F) << (7 * i);
     if ((byte & 0x80) == 0) {
+      // Minimal-length rule: a final group of zero means the previous byte
+      // already determined the value (0x80 0x00 would decode to the same 0
+      // as the single byte 0x00), so accepting it would give values more
+      // than one wire representation -- and let a flipped continuation bit
+      // survive as a "valid" overlong varint. Reject every non-canonical
+      // encoding instead.
+      if (i > 0 && byte == 0) return 0;
       *value = result;
       return i + 1;
     }
@@ -135,6 +142,30 @@ Result<size_t> DecodeUserRunFrame(std::span<const uint8_t> bytes,
         std::bit_cast<double>(ReadU64Le(bytes.data() + cursor + 8 * i)));
   }
   return cursor + payload + 4;
+}
+
+Result<WireFrameHeader> PeekUserRunFrame(std::span<const uint8_t> bytes) {
+  if (bytes.empty()) return FrameError("empty input");
+  if (bytes[0] != kWireFrameMagic) return FrameError("bad magic byte");
+  WireFrameHeader header;
+  size_t cursor = 1;
+  for (auto [field, name] : {std::pair{&header.user_id, "user_id"},
+                             {&header.base_slot, "base_slot"},
+                             {&header.count, "count"}}) {
+    const size_t used = DecodeVarint(bytes.subspan(cursor), field);
+    if (used == 0) {
+      return FrameError(std::string("truncated ") + name + " varint");
+    }
+    cursor += used;
+  }
+  if (header.count > kWireMaxRunLength) {
+    return FrameError("absurd run length");
+  }
+  header.frame_bytes = cursor + static_cast<size_t>(header.count) * 8 + 4;
+  if (header.frame_bytes > bytes.size()) {
+    return FrameError("frame extends past the buffer");
+  }
+  return header;
 }
 
 }  // namespace capp

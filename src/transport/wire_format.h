@@ -35,8 +35,10 @@ inline constexpr uint64_t kWireMaxRunLength = 1u << 24;
 void AppendVarint(uint64_t value, std::vector<uint8_t>& out);
 
 /// Decodes a varint from the head of `bytes` into *value. Returns the
-/// number of bytes consumed, or 0 if `bytes` is truncated or the encoding
-/// exceeds 10 bytes / overflows 64 bits.
+/// number of bytes consumed, or 0 if `bytes` is truncated, the encoding
+/// exceeds 10 bytes / overflows 64 bits, or the encoding is non-canonical
+/// (overlong: a multi-byte varint whose final group is zero, e.g.
+/// 0x80 0x00). Every value has exactly one accepted wire representation.
 size_t DecodeVarint(std::span<const uint8_t> bytes, uint64_t* value);
 
 /// CRC32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF) of `bytes`.
@@ -57,6 +59,22 @@ void AppendUserRunFrame(uint64_t user_id, uint64_t base_slot,
 Result<size_t> DecodeUserRunFrame(std::span<const uint8_t> bytes,
                                   uint64_t* user_id, uint64_t* base_slot,
                                   std::vector<double>& values);
+
+/// Header of one wire frame, parsed without touching payload or CRC.
+struct WireFrameHeader {
+  uint64_t user_id = 0;
+  uint64_t base_slot = 0;
+  uint64_t count = 0;     ///< Reports in the frame's payload.
+  size_t frame_bytes = 0; ///< Whole frame length, CRC trailer included.
+};
+
+/// Parses just the header of the frame at the head of `bytes` -- magic,
+/// varints, and the implied total length -- without validating the CRC.
+/// The socket reader uses this to split a received chunk into individual
+/// frames and route each by user id; the consumer still CRC-checks every
+/// frame before ingest. Fails on a bad magic byte, a malformed varint, an
+/// absurd run length, or a frame extending past `bytes`.
+Result<WireFrameHeader> PeekUserRunFrame(std::span<const uint8_t> bytes);
 
 }  // namespace capp
 

@@ -111,6 +111,48 @@ TEST(SlotAggregateTest, MergeEqualsSequential) {
   EXPECT_NEAR(a.M2(), all.M2(), 1e-12);
 }
 
+TEST(SlotAggregateTest, AddReportsSaturation) {
+  // |x| > 2^16 clamps to the fixed-point bound; Add must say so, because
+  // the resulting count/mean/M2 no longer describe the true reports.
+  SlotAggregate agg;
+  EXPECT_FALSE(agg.Add(0.5));
+  EXPECT_FALSE(agg.Add(65536.0));   // exactly at the bound: representable
+  EXPECT_TRUE(agg.Add(65537.0));    // beyond it: clamped
+  EXPECT_TRUE(agg.Add(-1.0e9));
+  EXPECT_EQ(agg.Count(), 4u);
+  // The clamped values entered as +/-2^16.
+  EXPECT_DOUBLE_EQ(agg.Mean(), (0.5 + 65536.0 + 65536.0 - 65536.0) / 4.0);
+  SlotAggregate replaced;
+  replaced.Add(0.25);
+  EXPECT_TRUE(replaced.Replace(0.25, 1.0e7));
+  EXPECT_DOUBLE_EQ(replaced.Mean(), 65536.0);
+}
+
+TEST(ShardedCollectorTest, CountsSaturatedReports) {
+  auto collector = ShardedCollector::Create({.keep_streams = false});
+  ASSERT_TRUE(collector.ok());
+  EXPECT_EQ(collector->saturated_report_count(), 0u);
+  // A raw (unnormalized) telemetry run: two values beyond the bound.
+  collector->IngestUserRun(9, 0,
+                           std::vector<double>{120000.0, 0.5, -3.0e8});
+  collector->Ingest({10, 0, 2.0e5});
+  EXPECT_EQ(collector->saturated_report_count(), 3u);
+  EXPECT_EQ(collector->report_count(), 4u);
+  // In-range ingest never counts.
+  collector->IngestUserRun(11, 0, std::vector<double>{0.25, 0.75});
+  EXPECT_EQ(collector->saturated_report_count(), 3u);
+}
+
+TEST(ShardedCollectorTest, ShardIndexIsStableAndInRange) {
+  auto collector = ShardedCollector::Create({.num_shards = 16});
+  ASSERT_TRUE(collector.ok());
+  for (uint64_t user = 0; user < 200; ++user) {
+    const size_t shard = collector->ShardIndexOf(user);
+    EXPECT_LT(shard, 16u);
+    EXPECT_EQ(shard, collector->ShardIndexOf(user));  // pure function
+  }
+}
+
 // --------------------------------------------- sharded collector basics ----
 
 TEST(ShardedCollectorTest, RejectsZeroShards) {

@@ -1,13 +1,16 @@
 // Tests for the async report transport: varint/CRC wire codec round-trips
-// and corruption rejection, the bounded MPSC queue's backpressure and
-// shutdown, and the headline determinism contract -- fleet digests and
-// collector aggregates bit-identical across kDirect/kQueue/kQueueFramed
-// and every producer x consumer thread mix.
+// and corruption rejection (including non-canonical overlong varints),
+// the bounded MPSC queue's backpressure and shutdown, the unix-socket
+// stream path with fault injection, and the headline determinism contract
+// -- fleet digests and collector aggregates bit-identical across
+// kDirect/kQueue/kQueueFramed/kSocket, every producer x consumer thread
+// mix, and shard affinity on or off.
 #include <bit>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -18,6 +21,7 @@
 #include "engine/fleet.h"
 #include "engine/sharded_collector.h"
 #include "transport/mpsc_queue.h"
+#include "transport/socket_transport.h"
 #include "transport/transport.h"
 #include "transport/transport_hub.h"
 #include "transport/wire_format.h"
@@ -66,6 +70,29 @@ TEST(VarintTest, RejectsTruncationAndOverflow) {
   std::vector<uint8_t> overflow(9, 0x80);
   overflow.push_back(0x02);  // bit 64
   EXPECT_EQ(DecodeVarint(overflow, &decoded), 0u);
+}
+
+TEST(VarintTest, RejectsOverlongEncodings) {
+  // The minimal-length rule: a multi-byte varint must not end in a zero
+  // group. 0x80 0x00 "decodes" to the same 0 as the canonical single
+  // byte, so accepting it would give values two wire representations.
+  uint64_t decoded = 99;
+  const std::vector<std::vector<uint8_t>> overlong = {
+      {0x80, 0x00},              // 0 in two bytes
+      {0x81, 0x00},              // 1 in two bytes
+      {0xFF, 0x00},              // 127 in two bytes
+      {0x80, 0x80, 0x00},        // 0 in three bytes
+      {0xAC, 0x82, 0x80, 0x00},  // a mid-size value padded with zeros
+  };
+  for (const auto& bytes : overlong) {
+    SCOPED_TRACE(testing::Message() << bytes.size() << " bytes");
+    EXPECT_EQ(DecodeVarint(bytes, &decoded), 0u);
+  }
+  // The canonical encodings of the same values still decode.
+  EXPECT_EQ(DecodeVarint(std::vector<uint8_t>{0x00}, &decoded), 1u);
+  EXPECT_EQ(decoded, 0u);
+  EXPECT_EQ(DecodeVarint(std::vector<uint8_t>{0x7F}, &decoded), 1u);
+  EXPECT_EQ(decoded, 127u);
 }
 
 // ---------------------------------------------------------------- crc32 ----
@@ -205,6 +232,73 @@ TEST(WireFormatTest, RejectsAbsurdRunLength) {
   EXPECT_FALSE(DecodeUserRunFrame(bytes, &user, &base, decoded).ok());
 }
 
+TEST(WireFormatTest, RejectsOverlongVarintInEveryField) {
+  // Hand-build frames where exactly one header varint is overlong but the
+  // CRC is correct, so only the canonicality rule can reject them. The
+  // documented "overlong-varint rejected" guarantee must hold per field.
+  const uint64_t field_values[3] = {5, 7, 2};  // user_id, base_slot, count
+  const std::vector<double> payload = {0.25, -0.5};
+  for (int overlong_field = 0; overlong_field < 3; ++overlong_field) {
+    SCOPED_TRACE(overlong_field);
+    std::vector<uint8_t> bytes;
+    bytes.push_back(kWireFrameMagic);
+    for (int field = 0; field < 3; ++field) {
+      if (field == overlong_field) {
+        // value | 0x80 continuation, then a zero final group.
+        bytes.push_back(static_cast<uint8_t>(field_values[field]) | 0x80);
+        bytes.push_back(0x00);
+      } else {
+        AppendVarint(field_values[field], bytes);
+      }
+    }
+    for (double v : payload) {
+      const uint64_t word = std::bit_cast<uint64_t>(v);
+      for (int b = 0; b < 8; ++b) {
+        bytes.push_back(static_cast<uint8_t>(word >> (8 * b)));
+      }
+    }
+    const uint32_t crc = Crc32(bytes);
+    for (int b = 0; b < 4; ++b) {
+      bytes.push_back(static_cast<uint8_t>(crc >> (8 * b)));
+    }
+    uint64_t user = 0;
+    uint64_t base = 0;
+    std::vector<double> decoded;
+    EXPECT_FALSE(DecodeUserRunFrame(bytes, &user, &base, decoded).ok());
+    EXPECT_FALSE(PeekUserRunFrame(bytes).ok());
+  }
+}
+
+TEST(WireFormatTest, PeekParsesHeaderWithoutTouchingPayload) {
+  std::vector<uint8_t> bytes;
+  const std::vector<double> run = {0.5, 0.25, -1.0};
+  AppendUserRunFrame(123456789, 42, run, bytes);
+  AppendUserRunFrame(7, 0, {}, bytes);
+
+  auto first = PeekUserRunFrame(bytes);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->user_id, 123456789u);
+  EXPECT_EQ(first->base_slot, 42u);
+  EXPECT_EQ(first->count, run.size());
+  // Peek skips the CRC, so a payload flip is invisible to it (the
+  // consumer-side decode still catches it).
+  std::vector<uint8_t> corrupted = bytes;
+  corrupted[first->frame_bytes - 6] ^= 0x10;  // payload byte
+  EXPECT_TRUE(PeekUserRunFrame(corrupted).ok());
+
+  auto second =
+      PeekUserRunFrame(std::span(bytes).subspan(first->frame_bytes));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->user_id, 7u);
+  EXPECT_EQ(second->count, 0u);
+  EXPECT_EQ(first->frame_bytes + second->frame_bytes, bytes.size());
+
+  // A frame whose implied length runs past the buffer is rejected.
+  EXPECT_FALSE(
+      PeekUserRunFrame(std::span(bytes).subspan(0, first->frame_bytes - 1))
+          .ok());
+}
+
 // ------------------------------------------------------------ mpsc queue ----
 
 TEST(MpscQueueTest, FifoWithinCapacity) {
@@ -267,7 +361,8 @@ TEST(MpscQueueTest, CloseUnblocksAndDrains) {
 
 TEST(TransportOptionsTest, KindNamesRoundTrip) {
   for (TransportKind kind : {TransportKind::kDirect, TransportKind::kQueue,
-                             TransportKind::kQueueFramed}) {
+                             TransportKind::kQueueFramed,
+                             TransportKind::kSocket}) {
     auto parsed = ParseTransportKind(TransportKindName(kind));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, kind);
@@ -287,6 +382,9 @@ TEST(TransportOptionsTest, ValidationCatchesBadKnobs) {
   bad = good;
   bad.max_batch_runs = 0;
   EXPECT_FALSE(ValidateTransportOptions(bad).ok());
+  bad = good;
+  bad.socket_path = std::string(200, 'x');  // over sun_path's limit
+  EXPECT_FALSE(ValidateTransportOptions(bad).ok());
 
   EngineConfig config;
   config.transport.num_consumers = 0;
@@ -298,16 +396,76 @@ TEST(TransportOptionsTest, ValidationCatchesBadKnobs) {
 TEST(TransportHubTest, DeliversRunsToCollector) {
   for (TransportKind kind :
        {TransportKind::kQueue, TransportKind::kQueueFramed}) {
-    SCOPED_TRACE(TransportKindName(kind));
+    for (bool affinity : {false, true}) {
+      SCOPED_TRACE(TransportKindName(kind));
+      SCOPED_TRACE(affinity);
+      auto collector = ShardedCollector::Create();
+      ASSERT_TRUE(collector.ok());
+      TransportOptions options;
+      options.kind = kind;
+      options.queue_capacity = 4;
+      options.num_consumers = 2;
+      options.max_batch_runs = 3;
+      options.shard_affinity = affinity;
+      auto hub = TransportHub::Create(&*collector, options);
+      ASSERT_TRUE(hub.ok());
+      {
+        auto producer = (*hub)->MakeProducer();
+        const std::vector<double> run = {0.25, 0.5, 0.75};
+        for (uint64_t user = 0; user < 10; ++user) {
+          producer.Publish(user, 2, run);
+        }
+      }
+      ASSERT_TRUE((*hub)->Drain().ok());
+      EXPECT_EQ(collector->user_count(), 10u);
+      EXPECT_EQ(collector->report_count(), 30u);
+      auto stream = collector->GapFilledStream(4);
+      ASSERT_TRUE(stream.ok());
+      EXPECT_EQ(*stream, (std::vector<double>{0.5, 0.5, 0.25, 0.5, 0.75}));
+      const TransportStats& stats = (*hub)->stats();
+      EXPECT_EQ(stats.runs, 10u);
+      EXPECT_EQ(stats.reports, 30u);
+      ASSERT_EQ(stats.consumer_runs.size(), 2u);
+      EXPECT_EQ(stats.consumer_runs[0] + stats.consumer_runs[1], 10u);
+      if (affinity) {
+        // Routing is a pure function of the user id: consumer c ingests
+        // exactly the runs whose shard group is c.
+        uint64_t expected[2] = {0, 0};
+        for (uint64_t user = 0; user < 10; ++user) {
+          ++expected[collector->ShardIndexOf(user) % 2];
+        }
+        EXPECT_EQ(stats.consumer_runs[0], expected[0]);
+        EXPECT_EQ(stats.consumer_runs[1], expected[1]);
+      } else {
+        EXPECT_EQ(stats.frames, 4u);  // ceil(10 runs / 3 per frame)
+      }
+      if (kind == TransportKind::kQueueFramed) {
+        EXPECT_GT(stats.wire_bytes, 30u * 8u);
+      } else {
+        EXPECT_EQ(stats.wire_bytes, 0u);
+      }
+      EXPECT_EQ(stats.decode_failures, 0u);
+    }
+  }
+}
+
+TEST(TransportHubTest, SocketLoopbackDeliversRunsToCollector) {
+  // The full socket path in one process: producers encode and write
+  // length-prefixed chunks, the loopback server's reader demuxes them,
+  // and the framed consumers CRC-check and ingest every run.
+  for (bool affinity : {false, true}) {
+    SCOPED_TRACE(affinity);
     auto collector = ShardedCollector::Create();
     ASSERT_TRUE(collector.ok());
     TransportOptions options;
-    options.kind = kind;
+    options.kind = TransportKind::kSocket;
     options.queue_capacity = 4;
     options.num_consumers = 2;
     options.max_batch_runs = 3;
+    options.shard_affinity = affinity;
     auto hub = TransportHub::Create(&*collector, options);
-    ASSERT_TRUE(hub.ok());
+    ASSERT_TRUE(hub.ok()) << hub.status().ToString();
+    EXPECT_FALSE((*hub)->socket_path().empty());
     {
       auto producer = (*hub)->MakeProducer();
       const std::vector<double> run = {0.25, 0.5, 0.75};
@@ -315,7 +473,8 @@ TEST(TransportHubTest, DeliversRunsToCollector) {
         producer.Publish(user, 2, run);
       }
     }
-    ASSERT_TRUE((*hub)->Drain().ok());
+    const Status drained = (*hub)->Drain();
+    ASSERT_TRUE(drained.ok()) << drained.ToString();
     EXPECT_EQ(collector->user_count(), 10u);
     EXPECT_EQ(collector->report_count(), 30u);
     auto stream = collector->GapFilledStream(4);
@@ -324,16 +483,58 @@ TEST(TransportHubTest, DeliversRunsToCollector) {
     const TransportStats& stats = (*hub)->stats();
     EXPECT_EQ(stats.runs, 10u);
     EXPECT_EQ(stats.reports, 30u);
-    EXPECT_EQ(stats.frames, 4u);  // ceil(10 runs / 3 per frame)
+    EXPECT_EQ(stats.frames, 4u);  // chunks: ceil(10 runs / 3 per chunk)
+    EXPECT_EQ(stats.connections, 1u);
+    EXPECT_EQ(stats.stream_errors, 0u);
+    EXPECT_GT(stats.wire_bytes, 30u * 8u);
     ASSERT_EQ(stats.consumer_runs.size(), 2u);
     EXPECT_EQ(stats.consumer_runs[0] + stats.consumer_runs[1], 10u);
-    if (kind == TransportKind::kQueueFramed) {
-      EXPECT_GT(stats.wire_bytes, 30u * 8u);
-    } else {
-      EXPECT_EQ(stats.wire_bytes, 0u);
-    }
     EXPECT_EQ(stats.decode_failures, 0u);
   }
+}
+
+TEST(TransportHubTest, SocketClientModeReachesExternalServer) {
+  // The cross-process topology, in-process: a standalone collector
+  // server owns ingest, and a client-mode hub (socket_path set) streams
+  // to it. The hub's local collector must stay untouched.
+  auto server_collector = ShardedCollector::Create();
+  ASSERT_TRUE(server_collector.ok());
+  SocketCollectorServer::Options server_options;
+  server_options.socket_path = MakeLoopbackSocketPath();
+  server_options.num_consumers = 2;
+  server_options.shard_affinity = true;
+  auto server =
+      SocketCollectorServer::Create(&*server_collector, server_options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  auto local_collector = ShardedCollector::Create();
+  ASSERT_TRUE(local_collector.ok());
+  TransportOptions options;
+  options.kind = TransportKind::kSocket;
+  options.socket_path = server_options.socket_path;
+  options.max_batch_runs = 4;
+  auto hub = TransportHub::Create(&*local_collector, options);
+  ASSERT_TRUE(hub.ok()) << hub.status().ToString();
+  {
+    auto producer = (*hub)->MakeProducer();
+    const std::vector<double> run = {0.1, 0.9};
+    for (uint64_t user = 0; user < 25; ++user) {
+      producer.Publish(user, 0, run);
+    }
+  }
+  ASSERT_TRUE((*hub)->Drain().ok());
+  (*server)->WaitForFinishedConnections(1);
+  const Status finished = (*server)->Finish();
+  ASSERT_TRUE(finished.ok()) << finished.ToString();
+
+  EXPECT_EQ(local_collector->report_count(), 0u);
+  EXPECT_EQ(server_collector->user_count(), 25u);
+  EXPECT_EQ(server_collector->report_count(), 50u);
+  const TransportStats& stats = (*server)->stats();
+  EXPECT_EQ(stats.connections, 1u);
+  EXPECT_EQ(stats.runs, 25u);
+  EXPECT_EQ(stats.reports, 50u);
+  EXPECT_EQ(stats.stream_errors, 0u);
 }
 
 TEST(TransportHubTest, DirectKindIngestsInPlace) {
@@ -411,6 +612,147 @@ TEST(TransportHubTest, NoLossUnderBackpressure) {
   EXPECT_EQ(stats.runs, kProducers * kUsersPerProducer);
 }
 
+// --------------------------------------------- socket fault injection ----
+
+// Harness for injecting raw byte streams into a SocketCollectorServer.
+// Every abnormal stream must surface as a Finish()/Drain() error -- the
+// transport's contract is that loss and corruption are loud, never
+// silent.
+class SocketFaultTest : public ::testing::Test {
+ protected:
+  void StartServer(int num_consumers = 1) {
+    auto collector = ShardedCollector::Create();
+    ASSERT_TRUE(collector.ok());
+    collector_.emplace(std::move(collector.value()));
+    SocketCollectorServer::Options options;
+    options.socket_path = MakeLoopbackSocketPath();
+    options.num_consumers = num_consumers;
+    auto server = SocketCollectorServer::Create(&*collector_, options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(*server);
+  }
+
+  // A well-formed stream: one chunk of two wire frames, then FIN.
+  std::vector<uint8_t> ValidStream() {
+    std::vector<uint8_t> frames;
+    AppendUserRunFrame(1, 0, std::vector<double>{0.25, 0.5, 0.75}, frames);
+    AppendUserRunFrame(2, 3, std::vector<double>{0.125}, frames);
+    std::vector<uint8_t> stream;
+    stream.reserve(frames.size() + 8);
+    const uint32_t len = static_cast<uint32_t>(frames.size());
+    for (int b = 0; b < 4; ++b) {
+      stream.push_back(static_cast<uint8_t>(len >> (8 * b)));
+    }
+    for (uint8_t byte : frames) stream.push_back(byte);
+    for (int b = 0; b < 4; ++b) stream.push_back(0);  // FIN
+    return stream;
+  }
+
+  Status SendAndFinish(std::span<const uint8_t> bytes) {
+    auto client = SocketClient::Connect(server_->socket_path());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    EXPECT_TRUE(client->SendRaw(bytes).ok());
+    client->Close();
+    server_->WaitForFinishedConnections(1);
+    return server_->Finish();
+  }
+
+  std::optional<ShardedCollector> collector_;
+  std::unique_ptr<SocketCollectorServer> server_;
+};
+
+TEST_F(SocketFaultTest, ValidRawStreamDrainsClean) {
+  // Control: the injected stream is exactly what a producer writes, so
+  // the session must finish clean and the reports must land.
+  StartServer();
+  const Status finished = SendAndFinish(ValidStream());
+  EXPECT_TRUE(finished.ok()) << finished.ToString();
+  EXPECT_EQ(collector_->report_count(), 4u);
+  EXPECT_EQ(server_->stats().stream_errors, 0u);
+}
+
+TEST_F(SocketFaultTest, TruncatedStreamMidFrameIsLoud) {
+  // The length prefix promises more bytes than ever arrive: the reader
+  // must count a stream error, not ingest a partial chunk.
+  StartServer();
+  const std::vector<uint8_t> stream = ValidStream();
+  const std::vector<uint8_t> truncated(stream.begin(),
+                                       stream.begin() + 10);
+  const Status finished = SendAndFinish(truncated);
+  EXPECT_FALSE(finished.ok());
+  EXPECT_EQ(server_->stats().stream_errors, 1u);
+  // Finish is idempotent, including the failure.
+  EXPECT_EQ(server_->Finish(), finished);
+}
+
+TEST_F(SocketFaultTest, ConnectionDropBeforeFinIsLoud) {
+  // Every chunk arrived intact, but the FIN marker never did: the
+  // producer may have died before flushing its last frame, so the
+  // session cannot be trusted to be complete.
+  StartServer();
+  std::vector<uint8_t> stream = ValidStream();
+  stream.resize(stream.size() - 4);  // drop the FIN marker
+  const Status finished = SendAndFinish(stream);
+  EXPECT_FALSE(finished.ok());
+  EXPECT_EQ(server_->stats().stream_errors, 1u);
+  // The data itself was fine, so the reports are present -- the error
+  // says the session is incomplete, not that these bytes were bad.
+  EXPECT_EQ(collector_->report_count(), 4u);
+}
+
+TEST_F(SocketFaultTest, FinMarkerMidStreamIsLoud) {
+  // A zero length prefix with more bytes behind it is not a clean end of
+  // session -- a prefix corrupted to zero must not silently discard the
+  // rest of the stream under an OK verdict.
+  StartServer();
+  std::vector<uint8_t> stream = ValidStream();  // ends with a real FIN
+  std::vector<uint8_t> doubled = stream;
+  doubled.insert(doubled.end() - 4, 4, uint8_t{0});  // FIN mid-stream
+  const Status finished = SendAndFinish(doubled);
+  EXPECT_FALSE(finished.ok());
+  EXPECT_EQ(server_->stats().stream_errors, 1u);
+}
+
+TEST_F(SocketFaultTest, EveryCorruptedStreamPrefixIsCaught) {
+  // Fuzz loop: flip one bit at every byte position of a valid stream
+  // (length prefix, frame headers, payload, CRC, FIN marker). Whatever
+  // the flip hits -- framing, codec, or stream protocol -- the session
+  // must end in an error; no corruption may be silently absorbed.
+  const std::vector<uint8_t> stream = ValidStream();
+  for (size_t i = 0; i < stream.size(); ++i) {
+    SCOPED_TRACE(i);
+    std::vector<uint8_t> corrupted = stream;
+    corrupted[i] ^= 0x01;
+    StartServer();
+    EXPECT_FALSE(SendAndFinish(corrupted).ok()) << "byte " << i;
+    server_.reset();
+  }
+}
+
+TEST_F(SocketFaultTest, RawInjectionIntoLoopbackHubFailsItsCrossCheck) {
+  // Bytes arriving on the hub's loopback socket that its own producers
+  // never published must fail Drain's published-vs-ingested cross-check
+  // (and corrupt injected bytes fail earlier, as decode/stream errors).
+  auto collector = ShardedCollector::Create();
+  ASSERT_TRUE(collector.ok());
+  TransportOptions options;
+  options.kind = TransportKind::kSocket;
+  options.num_consumers = 1;
+  auto hub = TransportHub::Create(&*collector, options);
+  ASSERT_TRUE(hub.ok());
+  {
+    auto client = SocketClient::Connect((*hub)->socket_path());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->SendRaw(ValidStream()).ok());
+    client->Close();
+  }
+  { (*hub)->MakeProducer().Publish(50, 0, std::vector<double>{0.5}); }
+  const Status drained = (*hub)->Drain();
+  EXPECT_FALSE(drained.ok());
+  EXPECT_NE(drained.message().find("lost runs"), std::string::npos)
+      << drained.ToString();
+}
+
 // --------------------------------------- fleet determinism across wires ----
 
 EngineConfig TransportFleetConfig(AlgorithmKind algorithm) {
@@ -443,10 +785,11 @@ FleetObservation RunFleet(EngineConfig config) {
 }
 
 // The headline acceptance test: digests AND collector aggregates are
-// bit-identical between kDirect, kQueue, and kQueueFramed for every
-// producer x consumer mix. Exactness of the aggregates comes from
-// SlotAggregate's integer accumulation; the digest is already computed
-// producer-side from per-user streams.
+// bit-identical between kDirect, kQueue, kQueueFramed, and kSocket for
+// every producer x consumer mix, with shard affinity on or off.
+// Exactness of the aggregates comes from SlotAggregate's integer
+// accumulation; the digest is already computed producer-side from
+// per-user streams.
 TEST(TransportDeterminismTest, BitIdenticalAcrossKindsAndThreadMixes) {
   for (AlgorithmKind algorithm :
        {AlgorithmKind::kCapp, AlgorithmKind::kIpp, AlgorithmKind::kApp}) {
@@ -458,36 +801,43 @@ TEST(TransportDeterminismTest, BitIdenticalAcrossKindsAndThreadMixes) {
     for (int producers : {1, 4, 8}) {
       for (TransportKind kind :
            {TransportKind::kDirect, TransportKind::kQueue,
-            TransportKind::kQueueFramed}) {
+            TransportKind::kQueueFramed, TransportKind::kSocket}) {
         for (int consumers : {1, 2, 4}) {
           if (kind == TransportKind::kDirect && consumers != 1) continue;
-          SCOPED_TRACE(TransportKindName(kind));
-          SCOPED_TRACE(producers);
-          SCOPED_TRACE(consumers);
-          EngineConfig config = TransportFleetConfig(algorithm);
-          config.num_threads = producers;
-          config.transport.kind = kind;
-          config.transport.num_consumers = consumers;
-          config.transport.queue_capacity = 8;
-          config.transport.max_batch_runs = 16;
-          const FleetObservation run = RunFleet(config);
+          for (bool affinity : {false, true}) {
+            if (kind == TransportKind::kDirect && affinity) continue;
+            SCOPED_TRACE(TransportKindName(kind));
+            SCOPED_TRACE(producers);
+            SCOPED_TRACE(consumers);
+            SCOPED_TRACE(affinity);
+            EngineConfig config = TransportFleetConfig(algorithm);
+            config.num_threads = producers;
+            config.transport.kind = kind;
+            config.transport.num_consumers = consumers;
+            config.transport.queue_capacity = 8;
+            config.transport.max_batch_runs = 16;
+            config.transport.shard_affinity = affinity;
+            const FleetObservation run = RunFleet(config);
 
-          EXPECT_EQ(run.stats.stream_digest,
-                    baseline.stats.stream_digest);
-          EXPECT_EQ(run.stats.mean_slot_mse, baseline.stats.mean_slot_mse);
-          EXPECT_EQ(run.report_count, baseline.report_count);
-          ASSERT_EQ(run.aggregates.size(), baseline.aggregates.size());
-          for (size_t t = 0; t < run.aggregates.size(); ++t) {
-            EXPECT_EQ(run.aggregates[t].Count(),
-                      baseline.aggregates[t].Count())
-                << "slot " << t;
-            EXPECT_EQ(std::bit_cast<uint64_t>(run.aggregates[t].Mean()),
-                      std::bit_cast<uint64_t>(
-                          baseline.aggregates[t].Mean()))
-                << "slot " << t;
-            EXPECT_EQ(std::bit_cast<uint64_t>(run.aggregates[t].M2()),
-                      std::bit_cast<uint64_t>(baseline.aggregates[t].M2()))
-                << "slot " << t;
+            EXPECT_EQ(run.stats.stream_digest,
+                      baseline.stats.stream_digest);
+            EXPECT_EQ(run.stats.mean_slot_mse,
+                      baseline.stats.mean_slot_mse);
+            EXPECT_EQ(run.report_count, baseline.report_count);
+            ASSERT_EQ(run.aggregates.size(), baseline.aggregates.size());
+            for (size_t t = 0; t < run.aggregates.size(); ++t) {
+              EXPECT_EQ(run.aggregates[t].Count(),
+                        baseline.aggregates[t].Count())
+                  << "slot " << t;
+              EXPECT_EQ(std::bit_cast<uint64_t>(run.aggregates[t].Mean()),
+                        std::bit_cast<uint64_t>(
+                            baseline.aggregates[t].Mean()))
+                  << "slot " << t;
+              EXPECT_EQ(std::bit_cast<uint64_t>(run.aggregates[t].M2()),
+                        std::bit_cast<uint64_t>(
+                            baseline.aggregates[t].M2()))
+                  << "slot " << t;
+            }
           }
         }
       }
@@ -515,6 +865,39 @@ TEST(TransportDeterminismTest, QueuedFleetReportsTransportStats) {
       RunFleet(TransportFleetConfig(AlgorithmKind::kCapp));
   EXPECT_EQ(direct.stats.transport.frames, 0u);
   EXPECT_EQ(direct.stats.transport.runs, 0u);
+}
+
+// --------------------------------------------------- aggregate saturation ----
+
+TEST(SaturationTest, HubDrainFailsWhenAggregatesSaturate) {
+  // An unnormalized workload (|value| > 2^16, e.g. raw taxi fares or
+  // heart-rate-in-milliseconds telemetry) silently clamps inside the
+  // fixed-point aggregates; the transport must refuse to call that a
+  // clean session.
+  for (TransportKind kind :
+       {TransportKind::kDirect, TransportKind::kQueue,
+        TransportKind::kQueueFramed, TransportKind::kSocket}) {
+    SCOPED_TRACE(TransportKindName(kind));
+    auto collector = ShardedCollector::Create({.keep_streams = false});
+    ASSERT_TRUE(collector.ok());
+    TransportOptions options;
+    options.kind = kind;
+    options.num_consumers = 1;
+    auto hub = TransportHub::Create(&*collector, options);
+    ASSERT_TRUE(hub.ok());
+    {
+      auto producer = (*hub)->MakeProducer();
+      producer.Publish(1, 0, std::vector<double>{0.5, 1.0e6, 0.25});
+      producer.Publish(2, 0, std::vector<double>{-70000.0});
+    }
+    const Status drained = (*hub)->Drain();
+    EXPECT_FALSE(drained.ok());
+    EXPECT_NE(drained.message().find("saturated"), std::string::npos)
+        << drained.ToString();
+    EXPECT_EQ(collector->saturated_report_count(), 2u);
+    // The in-range reports still landed; only the clamped ones lie.
+    EXPECT_EQ(collector->report_count(), 4u);
+  }
 }
 
 }  // namespace
