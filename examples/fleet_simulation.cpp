@@ -23,6 +23,11 @@
 // listening on PATH); the accuracy table still prints, because the fleet
 // side computes it from its own ground truth, but the collector-side
 // aggregates then live in the server process.
+// --analytics turns on the collector's streaming histogram tier and
+// prints per-window SW-EM distribution reconstruction, crowd means, and
+// trend detection computed purely from the collector's per-slot state --
+// the collector never materializes a report matrix, so the same analytics
+// run at the million-user aggregate-only scale.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +35,8 @@
 #include <string>
 #include <string_view>
 
+#include "analysis/streaming_analytics.h"
+#include "analysis/trend.h"
 #include "core/parse.h"
 #include "engine/engine_config.h"
 #include "engine/fleet.h"
@@ -41,9 +48,73 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [users] [slots] "
                "[--transport=direct|queue|framed|socket]\n"
-               "          [--consumers=N] [--affinity] [--connect=PATH]\n",
+               "          [--consumers=N] [--affinity] [--connect=PATH]\n"
+               "          [--analytics]\n",
                argv0);
   std::exit(2);
+}
+
+// The streaming analytics report: what the collector tier can publish
+// per window without ever seeing a raw stream, next to the ground truth
+// only the simulator knows.
+int PrintAnalytics(const capp::Fleet& fleet,
+                   const capp::EngineStats& stats) {
+  const capp::EngineConfig& config = fleet.config();
+  capp::StreamingAnalyzerOptions options;
+  options.epsilon_per_slot = config.epsilon / config.window;
+  options.histogram_buckets = config.analytics.histogram_buckets;
+  options.window = static_cast<size_t>(config.window);
+  auto analyzer = capp::StreamingAnalyzer::Create(options);
+  if (!analyzer.ok()) {
+    std::fprintf(stderr, "analytics setup failed: %s\n",
+                 analyzer.status().ToString().c_str());
+    return 1;
+  }
+  auto analysis = analyzer->AnalyzeCollector(fleet.collector());
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "analytics failed: %s\n",
+                 analysis.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nstreaming analytics (%zu-slot windows, %d-bin SW "
+              "histograms over [%.3f, %.3f], %llu outlier(s)):\n",
+              options.window, analyzer->collector_histogram().num_bins,
+              analyzer->collector_histogram().lo,
+              analyzer->collector_histogram().hi,
+              static_cast<unsigned long long>(analysis->total_outliers));
+  std::printf("  window        reports    crowd mean  true mean   "
+              "recon mean  crowd err  recon err\n");
+  for (const capp::WindowAnalytics& w : analysis->windows) {
+    double true_mean = 0.0;
+    for (size_t t = w.begin; t < w.begin + w.length; ++t) {
+      true_mean += stats.true_slot_means[t];
+    }
+    true_mean /= static_cast<double>(w.length);
+    std::printf("  [%3zu,%3zu)   %9llu    %.4f      %.4f      %.4f      "
+                "%+.4f    %+.4f\n",
+                w.begin, w.begin + w.length,
+                static_cast<unsigned long long>(w.reports), w.crowd_mean,
+                true_mean, w.distribution_mean, w.crowd_mean - true_mean,
+                w.distribution_mean - true_mean);
+  }
+  std::printf("  trend segments of the collector's slot means:");
+  for (const capp::TrendSegment& segment : analysis->trends) {
+    std::printf(" [%zu,%zu) %s (slope %+.4f)", segment.begin, segment.end,
+                std::string(capp::TrendDirectionName(segment.direction))
+                    .c_str(),
+                segment.slope);
+  }
+  std::printf("\n");
+  auto agreement = capp::TrendAgreement(analysis->slot_means,
+                                        stats.true_slot_means);
+  if (!agreement.ok()) {
+    std::fprintf(stderr, "trend agreement failed: %s\n",
+                 agreement.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  trend agreement vs true slot means: %.3f\n", *agreement);
+  return 0;
 }
 
 }  // namespace
@@ -83,6 +154,8 @@ int main(int argc, char** argv) {
       config.transport.socket_path = std::string(arg.substr(10));
     } else if (arg == "--affinity") {
       config.transport.shard_affinity = true;
+    } else if (arg == "--analytics") {
+      config.analytics.enabled = true;
     } else if (arg.starts_with("--consumers=")) {
       int consumers = 0;
       if (!capp::ParseIntText(arg.substr(12), 1, &consumers) ||
@@ -201,7 +274,10 @@ int main(int argc, char** argv) {
 
   if (remote_collector) {
     std::printf("collector aggregates live in the server process "
-                "(see collector_server's summary)\n");
+                "(see collector_server's summary%s)\n",
+                config.analytics.enabled
+                    ? "; run it with --analytics for the streaming tables"
+                    : "");
     return 0;
   }
   // The collector's own streaming aggregates tell the same story without
@@ -215,5 +291,8 @@ int main(int argc, char** argv) {
   }
   std::printf("max per-slot report stddev at the collector: %.3f\n",
               max_stddev);
+  if (config.analytics.enabled) {
+    return PrintAnalytics(*fleet, *stats);
+  }
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "analysis/crowd.h"
 
+#include <cmath>
 #include <span>
 
 #include "core/math_utils.h"
@@ -11,12 +12,24 @@ Result<CrowdMeans> EstimateCrowdMeans(
     const PerturberFactory& factory, const StreamCollector& collector,
     Rng& rng) {
   if (len == 0) return Status::InvalidArgument("len must be >= 1");
+  if (begin + len < len) {  // wrapped: the size comparison below would lie
+    return Status::InvalidArgument("begin + len overflows");
+  }
+  if (users.empty()) {
+    return Status::InvalidArgument("population has no user streams");
+  }
   CrowdMeans out;
   out.true_means.reserve(users.size());
   out.estimated_means.reserve(users.size());
   for (const auto& stream : users) {
     if (stream.size() < begin + len) continue;
     const std::span<const double> window(stream.data() + begin, len);
+    for (double x : window) {
+      if (!std::isfinite(x)) {
+        return Status::InvalidArgument(
+            "user stream has a non-finite value in the subsequence");
+      }
+    }
     CAPP_ASSIGN_OR_RETURN(std::unique_ptr<StreamPerturber> perturber,
                           factory());
     Rng user_rng = rng.Fork();

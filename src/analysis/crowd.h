@@ -29,7 +29,10 @@ struct CrowdMeans {
 
 /// Runs the algorithm produced by `factory` over the subsequence
 /// [begin, begin+len) of every user's stream and collects true vs estimated
-/// means. Streams shorter than begin+len are skipped.
+/// means. Streams shorter than begin+len are skipped. Fails on len == 0,
+/// an empty population, a begin+len that overflows, a stream with
+/// non-finite values in the subsequence (perturbing NaN would silently
+/// poison the estimate), or when no stream covers the subsequence.
 Result<CrowdMeans> EstimateCrowdMeans(
     const std::vector<std::vector<double>>& users, size_t begin, size_t len,
     const PerturberFactory& factory, const StreamCollector& collector,

@@ -1,0 +1,139 @@
+// Streaming collector-side analytics: the paper's "dual utilization"
+// outputs -- population distribution reconstruction (SW-EM), crowd-level
+// means, and trend detection -- computed online from the compact state a
+// ShardedCollector maintains per slot (exact fixed-point aggregates plus
+// the opt-in SlotHistogramOptions value-histogram tier), never from a
+// materialized per-slot report matrix. That is what makes the analytics
+// run at million-user populations in aggregate-only mode: per-window cost
+// and memory depend on slots and bins, not on how many users reported.
+//
+// Equivalence contract: a window's reconstruction equals what the
+// matrix-based PopulationEstimator computes from the pooled raw reports,
+// because the collector bins each report with the exact FixedBinIndex
+// arithmetic the EM estimator's own output bucketization uses, and
+// integer bin counts merged across shards/transports are order-invariant.
+// tests/streaming_analytics_test.cc pins this against the oracle.
+#ifndef CAPP_ANALYSIS_STREAMING_ANALYTICS_H_
+#define CAPP_ANALYSIS_STREAMING_ANALYTICS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "analysis/trend.h"
+#include "core/status.h"
+#include "engine/sharded_collector.h"
+#include "mechanisms/sw_em.h"
+
+namespace capp {
+
+/// Knobs for a StreamingAnalyzer.
+struct StreamingAnalyzerOptions {
+  /// Per-slot SW budget the users perturbed with (epsilon/w); fixes the
+  /// EM transition matrix and the histogram range [-b, 1+b].
+  double epsilon_per_slot = 0.1;
+  /// Buckets of the reconstructed input distribution over [0,1]. The
+  /// collector-side histograms get 2x this many bins (the EM estimator's
+  /// output resolution), mirroring PopulationEstimator.
+  int histogram_buckets = 32;
+  /// Sliding-window length in slots for distribution/crowd analytics.
+  size_t window = 10;
+  /// Hop between consecutive windows; 0 means non-overlapping windows
+  /// (stride = window).
+  size_t stride = 0;
+  /// Invert the SW output-mean line when estimating crowd means (for
+  /// SW-direct reports). PP reports are self-calibrating: leave false.
+  bool debias_mean = false;
+  /// Trend segmentation knobs for the per-slot mean series.
+  TrendOptions trend;
+};
+
+/// One window's analytics, all derived from merged per-slot state.
+struct WindowAnalytics {
+  size_t begin = 0;   ///< First slot of the window.
+  size_t length = 0;  ///< Slots in the window.
+  uint64_t reports = 0;   ///< Reports pooled across the window.
+  uint64_t outliers = 0;  ///< Reports in the window's under/overflow bins.
+  /// EM-reconstructed input distribution (probabilities over
+  /// histogram_buckets buckets of [0,1]).
+  std::vector<double> distribution;
+  double distribution_mean = 0.0;  ///< Mean of the reconstruction.
+  /// Crowd-level mean of the window's reports (exact merge of the slot
+  /// aggregates; debiased when options.debias_mean).
+  double crowd_mean = 0.0;
+};
+
+/// Whole-stream analytics from one collector snapshot.
+struct StreamAnalytics {
+  std::vector<WindowAnalytics> windows;
+  /// Per-slot crowd means with empty slots gap-filled by the library-wide
+  /// last-observation policy (stream/gap_fill.h), so trend extraction
+  /// never sees a NaN.
+  std::vector<double> slot_means;
+  /// Trend segmentation of slot_means.
+  std::vector<TrendSegment> trends;
+  uint64_t total_reports = 0;
+  uint64_t total_outliers = 0;
+};
+
+/// Online analytics over a ShardedCollector's streaming per-slot state.
+class StreamingAnalyzer {
+ public:
+  /// Validates options and precomputes the EM transition matrix.
+  static Result<StreamingAnalyzer> Create(StreamingAnalyzerOptions options);
+
+  /// The histogram geometry a collector must be configured with to feed
+  /// analytics at this budget/resolution: 2 * histogram_buckets bins
+  /// spanning the SW output range [-b, 1+b]. Raw SW outputs always land
+  /// in the regular bins; feedback-calibrated PP reports routinely fall
+  /// a little outside at small budgets and land counted in the
+  /// under/overflow bins, where the EM pass clamps them into the edge
+  /// buckets exactly as the pooled-report oracle would.
+  static Result<SlotHistogramOptions> CollectorHistogramOptions(
+      double epsilon_per_slot, int histogram_buckets);
+
+  /// The geometry this analyzer expects (CollectorHistogramOptions of its
+  /// own budget/resolution).
+  const SlotHistogramOptions& collector_histogram() const {
+    return collector_histogram_;
+  }
+
+  /// Analytics for the window of slots [begin, begin + len) from merged
+  /// per-slot histograms (rows sized collector_histogram().row_size())
+  /// and aggregates. Fails on an empty window ("no reports"), a window
+  /// past the snapshot, or mis-sized histogram rows.
+  Result<WindowAnalytics> AnalyzeWindow(
+      std::span<const std::vector<uint64_t>> histograms,
+      std::span<const SlotAggregate> aggregates, size_t begin,
+      size_t len) const;
+
+  /// Snapshots the collector and computes sliding-window
+  /// distribution/crowd analytics plus trend segmentation of the per-slot
+  /// means. Windows with no reports are skipped (they cannot occur in a
+  /// dense fleet run). FailedPrecondition when the collector's histogram
+  /// tier is off or its geometry differs from collector_histogram().
+  /// Call on a quiescent collector (after the transport session drains):
+  /// the histogram and aggregate snapshots are taken back to back, and a
+  /// report ingested between them fails the per-window consistency
+  /// cross-check.
+  Result<StreamAnalytics> AnalyzeCollector(
+      const ShardedCollector& collector) const;
+
+  const StreamingAnalyzerOptions& options() const { return options_; }
+
+ private:
+  StreamingAnalyzer(StreamingAnalyzerOptions options,
+                    SlotHistogramOptions collector_histogram, SquareWave sw,
+                    SwDistributionEstimator estimator)
+      : options_(options), collector_histogram_(collector_histogram),
+        sw_(std::move(sw)), estimator_(std::move(estimator)) {}
+
+  StreamingAnalyzerOptions options_;
+  SlotHistogramOptions collector_histogram_;
+  SquareWave sw_;
+  SwDistributionEstimator estimator_;
+};
+
+}  // namespace capp
+
+#endif  // CAPP_ANALYSIS_STREAMING_ANALYTICS_H_

@@ -1,11 +1,23 @@
 #include "analysis/trend.h"
 
 #include <cmath>
+#include <string>
 
-#include "core/check.h"
 #include "core/math_utils.h"
 
 namespace capp {
+
+std::string_view TrendDirectionName(TrendDirection direction) {
+  switch (direction) {
+    case TrendDirection::kUp:
+      return "up";
+    case TrendDirection::kDown:
+      return "down";
+    case TrendDirection::kFlat:
+      return "flat";
+  }
+  return "unknown";
+}
 
 double LinearSlope(std::span<const double> xs) {
   const size_t n = xs.size();
@@ -40,6 +52,19 @@ std::vector<TrendDirection> StepDirections(std::span<const double> xs,
   return out;
 }
 
+namespace {
+
+// Trend classification on a non-finite value is silently wrong (NaN
+// comparisons classify as kDown); the public entry points reject it.
+bool AllFinite(std::span<const double> xs) {
+  for (double x : xs) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 Result<std::vector<TrendSegment>> ExtractTrends(std::span<const double> xs,
                                                 TrendOptions options) {
   if (options.flat_threshold < 0.0) {
@@ -47,6 +72,11 @@ Result<std::vector<TrendSegment>> ExtractTrends(std::span<const double> xs,
   }
   if (options.min_run == 0) {
     return Status::InvalidArgument("min_run must be >= 1");
+  }
+  if (!AllFinite(xs)) {
+    return Status::InvalidArgument(
+        "series has non-finite values; gap-fill missing slots before "
+        "trend extraction");
   }
   std::vector<TrendSegment> segments;
   if (xs.size() < 2) return segments;
@@ -91,9 +121,19 @@ Result<std::vector<TrendSegment>> ExtractTrends(std::span<const double> xs,
   return merged;
 }
 
-double TrendAgreement(std::span<const double> a, std::span<const double> b,
-                      double flat_threshold) {
-  CAPP_CHECK(a.size() == b.size());
+Result<double> TrendAgreement(std::span<const double> a,
+                              std::span<const double> b,
+                              double flat_threshold) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument(
+        "trend agreement wants equal-length series, got " +
+        std::to_string(a.size()) + " vs " + std::to_string(b.size()));
+  }
+  if (!AllFinite(a) || !AllFinite(b)) {
+    return Status::InvalidArgument(
+        "series has non-finite values; gap-fill missing slots before "
+        "comparing trends");
+  }
   if (a.size() < 2) return 1.0;
   const auto da = StepDirections(a, flat_threshold);
   const auto db = StepDirections(b, flat_threshold);

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "core/status.h"
@@ -16,6 +17,9 @@ namespace capp {
 
 /// Direction of one trend segment.
 enum class TrendDirection { kUp, kDown, kFlat };
+
+/// Short display name of a direction ("up", "down", "flat").
+std::string_view TrendDirectionName(TrendDirection direction);
 
 /// A maximal run of slots moving in one direction.
 struct TrendSegment {
@@ -39,20 +43,26 @@ struct TrendOptions {
 double LinearSlope(std::span<const double> xs);
 
 /// Per-step direction of a series: element t describes the move from slot
-/// t to t+1 (size n-1 for n inputs).
+/// t to t+1 (size n-1 for n inputs). Inputs must be finite: a NaN step
+/// would compare false both ways and silently classify as kDown (the
+/// validated entry points below reject such series up front).
 std::vector<TrendDirection> StepDirections(std::span<const double> xs,
                                            double flat_threshold);
 
 /// Segments a series into maximal trend runs. Fails on options with
-/// negative threshold or zero min_run.
+/// negative threshold or zero min_run, and on non-finite input (a sparse
+/// slot-mean series must be gap-filled first; see
+/// StreamingAnalyzer::AnalyzeCollector).
 Result<std::vector<TrendSegment>> ExtractTrends(std::span<const double> xs,
                                                 TrendOptions options = {});
 
 /// Fraction of steps whose direction agrees between two equal-length
 /// series (1.0 = identical trend profile). Series of length < 2 agree
-/// trivially (returns 1.0).
-double TrendAgreement(std::span<const double> a, std::span<const double> b,
-                      double flat_threshold = 1e-3);
+/// trivially (returns 1.0). Fails on length mismatch or non-finite input
+/// instead of asserting/misclassifying.
+Result<double> TrendAgreement(std::span<const double> a,
+                              std::span<const double> b,
+                              double flat_threshold = 1e-3);
 
 }  // namespace capp
 

@@ -58,6 +58,30 @@ inline double Clamp(double x, double lo, double hi) {
   return x;
 }
 
+/// Index of `value`'s equal-width bin over [lo, hi] (num_bins >= 1);
+/// out-of-range values clamp into the edge bins (callers that must
+/// distinguish outliers check the range first). This one function is the
+/// bin definition shared by the SW-EM output bucketization and the
+/// collector's streaming histogram tier -- both must bin a value
+/// identically, bit for bit, for the streaming EM reconstruction to
+/// equal the pooled-report oracle, so neither side may reimplement it.
+/// The scale factor is written as a single multiply so the division
+/// hoists out of per-report loops (lo/hi/num_bins are loop-invariant
+/// there, and an FP divide per report was the histogram tier's largest
+/// ingest cost). `value` must not be NaN (the comparison-then-cast would
+/// be undefined).
+inline int FixedBinIndex(double value, double lo, double hi, int num_bins) {
+  CAPP_DCHECK(num_bins >= 1 && lo < hi);
+  const double scale = static_cast<double>(num_bins) / (hi - lo);
+  // Clamp in floating point, before the int cast: a wildly out-of-range
+  // value (1e300 telemetry garbage) must land in an edge bin, not hit an
+  // undefined double->int conversion.
+  const double position = (value - lo) * scale;
+  if (!(position > 0.0)) return 0;
+  if (position >= static_cast<double>(num_bins)) return num_bins - 1;
+  return static_cast<int>(position);
+}
+
 /// n evenly spaced points from lo to hi inclusive (n >= 2), or {lo} if n==1.
 std::vector<double> LinSpace(double lo, double hi, size_t n);
 

@@ -57,6 +57,10 @@ Status ValidateEngineConfig(const EngineConfig& config) {
     return Status::InvalidArgument(
         "smoothing_window must be odd, or 0 for the algorithm default");
   }
+  if (config.analytics.enabled && config.analytics.histogram_buckets < 2) {
+    return Status::InvalidArgument(
+        "analytics.histogram_buckets must be >= 2");
+  }
   CAPP_RETURN_IF_ERROR(ValidateTransportOptions(config.transport));
   if (config.transport.kind != TransportKind::kDirect &&
       config.num_slots > kWireMaxRunLength) {

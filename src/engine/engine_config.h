@@ -35,6 +35,21 @@ std::string_view SignalKindName(SignalKind kind);
 /// Parses a display name back into a SignalKind.
 Result<SignalKind> ParseSignalKind(std::string_view name);
 
+/// Collector-side streaming analytics tier: when enabled, the fleet's
+/// collector maintains per-slot perturbed-value histograms (sized by
+/// StreamingAnalyzer::CollectorHistogramOptions at the config's per-slot
+/// budget epsilon/window) alongside its exact aggregates, so sliding-
+/// window SW-EM distribution reconstruction, crowd means, and trend
+/// detection run online -- no report matrix, works in aggregate-only
+/// mode. Off by default: histogram maintenance costs a few percent of
+/// ingest throughput (bench_analytics_throughput tracks it).
+struct AnalyticsConfig {
+  bool enabled = false;
+  /// Resolution of the reconstructed input distribution over [0,1]; the
+  /// collector histograms get 2x this many bins over the SW output range.
+  int histogram_buckets = 32;
+};
+
 /// One simulated deployment scenario.
 struct EngineConfig {
   /// Algorithm every device runs. Must support online operation.
@@ -77,6 +92,9 @@ struct EngineConfig {
   /// each run to the consumer owning its shard group. Results are
   /// bit-identical across all kinds, thread mixes, and affinity settings.
   TransportOptions transport;
+
+  /// Streaming collector-side analytics (per-slot value histograms).
+  AnalyticsConfig analytics = {};
 };
 
 /// Validates an EngineConfig (delegates perturber knobs to

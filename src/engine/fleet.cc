@@ -8,6 +8,7 @@
 #include <optional>
 #include <utility>
 
+#include "analysis/streaming_analytics.h"
 #include "core/check.h"
 #include "core/math_utils.h"
 #include "data/generators.h"
@@ -164,6 +165,16 @@ Result<Fleet> Fleet::Create(EngineConfig config) {
   ShardedCollectorOptions collector_options;
   collector_options.num_shards = config.num_shards;
   collector_options.keep_streams = config.keep_streams;
+  if (config.analytics.enabled) {
+    // Histogram geometry follows the fleet's per-slot budget epsilon/w,
+    // so a StreamingAnalyzer created at the same budget/resolution
+    // consumes the collector's bins directly.
+    CAPP_ASSIGN_OR_RETURN(
+        collector_options.histogram,
+        StreamingAnalyzer::CollectorHistogramOptions(
+            config.epsilon / config.window,
+            config.analytics.histogram_buckets));
+  }
   CAPP_ASSIGN_OR_RETURN(ShardedCollector collector,
                         ShardedCollector::Create(collector_options));
   return Fleet(std::move(config), std::move(collector), smoothing);

@@ -14,6 +14,17 @@ namespace {
 
 constexpr double kMissing = std::numeric_limits<double>::quiet_NaN();
 
+// Saturating histogram-bin increment (see Shard::histogram): a bin
+// pinned at 2^32 - 1 stops counting and reports through the shard's
+// saturated_reports channel instead of silently wrapping.
+inline void BumpBin(uint32_t& bin, uint64_t& saturated_reports) {
+  if (bin == std::numeric_limits<uint32_t>::max()) {
+    ++saturated_reports;
+  } else {
+    ++bin;
+  }
+}
+
 // Reads values[slot][dense] treating short rows as missing.
 double RawValueAt(const std::vector<std::vector<double>>& values, size_t slot,
                   uint32_t dense) {
@@ -51,6 +62,17 @@ Result<ShardedCollector> ShardedCollector::Create(
   if (options.num_shards < 1) {
     return Status::InvalidArgument("num_shards must be >= 1");
   }
+  if (options.histogram.enabled) {
+    if (options.histogram.num_bins < 2) {
+      return Status::InvalidArgument("histogram.num_bins must be >= 2");
+    }
+    if (!std::isfinite(options.histogram.lo) ||
+        !std::isfinite(options.histogram.hi) ||
+        options.histogram.lo >= options.histogram.hi) {
+      return Status::InvalidArgument(
+          "histogram range wants finite lo < hi");
+    }
+  }
   return ShardedCollector(options);
 }
 
@@ -67,6 +89,14 @@ size_t ShardedCollector::ShardIndex(uint64_t user_id) const {
   // otherwise stripe perfectly, which is fine for balance but makes shard
   // membership depend on the population layout instead of the id alone.
   return SplitMix64Mix(user_id) % shards_.size();
+}
+
+void ShardedCollector::GrowSlots(Shard& shard, size_t end_slot) {
+  if (end_slot <= shard.slots.size()) return;
+  shard.slots.resize(end_slot);
+  if (options_.histogram.enabled) {
+    shard.histogram.resize(end_slot * options_.histogram.row_size(), 0);
+  }
 }
 
 void ShardedCollector::IngestLocked(Shard& shard, const SlotReport& report) {
@@ -86,7 +116,11 @@ void ShardedCollector::IngestLocked(Shard& shard, const SlotReport& report) {
     shard.last_slot[dense] = std::max(shard.last_slot[dense],
                                       static_cast<uint32_t>(report.slot));
   }
-  if (report.slot >= shard.slots.size()) shard.slots.resize(report.slot + 1);
+  GrowSlots(shard, report.slot + 1);
+  const SlotHistogramOptions& hist = options_.histogram;
+  uint32_t* hist_row =
+      hist.enabled ? shard.histogram.data() + report.slot * hist.row_size()
+                   : nullptr;
 
   if (options_.keep_streams) {
     if (report.slot >= shard.values.size()) {
@@ -100,16 +134,33 @@ void ShardedCollector::IngestLocked(Shard& shard, const SlotReport& report) {
       if (shard.slots[report.slot].Add(report.value)) {
         ++shard.saturated_reports;
       }
+      if (hist_row != nullptr) {
+        BumpBin(hist_row[hist.BinFor(report.value)],
+                shard.saturated_reports);
+      }
       ++shard.reports_per_user[dense];
       ++shard.report_count;
-    } else if (shard.slots[report.slot].Replace(old_value, report.value)) {
-      ++shard.saturated_reports;
+    } else {
+      // Overwrite: move the old value's unit count to the new bin, the
+      // histogram analogue of SlotAggregate::Replace.
+      if (shard.slots[report.slot].Replace(old_value, report.value)) {
+        ++shard.saturated_reports;
+      }
+      if (hist_row != nullptr) {
+        --hist_row[hist.BinFor(old_value)];
+        BumpBin(hist_row[hist.BinFor(report.value)],
+                shard.saturated_reports);
+      }
     }
   } else {
     // Aggregate-only mode cannot see a previous value, so every report is
     // treated as new (the documented at-most-once contract).
     if (shard.slots[report.slot].Add(report.value)) {
       ++shard.saturated_reports;
+    }
+    if (hist_row != nullptr) {
+      BumpBin(hist_row[hist.BinFor(report.value)],
+              shard.saturated_reports);
     }
     ++shard.reports_per_user[dense];
     ++shard.report_count;
@@ -153,10 +204,11 @@ void ShardedCollector::IngestUserRun(uint64_t user_id, size_t base_slot,
   shard.last_slot[dense] = std::max(
       shard.last_slot[dense], static_cast<uint32_t>(base_slot + last));
   const size_t end_slot = base_slot + last + 1;  // one past the run
-  if (end_slot > shard.slots.size()) shard.slots.resize(end_slot);
+  GrowSlots(shard, end_slot);
+  const SlotHistogramOptions& hist = options_.histogram;
 
   if (!options_.keep_streams) {
-    // Aggregate-only fast path: one Welford add per slot and bulk counter
+    // Aggregate-only fast path: one exact add per slot and bulk counter
     // updates; nothing else to maintain.
     size_t ingested = 0;
     for (size_t i = first; i <= last; ++i) {
@@ -165,6 +217,18 @@ void ShardedCollector::IngestUserRun(uint64_t user_id, size_t base_slot,
         ++shard.saturated_reports;
       }
       ++ingested;
+    }
+    if (hist.enabled) {
+      // Separate pass for the bins: keeps the aggregate loop's int128
+      // dependency chain free of the bin math and the strided row
+      // stores, which measurably beats a fused loop at 1M users.
+      const size_t row_size = hist.row_size();
+      uint32_t* rows = shard.histogram.data() + base_slot * row_size;
+      for (size_t i = first; i <= last; ++i) {
+        if (!std::isfinite(values[i])) continue;
+        BumpBin(rows[i * row_size + hist.BinFor(values[i])],
+                shard.saturated_reports);
+      }
     }
     shard.reports_per_user[dense] += static_cast<uint32_t>(ingested);
     shard.report_count += ingested;
@@ -179,12 +243,26 @@ void ShardedCollector::IngestUserRun(uint64_t user_id, size_t base_slot,
     if (dense >= row.size()) row.resize(dense + 1, kMissing);
     const double old_value = row[dense];
     row[dense] = values[i];
+    uint32_t* hist_row =
+        hist.enabled ? shard.histogram.data() + slot * hist.row_size()
+                     : nullptr;
     if (std::isnan(old_value)) {
       if (shard.slots[slot].Add(values[i])) ++shard.saturated_reports;
+      if (hist_row != nullptr) {
+        BumpBin(hist_row[hist.BinFor(values[i])],
+                shard.saturated_reports);
+      }
       ++shard.reports_per_user[dense];
       ++shard.report_count;
-    } else if (shard.slots[slot].Replace(old_value, values[i])) {
-      ++shard.saturated_reports;
+    } else {
+      if (shard.slots[slot].Replace(old_value, values[i])) {
+        ++shard.saturated_reports;
+      }
+      if (hist_row != nullptr) {
+        --hist_row[hist.BinFor(old_value)];
+        BumpBin(hist_row[hist.BinFor(values[i])],
+                shard.saturated_reports);
+      }
     }
   }
 }
@@ -327,6 +405,45 @@ std::vector<SlotAggregate> ShardedCollector::PopulationSlotAggregates() const {
     }
   }
   return merged;
+}
+
+Result<std::vector<std::vector<uint64_t>>>
+ShardedCollector::PopulationSlotHistograms() const {
+  if (!options_.histogram.enabled) {
+    return Status::FailedPrecondition(
+        "per-slot histograms require histogram.enabled = true");
+  }
+  const size_t row_size = options_.histogram.row_size();
+  std::vector<std::vector<uint64_t>> merged;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    // Sized inside the lock, like PopulationSlotAggregates: a concurrent
+    // ingest may have grown a shard past any previously observed span.
+    const size_t shard_slots = shard->histogram.size() / row_size;
+    if (shard_slots > merged.size()) {
+      merged.resize(shard_slots, std::vector<uint64_t>(row_size, 0));
+    }
+    for (size_t t = 0; t < shard_slots; ++t) {
+      const uint32_t* row = shard->histogram.data() + t * row_size;
+      for (size_t b = 0; b < row_size; ++b) merged[t][b] += row[b];
+    }
+  }
+  return merged;
+}
+
+uint64_t ShardedCollector::histogram_outlier_count() const {
+  if (!options_.histogram.enabled) return 0;
+  const size_t row_size = options_.histogram.row_size();
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    // Under/overflow are the first and last entry of each slot row.
+    for (size_t t = 0; t < shard->histogram.size() / row_size; ++t) {
+      total += shard->histogram[t * row_size] +
+               shard->histogram[t * row_size + row_size - 1];
+    }
+  }
+  return total;
 }
 
 std::vector<double> ShardedCollector::PopulationSlotMeans() const {

@@ -32,10 +32,43 @@
 #include <vector>
 
 #include "core/check.h"
+#include "core/math_utils.h"
 #include "core/status.h"
 #include "stream/report.h"
 
 namespace capp {
+
+/// Opt-in per-slot histogram tier over the perturbed report values: the
+/// raw material of streaming collector-side analytics (EM distribution
+/// reconstruction without ever materializing a report matrix). Each slot
+/// gets `num_bins` equal-width bins spanning [lo, hi] plus an underflow
+/// and an overflow bin, so a report outside the configured range is
+/// counted loudly instead of silently dropped or misbinned. Bin
+/// assignment is a pure function of the value (FixedBinIndex), and the
+/// counts are integers, so merged histograms -- like the fixed-point
+/// SlotAggregates -- are bit-identical for any ingest order, transport,
+/// or thread mix. Memory is O(shards * slots * num_bins), independent of
+/// population size; the tier works in aggregate-only mode.
+struct SlotHistogramOptions {
+  bool enabled = false;
+  /// Regular (in-range) bins. For SW-based analytics use
+  /// StreamingAnalyzer::CollectorHistogramOptions, which sizes the bins
+  /// to the EM estimator's output bucketization over [-b, 1+b].
+  int num_bins = 64;
+  double lo = 0.0;
+  double hi = 1.0;
+
+  /// Entries per slot row: underflow + regular bins + overflow.
+  size_t row_size() const { return static_cast<size_t>(num_bins) + 2; }
+  /// The row entry a finite value lands in: 0 for value < lo,
+  /// num_bins + 1 for value > hi, else 1 + FixedBinIndex(...). A pure
+  /// function of (value, options) -- the histogram determinism contract.
+  size_t BinFor(double value) const {
+    if (value < lo) return 0;
+    if (value > hi) return static_cast<size_t>(num_bins) + 1;
+    return 1 + static_cast<size_t>(FixedBinIndex(value, lo, hi, num_bins));
+  }
+};
 
 /// Storage knobs for a sharded collector.
 struct ShardedCollectorOptions {
@@ -48,6 +81,8 @@ struct ShardedCollectorOptions {
   /// each (user, slot) pair must then be ingested at most once (overwrites
   /// cannot be detected without the raw values).
   bool keep_streams = true;
+  /// Per-slot value histograms (off by default: the analytics tier).
+  SlotHistogramOptions histogram = {};
 };
 
 /// Streaming per-slot population moments with an order-independent
@@ -244,6 +279,23 @@ class ShardedCollector {
   /// shards, for slots [0, SlotSpan()).
   std::vector<SlotAggregate> PopulationSlotAggregates() const;
 
+  /// Per-slot value histograms merged across shards, for slots
+  /// [0, SlotSpan()). Row t has histogram.row_size() entries laid out
+  /// [underflow, bins..., overflow] (SlotHistogramOptions::BinFor).
+  /// Integer counts merged by addition: bit-identical for any ingest
+  /// order. FailedPrecondition when the tier is disabled.
+  Result<std::vector<std::vector<uint64_t>>> PopulationSlotHistograms()
+      const;
+
+  /// Finite reports that fell outside the histogram range [lo, hi] and
+  /// were counted in an under/overflow bin (0 when the tier is
+  /// disabled). Every report is still counted somewhere -- outliers are
+  /// clamped into the edge bins by the analytics layer, exactly like the
+  /// pooled-report estimator clamps them -- so nonzero here is expected
+  /// for feedback-calibrated PP reports at small budgets; a *large*
+  /// fraction means the configured range does not cover the workload.
+  uint64_t histogram_outlier_count() const;
+
   const ShardedCollectorOptions& options() const { return options_; }
 
  private:
@@ -257,6 +309,16 @@ class ShardedCollector {
     // Unused in aggregate-only mode.
     std::vector<std::vector<double>> values;
     std::vector<SlotAggregate> slots;  // per-slot streaming aggregates
+    // Flat per-slot value histograms, histogram[slot * row_size + bin];
+    // grown in lockstep with `slots`. Empty when the tier is disabled.
+    // 32-bit counters keep the tier's working set (shards x slots x
+    // bins) half the size of uint64 rows, which is most of its ingest
+    // cost at 1M users. A bin pinned at 2^32 - 1 (>4e9 reports in one
+    // (shard, slot, bin) -- beyond the aggregates' own documented
+    // headroom) stops counting and reports through saturated_reports,
+    // the existing "collector state no longer describes the reports"
+    // channel, so even that absurd scale fails loudly, never silently.
+    std::vector<uint32_t> histogram;
     size_t report_count = 0;
     uint64_t saturated_reports = 0;  // reports clamped by SlotAggregate
   };
@@ -266,6 +328,9 @@ class ShardedCollector {
   size_t ShardIndex(uint64_t user_id) const;
   // Applies one report to a shard. Caller holds the shard's lock.
   void IngestLocked(Shard& shard, const SlotReport& report);
+  // Grows shard.slots (and the histogram rows, when enabled) to cover
+  // `end_slot` slots. Caller holds the shard's lock.
+  void GrowSlots(Shard& shard, size_t end_slot);
 
   ShardedCollectorOptions options_;
   // unique_ptr keeps the collector movable despite the per-shard mutexes.

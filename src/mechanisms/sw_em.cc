@@ -69,21 +69,32 @@ Result<SwDistributionEstimator> SwDistributionEstimator::Create(
 
 std::vector<double> SwDistributionEstimator::Estimate(
     std::span<const double> outputs) const {
+  // Bucketize the observed outputs once, then run EM on the counts.
+  std::vector<double> counts(options_.output_buckets, 0.0);
+  AccumulateOutputCounts(outputs, counts);
+  return EstimateFromCounts(counts);
+}
+
+void SwDistributionEstimator::AccumulateOutputCounts(
+    std::span<const double> outputs, std::span<double> counts) const {
+  CAPP_CHECK(counts.size() == static_cast<size_t>(options_.output_buckets));
+  for (double y : outputs) {
+    // NaN would hit FixedBinIndex's undefined cast; clamp is the identity
+    // for every genuine SW output.
+    counts[FixedBinIndex(Clamp(y, out_lo_, out_hi_), out_lo_, out_hi_,
+                         options_.output_buckets)] += 1.0;
+  }
+}
+
+std::vector<double> SwDistributionEstimator::EstimateFromCounts(
+    std::span<const double> counts) const {
   const int nb_in = options_.input_buckets;
   const int nb_out = options_.output_buckets;
+  CAPP_CHECK(counts.size() == static_cast<size_t>(nb_out));
   std::vector<double> theta(nb_in, 1.0 / nb_in);
-  if (outputs.empty()) return theta;
-
-  // Bucketize the observed outputs once.
-  std::vector<double> counts(nb_out, 0.0);
-  const double out_width = (out_hi_ - out_lo_) / nb_out;
-  for (double y : outputs) {
-    const double clamped = Clamp(y, out_lo_, out_hi_);
-    int o = static_cast<int>((clamped - out_lo_) / out_width);
-    o = std::min(std::max(o, 0), nb_out - 1);
-    counts[o] += 1.0;
-  }
-  const double n = static_cast<double>(outputs.size());
+  double n = 0.0;
+  for (double c : counts) n += c;
+  if (n <= 0.0) return theta;
 
   std::vector<double> next(nb_in, 0.0);
   double prev_ll = -std::numeric_limits<double>::infinity();

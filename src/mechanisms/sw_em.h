@@ -44,8 +44,27 @@ class SwDistributionEstimator {
   /// Estimates the input histogram (probabilities over `input_buckets`
   /// equal-width buckets of [0,1]) from perturbed outputs. Outputs falling
   /// outside [-b, 1+b] (impossible for genuine SW outputs) are clamped.
-  /// Returns a uniform histogram when `outputs` is empty.
+  /// Returns a uniform histogram when `outputs` is empty. Exactly
+  /// equivalent to AccumulateOutputCounts + EstimateFromCounts.
   std::vector<double> Estimate(std::span<const double> outputs) const;
+
+  /// Adds each output's unit count to `counts` (size output_buckets),
+  /// binning over [-b, 1+b] with the library-wide FixedBinIndex
+  /// arithmetic -- the same binning the collector's streaming histogram
+  /// tier applies per report, which is what makes streaming
+  /// reconstruction bit-identical to pooling raw outputs. Out-of-range
+  /// outputs clamp into the edge bins.
+  void AccumulateOutputCounts(std::span<const double> outputs,
+                              std::span<double> counts) const;
+
+  /// EM reconstruction from pre-binned output counts (size must be
+  /// output_buckets; entries need not be integers -- weighted counts
+  /// work). Returns a uniform histogram when the counts sum to zero.
+  /// This is the streaming entry point: a collector that maintains
+  /// per-slot output histograms online can reconstruct a window's input
+  /// distribution without ever materializing a report matrix.
+  std::vector<double> EstimateFromCounts(std::span<const double> counts)
+      const;
 
   /// Mean of a histogram over [0,1] (bucket centers).
   double HistogramMean(std::span<const double> histogram) const;

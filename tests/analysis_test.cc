@@ -1,6 +1,7 @@
 // Tests for the analysis module: metrics, empirical distributions,
 // crowd-level statistics, and the shared evaluation protocol.
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -224,6 +225,35 @@ TEST(CrowdTest, FailsWhenNothingFits) {
   };
   EXPECT_FALSE(
       EstimateCrowdMeans(users, 0, 20, factory, *collector, rng).ok());
+}
+
+// Regression: an empty population, a begin+len that wraps size_t (which
+// used to make every length comparison lie), and NaN gaps inside the
+// requested subsequence must all be Status errors, not UB or silently
+// poisoned estimates.
+TEST(CrowdTest, RejectsDegenerateInputs) {
+  auto collector = StreamCollector::Create();
+  ASSERT_TRUE(collector.ok());
+  Rng rng(621);
+  auto factory = [] {
+    return CreatePerturber(AlgorithmKind::kApp, {1.0, 10});
+  };
+  EXPECT_FALSE(EstimateCrowdMeans({}, 0, 10, factory, *collector, rng)
+                   .ok());
+
+  std::vector<std::vector<double>> users = {std::vector<double>(50, 0.5)};
+  const size_t huge = std::numeric_limits<size_t>::max();
+  auto wrapped =
+      EstimateCrowdMeans(users, huge, 2, factory, *collector, rng);
+  EXPECT_FALSE(wrapped.ok());
+  EXPECT_EQ(wrapped.status().code(), StatusCode::kInvalidArgument);
+
+  users[0][5] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(
+      EstimateCrowdMeans(users, 0, 20, factory, *collector, rng).ok());
+  // The gap outside the subsequence does not matter.
+  EXPECT_TRUE(
+      EstimateCrowdMeans(users, 10, 20, factory, *collector, rng).ok());
 }
 
 // ------------------------------------------------------------- evaluation --

@@ -766,12 +766,16 @@ EngineConfig TransportFleetConfig(AlgorithmKind algorithm) {
   config.seed = 1234;
   config.signal = SignalKind::kSinusoid;
   config.keep_streams = false;  // aggregate-only: the scaling mode
+  // The analytics histogram tier rides along so its integer bin counts
+  // are pinned by the same bit-identity matrix as the aggregates.
+  config.analytics.enabled = true;
   return config;
 }
 
 struct FleetObservation {
   EngineStats stats;
   std::vector<SlotAggregate> aggregates;
+  std::vector<std::vector<uint64_t>> histograms;
   size_t report_count = 0;
 };
 
@@ -780,8 +784,10 @@ FleetObservation RunFleet(EngineConfig config) {
   EXPECT_TRUE(fleet.ok());
   auto stats = fleet->Run();
   EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  auto histograms = fleet->collector().PopulationSlotHistograms();
+  EXPECT_TRUE(histograms.ok());
   return {*stats, fleet->collector().PopulationSlotAggregates(),
-          fleet->collector().report_count()};
+          std::move(*histograms), fleet->collector().report_count()};
 }
 
 // The headline acceptance test: digests AND collector aggregates are
@@ -838,6 +844,10 @@ TEST(TransportDeterminismTest, BitIdenticalAcrossKindsAndThreadMixes) {
                             baseline.aggregates[t].M2()))
                   << "slot " << t;
             }
+            // Histogram bins are integer counts of a pure per-value bin
+            // function, so every bin must match exactly -- the streaming
+            // analytics tier inherits the transport determinism contract.
+            EXPECT_EQ(run.histograms, baseline.histograms);
           }
         }
       }

@@ -1,4 +1,5 @@
 // Tests for trend extraction and trend-agreement metrics.
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -92,10 +93,11 @@ TEST(TrendTest, AgreementBounds) {
     a.push_back(rng.UniformDouble());
     b.push_back(rng.UniformDouble());
   }
-  const double agreement = TrendAgreement(a, b);
-  EXPECT_GE(agreement, 0.0);
-  EXPECT_LE(agreement, 1.0);
-  EXPECT_DOUBLE_EQ(TrendAgreement(a, a), 1.0);
+  const auto agreement = TrendAgreement(a, b);
+  ASSERT_TRUE(agreement.ok());
+  EXPECT_GE(*agreement, 0.0);
+  EXPECT_LE(*agreement, 1.0);
+  EXPECT_DOUBLE_EQ(*TrendAgreement(a, a), 1.0);
 }
 
 TEST(TrendTest, AgreementOfOppositeSeriesIsZero) {
@@ -104,13 +106,49 @@ TEST(TrendTest, AgreementOfOppositeSeriesIsZero) {
     up.push_back(i * 0.01);
     down.push_back(-i * 0.01);
   }
-  EXPECT_DOUBLE_EQ(TrendAgreement(up, down), 0.0);
+  EXPECT_DOUBLE_EQ(*TrendAgreement(up, down), 0.0);
 }
 
 TEST(TrendTest, TrivialLengthAgreesFully) {
-  EXPECT_DOUBLE_EQ(TrendAgreement(std::vector<double>{1.0},
-                                  std::vector<double>{2.0}),
+  EXPECT_DOUBLE_EQ(*TrendAgreement(std::vector<double>{1.0},
+                                   std::vector<double>{2.0}),
                    1.0);
+}
+
+// Regression: mismatched lengths used to CHECK-crash and NaN slots were
+// silently classified as "down"; both must now be loud Status errors.
+TEST(TrendTest, AgreementRejectsMismatchedLengths) {
+  const auto mismatch = TrendAgreement(std::vector<double>{1.0, 2.0, 3.0},
+                                       std::vector<double>{1.0, 2.0});
+  EXPECT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TrendTest, AgreementRejectsNonFiniteValues) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> clean = {0.1, 0.2, 0.3};
+  EXPECT_FALSE(TrendAgreement(std::vector<double>{0.1, nan, 0.3}, clean)
+                   .ok());
+  EXPECT_FALSE(
+      TrendAgreement(clean,
+                     std::vector<double>{
+                         0.1, std::numeric_limits<double>::infinity(), 0.3})
+          .ok());
+  EXPECT_TRUE(TrendAgreement(clean, clean).ok());
+}
+
+TEST(TrendTest, ExtractRejectsNonFiniteValues) {
+  // A sparse slot-mean series (NaN = nobody reported) must be gap-filled
+  // before segmentation, not silently segmented as phantom "down" moves.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const auto sparse =
+      ExtractTrends(std::vector<double>{0.1, nan, 0.3, 0.4});
+  EXPECT_FALSE(sparse.ok());
+  EXPECT_EQ(sparse.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(
+      ExtractTrends(std::vector<double>{
+                        0.1, -std::numeric_limits<double>::infinity()})
+          .ok());
 }
 
 // Published (smoothed) streams preserve more of the true trend profile
@@ -128,8 +166,8 @@ TEST(TrendTest, SmoothedPublicationPreservesTrendsBetter) {
     smoothed[i] = (noisy[i - 2] + noisy[i - 1] + noisy[i] + noisy[i + 1] +
                    noisy[i + 2]) / 5.0;
   }
-  const double raw_agreement = TrendAgreement(noisy, truth, 1e-4);
-  const double smooth_agreement = TrendAgreement(smoothed, truth, 1e-4);
+  const double raw_agreement = *TrendAgreement(noisy, truth, 1e-4);
+  const double smooth_agreement = *TrendAgreement(smoothed, truth, 1e-4);
   EXPECT_GT(smooth_agreement, raw_agreement);
 }
 

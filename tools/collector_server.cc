@@ -14,6 +14,11 @@
 // perturbed reports alone, and exits 0 -- or exits 1 loudly if any stream
 // was truncated, any frame failed its CRC, any run was lost, or the
 // fixed-point aggregates saturated.
+// With --analytics the collector also maintains the streaming per-slot
+// histogram tier (sized for the fleet's --epsilon/--window budget) and
+// prints per-window SW-EM distribution reconstruction, crowd means, and
+// trend segments after the session -- computed entirely from the compact
+// per-slot state, no report matrix, so it scales to any population.
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -21,6 +26,7 @@
 #include <string>
 #include <string_view>
 
+#include "analysis/streaming_analytics.h"
 #include "core/parse.h"
 #include "engine/sharded_collector.h"
 #include "transport/socket_transport.h"
@@ -32,9 +38,59 @@ namespace {
   std::fprintf(stderr,
                "usage: %s --socket=PATH [--sessions=N] [--consumers=N]\n"
                "          [--shards=N] [--capacity=N] [--batch-runs=N]\n"
-               "          [--affinity] [--max-slots=N]\n",
+               "          [--affinity] [--max-slots=N]\n"
+               "          [--analytics] [--epsilon=X] [--window=N]\n",
                argv0);
   std::exit(2);
+}
+
+// Reconstruction resolution of the server's analytics pass; the
+// collector's histogram tier is sized for it at startup, so the two
+// must come from this one constant.
+constexpr int kAnalyticsHistogramBuckets = 32;
+
+// The collector tier's streaming analytics: everything here derives from
+// per-slot histograms + aggregates of already-perturbed reports.
+int PrintAnalytics(const capp::ShardedCollector& collector, double epsilon,
+                   int window) {
+  capp::StreamingAnalyzerOptions options;
+  options.epsilon_per_slot = epsilon / window;
+  options.histogram_buckets = kAnalyticsHistogramBuckets;
+  options.window = static_cast<size_t>(window);
+  auto analyzer = capp::StreamingAnalyzer::Create(options);
+  if (!analyzer.ok()) {
+    std::fprintf(stderr, "analytics setup failed: %s\n",
+                 analyzer.status().ToString().c_str());
+    return 1;
+  }
+  auto analysis = analyzer->AnalyzeCollector(collector);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "analytics failed: %s\n",
+                 analysis.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nstreaming analytics (%d-slot windows, %d bins over "
+              "[%.3f, %.3f], %llu outlier(s)):\n",
+              window, analyzer->collector_histogram().num_bins,
+              analyzer->collector_histogram().lo,
+              analyzer->collector_histogram().hi,
+              static_cast<unsigned long long>(analysis->total_outliers));
+  std::printf("  window        reports    crowd mean  recon mean\n");
+  for (const capp::WindowAnalytics& w : analysis->windows) {
+    std::printf("  [%3zu,%3zu)   %9llu    %.4f      %.4f\n", w.begin,
+                w.begin + w.length,
+                static_cast<unsigned long long>(w.reports), w.crowd_mean,
+                w.distribution_mean);
+  }
+  std::printf("  trend segments of the slot means:");
+  for (const capp::TrendSegment& segment : analysis->trends) {
+    std::printf(" [%zu,%zu) %s (slope %+.4f)", segment.begin, segment.end,
+                std::string(capp::TrendDirectionName(segment.direction))
+                    .c_str(),
+                segment.slope);
+  }
+  std::printf("\n");
+  return 0;
 }
 
 // Strict positive-integer parsing, same convention as the benches: a
@@ -57,11 +113,27 @@ int main(int argc, char** argv) {
   uint64_t sessions = 1;
   uint64_t shards = 16;
   uint64_t max_print_slots = 48;
+  bool analytics = false;
+  double epsilon = 1.0;
+  int window = 10;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.starts_with("--socket=")) {
       options.socket_path = std::string(arg.substr(9));
+    } else if (arg == "--analytics") {
+      analytics = true;
+    } else if (arg.starts_with("--epsilon=")) {
+      if (!capp::ParseDoubleText(arg.substr(10), &epsilon) ||
+          epsilon <= 0.0) {
+        std::fprintf(stderr, "--epsilon wants a positive number\n");
+        return 2;
+      }
+    } else if (arg.starts_with("--window=")) {
+      if (!capp::ParseIntText(arg.substr(9), 1, &window)) {
+        std::fprintf(stderr, "--window wants a positive integer\n");
+        return 2;
+      }
     } else if (arg.starts_with("--sessions=")) {
       sessions = ParsePositiveOrDie("--sessions", arg.substr(11));
     } else if (arg.starts_with("--consumers=")) {
@@ -87,8 +159,20 @@ int main(int argc, char** argv) {
 
   // Aggregate-only storage: the collector tier scales by slot count, not
   // by population, exactly like the million-user fleet configuration.
-  auto collector = capp::ShardedCollector::Create(
-      {.num_shards = shards, .keep_streams = false});
+  capp::ShardedCollectorOptions collector_options;
+  collector_options.num_shards = shards;
+  collector_options.keep_streams = false;
+  if (analytics) {
+    auto histogram = capp::StreamingAnalyzer::CollectorHistogramOptions(
+        epsilon / window, kAnalyticsHistogramBuckets);
+    if (!histogram.ok()) {
+      std::fprintf(stderr, "analytics setup failed: %s\n",
+                   histogram.status().ToString().c_str());
+      return 2;
+    }
+    collector_options.histogram = *histogram;
+  }
+  auto collector = capp::ShardedCollector::Create(collector_options);
   if (!collector.ok()) {
     std::fprintf(stderr, "collector setup failed: %s\n",
                  collector.status().ToString().c_str());
@@ -146,6 +230,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "\ncollector_server: FAILED: %s\n",
                  finished.ToString().c_str());
     return 1;
+  }
+  if (analytics && collector->SlotSpan() > 0) {
+    const int printed = PrintAnalytics(*collector, epsilon, window);
+    if (printed != 0) return printed;
   }
   std::printf("\ncollector_server: clean drain (no loss, no corruption, "
               "no saturation)\n");
