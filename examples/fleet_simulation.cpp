@@ -49,6 +49,7 @@ namespace {
                "usage: %s [users] [slots] "
                "[--transport=direct|queue|framed|socket]\n"
                "          [--consumers=N] [--affinity] [--connect=PATH]\n"
+               "          [--connect-retries=N] [--connect-backoff-ms=N]\n"
                "          [--analytics]\n",
                argv0);
   std::exit(2);
@@ -152,6 +153,25 @@ int main(int argc, char** argv) {
       }
       config.transport.kind = capp::TransportKind::kSocket;
       config.transport.socket_path = std::string(arg.substr(10));
+    } else if (arg.starts_with("--connect-retries=")) {
+      int retries = 0;
+      if (!capp::ParseIntText(arg.substr(18), 0, &retries)) {
+        std::fprintf(stderr,
+                     "--connect-retries wants an integer >= 0, got '%s'\n",
+                     arg.substr(18).data());
+        return 2;
+      }
+      config.transport.connect_retries = retries;
+    } else if (arg.starts_with("--connect-backoff-ms=")) {
+      int backoff = 0;
+      if (!capp::ParseIntText(arg.substr(21), 1, &backoff)) {
+        std::fprintf(stderr,
+                     "--connect-backoff-ms wants a positive integer, got "
+                     "'%s'\n",
+                     arg.substr(21).data());
+        return 2;
+      }
+      config.transport.connect_backoff_ms = backoff;
     } else if (arg == "--affinity") {
       config.transport.shard_affinity = true;
     } else if (arg == "--analytics") {

@@ -1,5 +1,6 @@
 #include "engine/engine_config.h"
 
+#include <bit>
 #include <cstdio>
 
 #include "algorithms/perturber.h"
@@ -62,6 +63,30 @@ Status ValidateEngineConfig(const EngineConfig& config) {
         "analytics.histogram_buckets must be >= 2");
   }
   CAPP_RETURN_IF_ERROR(ValidateTransportOptions(config.transport));
+  if (config.durability.enabled()) {
+    WalOptions wal;
+    wal.dir = config.durability.dir;
+    wal.fsync_policy = config.durability.fsync_policy;
+    wal.fsync_every_frames = config.durability.fsync_every_frames;
+    wal.fsync_interval_ms = config.durability.fsync_interval_ms;
+    CAPP_RETURN_IF_ERROR(ValidateWalOptions(wal));
+    if (config.durability.checkpoint_every_runs > 0 &&
+        config.keep_streams) {
+      return Status::InvalidArgument(
+          "checkpoints cover aggregate-only collectors; set keep_streams "
+          "= false or checkpoint_every_runs = 0");
+    }
+    if (config.transport.kind == TransportKind::kSocket &&
+        !config.transport.socket_path.empty()) {
+      // With an external collector the reports never reach this
+      // process's backend, so a local WAL would log nothing. The
+      // collector_server process owns durability there (--wal-dir).
+      return Status::InvalidArgument(
+          "durability lives in the collector process; pass --wal-dir to "
+          "collector_server instead of configuring a fleet-side WAL "
+          "over an external socket");
+    }
+  }
   if (config.transport.kind != TransportKind::kDirect &&
       config.num_slots > kWireMaxRunLength) {
     // A fleet device uploads its whole stream as one run; the queued
@@ -73,6 +98,24 @@ Status ValidateEngineConfig(const EngineConfig& config) {
         " slots per user run; lower num_slots or use kDirect");
   }
   return Status::OK();
+}
+
+uint64_t EngineConfigFingerprint(const EngineConfig& config) {
+  const uint64_t words[] = {
+      static_cast<uint64_t>(config.algorithm),
+      std::bit_cast<uint64_t>(config.epsilon),
+      static_cast<uint64_t>(config.window),
+      static_cast<uint64_t>(config.num_users),
+      static_cast<uint64_t>(config.num_slots),
+      static_cast<uint64_t>(config.signal),
+      config.seed,
+      static_cast<uint64_t>(config.num_shards),
+      config.keep_streams ? 1u : 0u,
+      config.analytics.enabled ? 1u : 0u,
+      static_cast<uint64_t>(config.analytics.histogram_buckets),
+      static_cast<uint64_t>(config.smoothing_window),
+  };
+  return WalFingerprint(words);
 }
 
 std::string EngineStats::ToString() const {

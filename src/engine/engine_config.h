@@ -14,6 +14,7 @@
 
 #include "algorithms/factory.h"
 #include "core/status.h"
+#include "storage/wal.h"
 #include "transport/transport.h"
 
 namespace capp {
@@ -48,6 +49,29 @@ struct AnalyticsConfig {
   /// Resolution of the reconstructed input distribution over [0,1]; the
   /// collector histograms get 2x this many bins over the SW output range.
   int histogram_buckets = 32;
+};
+
+/// Collector durability tier (storage/durable_collector.h): when `dir`
+/// is set, every ingested run is teed into a write-ahead log there
+/// before the in-RAM collector, existing state under the directory is
+/// recovered on Fleet::Create, and (optionally) checkpoints bound the
+/// log's replay cost. Off by default -- the WAL costs throughput
+/// (bench_durability_throughput tracks how much per fsync policy) and
+/// simulation experiments rarely need to survive a crash.
+struct DurabilityConfig {
+  /// WAL directory; empty disables durability entirely.
+  std::string dir;
+  WalFsyncPolicy fsync_policy = WalFsyncPolicy::kPerFrames;
+  /// kPerFrames: runs between fdatasyncs.
+  size_t fsync_every_frames = 1024;
+  /// kTimed: max milliseconds between fdatasyncs.
+  int fsync_interval_ms = 50;
+  /// Checkpoint + truncate the log every N runs; 0 = never. Requires
+  /// aggregate-only mode (keep_streams = false): raw streams are not
+  /// checkpointable.
+  size_t checkpoint_every_runs = 0;
+
+  bool enabled() const { return !dir.empty(); }
 };
 
 /// One simulated deployment scenario.
@@ -95,7 +119,22 @@ struct EngineConfig {
 
   /// Streaming collector-side analytics (per-slot value histograms).
   AnalyticsConfig analytics = {};
+
+  /// Collector durability (WAL + recovery + checkpoints). Incompatible
+  /// with an external-socket transport: the reports then live in the
+  /// collector_server process, which owns its own WAL via --wal-dir.
+  DurabilityConfig durability = {};
 };
+
+/// Fingerprint of the config fields that determine what a collector's
+/// aggregate state means: algorithm, budget, fleet shape, signal, seed,
+/// shard count, stream retention, and the analytics histogram geometry.
+/// Stamped into every WAL segment and checkpoint so recovery refuses to
+/// merge state across incompatible configurations (and so a duplicate
+/// replay of a foreign log is caught). Transport and durability knobs
+/// are deliberately excluded: they may change between restarts without
+/// changing what the aggregates mean.
+uint64_t EngineConfigFingerprint(const EngineConfig& config);
 
 /// Validates an EngineConfig (delegates perturber knobs to
 /// ValidatePerturberOptions and checks the engine-specific fields).
@@ -137,6 +176,11 @@ struct EngineStats {
   /// beyond 2^16). Always zero on a successful run: Fleet::Run fails with
   /// an Internal error instead of returning silently-wrong aggregates.
   uint64_t aggregate_saturations = 0;
+
+  /// Durability counters (all zero when DurabilityConfig is off):
+  /// appends, fsyncs, checkpoints, deduped resends, and the recovery
+  /// summary from Fleet::Create's replay of a pre-existing WAL.
+  WalStats wal;
 
   /// One-line human-readable summary.
   std::string ToString() const;

@@ -141,7 +141,8 @@ void GenerateUserSignalInto(SignalKind kind, size_t num_slots, Rng& rng,
   CAPP_CHECK(false);  // Unreachable: all kinds handled above.
 }
 
-Fleet::Fleet(EngineConfig config, ShardedCollector collector,
+Fleet::Fleet(EngineConfig config,
+             std::unique_ptr<ShardedCollector> collector,
              int smoothing_window)
     : config_(std::move(config)),
       collector_(std::move(collector)),
@@ -177,7 +178,27 @@ Result<Fleet> Fleet::Create(EngineConfig config) {
   }
   CAPP_ASSIGN_OR_RETURN(ShardedCollector collector,
                         ShardedCollector::Create(collector_options));
-  return Fleet(std::move(config), std::move(collector), smoothing);
+  Fleet fleet(std::move(config),
+              std::make_unique<ShardedCollector>(std::move(collector)),
+              smoothing);
+  if (fleet.config_.durability.enabled()) {
+    // The durable tier recovers any pre-existing WAL/checkpoint state
+    // into the (empty) collector right here, then arms the writer.
+    DurableCollectorOptions durable_options;
+    durable_options.wal.dir = fleet.config_.durability.dir;
+    durable_options.wal.fingerprint = EngineConfigFingerprint(fleet.config_);
+    durable_options.wal.fsync_policy = fleet.config_.durability.fsync_policy;
+    durable_options.wal.fsync_every_frames =
+        fleet.config_.durability.fsync_every_frames;
+    durable_options.wal.fsync_interval_ms =
+        fleet.config_.durability.fsync_interval_ms;
+    durable_options.checkpoint_every_runs =
+        fleet.config_.durability.checkpoint_every_runs;
+    CAPP_ASSIGN_OR_RETURN(
+        fleet.durable_,
+        DurableCollector::Create(fleet.collector_.get(), durable_options));
+  }
+  return fleet;
 }
 
 Result<EngineStats> Fleet::Run() {
@@ -196,7 +217,10 @@ Result<EngineStats> Fleet::Run() {
                                         num_chunks));
 
   std::vector<ChunkSums> chunk_sums(num_chunks);
-  collector_.ReserveUsers(users);
+  // The ingest seam: the durable decorator (WAL tee + dedup) when
+  // durability is on, the bare collector otherwise.
+  CollectorBackend* const ingest = &backend();
+  ingest->ReserveUsers(users);
   // kDirect keeps the historical in-place ingest (no hub, no branch cost
   // beyond a null check per user); the queued kinds put the transport tier
   // between workers and collector. Either way the published streams -- and
@@ -205,8 +229,7 @@ Result<EngineStats> Fleet::Run() {
   std::unique_ptr<TransportHub> hub;
   if (config_.transport.kind != TransportKind::kDirect) {
     CAPP_ASSIGN_OR_RETURN(hub,
-                          TransportHub::Create(&collector_,
-                                               config_.transport));
+                          TransportHub::Create(ingest, config_.transport));
   }
   const auto start = std::chrono::steady_clock::now();
 
@@ -247,7 +270,7 @@ Result<EngineStats> Fleet::Run() {
       if (producer.has_value()) {
         producer->Publish(uid, /*base_slot=*/0, report_values);
       } else {
-        collector_.IngestUserRun(uid, /*base_slot=*/0, report_values);
+        ingest->IngestUserRun(uid, /*base_slot=*/0, report_values);
       }
       sums.reports += slots;
       CAPP_CHECK(SimpleMovingAverageInto(report_values, smoothing_window_,
@@ -276,10 +299,16 @@ Result<EngineStats> Fleet::Run() {
     CAPP_RETURN_IF_ERROR(hub->Drain());
     stats.transport = hub->stats();
   }
+  if (durable_ != nullptr) {
+    // A run's verdict includes its durability: flush + fdatasync the WAL
+    // tail and surface the first append/checkpoint failure, if any.
+    CAPP_RETURN_IF_ERROR(durable_->Flush());
+    stats.wal = durable_->wal_stats();
+  }
   // kDirect has no Drain to fail; surface saturated aggregates just as
   // loudly here (fleet workloads are sanitized to [0, 1], so this only
   // fires when an unnormalized signal slips in).
-  stats.aggregate_saturations = collector_.saturated_report_count();
+  stats.aggregate_saturations = collector_->saturated_report_count();
   if (stats.aggregate_saturations > 0) {
     return Status::Internal(
         "collector aggregates saturated " +

@@ -13,12 +13,14 @@
 #ifndef CAPP_ENGINE_FLEET_H_
 #define CAPP_ENGINE_FLEET_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/rng.h"
 #include "core/status.h"
 #include "engine/engine_config.h"
 #include "engine/sharded_collector.h"
+#include "storage/durable_collector.h"
 
 namespace capp {
 
@@ -43,7 +45,11 @@ void GenerateUserSignalInto(SignalKind kind, size_t num_slots, Rng& rng,
 class Fleet {
  public:
   /// Validates the config (including that the algorithm supports online
-  /// per-slot operation) and prepares an empty collector.
+  /// per-slot operation) and prepares an empty collector. With
+  /// EngineConfig::durability set, any existing WAL/checkpoint state
+  /// under durability.dir is recovered into the collector here, before
+  /// Run -- a resumed fleet then re-sends every run and the durable
+  /// tier's user-id dedup lands each exactly once.
   static Result<Fleet> Create(EngineConfig config);
 
   /// Simulates the whole fleet over all slots, ingesting every report into
@@ -52,7 +58,15 @@ class Fleet {
   Result<EngineStats> Run();
 
   /// The collector that received the fleet's reports (valid after Run).
-  const ShardedCollector& collector() const { return collector_; }
+  const ShardedCollector& collector() const { return *collector_; }
+
+  /// The ingest seam the fleet's reports go through: the durable
+  /// decorator when durability is on, the collector itself otherwise.
+  CollectorBackend& backend() {
+    return durable_ != nullptr
+               ? static_cast<CollectorBackend&>(*durable_)
+               : static_cast<CollectorBackend&>(*collector_);
+  }
 
   const EngineConfig& config() const { return config_; }
 
@@ -61,11 +75,14 @@ class Fleet {
   int smoothing_window() const { return smoothing_window_; }
 
  private:
-  Fleet(EngineConfig config, ShardedCollector collector,
+  Fleet(EngineConfig config, std::unique_ptr<ShardedCollector> collector,
         int smoothing_window);
 
   EngineConfig config_;
-  ShardedCollector collector_;
+  // Heap-held so the durable decorator's backend pointer stays valid
+  // when the Fleet itself is moved out of Create's Result.
+  std::unique_ptr<ShardedCollector> collector_;
+  std::unique_ptr<DurableCollector> durable_;  // null when durability off
   int smoothing_window_;
   bool ran_ = false;
 };

@@ -35,28 +35,6 @@ double RawValueAt(const std::vector<std::vector<double>>& values, size_t slot,
 
 }  // namespace
 
-double SlotAggregate::Mean() const {
-  if (count_ == 0) return 0.0;
-  return (static_cast<double>(sum_) / kSumScale) /
-         static_cast<double>(count_);
-}
-
-double SlotAggregate::M2() const {
-  if (count_ == 0) return 0.0;
-  const double sx = static_cast<double>(sum_) / kSumScale;
-  const double sxx = static_cast<double>(sum_sq_) / kSqScale;
-  const double m2 = sxx - sx * sx / static_cast<double>(count_);
-  // The quantized squares and the double conversions can leave a tiny
-  // negative residue for near-constant slots.
-  return m2 < 0.0 ? 0.0 : m2;
-}
-
-void SlotAggregate::Merge(const SlotAggregate& other) {
-  count_ += other.count_;
-  sum_ += other.sum_;
-  sum_sq_ += other.sum_sq_;
-}
-
 Result<ShardedCollector> ShardedCollector::Create(
     ShardedCollectorOptions options) {
   if (options.num_shards < 1) {
@@ -444,6 +422,83 @@ uint64_t ShardedCollector::histogram_outlier_count() const {
     }
   }
   return total;
+}
+
+Result<CollectorShardState> ShardedCollector::ExportShardState(
+    size_t shard_index) const {
+  if (shard_index >= shards_.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  if (options_.keep_streams) {
+    return Status::FailedPrecondition(
+        "shard snapshots cover aggregate-only mode (keep_streams = "
+        "false); raw streams are not serialized");
+  }
+  const Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  CollectorShardState state;
+  state.users.resize(shard.last_slot.size());
+  for (const auto& [user_id, dense] : shard.index) {
+    state.users[dense] = {user_id, shard.last_slot[dense],
+                          shard.reports_per_user[dense]};
+  }
+  state.slots = shard.slots;
+  state.histogram = shard.histogram;
+  state.report_count = shard.report_count;
+  state.saturated_reports = shard.saturated_reports;
+  return state;
+}
+
+Status ShardedCollector::RestoreShardState(size_t shard_index,
+                                           CollectorShardState state) {
+  if (shard_index >= shards_.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  if (options_.keep_streams) {
+    return Status::FailedPrecondition(
+        "shard snapshots cover aggregate-only mode (keep_streams = false)");
+  }
+  const size_t expected_histogram =
+      options_.histogram.enabled
+          ? state.slots.size() * options_.histogram.row_size()
+          : 0;
+  if (state.histogram.size() != expected_histogram) {
+    return Status::InvalidArgument(
+        "snapshot histogram layout does not match this collector's "
+        "configuration (expected " + std::to_string(expected_histogram) +
+        " entries, snapshot has " + std::to_string(state.histogram.size()) +
+        ")");
+  }
+  Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (!shard.index.empty() || shard.report_count != 0) {
+    return Status::FailedPrecondition(
+        "RestoreShardState wants an empty shard (restore runs before any "
+        "ingest)");
+  }
+  shard.index.reserve(state.users.size());
+  shard.last_slot.resize(state.users.size());
+  shard.reports_per_user.resize(state.users.size());
+  for (size_t dense = 0; dense < state.users.size(); ++dense) {
+    const CollectorShardState::UserEntry& entry = state.users[dense];
+    const bool inserted =
+        shard.index.emplace(entry.user_id, static_cast<uint32_t>(dense))
+            .second;
+    if (!inserted) {
+      // A duplicated user id would desynchronize the dense arrays; a
+      // snapshot can only contain one by corruption the CRC missed or a
+      // writer bug, so refuse and leave this shard partially built --
+      // the caller (recovery) discards the whole backend on any error.
+      return Status::Internal("snapshot contains a duplicated user id");
+    }
+    shard.last_slot[dense] = entry.last_slot;
+    shard.reports_per_user[dense] = entry.reports;
+  }
+  shard.slots = std::move(state.slots);
+  shard.histogram = std::move(state.histogram);
+  shard.report_count = static_cast<size_t>(state.report_count);
+  shard.saturated_reports = state.saturated_reports;
+  return Status::OK();
 }
 
 std::vector<double> ShardedCollector::PopulationSlotMeans() const {

@@ -1,5 +1,5 @@
-// Sharded, thread-safe collector storage: the scaling backend behind
-// CollectorSession and the Fleet simulator.
+// Sharded, thread-safe collector storage: the in-RAM CollectorBackend
+// behind CollectorSession and the Fleet simulator.
 //
 // The seed collector stored reports in std::map<user, std::map<slot, v>>,
 // which is pointer-chasing-heavy and single-threaded. ShardedCollector
@@ -19,11 +19,19 @@
 //
 // Aggregate-only mode (keep_streams = false) is what lets the engine run
 // million-user fleets: per-report cost and memory are independent of the
-// population's total report volume.
+// population's total report volume. It is also the mode the storage
+// tier's checkpoints cover (ExportShardState / RestoreShardState): the
+// exact per-shard aggregate state round-trips through
+// storage/checkpoint.h, while raw streams are deliberately not
+// serialized (they are O(users * slots) and the durable tier exists for
+// the aggregate-only production shape).
+//
+// SlotAggregate and SlotHistogramOptions -- the exact-accumulation
+// building blocks -- live in storage/collector_backend.h so every
+// backend shares them; this header re-exports them via that include.
 #ifndef CAPP_ENGINE_SHARDED_COLLECTOR_H_
 #define CAPP_ENGINE_SHARDED_COLLECTOR_H_
 
-#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -31,44 +39,11 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/check.h"
-#include "core/math_utils.h"
 #include "core/status.h"
+#include "storage/collector_backend.h"
 #include "stream/report.h"
 
 namespace capp {
-
-/// Opt-in per-slot histogram tier over the perturbed report values: the
-/// raw material of streaming collector-side analytics (EM distribution
-/// reconstruction without ever materializing a report matrix). Each slot
-/// gets `num_bins` equal-width bins spanning [lo, hi] plus an underflow
-/// and an overflow bin, so a report outside the configured range is
-/// counted loudly instead of silently dropped or misbinned. Bin
-/// assignment is a pure function of the value (FixedBinIndex), and the
-/// counts are integers, so merged histograms -- like the fixed-point
-/// SlotAggregates -- are bit-identical for any ingest order, transport,
-/// or thread mix. Memory is O(shards * slots * num_bins), independent of
-/// population size; the tier works in aggregate-only mode.
-struct SlotHistogramOptions {
-  bool enabled = false;
-  /// Regular (in-range) bins. For SW-based analytics use
-  /// StreamingAnalyzer::CollectorHistogramOptions, which sizes the bins
-  /// to the EM estimator's output bucketization over [-b, 1+b].
-  int num_bins = 64;
-  double lo = 0.0;
-  double hi = 1.0;
-
-  /// Entries per slot row: underflow + regular bins + overflow.
-  size_t row_size() const { return static_cast<size_t>(num_bins) + 2; }
-  /// The row entry a finite value lands in: 0 for value < lo,
-  /// num_bins + 1 for value > hi, else 1 + FixedBinIndex(...). A pure
-  /// function of (value, options) -- the histogram determinism contract.
-  size_t BinFor(double value) const {
-    if (value < lo) return 0;
-    if (value > hi) return static_cast<size_t>(num_bins) + 1;
-    return 1 + static_cast<size_t>(FixedBinIndex(value, lo, hi, num_bins));
-  }
-};
 
 /// Storage knobs for a sharded collector.
 struct ShardedCollectorOptions {
@@ -85,120 +60,9 @@ struct ShardedCollectorOptions {
   SlotHistogramOptions histogram = {};
 };
 
-/// Streaming per-slot population moments with an order-independent
-/// accumulation: each report is mapped to fixed-point integers (the value
-/// at scale 2^-80, its square at scale 2^-60) and summed in 128-bit
-/// integers. Integer addition commutes and never rounds, so an aggregate
-/// -- and every statistic derived from it -- is a pure function of the
-/// multiset of reports, bit-identical no matter which thread, transport,
-/// shard layout, or arrival order delivered them. (The previous Welford
-/// form rounded per-update, so concurrent ingest produced low-bit
-/// differences that varied with scheduling.) The 2^-80 grid represents
-/// every normal double down to 2^-28 in magnitude exactly, so a single
-/// report's mean is that report bit-for-bit; below that, truncation costs
-/// < 2^-80 per report. Magnitudes saturate at +/-2^16, far above any
-/// sanitized mechanism output and small enough that neither sum can
-/// overflow before ~2^31 worst-case (2^46 unit-range) reports per
-/// (shard, slot).
-struct SlotAggregate {
-  /// Users that reported this slot.
-  size_t Count() const { return count_; }
-  /// Mean of their reports (0 when empty).
-  double Mean() const;
-  /// Sum of squared deviations from the mean (the Welford-style m2),
-  /// derived as sxx - sx^2/n from the exact integer sums. The derivation
-  /// is deterministic and order-independent but, unlike the old Welford
-  /// recurrence, carries the naive formula's cancellation: absolute error
-  /// is ~2^-52 * sxx, which is negligible for sanitized unit-range
-  /// reports (~1e-10 at 1e9 reports) but loses relative accuracy when
-  /// mean^2 dwarfs the variance near the 2^16 saturation bound.
-  double M2() const;
-  /// Population variance of the slot's reports (0 when count < 2).
-  double Variance() const { return count_ < 2 ? 0.0 : M2() / count_; }
-
-  /// Adds one report. `x` must not be NaN (the collector filters
-  /// non-finite reports before aggregation); +/-infinity clamps to the
-  /// saturation bound. Returns true when the report was clamped -- the
-  /// aggregate is then wrong for the true value, so callers must count
-  /// and surface the event instead of letting it pass silently (an
-  /// unnormalized workload would otherwise yield bad count/mean/M2 with
-  /// no signal).
-  bool Add(double x);
-  /// Removes a previously added report (the exact inverse of Add).
-  void Remove(double x);
-  /// Replaces a previously added report (overwrite semantics). Returns
-  /// true when the new value saturated.
-  bool Replace(double old_value, double new_value) {
-    Remove(old_value);
-    return Add(new_value);
-  }
-  /// Combines two aggregates (exact, commutative, associative).
-  void Merge(const SlotAggregate& other);
-
- private:
-  // Scales are exact powers of two, so the pre-cast multiplies never
-  // round: quantization error comes only from the final truncating cast,
-  // a pure function of the input value. |x| <= 2^16 puts the value sum at
-  // <= 2^96 per report and the squared sum at <= 2^92 per report, leaving
-  // >= 2^31 reports of headroom in a signed 128-bit accumulator even at
-  // the saturation bound.
-  static constexpr double kSumScale = 0x1p80;    // value grid 2^-80
-  static constexpr double kSqScale = 0x1p60;     // squared grid 2^-60
-  static constexpr double kFxLimit = 65536.0;    // saturation bound, 2^16
-
-  static double ClampToRange(double x) {
-    return x < -kFxLimit ? -kFxLimit : x > kFxLimit ? kFxLimit : x;
-  }
-
-  // trunc(x * 2^80) for |x| <= 2^16, as two int64 truncations instead of
-  // one double->int128 conversion (which compilers expand to a ~4x slower
-  // fixup sequence on the ingest hot path). hi = trunc(x * 2^46) fits 62
-  // bits; the remainder is exact -- hi's integer part is representable
-  // and the subtraction falls under Sterbenz's lemma -- so lo < 2^34
-  // recovers the missing low bits. Verified bit-identical to the direct
-  // cast across the full clamped range.
-  static __int128 ToFixed80(double x) {
-    const int64_t hi = static_cast<int64_t>(x * 0x1p46);
-    const double rem = x - static_cast<double>(hi) * 0x1p-46;
-    const int64_t lo = static_cast<int64_t>(rem * 0x1p80);
-    return (static_cast<__int128>(hi) << 34) + lo;
-  }
-
-  // trunc(x * 2^60) for x in [0, 2^32] (squared clamped reports).
-  static __int128 ToFixed60(double x) {
-    const int64_t hi = static_cast<int64_t>(x * 0x1p27);
-    const double rem = x - static_cast<double>(hi) * 0x1p-27;
-    const int64_t lo = static_cast<int64_t>(rem * 0x1p60);
-    return (static_cast<__int128>(hi) << 33) + lo;
-  }
-
-  size_t count_ = 0;
-  __int128 sum_ = 0;     // sum of quantized reports, scale 2^-80
-  __int128 sum_sq_ = 0;  // sum of quantized squared reports, scale 2^-60
-};
-
-inline bool SlotAggregate::Add(double x) {
-  CAPP_DCHECK(!std::isnan(x));  // NaN would reach an undefined fp->int cast
-  const double clamped = ClampToRange(x);
-  ++count_;
-  sum_ += ToFixed80(clamped);
-  sum_sq_ += ToFixed60(clamped * clamped);
-  return clamped != x;
-}
-
-inline void SlotAggregate::Remove(double x) {
-  // Exact inverse of Add(x): the quantized integers depend only on x.
-  CAPP_DCHECK(count_ > 0);
-  CAPP_DCHECK(!std::isnan(x));
-  const double clamped = ClampToRange(x);
-  --count_;
-  sum_ -= ToFixed80(clamped);
-  sum_sq_ -= ToFixed60(clamped * clamped);
-}
-
 /// Thread-safe sharded report store with streaming per-slot aggregates.
 /// All methods are safe to call concurrently.
-class ShardedCollector {
+class ShardedCollector : public CollectorBackend {
  public:
   static Result<ShardedCollector> Create(ShardedCollectorOptions options = {});
 
@@ -222,7 +86,7 @@ class ShardedCollector {
   /// Pre-sizes every shard's user index and per-user bookkeeping for an
   /// expected population (a hint; populations may exceed it). Eliminates
   /// rehash stalls while a large fleet registers its users.
-  void ReserveUsers(size_t expected_users);
+  void ReserveUsers(size_t expected_users) override;
 
   /// Ingests one user's run of consecutive slots: values[i] is the report
   /// for slot base_slot + i. Equivalent to Ingest({user_id, base_slot+i,
@@ -231,27 +95,29 @@ class ShardedCollector {
   /// -- the fleet's per-user fast path (a simulated device uploads its
   /// stream in one piece).
   void IngestUserRun(uint64_t user_id, size_t base_slot,
-                     std::span<const double> values);
+                     std::span<const double> values) override;
 
   /// Number of distinct users seen so far.
-  size_t user_count() const;
+  size_t user_count() const override;
 
   /// Total reports ingested (overwrites count once).
-  size_t report_count() const;
+  size_t report_count() const override;
 
   /// Reports whose magnitude exceeded the SlotAggregate saturation bound
   /// (2^16) and were clamped. Nonzero means per-slot count/mean/M2 no
   /// longer describe the true reports -- the transport hub turns this
   /// into a Drain() error and Fleet::Run fails loudly.
-  uint64_t saturated_report_count() const;
+  uint64_t saturated_report_count() const override;
 
   /// The shard a user's reports land in: splitmix64(user_id) % num_shards.
   /// A pure function of (user_id, num_shards), exposed so the transport
   /// tier can route each run to the consumer owning its shard group.
-  size_t ShardIndexOf(uint64_t user_id) const { return ShardIndex(user_id); }
+  size_t ShardIndexOf(uint64_t user_id) const override {
+    return ShardIndex(user_id);
+  }
 
   /// True if the user has reported at least once.
-  bool Contains(uint64_t user_id) const;
+  bool Contains(uint64_t user_id) const override;
 
   /// Number of distinct slots reported by a user (0 if unknown). In
   /// aggregate-only mode this counts the user's ingested reports, which
@@ -259,7 +125,7 @@ class ShardedCollector {
   size_t SlotCount(uint64_t user_id) const;
 
   /// Highest slot seen + 1 over all users (0 when empty).
-  size_t SlotSpan() const;
+  size_t SlotSpan() const override;
 
   /// The user's raw stream over slots [0, user's last slot], with missing
   /// slots gap-filled by the shared last-observation policy (gap_fill.h).
@@ -277,7 +143,7 @@ class ShardedCollector {
 
   /// Per-slot population aggregates (count/mean/variance), merged across
   /// shards, for slots [0, SlotSpan()).
-  std::vector<SlotAggregate> PopulationSlotAggregates() const;
+  std::vector<SlotAggregate> PopulationSlotAggregates() const override;
 
   /// Per-slot value histograms merged across shards, for slots
   /// [0, SlotSpan()). Row t has histogram.row_size() entries laid out
@@ -285,7 +151,7 @@ class ShardedCollector {
   /// Integer counts merged by addition: bit-identical for any ingest
   /// order. FailedPrecondition when the tier is disabled.
   Result<std::vector<std::vector<uint64_t>>> PopulationSlotHistograms()
-      const;
+      const override;
 
   /// Finite reports that fell outside the histogram range [lo, hi] and
   /// were counted in an under/overflow bin (0 when the tier is
@@ -294,7 +160,22 @@ class ShardedCollector {
   /// pooled-report estimator clamps them -- so nonzero here is expected
   /// for feedback-calibrated PP reports at small budgets; a *large*
   /// fraction means the configured range does not cover the workload.
-  uint64_t histogram_outlier_count() const;
+  uint64_t histogram_outlier_count() const override;
+
+  size_t num_shards() const override { return shards_.size(); }
+
+  /// Exact snapshot of one shard's aggregate-mode state, the checkpoint
+  /// serialization unit. FailedPrecondition with keep_streams = true:
+  /// raw streams are not serialized, and silently dropping them on a
+  /// restore would violate the backend's own query contract.
+  Result<CollectorShardState> ExportShardState(size_t shard) const override;
+
+  /// Restores a shard exported by ExportShardState. The shard must be
+  /// empty (restore happens before any ingest during recovery), and the
+  /// state's histogram layout must match this collector's options; a
+  /// restored collector is bit-identical to one that ingested the
+  /// covered runs directly.
+  Status RestoreShardState(size_t shard, CollectorShardState state) override;
 
   const ShardedCollectorOptions& options() const { return options_; }
 

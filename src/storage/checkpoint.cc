@@ -1,0 +1,231 @@
+#include "storage/checkpoint.h"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "storage/storage_io.h"
+#include "transport/wire_format.h"
+
+namespace capp {
+namespace {
+
+constexpr char kCheckpointMagic[8] = {'C', 'A', 'P', 'P', 'C', 'K', 'P',
+                                      '1'};
+constexpr uint32_t kCheckpointVersion = 1;
+
+// A bounded-cursor reader over the decoded file; every Take checks the
+// remaining length so a truncated or lying length field fails cleanly.
+struct Cursor {
+  std::span<const uint8_t> bytes;
+  size_t offset = 0;
+
+  bool Take64(uint64_t* value) {
+    if (offset + 8 > bytes.size()) return false;
+    *value = ReadLe64(bytes, offset);
+    offset += 8;
+    return true;
+  }
+  bool Take32(uint32_t* value) {
+    if (offset + 4 > bytes.size()) return false;
+    *value = ReadLe32(bytes, offset);
+    offset += 4;
+    return true;
+  }
+};
+
+bool ParseCheckpointName(std::string_view name, uint64_t* covers) {
+  if (!name.starts_with("checkpoint-") || !name.ends_with(".ckpt")) {
+    return false;
+  }
+  const std::string_view digits = name.substr(11, name.size() - 16);
+  if (digits.empty() || digits.size() > 20) return false;
+  uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *covers = value;
+  return true;
+}
+
+}  // namespace
+
+std::string CheckpointPath(const std::string& dir, uint64_t covers_segment) {
+  char name[40];
+  std::snprintf(name, sizeof(name), "checkpoint-%08llu.ckpt",
+                static_cast<unsigned long long>(covers_segment));
+  return dir + "/" + name;
+}
+
+Result<std::vector<std::string>> ListCheckpointFiles(
+    const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> found;
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    if (errno == ENOENT) return std::vector<std::string>{};
+    return Status::Internal("opendir(" + dir + ") failed: " +
+                            std::strerror(errno));
+  }
+  while (struct dirent* entry = ::readdir(handle)) {
+    uint64_t covers = 0;
+    if (!ParseCheckpointName(entry->d_name, &covers)) continue;
+    found.emplace_back(covers, dir + "/" + entry->d_name);
+  }
+  ::closedir(handle);
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [covers, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+Status WriteCheckpointFile(const std::string& dir, uint64_t fingerprint,
+                           uint64_t covers_segment,
+                           const CollectorBackend& backend) {
+  std::vector<uint8_t> bytes;
+  bytes.insert(bytes.end(), kCheckpointMagic, kCheckpointMagic + 8);
+  AppendLe32(kCheckpointVersion, bytes);
+  AppendLe64(fingerprint, bytes);
+  AppendLe64(covers_segment, bytes);
+  const size_t num_shards = backend.num_shards();
+  AppendLe64(static_cast<uint64_t>(num_shards), bytes);
+  for (size_t s = 0; s < num_shards; ++s) {
+    CAPP_ASSIGN_OR_RETURN(const CollectorShardState state,
+                          backend.ExportShardState(s));
+    AppendLe64(static_cast<uint64_t>(state.users.size()), bytes);
+    for (const CollectorShardState::UserEntry& user : state.users) {
+      AppendLe64(user.user_id, bytes);
+      AppendLe32(user.last_slot, bytes);
+      AppendLe32(user.reports, bytes);
+    }
+    AppendLe64(static_cast<uint64_t>(state.slots.size()), bytes);
+    for (const SlotAggregate& aggregate : state.slots) {
+      const SlotAggregate::Packed packed = aggregate.ToPacked();
+      AppendLe64(packed.count, bytes);
+      AppendLe64(packed.sum_hi, bytes);
+      AppendLe64(packed.sum_lo, bytes);
+      AppendLe64(packed.sum_sq_hi, bytes);
+      AppendLe64(packed.sum_sq_lo, bytes);
+    }
+    AppendLe64(static_cast<uint64_t>(state.histogram.size()), bytes);
+    for (uint32_t bin : state.histogram) AppendLe32(bin, bytes);
+    AppendLe64(state.report_count, bytes);
+    AppendLe64(state.saturated_reports, bytes);
+  }
+  AppendLe32(Crc32(bytes), bytes);
+  return AtomicWriteFile(CheckpointPath(dir, covers_segment), bytes);
+}
+
+Result<CheckpointImage> ReadCheckpointFile(const std::string& path,
+                                      uint64_t expected_fingerprint) {
+  CAPP_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
+                        ReadFileBytes(path));
+  if (bytes.size() < 8 + 4 + 8 + 8 + 8 + 4 ||
+      std::memcmp(bytes.data(), kCheckpointMagic, 8) != 0) {
+    return Status::Internal("checkpoint " + path +
+                            " is truncated or not a checkpoint file");
+  }
+  if (ReadLe32(bytes, 8) != kCheckpointVersion) {
+    return Status::Internal("checkpoint " + path +
+                            " has an unsupported version");
+  }
+  if (ReadLe32(bytes, bytes.size() - 4) !=
+      Crc32({bytes.data(), bytes.size() - 4})) {
+    return Status::Internal("checkpoint " + path + " failed its CRC check");
+  }
+  CheckpointImage checkpoint;
+  checkpoint.fingerprint = ReadLe64(bytes, 12);
+  if (checkpoint.fingerprint != expected_fingerprint) {
+    char text[160];
+    std::snprintf(text, sizeof(text),
+                  "checkpoint %s was written under a different engine "
+                  "configuration (fingerprint %016llx, expected %016llx)",
+                  path.c_str(),
+                  static_cast<unsigned long long>(checkpoint.fingerprint),
+                  static_cast<unsigned long long>(expected_fingerprint));
+    return Status::FailedPrecondition(text);
+  }
+  checkpoint.covers_through_segment = ReadLe64(bytes, 20);
+  Cursor cursor{{bytes.data(), bytes.size() - 4}, 28};
+  uint64_t num_shards = 0;
+  if (!cursor.Take64(&num_shards) || num_shards > (1u << 20)) {
+    return Status::Internal("checkpoint " + path + " is malformed");
+  }
+  checkpoint.shards.resize(num_shards);
+  for (CollectorShardState& shard : checkpoint.shards) {
+    uint64_t users = 0;
+    if (!cursor.Take64(&users) ||
+        users > (cursor.bytes.size() - cursor.offset) / 16) {
+      return Status::Internal("checkpoint " + path + " is malformed");
+    }
+    shard.users.resize(users);
+    for (CollectorShardState::UserEntry& user : shard.users) {
+      uint32_t last_slot = 0;
+      uint32_t reports = 0;
+      if (!cursor.Take64(&user.user_id) || !cursor.Take32(&last_slot) ||
+          !cursor.Take32(&reports)) {
+        return Status::Internal("checkpoint " + path + " is malformed");
+      }
+      user.last_slot = last_slot;
+      user.reports = reports;
+    }
+    uint64_t slots = 0;
+    if (!cursor.Take64(&slots) ||
+        slots > (cursor.bytes.size() - cursor.offset) / 40) {
+      return Status::Internal("checkpoint " + path + " is malformed");
+    }
+    shard.slots.resize(slots);
+    for (SlotAggregate& aggregate : shard.slots) {
+      SlotAggregate::Packed packed;
+      if (!cursor.Take64(&packed.count) || !cursor.Take64(&packed.sum_hi) ||
+          !cursor.Take64(&packed.sum_lo) ||
+          !cursor.Take64(&packed.sum_sq_hi) ||
+          !cursor.Take64(&packed.sum_sq_lo)) {
+        return Status::Internal("checkpoint " + path + " is malformed");
+      }
+      aggregate = SlotAggregate::FromPacked(packed);
+    }
+    uint64_t histogram_entries = 0;
+    if (!cursor.Take64(&histogram_entries) ||
+        histogram_entries > (cursor.bytes.size() - cursor.offset) / 4) {
+      return Status::Internal("checkpoint " + path + " is malformed");
+    }
+    shard.histogram.resize(histogram_entries);
+    for (uint32_t& bin : shard.histogram) {
+      if (!cursor.Take32(&bin)) {
+        return Status::Internal("checkpoint " + path + " is malformed");
+      }
+    }
+    if (!cursor.Take64(&shard.report_count) ||
+        !cursor.Take64(&shard.saturated_reports)) {
+      return Status::Internal("checkpoint " + path + " is malformed");
+    }
+  }
+  if (cursor.offset != cursor.bytes.size()) {
+    return Status::Internal("checkpoint " + path +
+                            " has trailing bytes before its CRC");
+  }
+  return checkpoint;
+}
+
+Status RestoreCheckpoint(CheckpointImage checkpoint, CollectorBackend* backend) {
+  if (checkpoint.shards.size() != backend->num_shards()) {
+    return Status::FailedPrecondition(
+        "checkpoint has " + std::to_string(checkpoint.shards.size()) +
+        " shard(s) but the collector is configured with " +
+        std::to_string(backend->num_shards()) +
+        "; shard count is part of the engine-config fingerprint's "
+        "contract and must match to restore");
+  }
+  for (size_t s = 0; s < checkpoint.shards.size(); ++s) {
+    CAPP_RETURN_IF_ERROR(
+        backend->RestoreShardState(s, std::move(checkpoint.shards[s])));
+  }
+  return Status::OK();
+}
+
+}  // namespace capp

@@ -1,0 +1,252 @@
+#include "storage/durable_collector.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "storage/checkpoint.h"
+#include "storage/storage_io.h"
+#include "transport/wire_format.h"
+
+namespace capp {
+
+DurableCollector::DurableCollector(CollectorBackend* backend,
+                                   DurableCollectorOptions options)
+    : backend_(backend), options_(std::move(options)) {}
+
+DurableCollector::~DurableCollector() { (void)Seal(); }
+
+Result<std::unique_ptr<DurableCollector>> DurableCollector::Create(
+    CollectorBackend* backend, DurableCollectorOptions options) {
+  CAPP_RETURN_IF_ERROR(ValidateWalOptions(options.wal));
+  if (backend->user_count() != 0 || backend->report_count() != 0) {
+    return Status::FailedPrecondition(
+        "DurableCollector wants an empty backend: recovery must be the "
+        "first thing the backend ever ingests");
+  }
+  if (options.checkpoint_every_runs > 0) {
+    // Probe snapshot support up front (the backend is empty, so this is
+    // cheap) instead of discovering mid-run that checkpoints can't work.
+    CAPP_RETURN_IF_ERROR(backend->ExportShardState(0).status());
+  }
+  std::unique_ptr<DurableCollector> durable(
+      new DurableCollector(backend, std::move(options)));
+  CAPP_ASSIGN_OR_RETURN(const uint64_t next_seqno, durable->Recover());
+  CAPP_ASSIGN_OR_RETURN(
+      WalWriter writer,
+      WalWriter::Create(durable->options_.wal, next_seqno));
+  durable->writer_.emplace(std::move(writer));
+  return durable;
+}
+
+Result<uint64_t> DurableCollector::Recover() {
+  const std::string& dir = options_.wal.dir;
+  const uint64_t fingerprint = options_.wal.fingerprint;
+  CAPP_RETURN_IF_ERROR(EnsureDirectory(dir));
+
+  // Phase 1: read and validate everything before touching the backend.
+  // The newest checkpoint seeds recovery; older ones are leftovers from
+  // a crash between checkpoint and truncation.
+  CAPP_ASSIGN_OR_RETURN(const std::vector<std::string> checkpoint_paths,
+                        ListCheckpointFiles(dir));
+  std::optional<CheckpointImage> checkpoint;
+  if (!checkpoint_paths.empty()) {
+    CAPP_ASSIGN_OR_RETURN(
+        CheckpointImage loaded,
+        ReadCheckpointFile(checkpoint_paths.back(), fingerprint));
+    checkpoint.emplace(std::move(loaded));
+  }
+  const uint64_t covered =
+      checkpoint.has_value() ? checkpoint->covers_through_segment : 0;
+
+  CAPP_ASSIGN_OR_RETURN(std::vector<WalSegmentScan> segments,
+                        ListWalSegments(dir));
+  uint64_t max_seqno = covered;
+  std::vector<WalSegmentScan> to_replay;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const bool is_final = i + 1 == segments.size();
+    const uint64_t name_seqno = segments[i].seqno;
+    max_seqno = std::max(max_seqno, name_seqno);
+    if (name_seqno <= covered) continue;  // fully inside the checkpoint
+    CAPP_ASSIGN_OR_RETURN(WalSegmentScan scan,
+                          ScanWalSegment(segments[i].path, fingerprint));
+    if (scan.header_ok && scan.seqno != name_seqno) {
+      return Status::Internal(
+          "wal segment " + scan.path +
+          " carries seqno " + std::to_string(scan.seqno) +
+          " in its header; the file was renamed or the directory mixes "
+          "two logs");
+    }
+    if (!is_final) {
+      // Every non-final segment was sealed by a rotation or clean close
+      // before the next one was opened; damage here is not a crash
+      // artifact and must never be skipped over silently.
+      if (!scan.header_ok || !scan.sealed || scan.discarded_bytes != 0) {
+        return Status::Internal(
+            "wal segment " + scan.path +
+            " is damaged but is not the final segment (sealed=" +
+            (scan.sealed ? "yes" : "no") + ", trailing bytes=" +
+            std::to_string(scan.discarded_bytes) +
+            "); refusing to replay a log with a corrupt interior");
+      }
+    }
+    to_replay.push_back(std::move(scan));
+  }
+
+  // Phase 2: apply. Checkpoint first, then segments in order. Replay
+  // dedups like live ingest: a run in both the checkpoint and a segment
+  // (crash between checkpoint and truncation) lands once.
+  if (checkpoint.has_value()) {
+    CAPP_RETURN_IF_ERROR(
+        RestoreCheckpoint(std::move(*checkpoint), backend_));
+    recovery_stats_.checkpoint_restored = 1;
+  }
+  for (const WalSegmentScan& scan : to_replay) {
+    CAPP_RETURN_IF_ERROR(ReplayWalSegment(
+        scan, [this](uint64_t user_id, uint64_t base_slot,
+                     std::span<const double> values) {
+          if (options_.dedup_user_runs && backend_->Contains(user_id)) {
+            ++recovery_stats_.runs_deduped;
+            return;
+          }
+          backend_->IngestUserRun(user_id,
+                                  static_cast<size_t>(base_slot), values);
+          ++recovery_stats_.frames_replayed;
+        }));
+    ++recovery_stats_.segments_recovered;
+    recovery_stats_.bytes_discarded += scan.discarded_bytes;
+  }
+  // The writer starts a fresh segment after everything it saw, so a torn
+  // final segment is never appended to -- but it must be repaired
+  // (truncated + sealed in place), because once the fresh segment exists
+  // above it, the next recovery would judge it a corrupt *interior*
+  // segment and refuse the whole log.
+  if (!to_replay.empty()) {
+    CAPP_RETURN_IF_ERROR(RepairWalSegment(to_replay.back()));
+    CAPP_RETURN_IF_ERROR(FsyncDirectory(dir));
+  }
+  return max_seqno + 1;
+}
+
+void DurableCollector::LatchError(const Status& status) {
+  if (wal_status_.ok()) wal_status_ = status;
+}
+
+void DurableCollector::IngestUserRun(uint64_t user_id, size_t base_slot,
+                                     std::span<const double> values) {
+  {
+    std::shared_lock<std::shared_mutex> quiesce(checkpoint_mu_);
+    if (options_.dedup_user_runs && backend_->Contains(user_id)) {
+      runs_deduped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // WAL before backend: stage the frame once per thread (the encode
+    // buffer is reused) and serialize only the append.
+    thread_local std::vector<uint8_t> frame;
+    frame.clear();
+    AppendUserRunFrame(user_id, base_slot, values, frame);
+    {
+      std::lock_guard<std::mutex> lock(wal_mu_);
+      if (wal_status_.ok()) {
+        const Status appended = writer_->Append(frame);
+        if (!appended.ok()) LatchError(appended);
+      }
+    }
+    backend_->IngestUserRun(user_id, base_slot, values);
+  }
+  if (options_.checkpoint_every_runs > 0 &&
+      runs_since_checkpoint_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+          options_.checkpoint_every_runs) {
+    MaybeCheckpoint();  // failures latch into wal_status_
+  }
+}
+
+void DurableCollector::MaybeCheckpoint() {
+  std::unique_lock<std::shared_mutex> quiesce(checkpoint_mu_);
+  // Another thread may have checkpointed while we waited for the lock.
+  if (runs_since_checkpoint_.load(std::memory_order_relaxed) <
+      options_.checkpoint_every_runs) {
+    return;
+  }
+  const Status status = CheckpointLocked();
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    LatchError(status);
+  }
+  runs_since_checkpoint_.store(0, std::memory_order_relaxed);
+}
+
+Status DurableCollector::Checkpoint() {
+  std::unique_lock<std::shared_mutex> quiesce(checkpoint_mu_);
+  const Status status = CheckpointLocked();
+  runs_since_checkpoint_.store(0, std::memory_order_relaxed);
+  return status;
+}
+
+Status DurableCollector::CheckpointLocked() {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  CAPP_RETURN_IF_ERROR(wal_status_);
+  // Rotate first: the snapshot then covers exactly the sealed segments
+  // [.., S] and the new segment S+1 receives everything after it.
+  const uint64_t covers = writer_->segment_seqno();
+  CAPP_RETURN_IF_ERROR(writer_->Rotate());
+  CAPP_RETURN_IF_ERROR(WriteCheckpointFile(
+      options_.wal.dir, options_.wal.fingerprint, covers, *backend_));
+  ++recovery_stats_.checkpoints;
+  // Truncate: every segment and older checkpoint the snapshot covers.
+  // Deletion failures are non-fatal for correctness (recovery ignores
+  // covered segments) but still reported -- disk that cannot be
+  // reclaimed should not fail a run, only a health check would care.
+  CAPP_ASSIGN_OR_RETURN(const std::vector<WalSegmentScan> segments,
+                        ListWalSegments(options_.wal.dir));
+  for (const WalSegmentScan& segment : segments) {
+    if (segment.seqno <= covers) {
+      CAPP_RETURN_IF_ERROR(RemoveFileIfExists(segment.path));
+    }
+  }
+  CAPP_ASSIGN_OR_RETURN(const std::vector<std::string> checkpoints,
+                        ListCheckpointFiles(options_.wal.dir));
+  const std::string keep = CheckpointPath(options_.wal.dir, covers);
+  for (const std::string& path : checkpoints) {
+    if (path != keep) CAPP_RETURN_IF_ERROR(RemoveFileIfExists(path));
+  }
+  return FsyncDirectory(options_.wal.dir);
+}
+
+Status DurableCollector::Flush() {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  CAPP_RETURN_IF_ERROR(wal_status_);
+  if (writer_.has_value()) return writer_->Sync();
+  return Status::OK();
+}
+
+Status DurableCollector::CheckHealthy() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  return wal_status_;
+}
+
+Status DurableCollector::Seal() {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  Status status = wal_status_;
+  if (writer_.has_value()) {
+    const Status sealed = writer_->Seal();
+    if (status.ok()) status = sealed;
+  }
+  return status;
+}
+
+WalStats DurableCollector::wal_stats() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  WalStats stats = recovery_stats_;
+  if (writer_.has_value()) {
+    const WalStats& writer_stats = writer_->stats();
+    stats.frames_appended = writer_stats.frames_appended;
+    stats.bytes_appended = writer_stats.bytes_appended;
+    stats.fsyncs = writer_stats.fsyncs;
+    stats.segments_sealed = writer_stats.segments_sealed;
+  }
+  stats.runs_deduped +=
+      runs_deduped_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace capp

@@ -1,0 +1,160 @@
+// DurableCollector: a CollectorBackend decorator that tees every
+// ingested user run into a write-ahead log before the wrapped backend,
+// and recovers the backend from that log (plus an optional checkpoint)
+// on startup.
+//
+// Recovery contract -- the subsystem's invariant, proven by the storage
+// torture tests and the crash-kill integration test:
+//
+//   After SIGKILL at any ingest point, Create() on the same directory
+//   replays the durable prefix and the resumed fleet re-sends its runs;
+//   run-level dedup (each fleet user publishes exactly one run, so a
+//   user already present in the backend identifies a replayed/resent
+//   run) plus SlotAggregate's exact order-independent sums make the
+//   final per-slot count/mean/M2, histograms, and digests bit-identical
+//   to an uninterrupted run. Recovery itself is two-phase: scan and
+//   validate everything first, and only then apply -- a fatal problem
+//   (corrupt sealed segment, foreign fingerprint, broken checkpoint)
+//   errors out with the backend untouched, never half-applied.
+//
+// Concurrency: ingests (transport-hub consumers) take a shared lock and
+// serialize only the WAL append among themselves; checkpointing takes
+// the exclusive lock, so a snapshot sees a quiescent backend whose WAL
+// rotation point exactly covers it.
+#ifndef CAPP_STORAGE_DURABLE_COLLECTOR_H_
+#define CAPP_STORAGE_DURABLE_COLLECTOR_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "core/status.h"
+#include "storage/collector_backend.h"
+#include "storage/wal.h"
+
+namespace capp {
+
+struct DurableCollectorOptions {
+  WalOptions wal;
+  /// Write a checkpoint (and truncate covered segments) every N ingested
+  /// runs; 0 disables checkpointing. Requires a backend with snapshot
+  /// support (probed at Create).
+  size_t checkpoint_every_runs = 0;
+  /// Skip a run whose user id is already present in the backend. This is
+  /// what makes crash-resume exact: the restarted fleet re-sends every
+  /// run, recovered users are skipped, missing ones land once. Leave on
+  /// unless the workload genuinely ingests multiple runs per user (which
+  /// the fleet never does).
+  bool dedup_user_runs = true;
+};
+
+class DurableCollector : public CollectorBackend {
+ public:
+  /// Recovers any existing state under options.wal.dir into `backend`
+  /// (which must be empty and outlive the decorator), then opens a fresh
+  /// segment for appending. The recovery summary lands in wal_stats().
+  static Result<std::unique_ptr<DurableCollector>> Create(
+      CollectorBackend* backend, DurableCollectorOptions options);
+
+  /// WAL-first ingest: the run's wire frame is appended (and synced per
+  /// policy) before the backend sees it, so anything the backend ever
+  /// aggregated is recoverable. A WAL write failure latches and is
+  /// reported by Flush()/CheckHealthy() -- durability errors must fail a
+  /// run loudly, not degrade it to in-RAM-only silently.
+  void IngestUserRun(uint64_t user_id, size_t base_slot,
+                     std::span<const double> values) override;
+
+  /// Flushes and fdatasyncs the WAL and reports any latched append
+  /// error. Fleet::Run calls this after the drain so a run's verdict
+  /// includes its durability.
+  Status Flush();
+
+  /// The first WAL append/checkpoint error, if any.
+  Status CheckHealthy() const;
+
+  /// Seals the current segment (clean shutdown; after this the log's
+  /// final segment scans as sealed). Called by the destructor too.
+  Status Seal();
+
+  /// Forces a checkpoint + truncation now (also triggered automatically
+  /// every checkpoint_every_runs ingests).
+  Status Checkpoint();
+
+  /// Durability counters (appends, fsyncs, dedups, recovery summary).
+  WalStats wal_stats() const;
+
+  // CollectorBackend queries delegate to the wrapped backend.
+  void ReserveUsers(size_t expected_users) override {
+    backend_->ReserveUsers(expected_users);
+  }
+  size_t user_count() const override { return backend_->user_count(); }
+  size_t report_count() const override { return backend_->report_count(); }
+  uint64_t saturated_report_count() const override {
+    return backend_->saturated_report_count();
+  }
+  size_t SlotSpan() const override { return backend_->SlotSpan(); }
+  bool Contains(uint64_t user_id) const override {
+    return backend_->Contains(user_id);
+  }
+  size_t ShardIndexOf(uint64_t user_id) const override {
+    return backend_->ShardIndexOf(user_id);
+  }
+  std::vector<SlotAggregate> PopulationSlotAggregates() const override {
+    return backend_->PopulationSlotAggregates();
+  }
+  Result<std::vector<std::vector<uint64_t>>> PopulationSlotHistograms()
+      const override {
+    return backend_->PopulationSlotHistograms();
+  }
+  uint64_t histogram_outlier_count() const override {
+    return backend_->histogram_outlier_count();
+  }
+  size_t num_shards() const override { return backend_->num_shards(); }
+  Result<CollectorShardState> ExportShardState(size_t shard) const override {
+    return backend_->ExportShardState(shard);
+  }
+  Status RestoreShardState(size_t shard,
+                           CollectorShardState state) override {
+    return backend_->RestoreShardState(shard, std::move(state));
+  }
+
+  ~DurableCollector() override;
+  DurableCollector(const DurableCollector&) = delete;
+  DurableCollector& operator=(const DurableCollector&) = delete;
+
+ private:
+  DurableCollector(CollectorBackend* backend,
+                   DurableCollectorOptions options);
+
+  // Scan-validate-replay of the directory's checkpoint + segments;
+  // returns the seqno the writer should start at.
+  Result<uint64_t> Recover();
+  // The auto-trigger path: re-checks the run counter under the
+  // exclusive lock so concurrent ingests produce one checkpoint.
+  void MaybeCheckpoint();
+  Status CheckpointLocked();
+  void LatchError(const Status& status);
+
+  CollectorBackend* backend_;
+  DurableCollectorOptions options_;
+
+  // Ingest = shared, checkpoint = exclusive: a snapshot must observe a
+  // backend with no append "in flight" between WAL and RAM.
+  std::shared_mutex checkpoint_mu_;
+
+  mutable std::mutex wal_mu_;  // serializes appends and stats reads
+  std::optional<WalWriter> writer_;
+  Status wal_status_;  // first append/checkpoint failure, latched
+  WalStats recovery_stats_;  // recovery counters + checkpoint/dedup tallies
+
+  std::atomic<uint64_t> runs_since_checkpoint_{0};
+  std::atomic<uint64_t> runs_deduped_{0};
+};
+
+}  // namespace capp
+
+#endif  // CAPP_STORAGE_DURABLE_COLLECTOR_H_

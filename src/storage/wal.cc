@@ -1,0 +1,431 @@
+#include "storage/wal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "storage/storage_io.h"
+#include "transport/wire_format.h"
+
+namespace capp {
+namespace {
+
+constexpr char kSegmentMagic[8] = {'C', 'A', 'P', 'P', 'W', 'A', 'L', '1'};
+constexpr uint32_t kSegmentVersion = 1;
+constexpr size_t kSegmentHeaderBytes = 8 + 4 + 8 + 8 + 4;  // 32
+// Trailer marker deliberately differs from the frame magic (0xC5), so a
+// scanner can tell "sealed here" from "next frame" with one byte.
+constexpr uint8_t kTrailerMarker = 0xA7;
+constexpr size_t kTrailerBytes = 1 + 8 + 4;  // 13
+// Buffered bytes before an ordinary write() (no sync) bounds user-space
+// buffering; the fsync policy is layered on top of this.
+constexpr size_t kWriteBufferBytes = 256u << 10;
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string SegmentPath(const std::string& dir, uint64_t seqno) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%08llu.log",
+                static_cast<unsigned long long>(seqno));
+  return dir + "/" + name;
+}
+
+// Parses "wal-NNNNNNNN.log" into a seqno; returns false for other names.
+bool ParseSegmentName(std::string_view name, uint64_t* seqno) {
+  if (!name.starts_with("wal-") || !name.ends_with(".log")) return false;
+  const std::string_view digits = name.substr(4, name.size() - 8);
+  if (digits.empty() || digits.size() > 20) return false;
+  uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *seqno = value;
+  return true;
+}
+
+void AppendSegmentHeader(uint64_t fingerprint, uint64_t seqno,
+                         std::vector<uint8_t>& out) {
+  const size_t start = out.size();
+  for (size_t i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(kSegmentMagic[i]));
+  }
+  AppendLe32(kSegmentVersion, out);
+  AppendLe64(fingerprint, out);
+  AppendLe64(seqno, out);
+  AppendLe32(Crc32({out.data() + start, out.size() - start}), out);
+}
+
+void AppendSegmentTrailer(uint64_t frame_count, std::vector<uint8_t>& out) {
+  const size_t start = out.size();
+  out.push_back(kTrailerMarker);
+  AppendLe64(frame_count, out);
+  AppendLe32(Crc32({out.data() + start, out.size() - start}), out);
+}
+
+std::string ErrnoText() { return std::strerror(errno); }
+
+}  // namespace
+
+std::string_view WalFsyncPolicyName(WalFsyncPolicy policy) {
+  switch (policy) {
+    case WalFsyncPolicy::kPerRun:
+      return "run";
+    case WalFsyncPolicy::kPerFrames:
+      return "frames";
+    case WalFsyncPolicy::kTimed:
+      return "timer";
+  }
+  return "unknown";
+}
+
+Result<WalFsyncPolicy> ParseWalFsyncPolicy(std::string_view name) {
+  for (WalFsyncPolicy policy :
+       {WalFsyncPolicy::kPerRun, WalFsyncPolicy::kPerFrames,
+        WalFsyncPolicy::kTimed}) {
+    if (name == WalFsyncPolicyName(policy)) return policy;
+  }
+  return Status::InvalidArgument("unknown fsync policy: " +
+                                 std::string(name));
+}
+
+Status ValidateWalOptions(const WalOptions& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("wal dir must be non-empty");
+  }
+  if (options.fsync_every_frames < 1) {
+    return Status::InvalidArgument("wal fsync_every_frames must be >= 1");
+  }
+  if (options.fsync_interval_ms < 1) {
+    return Status::InvalidArgument("wal fsync_interval_ms must be >= 1");
+  }
+  if (options.segment_max_bytes < kSegmentHeaderBytes + kTrailerBytes) {
+    return Status::InvalidArgument("wal segment_max_bytes is absurdly small");
+  }
+  return Status::OK();
+}
+
+uint64_t WalFingerprint(std::span<const uint64_t> words) {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  for (uint64_t word : words) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (word >> (8 * byte)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  }
+  return h;
+}
+
+WalWriter::WalWriter(WalOptions options) : options_(std::move(options)) {}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : options_(std::move(other.options_)),
+      fd_(other.fd_),
+      seqno_(other.seqno_),
+      frames_in_segment_(other.frames_in_segment_),
+      bytes_in_segment_(other.bytes_in_segment_),
+      frames_since_sync_(other.frames_since_sync_),
+      last_sync_ms_(other.last_sync_ms_),
+      buffer_(std::move(other.buffer_)),
+      sealed_(other.sealed_),
+      stats_(other.stats_) {
+  other.fd_ = -1;
+  other.sealed_ = true;
+}
+
+WalWriter::~WalWriter() {
+  if (!sealed_ && fd_ >= 0) (void)SealCurrentLocked();
+}
+
+Result<WalWriter> WalWriter::Create(WalOptions options,
+                                    uint64_t first_seqno) {
+  CAPP_RETURN_IF_ERROR(ValidateWalOptions(options));
+  CAPP_RETURN_IF_ERROR(EnsureDirectory(options.dir));
+  WalWriter writer(std::move(options));
+  CAPP_RETURN_IF_ERROR(writer.OpenSegment(first_seqno));
+  writer.last_sync_ms_ = NowMs();
+  return writer;
+}
+
+Status WalWriter::OpenSegment(uint64_t seqno) {
+  const std::string path = SegmentPath(options_.dir, seqno);
+  // O_EXCL: the writer never appends to an existing segment (recovery is
+  // read-only and hands us the next unused seqno); a collision means two
+  // writers share the directory, which must fail instead of interleave.
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0666);
+  if (fd_ < 0) {
+    return Status::Internal("open(" + path + ") failed: " + ErrnoText());
+  }
+  seqno_ = seqno;
+  frames_in_segment_ = 0;
+  bytes_in_segment_ = 0;
+  buffer_.clear();
+  AppendSegmentHeader(options_.fingerprint, seqno, buffer_);
+  return Status::OK();
+}
+
+Status WalWriter::FlushBuffer() {
+  size_t done = 0;
+  while (done < buffer_.size()) {
+    const ssize_t wrote =
+        ::write(fd_, buffer_.data() + done, buffer_.size() - done);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("wal write failed: " + ErrnoText());
+    }
+    done += static_cast<size_t>(wrote);
+  }
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("wal writer is sealed");
+  }
+  CAPP_RETURN_IF_ERROR(FlushBuffer());
+  if (::fdatasync(fd_) != 0) {
+    return Status::Internal("wal fdatasync failed: " + ErrnoText());
+  }
+  ++stats_.fsyncs;
+  frames_since_sync_ = 0;
+  last_sync_ms_ = NowMs();
+  return Status::OK();
+}
+
+Status WalWriter::MaybeSyncAfterAppend() {
+  switch (options_.fsync_policy) {
+    case WalFsyncPolicy::kPerRun:
+      return Sync();
+    case WalFsyncPolicy::kPerFrames:
+      if (frames_since_sync_ >= options_.fsync_every_frames) return Sync();
+      return Status::OK();
+    case WalFsyncPolicy::kTimed:
+      if (NowMs() - last_sync_ms_ >=
+          static_cast<int64_t>(options_.fsync_interval_ms)) {
+        return Sync();
+      }
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Append(std::span<const uint8_t> frame_bytes) {
+  if (sealed_ || fd_ < 0) {
+    return Status::FailedPrecondition("wal writer is sealed");
+  }
+  buffer_.insert(buffer_.end(), frame_bytes.begin(), frame_bytes.end());
+  ++frames_in_segment_;
+  bytes_in_segment_ += frame_bytes.size();
+  ++frames_since_sync_;
+  ++stats_.frames_appended;
+  stats_.bytes_appended += frame_bytes.size();
+  if (buffer_.size() >= kWriteBufferBytes) {
+    CAPP_RETURN_IF_ERROR(FlushBuffer());
+  }
+  CAPP_RETURN_IF_ERROR(MaybeSyncAfterAppend());
+  if (bytes_in_segment_ >= options_.segment_max_bytes) {
+    CAPP_RETURN_IF_ERROR(Rotate());
+  }
+  return Status::OK();
+}
+
+Status WalWriter::SealCurrentLocked() {
+  if (fd_ < 0) return Status::OK();
+  AppendSegmentTrailer(frames_in_segment_, buffer_);
+  Status status = FlushBuffer();
+  if (status.ok() && ::fdatasync(fd_) != 0) {
+    status = Status::Internal("wal fdatasync failed: " + ErrnoText());
+  }
+  ::close(fd_);
+  fd_ = -1;
+  if (status.ok()) {
+    ++stats_.fsyncs;
+    ++stats_.segments_sealed;
+  }
+  return status;
+}
+
+Status WalWriter::Rotate() {
+  if (sealed_ || fd_ < 0) {
+    return Status::FailedPrecondition("wal writer is sealed");
+  }
+  CAPP_RETURN_IF_ERROR(SealCurrentLocked());
+  CAPP_RETURN_IF_ERROR(OpenSegment(seqno_ + 1));
+  return Status::OK();
+}
+
+Status WalWriter::Seal() {
+  if (sealed_) return Status::OK();
+  sealed_ = true;
+  return SealCurrentLocked();
+}
+
+Result<std::vector<WalSegmentScan>> ListWalSegments(const std::string& dir) {
+  std::vector<WalSegmentScan> segments;
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    if (errno == ENOENT) return segments;
+    return Status::Internal("opendir(" + dir + ") failed: " + ErrnoText());
+  }
+  while (struct dirent* entry = ::readdir(handle)) {
+    uint64_t seqno = 0;
+    if (!ParseSegmentName(entry->d_name, &seqno)) continue;
+    WalSegmentScan scan;
+    scan.seqno = seqno;
+    scan.path = dir + "/" + entry->d_name;
+    segments.push_back(std::move(scan));
+  }
+  ::closedir(handle);
+  std::sort(segments.begin(), segments.end(),
+            [](const WalSegmentScan& a, const WalSegmentScan& b) {
+              return a.seqno < b.seqno;
+            });
+  return segments;
+}
+
+Result<WalSegmentScan> ScanWalSegment(const std::string& path,
+                                      uint64_t expected_fingerprint) {
+  CAPP_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
+                        ReadFileBytes(path));
+  WalSegmentScan scan;
+  scan.path = path;
+  // Header. Anything short or CRC-broken marks the whole file torn: we
+  // cannot trust a fingerprint or seqno out of a bad-CRC header, so the
+  // caller decides (final segment: crash artifact; earlier: fatal).
+  if (bytes.size() < kSegmentHeaderBytes ||
+      std::memcmp(bytes.data(), kSegmentMagic, 8) != 0 ||
+      ReadLe32(bytes, 8) != kSegmentVersion ||
+      ReadLe32(bytes, kSegmentHeaderBytes - 4) !=
+          Crc32({bytes.data(), kSegmentHeaderBytes - 4})) {
+    scan.discarded_bytes = bytes.size();
+    return scan;
+  }
+  const uint64_t fingerprint = ReadLe64(bytes, 12);
+  if (fingerprint != expected_fingerprint) {
+    char text[160];
+    std::snprintf(text, sizeof(text),
+                  "wal segment %s was written under a different engine "
+                  "configuration (fingerprint %016llx, expected %016llx)",
+                  path.c_str(),
+                  static_cast<unsigned long long>(fingerprint),
+                  static_cast<unsigned long long>(expected_fingerprint));
+    return Status::FailedPrecondition(text);
+  }
+  scan.header_ok = true;
+  scan.seqno = ReadLe64(bytes, 20);
+
+  // Frames until the trailer, damage, or EOF.
+  size_t offset = kSegmentHeaderBytes;
+  std::vector<double> scratch;
+  while (offset < bytes.size()) {
+    if (bytes[offset] == kTrailerMarker) {
+      if (offset + kTrailerBytes <= bytes.size() &&
+          ReadLe32(bytes, offset + 9) ==
+              Crc32({bytes.data() + offset, 9}) &&
+          ReadLe64(bytes, offset + 1) == scan.frames) {
+        scan.sealed = true;
+        scan.frames_end = offset;
+        scan.discarded_bytes = bytes.size() - (offset + kTrailerBytes);
+        return scan;
+      }
+      break;  // torn or lying trailer: truncate here
+    }
+    uint64_t user_id = 0;
+    uint64_t base_slot = 0;
+    const auto consumed = DecodeUserRunFrame(
+        {bytes.data() + offset, bytes.size() - offset}, &user_id,
+        &base_slot, scratch);
+    if (!consumed.ok()) break;  // short read or CRC failure: truncate here
+    offset += *consumed;
+    ++scan.frames;
+  }
+  scan.frames_end = offset;
+  scan.discarded_bytes = bytes.size() - offset;
+  return scan;
+}
+
+Status RepairWalSegment(const WalSegmentScan& scan) {
+  if (!scan.header_ok) {
+    // Nothing in the file survived the crash; a later recovery must not
+    // trip over it as a corrupt interior segment.
+    return RemoveFileIfExists(scan.path);
+  }
+  if (scan.sealed && scan.discarded_bytes == 0) return Status::OK();
+  const int fd = ::open(scan.path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal("open(" + scan.path +
+                            ") for repair failed: " + ErrnoText());
+  }
+  Status status = Status::OK();
+  // Keep an already-valid trailer (junk after it is the only damage);
+  // otherwise drop the torn tail and seal at the last valid frame.
+  const off_t keep = static_cast<off_t>(
+      scan.sealed ? scan.frames_end + kTrailerBytes : scan.frames_end);
+  if (::ftruncate(fd, keep) != 0) {
+    status = Status::Internal("ftruncate(" + scan.path +
+                              ") failed: " + ErrnoText());
+  }
+  if (status.ok() && !scan.sealed) {
+    std::vector<uint8_t> trailer;
+    AppendSegmentTrailer(scan.frames, trailer);
+    size_t done = 0;
+    while (done < trailer.size()) {
+      const ssize_t wrote = ::pwrite(fd, trailer.data() + done,
+                                     trailer.size() - done, keep + done);
+      if (wrote < 0) {
+        if (errno == EINTR) continue;
+        status = Status::Internal("wal repair write failed: " + ErrnoText());
+        break;
+      }
+      done += static_cast<size_t>(wrote);
+    }
+  }
+  if (status.ok() && ::fdatasync(fd) != 0) {
+    status = Status::Internal("wal repair fdatasync failed: " + ErrnoText());
+  }
+  ::close(fd);
+  return status;
+}
+
+Status ReplayWalSegment(
+    const WalSegmentScan& scan,
+    const std::function<void(uint64_t user_id, uint64_t base_slot,
+                             std::span<const double> values)>& apply) {
+  if (scan.frames == 0) return Status::OK();
+  CAPP_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
+                        ReadFileBytes(scan.path));
+  size_t offset = kSegmentHeaderBytes;
+  std::vector<double> values;
+  for (uint64_t frame = 0; frame < scan.frames; ++frame) {
+    if (offset >= bytes.size()) {
+      return Status::Internal("wal segment " + scan.path +
+                              " shrank between scan and replay");
+    }
+    uint64_t user_id = 0;
+    uint64_t base_slot = 0;
+    const auto consumed = DecodeUserRunFrame(
+        {bytes.data() + offset, bytes.size() - offset}, &user_id,
+        &base_slot, values);
+    if (!consumed.ok()) {
+      return Status::Internal("wal segment " + scan.path +
+                              " changed between scan and replay: " +
+                              consumed.status().ToString());
+    }
+    apply(user_id, base_slot, values);
+    offset += *consumed;
+  }
+  return Status::OK();
+}
+
+}  // namespace capp

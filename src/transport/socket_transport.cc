@@ -10,7 +10,7 @@
 #include <utility>
 
 #include "core/check.h"
-#include "engine/sharded_collector.h"
+#include "storage/collector_backend.h"
 #include "transport/transport_hub.h"
 #include "transport/wire_format.h"
 
@@ -147,7 +147,7 @@ SocketCollectorServer::SocketCollectorServer(
       listen_fd_(listen_fd) {}
 
 Result<std::unique_ptr<SocketCollectorServer>> SocketCollectorServer::Create(
-    ShardedCollector* collector, const Options& options) {
+    CollectorBackend* collector, const Options& options) {
   if (collector == nullptr) {
     return Status::InvalidArgument("socket server needs a collector");
   }

@@ -39,7 +39,7 @@
 
 namespace capp {
 
-class ShardedCollector;
+class CollectorBackend;
 class TransportHub;
 
 /// Upper bound on one length-prefixed chunk. A corrupted length prefix
@@ -106,7 +106,7 @@ class SocketCollectorServer {
   /// Binds, listens, and starts the acceptor + consumer threads.
   /// `collector` must outlive the server.
   static Result<std::unique_ptr<SocketCollectorServer>> Create(
-      ShardedCollector* collector, const Options& options);
+      CollectorBackend* collector, const Options& options);
 
   ~SocketCollectorServer();
 

@@ -46,6 +46,13 @@ Status ValidateTransportOptions(const TransportOptions& options) {
         "transport socket_path exceeds the unix-socket path limit (100 "
         "bytes)");
   }
+  if (options.connect_retries < 0) {
+    return Status::InvalidArgument("transport connect_retries must be >= 0");
+  }
+  if (options.connect_backoff_ms < 1) {
+    return Status::InvalidArgument(
+        "transport connect_backoff_ms must be >= 1");
+  }
   return Status::OK();
 }
 

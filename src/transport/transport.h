@@ -57,6 +57,14 @@ struct TransportOptions {
   /// unix-socket path; the consumer knobs then take effect server-side
   /// and the local collector stays empty.
   std::string socket_path;
+  /// kSocket only. Extra connect attempts after the first one fails
+  /// (ECONNREFUSED / missing socket file), spaced by bounded exponential
+  /// backoff starting at connect_backoff_ms and doubling up to 2s per
+  /// step. 0 = fail immediately. Lets a fleet start before (or resume
+  /// while) its collector_server is still coming up or recovering a WAL.
+  int connect_retries = 0;
+  /// Initial backoff between connect attempts, in milliseconds.
+  int connect_backoff_ms = 50;
 };
 
 /// Validates transport knobs (>= 1 capacity / consumers / batch runs).

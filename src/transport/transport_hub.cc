@@ -1,5 +1,7 @@
 #include "transport/transport_hub.h"
 
+#include <algorithm>
+#include <chrono>
 #include <limits>
 #include <optional>
 #include <utility>
@@ -15,14 +17,29 @@ bool IsQueuedKind(TransportKind kind) {
   return kind == TransportKind::kQueue || kind == TransportKind::kQueueFramed;
 }
 
+// Connects with bounded exponential backoff: the initial attempt plus up
+// to `retries` more, sleeping backoff_ms, 2x backoff_ms, ... (capped at
+// 2s per step) between them. Lets a fleet outlive a collector_server
+// that is still binding its socket or replaying a WAL on restart.
+Result<SocketClient> ConnectWithRetry(const std::string& path, int retries,
+                                      int backoff_ms) {
+  int delay_ms = backoff_ms;
+  for (int attempt = 0;; ++attempt) {
+    Result<SocketClient> client = SocketClient::Connect(path);
+    if (client.ok() || attempt >= retries) return client;
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    delay_ms = std::min(delay_ms * 2, 2000);
+  }
+}
+
 }  // namespace
 
-TransportHub::TransportHub(ShardedCollector* collector,
+TransportHub::TransportHub(CollectorBackend* collector,
                            const TransportOptions& options)
     : collector_(collector), options_(options) {}
 
 Result<std::unique_ptr<TransportHub>> TransportHub::Create(
-    ShardedCollector* collector, const TransportOptions& options) {
+    CollectorBackend* collector, const TransportOptions& options) {
   if (collector == nullptr) {
     return Status::InvalidArgument("transport hub needs a collector");
   }
@@ -64,8 +81,10 @@ Result<std::unique_ptr<TransportHub>> TransportHub::Create(
       // collector stays empty.
       hub->socket_path_ = options.socket_path;
     }
-    CAPP_ASSIGN_OR_RETURN(SocketClient client,
-                          SocketClient::Connect(hub->socket_path_));
+    CAPP_ASSIGN_OR_RETURN(
+        SocketClient client,
+        ConnectWithRetry(hub->socket_path_, options.connect_retries,
+                         options.connect_backoff_ms));
     hub->socket_client_ = std::make_unique<SocketClient>(std::move(client));
   }
   return hub;

@@ -36,7 +36,7 @@
 #include <vector>
 
 #include "core/status.h"
-#include "engine/sharded_collector.h"
+#include "storage/collector_backend.h"
 #include "transport/frame.h"
 #include "transport/mpsc_queue.h"
 #include "transport/transport.h"
@@ -92,7 +92,7 @@ class TransportHub {
   /// Starts the consumer threads (none under kDirect; under kSocket they
   /// live in the collector server). `collector` must outlive the hub.
   static Result<std::unique_ptr<TransportHub>> Create(
-      ShardedCollector* collector, const TransportOptions& options);
+      CollectorBackend* collector, const TransportOptions& options);
 
   ~TransportHub();
 
@@ -133,7 +133,7 @@ class TransportHub {
     uint64_t decode_failures = 0;
   };
 
-  TransportHub(ShardedCollector* collector, const TransportOptions& options);
+  TransportHub(CollectorBackend* collector, const TransportOptions& options);
 
   void ConsumerMain(size_t consumer_index);
   void IngestFrame(const ReportFrame& frame, size_t consumer_index,
@@ -155,7 +155,7 @@ class TransportHub {
   void DrainQueues();
   void DrainSocket();
 
-  ShardedCollector* collector_;
+  CollectorBackend* collector_;
   TransportOptions options_;
   // One ring normally; one ring per consumer under shard affinity (the
   // per-consumer sub-queues). Empty under kDirect and kSocket.

@@ -9,14 +9,25 @@
 namespace capp {
 namespace {
 
-constexpr std::array<uint32_t, 256> kCrcTable = [] {
-  std::array<uint32_t, 256> table{};
+// Slice-by-8 CRC32 (same 0xEDB88320 polynomial and values as the classic
+// bytewise loop): table[0] is the ordinary table; table[k][b] advances b
+// through k additional zero bytes, letting the hot loop fold 8 input
+// bytes per iteration. The WAL fsyncs large frame batches, so CRC
+// throughput is on the durability ingest path, not just the wire.
+constexpr std::array<std::array<uint32_t, 256>, 8> kCrcTable = [] {
+  std::array<std::array<uint32_t, 256>, 8> table{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    table[0][i] = c;
+  }
+  for (size_t k = 1; k < 8; ++k) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      table[k][i] = table[0][table[k - 1][i] & 0xFFu] ^
+                    (table[k - 1][i] >> 8);
+    }
   }
   return table;
 }();
@@ -75,9 +86,30 @@ size_t DecodeVarint(std::span<const uint8_t> bytes, uint64_t* value) {
 }
 
 uint32_t Crc32(std::span<const uint8_t> bytes) {
+  static_assert(std::endian::native == std::endian::little,
+                "the 8-byte fold reads input as a little-endian word");
   uint32_t c = 0xFFFFFFFFu;
-  for (uint8_t byte : bytes) {
-    c = kCrcTable[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  const uint8_t* p = bytes.data();
+  size_t n = bytes.size();
+  while (n >= 8) {
+    uint64_t chunk;
+    __builtin_memcpy(&chunk, p, 8);  // frames are little-endian already
+    chunk ^= c;
+    c = kCrcTable[7][chunk & 0xFFu] ^
+        kCrcTable[6][(chunk >> 8) & 0xFFu] ^
+        kCrcTable[5][(chunk >> 16) & 0xFFu] ^
+        kCrcTable[4][(chunk >> 24) & 0xFFu] ^
+        kCrcTable[3][(chunk >> 32) & 0xFFu] ^
+        kCrcTable[2][(chunk >> 40) & 0xFFu] ^
+        kCrcTable[1][(chunk >> 48) & 0xFFu] ^
+        kCrcTable[0][chunk >> 56];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    c = kCrcTable[0][(c ^ *p) & 0xFFu] ^ (c >> 8);
+    ++p;
+    --n;
   }
   return c ^ 0xFFFFFFFFu;
 }

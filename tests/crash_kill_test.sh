@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Crash-recovery integration test for the durable collector tier.
+#
+# Runs the real cross-process deployment twice:
+#
+#   1. Oracle: collector_server (no WAL) <- fleet_simulation over a unix
+#      socket; record the "aggregate digest:" line.
+#   2. Crash: collector_server --wal-dir <- the same fleet; SIGKILL the
+#      server mid-ingest, restart it on the same --wal-dir (it recovers
+#      from the log), re-run the fleet from scratch (the resend is deduped
+#      per user id), and record the recovered digest.
+#
+# The two digests must be bit-identical: crash + recovery + full resend
+# is indistinguishable from never crashing.
+#
+# usage: crash_kill_test.sh COLLECTOR_SERVER FLEET_SIMULATION [USERS] [SLOTS]
+set -u
+
+SERVER=${1:?usage: crash_kill_test.sh COLLECTOR_SERVER FLEET_SIMULATION}
+FLEET=${2:?usage: crash_kill_test.sh COLLECTOR_SERVER FLEET_SIMULATION}
+USERS=${3:-20000}
+SLOTS=${4:-24}
+
+DIR=$(mktemp -d /tmp/capp_crash_XXXXXX)
+SERVER_PID=""
+FLEET_PID=""
+cleanup() {
+  [ -n "$FLEET_PID" ] && kill -9 "$FLEET_PID" 2>/dev/null
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+die() {
+  echo "crash_kill_test: FAIL: $*" >&2
+  for log in "$DIR"/*.log; do
+    echo "---- $log ----" >&2
+    cat "$log" >&2
+  done
+  exit 1
+}
+
+# --connect alone selects the socket transport against an external
+# server. The fleet retries its connect with bounded exponential backoff,
+# so it can be launched before (or while) the server is coming up.
+FLEET_FLAGS=(--connect-retries=200 --connect-backoff-ms=10)
+WAL_FLAGS=(--wal-dir="$DIR/wal" --fsync=frames --fsync-frames=32
+           --checkpoint-every=5000)
+
+digest_of() {
+  sed -n 's/^aggregate digest: //p' "$1" | tail -n 1
+}
+
+# ---- 1. Oracle: no WAL, no crash. -----------------------------------------
+"$SERVER" --socket="$DIR/oracle.sock" --sessions=1 \
+  > "$DIR/oracle_server.log" 2>&1 &
+SERVER_PID=$!
+"$FLEET" "$USERS" "$SLOTS" --connect="$DIR/oracle.sock" "${FLEET_FLAGS[@]}" \
+  > "$DIR/oracle_fleet.log" 2>&1 \
+  || die "oracle fleet run failed"
+wait "$SERVER_PID" || die "oracle server failed"
+SERVER_PID=""
+ORACLE=$(digest_of "$DIR/oracle_server.log")
+[ -n "$ORACLE" ] || die "oracle server printed no aggregate digest"
+
+# ---- 2. Crash run: SIGKILL the durable server mid-ingest. ------------------
+"$SERVER" --socket="$DIR/crash.sock" --sessions=1 "${WAL_FLAGS[@]}" \
+  > "$DIR/crash_server.log" 2>&1 &
+SERVER_PID=$!
+"$FLEET" "$USERS" "$SLOTS" --connect="$DIR/crash.sock" "${FLEET_FLAGS[@]}" \
+  > "$DIR/crash_fleet.log" 2>&1 &
+FLEET_PID=$!
+
+# Kill at a randomized point inside the ingest window. Whatever the
+# timing lands on -- before the first run, mid-stream, or after the last
+# one -- recovery + resend must still converge on the oracle digest.
+sleep "0.$(( (RANDOM % 30) + 5 ))"
+kill -9 "$SERVER_PID" 2>/dev/null
+wait "$SERVER_PID" 2>/dev/null
+SERVER_PID=""
+# The fleet's socket went away mid-send; a failure exit is expected.
+wait "$FLEET_PID" 2>/dev/null
+FLEET_PID=""
+
+# ---- 3. Restart on the same WAL dir and resend the whole fleet. ------------
+"$SERVER" --socket="$DIR/crash.sock" --sessions=1 "${WAL_FLAGS[@]}" \
+  > "$DIR/recover_server.log" 2>&1 &
+SERVER_PID=$!
+"$FLEET" "$USERS" "$SLOTS" --connect="$DIR/crash.sock" "${FLEET_FLAGS[@]}" \
+  > "$DIR/recover_fleet.log" 2>&1 \
+  || die "resumed fleet run failed"
+wait "$SERVER_PID" || die "recovered server failed"
+SERVER_PID=""
+
+grep -q "recovered" "$DIR/recover_server.log" \
+  || die "restarted server printed no recovery summary"
+RECOVERED=$(digest_of "$DIR/recover_server.log")
+[ -n "$RECOVERED" ] || die "recovered server printed no aggregate digest"
+
+[ "$RECOVERED" = "$ORACLE" ] \
+  || die "digest mismatch: oracle=$ORACLE recovered=$RECOVERED"
+
+echo "crash_kill_test: PASS (oracle digest $ORACLE reproduced after SIGKILL;" \
+     "$(sed -n 's/^collector_server: recovered //p' "$DIR/recover_server.log" \
+        | head -n 1))"
+exit 0

@@ -2,6 +2,7 @@
 """Compare fresh BENCH_*.json results against a committed baseline.
 
 Usage: bench_diff.py BASELINE.json CURRENT.json... [--warn-drop=PCT] [--strict]
+       bench_diff.py --self-test
 
 Multiple CURRENT files (repeated runs of the same scenario) are merged by
 taking the best value per throughput metric before diffing -- short smoke
@@ -18,6 +19,11 @@ the scenario matches; a mismatch warns rather than fails, because the
 sinusoid workload goes through libm sin/cos and digests are only pinned
 per libm build (in-run thread-count invariance is enforced by the bench
 binary itself).
+
+A missing file, unparseable JSON, or a result that is not a bench object
+(no "bench" key) is a usage/setup error: it prints one line naming the
+offending file and key and exits 2 -- never a traceback, so a CI log
+shows the cause, not a stack.
 """
 
 import json
@@ -34,23 +40,45 @@ def numeric_leaves(obj, prefix=""):
         yield prefix[:-1], float(obj)
 
 
-def main(argv):
-    args = [a for a in argv[1:] if not a.startswith("--")]
-    if len(args) < 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    warn_drop = 10.0
-    strict = "--strict" in argv
-    for arg in argv[1:]:
-        if arg.startswith("--warn-drop="):
-            warn_drop = float(arg.split("=", 1)[1])
+class BenchDiffError(Exception):
+    """A diagnosed input problem; the message is the whole story."""
 
-    with open(args[0]) as f:
-        baseline = json.load(f)
-    currents = []
-    for path in args[1:]:
+
+def load_bench_json(path):
+    """Loads one bench result file, diagnosing every failure mode."""
+    try:
         with open(path) as f:
-            currents.append(json.load(f))
+            text = f.read()
+    except OSError as err:
+        raise BenchDiffError(
+            f"cannot read bench result '{path}': {err.strerror or err}. "
+            "If this is the committed baseline, bench/baselines/ may not "
+            "have one for this benchmark yet -- run the bench binary and "
+            "commit its JSON."
+        )
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise BenchDiffError(
+            f"'{path}' is not valid JSON (line {err.lineno}, column "
+            f"{err.colno}: {err.msg}); was the bench run interrupted "
+            "mid-write?"
+        )
+    if not isinstance(doc, dict):
+        raise BenchDiffError(
+            f"'{path}' holds a JSON {type(doc).__name__}, not a bench "
+            "result object"
+        )
+    if "bench" not in doc:
+        raise BenchDiffError(
+            f"'{path}' is missing the schema key 'bench' -- it does not "
+            "look like a BENCH_*.json result file"
+        )
+    return doc
+
+
+def diff(baseline, currents, warn_drop, out=print):
+    """Diffs parsed results; returns the number of regressions."""
     current = currents[0]
     # Best-of-N: keep each throughput metric's maximum across the repeats.
     best = dict(numeric_leaves(current))
@@ -68,39 +96,35 @@ def main(argv):
             for k in SCENARIO_KEYS
             if baseline.get(k) != current.get(k)
         ]
-        print(
+        out(
             f"note: scenario differs from baseline ({diffs}); throughput "
             "and digest are not comparable — refresh bench/baselines/ for "
             "the new configuration"
         )
         return 0
 
-    base_metrics = dict(numeric_leaves(baseline))
-    cur_metrics = best
     regressions = 0
-    for name, base_value in sorted(base_metrics.items()):
+    for name, base_value in sorted(numeric_leaves(baseline)):
         if not name.endswith("reports_per_sec") or base_value <= 0:
             continue
-        cur_value = cur_metrics.get(name)
+        cur_value = best.get(name)
         if cur_value is None:
-            print(f"::warning::bench metric vanished: {name}")
+            out(f"::warning::bench metric vanished: {name}")
             regressions += 1
             continue
         change = 100.0 * (cur_value - base_value) / base_value
-        marker = ""
         if change < -warn_drop:
-            marker = (
+            out(
                 f"::warning::bench regression: {name} dropped "
                 f"{-change:.1f}% (baseline {base_value:.0f}, "
                 f"now {cur_value:.0f})"
             )
             regressions += 1
-            print(marker)
-        print(f"{name}: {base_value:.0f} -> {cur_value:.0f} ({change:+.1f}%)")
+        out(f"{name}: {base_value:.0f} -> {cur_value:.0f} ({change:+.1f}%)")
 
-    if same_scenario and "digest" in baseline:
+    if "digest" in baseline:
         if baseline["digest"] != current.get("digest"):
-            print(
+            out(
                 f"::warning::determinism digest differs from baseline: "
                 f"{baseline['digest']} -> {current.get('digest')}. Expected "
                 "only from a different libm build or a deliberate "
@@ -108,8 +132,114 @@ def main(argv):
                 "the bump in that case)."
             )
         else:
-            print(f"digest: {baseline['digest']} (matches baseline)")
+            out(f"digest: {baseline['digest']} (matches baseline)")
+    return regressions
 
+
+def self_test():
+    """Exercises the diff and every diagnosed failure mode in-process."""
+    import os
+    import tempfile
+
+    failures = []
+
+    def check(name, condition):
+        if not condition:
+            failures.append(name)
+
+    base = {
+        "bench": "t",
+        "users": 10,
+        "slots": 2,
+        "seed": 1,
+        "direct": {"reports_per_sec": 100.0},
+        "digest": "abc",
+    }
+    good = {**base, "direct": {"reports_per_sec": 95.0}}
+    slow = {**base, "direct": {"reports_per_sec": 10.0}}
+    sink = lambda *_: None
+
+    check("no regression within warn band", diff(base, [good], 10.0, sink) == 0)
+    check("big drop is a regression", diff(base, [slow], 10.0, sink) == 1)
+    check(
+        "best-of-N rescues a noisy repeat",
+        diff(base, [slow, good], 10.0, sink) == 0,
+    )
+    check(
+        "vanished metric is a regression",
+        diff(base, [{"bench": "t", "users": 10, "slots": 2, "seed": 1}],
+             10.0, sink) == 1,
+    )
+    check(
+        "scenario mismatch only notes",
+        diff(base, [{**slow, "users": 99}], 10.0, sink) == 0,
+    )
+
+    def error_of(path):
+        try:
+            load_bench_json(path)
+        except BenchDiffError as err:
+            return str(err)
+        return None
+
+    missing = error_of("/nonexistent/BENCH_missing.json")
+    check("missing file is diagnosed", missing is not None)
+    check("missing-file message names the path",
+          missing is not None and "BENCH_missing.json" in missing)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bad = os.path.join(tmp, "bad.json")
+        with open(bad, "w") as f:
+            f.write("{ not json")
+        check("bad JSON is diagnosed", error_of(bad) is not None)
+
+        array = os.path.join(tmp, "array.json")
+        with open(array, "w") as f:
+            f.write("[1, 2]")
+        check("non-object is diagnosed", error_of(array) is not None)
+
+        schemaless = os.path.join(tmp, "schemaless.json")
+        with open(schemaless, "w") as f:
+            json.dump({"users": 10}, f)
+        err = error_of(schemaless)
+        check("missing 'bench' key is diagnosed", err is not None)
+        check("schema message names the key",
+              err is not None and "'bench'" in err)
+
+        ok = os.path.join(tmp, "ok.json")
+        with open(ok, "w") as f:
+            json.dump(base, f)
+        check("valid file loads", error_of(ok) is None)
+
+    if failures:
+        for name in failures:
+            print(f"self-test FAILED: {name}", file=sys.stderr)
+        return 1
+    print("bench_diff.py self-test: all checks passed")
+    return 0
+
+
+def main(argv):
+    if "--self-test" in argv:
+        return self_test()
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    if len(args) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    warn_drop = 10.0
+    strict = "--strict" in argv
+    for arg in argv[1:]:
+        if arg.startswith("--warn-drop="):
+            warn_drop = float(arg.split("=", 1)[1])
+
+    try:
+        baseline = load_bench_json(args[0])
+        currents = [load_bench_json(path) for path in args[1:]]
+    except BenchDiffError as err:
+        print(f"bench_diff: error: {err}", file=sys.stderr)
+        return 2
+
+    regressions = diff(baseline, currents, warn_drop)
     if regressions and strict:
         return 1
     return 0

@@ -19,16 +19,29 @@
 // prints per-window SW-EM distribution reconstruction, crowd means, and
 // trend segments after the session -- computed entirely from the compact
 // per-slot state, no report matrix, so it scales to any population.
+// With --wal-dir the server becomes durable: every ingested run is
+// appended to a write-ahead log before the in-RAM collector, existing
+// WAL/checkpoint state under the directory is recovered before the
+// socket is bound, and --checkpoint-every bounds replay cost. SIGKILL
+// the server mid-session, restart it with the same --wal-dir, re-run
+// the fleet with --connect-retries: the final aggregate digest matches
+// an uninterrupted run bit for bit (run-level dedup lands each resent
+// user run exactly once).
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "analysis/streaming_analytics.h"
 #include "core/parse.h"
 #include "engine/sharded_collector.h"
+#include "storage/collector_backend.h"
+#include "storage/durable_collector.h"
+#include "storage/wal.h"
 #include "transport/socket_transport.h"
 #include "transport/transport.h"
 
@@ -39,7 +52,10 @@ namespace {
                "usage: %s --socket=PATH [--sessions=N] [--consumers=N]\n"
                "          [--shards=N] [--capacity=N] [--batch-runs=N]\n"
                "          [--affinity] [--max-slots=N]\n"
-               "          [--analytics] [--epsilon=X] [--window=N]\n",
+               "          [--analytics] [--epsilon=X] [--window=N]\n"
+               "          [--wal-dir=DIR] [--fsync=run|frames|timer]\n"
+               "          [--fsync-frames=N] [--fsync-interval-ms=N]\n"
+               "          [--checkpoint-every=N]\n",
                argv0);
   std::exit(2);
 }
@@ -116,11 +132,30 @@ int main(int argc, char** argv) {
   bool analytics = false;
   double epsilon = 1.0;
   int window = 10;
+  capp::DurableCollectorOptions durable_options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.starts_with("--socket=")) {
       options.socket_path = std::string(arg.substr(9));
+    } else if (arg.starts_with("--wal-dir=")) {
+      durable_options.wal.dir = std::string(arg.substr(10));
+    } else if (arg.starts_with("--fsync=")) {
+      auto policy = capp::ParseWalFsyncPolicy(arg.substr(8));
+      if (!policy.ok()) {
+        std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+        return 2;
+      }
+      durable_options.wal.fsync_policy = *policy;
+    } else if (arg.starts_with("--fsync-frames=")) {
+      durable_options.wal.fsync_every_frames =
+          ParsePositiveOrDie("--fsync-frames", arg.substr(15));
+    } else if (arg.starts_with("--fsync-interval-ms=")) {
+      durable_options.wal.fsync_interval_ms = static_cast<int>(
+          ParsePositiveOrDie("--fsync-interval-ms", arg.substr(20)));
+    } else if (arg.starts_with("--checkpoint-every=")) {
+      durable_options.checkpoint_every_runs =
+          ParsePositiveOrDie("--checkpoint-every", arg.substr(19));
     } else if (arg == "--analytics") {
       analytics = true;
     } else if (arg.starts_with("--epsilon=")) {
@@ -178,7 +213,46 @@ int main(int argc, char** argv) {
                  collector.status().ToString().c_str());
     return 1;
   }
-  auto server = capp::SocketCollectorServer::Create(&*collector, options);
+
+  // The durable tier, when --wal-dir is set: recover whatever a previous
+  // incarnation logged, then tee every future run through the WAL. The
+  // fingerprint covers exactly the flags that determine what this
+  // server's aggregates mean, so a restart must repeat them (and a WAL
+  // from a differently-configured server is refused, not merged).
+  std::unique_ptr<capp::DurableCollector> durable;
+  capp::CollectorBackend* backend = &*collector;
+  if (!durable_options.wal.dir.empty()) {
+    const uint64_t fingerprint_words[] = {
+        shards,
+        analytics ? 1u : 0u,
+        static_cast<uint64_t>(kAnalyticsHistogramBuckets),
+        std::bit_cast<uint64_t>(epsilon),
+        static_cast<uint64_t>(window),
+    };
+    durable_options.wal.fingerprint =
+        capp::WalFingerprint(fingerprint_words);
+    auto created = capp::DurableCollector::Create(&*collector,
+                                                  durable_options);
+    if (!created.ok()) {
+      std::fprintf(stderr, "WAL recovery failed: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    durable = std::move(*created);
+    backend = durable.get();
+    const capp::WalStats recovered = durable->wal_stats();
+    std::printf("collector_server: recovered %llu run(s) from %s "
+                "(%llu segment(s), %llu frame(s) replayed, %llu byte(s) "
+                "discarded, checkpoint %s)\n",
+                static_cast<unsigned long long>(collector->user_count()),
+                durable_options.wal.dir.c_str(),
+                static_cast<unsigned long long>(recovered.segments_recovered),
+                static_cast<unsigned long long>(recovered.frames_replayed),
+                static_cast<unsigned long long>(recovered.bytes_discarded),
+                recovered.checkpoint_restored ? "restored" : "none");
+  }
+
+  auto server = capp::SocketCollectorServer::Create(backend, options);
   if (!server.ok()) {
     std::fprintf(stderr, "server setup failed: %s\n",
                  server.status().ToString().c_str());
@@ -208,6 +282,28 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.consumer_runs[c]));
   }
 
+  // Seal before reporting: the digest below must describe state that is
+  // fully on disk, and a clean shutdown leaves the final segment sealed.
+  capp::Status durable_status = capp::Status::OK();
+  if (durable != nullptr) {
+    durable_status = durable->Flush();
+    if (durable_status.ok()) durable_status = durable->Seal();
+    const capp::WalStats wal = durable->wal_stats();
+    std::printf("  wal: %llu frame(s) appended (%.1f MB), %llu fsync(s), "
+                "%llu checkpoint(s), %llu resent run(s) deduped\n",
+                static_cast<unsigned long long>(wal.frames_appended),
+                static_cast<double>(wal.bytes_appended) / 1048576.0,
+                static_cast<unsigned long long>(wal.fsyncs),
+                static_cast<unsigned long long>(wal.checkpoints),
+                static_cast<unsigned long long>(wal.runs_deduped));
+  }
+
+  // Order-independent digest of the full aggregate state; a recovered
+  // crash run and its uninterrupted oracle must print the same value.
+  std::printf("aggregate digest: %016llx\n",
+              static_cast<unsigned long long>(
+                  capp::CollectorStateDigest(*collector)));
+
   // What the collector tier knows without ever seeing a raw value: the
   // per-slot population aggregates of the perturbed reports.
   const auto aggregates = collector->PopulationSlotAggregates();
@@ -229,6 +325,11 @@ int main(int argc, char** argv) {
   if (!finished.ok()) {
     std::fprintf(stderr, "\ncollector_server: FAILED: %s\n",
                  finished.ToString().c_str());
+    return 1;
+  }
+  if (!durable_status.ok()) {
+    std::fprintf(stderr, "\ncollector_server: WAL FAILED: %s\n",
+                 durable_status.ToString().c_str());
     return 1;
   }
   if (analytics && collector->SlotSpan() > 0) {
