@@ -23,8 +23,10 @@
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/check.h"
+#include "core/rng.h"
 #include "engine/engine_config.h"
 #include "engine/fleet.h"
 #include "engine/thread_pool.h"
@@ -95,6 +97,29 @@ EngineBenchFlags ParseEngineFlags(int argc, char** argv) {
   return flags;
 }
 
+// The fleet's signal synthesis rides on Rng::FillGaussian reproducing
+// the scalar Gaussian() draw sequence bit-for-bit (including the
+// cached-spare handoff at odd lengths). Verify that contract in this
+// binary on every bench start -- a silent divergence would shift every
+// digest this benchmark pins.
+void CheckGaussianBatchMatchesScalar() {
+  constexpr uint64_t kSeed = 0x9E3779B97F4A7C15ULL;
+  Rng batch_rng(kSeed);
+  Rng scalar_rng(kSeed);
+  std::vector<double> batch;
+  for (const size_t len : {size_t{0}, size_t{1}, size_t{2}, size_t{3},
+                           size_t{7}, size_t{64}, size_t{255},
+                           size_t{1000}}) {
+    batch.resize(len);
+    batch_rng.FillGaussian(batch);
+    for (size_t i = 0; i < len; ++i) {
+      CAPP_CHECK(batch[i] == scalar_rng.Gaussian(0.0, 1.0));
+    }
+  }
+  // Both generators must also land in the same state (spare included).
+  CAPP_CHECK(batch_rng.Gaussian(0.0, 1.0) == scalar_rng.Gaussian(0.0, 1.0));
+}
+
 EngineStats RunOnce(const EngineBenchFlags& flags, int threads) {
   EngineConfig config;
   auto algorithm = ParseAlgorithmKind(flags.algorithm);
@@ -159,6 +184,12 @@ void WriteResultJson(const EngineBenchFlags& flags, const EngineStats& single,
                  single.reports_per_sec > 0.0
                      ? parallel.reports_per_sec / single.reports_per_sec
                      : 0.0);
+  // A "multi-thread" trial that resolved to the same thread count as the
+  // single-thread one (a 1-core machine, or --threads=1) measures run
+  // noise, not scaling; say so in the result file instead of letting the
+  // speedup masquerade as a real number (bench_diff flags it too).
+  json.AddInt("same_thread_counts",
+              single.threads == parallel.threads ? 1 : 0);
   json.AddHex("digest", single.stream_digest);
   json.AddString("digest_match",
                  single.stream_digest == parallel.stream_digest ? "ok"
@@ -174,7 +205,10 @@ void WriteResultJson(const EngineBenchFlags& flags, const EngineStats& single,
 
 int Run(int argc, char** argv) {
   const EngineBenchFlags flags = ParseEngineFlags(argc, argv);
+  // Default the multi-thread trial to hardware concurrency; the actual
+  // thread count used lands in the result file either way.
   const int multi = ResolveThreadCount(flags.threads);
+  CheckGaussianBatchMatchesScalar();
 
   std::printf("=== Engine throughput: %s, eps=%.2f, w=%d, %zu users x %zu "
               "slots ===\n\n",
@@ -196,6 +230,13 @@ int Run(int argc, char** argv) {
               single.reports_per_sec, parallel.reports_per_sec,
               parallel.threads,
               parallel.reports_per_sec / single.reports_per_sec);
+  if (single.threads == parallel.threads) {
+    std::printf("note: both trials used %zu thread(s); the speedup above "
+                "is run-to-run noise, not scaling\n",
+                parallel.threads);
+  }
+  std::printf("self-check: batched Gaussian synthesis is bit-identical to "
+              "the scalar draw sequence\n");
   std::printf("accuracy:   slot-mean MSE %.3e, mean |err| %.3e\n",
               parallel.mean_slot_mse, parallel.mean_abs_error);
   WriteResultJson(flags, single, parallel);

@@ -53,15 +53,18 @@ struct TransportRow {
   const char* name;  // display + JSON key
   TransportKind kind;
   bool shard_affinity;
+  bool owned_shards;
 };
 
 constexpr TransportRow kRows[] = {
-    {"direct", TransportKind::kDirect, false},
-    {"queue", TransportKind::kQueue, false},
-    {"queue_affinity", TransportKind::kQueue, true},
-    {"queue_framed", TransportKind::kQueueFramed, false},
-    {"socket", TransportKind::kSocket, false},
-    {"socket_affinity", TransportKind::kSocket, true},
+    {"direct", TransportKind::kDirect, false, false},
+    {"queue", TransportKind::kQueue, false, false},
+    {"queue_affinity", TransportKind::kQueue, true, false},
+    {"queue_owned", TransportKind::kQueue, true, true},
+    {"queue_framed", TransportKind::kQueueFramed, false, false},
+    {"socket", TransportKind::kSocket, false, false},
+    {"socket_affinity", TransportKind::kSocket, true, false},
+    {"socket_owned", TransportKind::kSocket, true, true},
 };
 
 [[noreturn]] void Usage(const char* argv0) {
@@ -141,6 +144,7 @@ EngineStats RunOnce(const TransportBenchFlags& flags,
   config.keep_streams = false;  // aggregate-only: the scaling configuration
   config.transport.kind = row.kind;
   config.transport.shard_affinity = row.shard_affinity;
+  config.transport.owned_shards = row.owned_shards;
   config.transport.num_consumers = flags.consumers;
   config.transport.queue_capacity = flags.queue_capacity;
   config.transport.max_batch_runs = flags.batch_runs;
@@ -198,6 +202,8 @@ JsonObjectWriter RunJson(const EngineStats& stats) {
   run.AddInt("wire_bytes", t.wire_bytes);
   run.AddInt("connections", t.connections);
   run.AddInt("consumers", t.consumer_runs.size());
+  run.AddInt("owned_shards", stats.owned_shards ? 1 : 0);
+  run.AddInt("seqlock_read_retries", stats.seqlock_read_retries);
   return run;
 }
 
@@ -221,8 +227,9 @@ int Run(int argc, char** argv) {
   const EngineStats& direct = results[0];
   const EngineStats& queued = results[1];
   const EngineStats& queued_affinity = results[2];
-  const EngineStats& framed = results[3];
-  const EngineStats& socket = results[4];
+  const EngineStats& queued_owned = results[3];
+  const EngineStats& framed = results[4];
+  const EngineStats& socket = results[5];
 
   const double queue_ratio =
       Ratio(queued.reports_per_sec, direct.reports_per_sec);
@@ -230,6 +237,11 @@ int Run(int argc, char** argv) {
       Ratio(framed.reports_per_sec, direct.reports_per_sec);
   const double affinity_gain =
       Ratio(queued_affinity.reports_per_sec, queued.reports_per_sec);
+  const double owned_vs_direct =
+      Ratio(queued_owned.reports_per_sec, direct.reports_per_sec);
+  const double owned_vs_affinity =
+      Ratio(queued_owned.reports_per_sec,
+            queued_affinity.reports_per_sec);
   std::printf("\nqueue sustains %.0f%% of direct ingest; framed (encode + "
               "CRC decode) %.0f%%; socket %.0f%%\n",
               100.0 * queue_ratio, 100.0 * framed_ratio,
@@ -238,6 +250,11 @@ int Run(int argc, char** argv) {
   std::printf("shard affinity moves queue ingest to %.0f%% of the shared-"
               "queue path\n",
               100.0 * affinity_gain);
+  std::printf("owned shards (mutex-free ingest) reach %.0f%% of direct "
+              "(%.0f%% of mutex affinity, %llu seqlock retries)\n",
+              100.0 * owned_vs_direct, 100.0 * owned_vs_affinity,
+              static_cast<unsigned long long>(
+                  queued_owned.seqlock_read_retries));
 
   if (!flags.json_path.empty()) {
     JsonObjectWriter json;
@@ -257,6 +274,8 @@ int Run(int argc, char** argv) {
     json.AddNumber("queue_vs_direct", queue_ratio);
     json.AddNumber("framed_vs_direct", framed_ratio);
     json.AddNumber("queue_affinity_vs_queue", affinity_gain);
+    json.AddNumber("queue_owned_vs_direct", owned_vs_direct);
+    json.AddNumber("queue_owned_vs_queue_affinity", owned_vs_affinity);
     json.AddHex("digest", direct.stream_digest);
     bool match = true;
     for (const EngineStats& stats : results) {

@@ -61,6 +61,59 @@ void Rng::FillUniform(std::span<double> out) {
   s_[3] = s3;
 }
 
+void Rng::FillGaussian(std::span<double> out) {
+  size_t i = 0;
+  const size_t n = out.size();
+  if (i < n && has_gauss_spare_) {
+    out[i++] = gauss_spare_;
+    has_gauss_spare_ = false;
+  }
+  // Same polar Box-Muller recurrence as the scalar Gaussian(), with the
+  // xoshiro lanes in locals (registers) for the whole block, like
+  // FillUniform. The rejection loop makes uniform consumption
+  // data-dependent, so the draw order is pinned by construction: pairs are
+  // accepted in exactly the order the scalar path would accept them.
+  uint64_t s0 = s_[0];
+  uint64_t s1 = s_[1];
+  uint64_t s2 = s_[2];
+  uint64_t s3 = s_[3];
+  const auto step = [&]() -> double {
+    const uint64_t result = Rotl(s0 + s3, 23) + s0;
+    const uint64_t t = s1 << 17;
+    s2 ^= s0;
+    s3 ^= s1;
+    s1 ^= s2;
+    s0 ^= s3;
+    s2 ^= t;
+    s3 = Rotl(s3, 45);
+    return static_cast<double>(result >> 11) * 0x1.0p-53;
+  };
+  const auto pair = [&](double& g0, double& g1) {
+    double u, v, s;
+    do {
+      u = 2.0 * step() - 1.0;
+      v = 2.0 * step() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    g0 = u * factor;
+    g1 = v * factor;
+  };
+  for (; i + 2 <= n; i += 2) pair(out[i], out[i + 1]);
+  if (i < n) {
+    // Odd tail: the pair's second output becomes the cached spare, exactly
+    // as a scalar Gaussian() call would leave it.
+    double g1;
+    pair(out[i], g1);
+    gauss_spare_ = g1;
+    has_gauss_spare_ = true;
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
 double Rng::Uniform(double lo, double hi) {
   CAPP_DCHECK(lo <= hi);
   return lo + (hi - lo) * UniformDouble();

@@ -57,6 +57,18 @@ class Rng {
   /// scalar counterparts.
   void FillUniform(std::span<double> out);
 
+  /// Fills `out` with out.size() consecutive Gaussian() draws. The draw
+  /// order is pinned: bit-identical to calling Gaussian() out.size() times,
+  /// including the cached-spare semantics (a pending Box-Muller spare is
+  /// consumed first, and an odd-length fill leaves the pair's second output
+  /// cached for the next draw), so scalar and block callers can be mixed
+  /// freely. Like FillUniform, the xoshiro state lives in registers across
+  /// the whole block and pairs are written straight to `out`, skipping the
+  /// per-call spare bookkeeping -- workload synthesis draws one noise value
+  /// per slot, which made the scalar call overhead measurable at fleet
+  /// scale.
+  void FillGaussian(std::span<double> out);
+
   /// Uniform double in [lo, hi). Requires lo <= hi (returns lo when equal).
   double Uniform(double lo, double hi);
 

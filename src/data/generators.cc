@@ -56,24 +56,31 @@ std::vector<double> Ar1Series(size_t n, double phi, double sigma, double mean,
 
 void Ar1SeriesInto(size_t n, double phi, double sigma, double mean, Rng& rng,
                    std::vector<double>& out) {
-  out.clear();
-  out.reserve(n);
+  // The recurrence is serial in x, but the noise draws are independent of
+  // it: block-generate the standard normals into `out` first, then run the
+  // recurrence in place over them. Bit-identical to drawing
+  // rng.Gaussian(0.0, sigma) per step -- FillGaussian pins the scalar draw
+  // order, and sigma * g reproduces 0.0 + sigma * g exactly (the polar
+  // method never yields -0.0, the only value a leading 0.0 + would alter).
+  out.resize(n);
+  rng.FillGaussian(out);
   double x = mean;
   for (size_t t = 0; t < n; ++t) {
-    x = mean + phi * (x - mean) + rng.Gaussian(0.0, sigma);
-    out.push_back(x);
+    x = mean + phi * (x - mean) + sigma * out[t];
+    out[t] = x;
   }
 }
 
 std::vector<double> OrnsteinUhlenbeckSeries(size_t n, double theta, double mu,
                                             double sigma, double x0,
                                             Rng& rng) {
-  std::vector<double> out;
-  out.reserve(n);
+  // Same block-noise-then-recurrence shape as Ar1SeriesInto.
+  std::vector<double> out(n);
+  rng.FillGaussian(out);
   double x = x0;
   for (size_t t = 0; t < n; ++t) {
-    x += theta * (mu - x) + rng.Gaussian(0.0, sigma);
-    out.push_back(x);
+    x += theta * (mu - x) + sigma * out[t];
+    out[t] = x;
   }
   return out;
 }
@@ -87,17 +94,19 @@ std::vector<double> ReflectedRandomWalk(size_t n, double sigma, double x0,
 
 void ReflectedRandomWalkInto(size_t n, double sigma, double x0, Rng& rng,
                              std::vector<double>& out) {
-  out.clear();
-  out.reserve(n);
+  // Block-generate the step noise into `out`, then walk in place (see
+  // Ar1SeriesInto for why this is bit-identical to per-step draws).
+  out.resize(n);
+  rng.FillGaussian(out);
   double x = Clamp(x0, 0.0, 1.0);
   for (size_t t = 0; t < n; ++t) {
-    x += rng.Gaussian(0.0, sigma);
+    x += sigma * out[t];
     // Reflect at the [0,1] boundaries.
     while (x < 0.0 || x > 1.0) {
       if (x < 0.0) x = -x;
       if (x > 1.0) x = 2.0 - x;
     }
-    out.push_back(x);
+    out[t] = x;
   }
 }
 
@@ -126,8 +135,10 @@ void PiecewiseConstantSeriesInto(size_t n, size_t min_run, size_t max_run,
 }
 
 std::vector<double> TrafficVolumeSeries(size_t n, Rng& rng) {
-  std::vector<double> out;
-  out.reserve(n);
+  // The heteroscedastic noise scale depends on the deterministic shape but
+  // not on earlier noise, so the standard normals block-fill up front.
+  std::vector<double> out(n);
+  rng.FillGaussian(out);
   constexpr double kHoursPerDay = 24.0;
   constexpr double kHoursPerWeek = 7.0 * 24.0;
   for (size_t t = 0; t < n; ++t) {
@@ -142,8 +153,8 @@ std::vector<double> TrafficVolumeSeries(size_t n, Rng& rng) {
     // Weekend damping (last 2/7 of the week).
     if (week_pos > 5.0 / 7.0) v *= 0.7;
     // Heteroscedastic noise: busier hours are noisier.
-    v += rng.Gaussian(0.0, 0.02 + 0.05 * v);
-    out.push_back(Clamp(v, 0.0, 1.0));
+    v += (0.02 + 0.05 * v) * out[t];
+    out[t] = Clamp(v, 0.0, 1.0);
   }
   return out;
 }

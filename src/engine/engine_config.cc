@@ -63,6 +63,11 @@ Status ValidateEngineConfig(const EngineConfig& config) {
         "analytics.histogram_buckets must be >= 2");
   }
   CAPP_RETURN_IF_ERROR(ValidateTransportOptions(config.transport));
+  if (config.transport.owned_shards && config.keep_streams) {
+    return Status::InvalidArgument(
+        "owned_shards runs the collector in aggregate-only single-writer "
+        "mode; set keep_streams = false");
+  }
   if (config.durability.enabled()) {
     WalOptions wal;
     wal.dir = config.durability.dir;
@@ -126,7 +131,13 @@ std::string EngineStats::ToString() const {
                 users, slots, reports, elapsed_seconds, reports_per_sec,
                 threads, mean_slot_mse,
                 static_cast<unsigned long long>(stream_digest));
-  return buffer;
+  std::string out = buffer;
+  if (owned_shards) {
+    out += ", owned shards (";
+    out += std::to_string(seqlock_read_retries);
+    out += " seqlock retries)";
+  }
+  return out;
 }
 
 }  // namespace capp

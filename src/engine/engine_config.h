@@ -163,9 +163,10 @@ struct EngineStats {
   std::vector<double> published_slot_means;
 
   /// Order-independent digest of every user's published (smoothed) stream:
-  /// XOR over users of a per-user FNV-1a hash of (user id, stream bits).
-  /// Bit-identical across runs with the same config and seed regardless of
-  /// thread count -- the engine's determinism contract in one number.
+  /// XOR over users of UserStreamDigest(user id, stream) -- the chunk-level
+  /// wyhash-style hash in core/stream_digest.h (digest v2). Bit-identical
+  /// across runs with the same config and seed regardless of thread count
+  /// -- the engine's determinism contract in one number.
   uint64_t stream_digest = 0;
 
   /// Transport counters (zero under TransportKind::kDirect, where no
@@ -176,6 +177,13 @@ struct EngineStats {
   /// beyond 2^16). Always zero on a successful run: Fleet::Run fails with
   /// an Internal error instead of returning silently-wrong aggregates.
   uint64_t aggregate_saturations = 0;
+
+  /// True when transport.owned_shards put the collector in single-writer
+  /// (seqlock) mode for this run.
+  bool owned_shards = false;
+  /// Seqlock snapshot retries observed by the collector's aggregate
+  /// readers during the run (owned_shards only; always 0 in mutex mode).
+  uint64_t seqlock_read_retries = 0;
 
   /// Durability counters (all zero when DurabilityConfig is off):
   /// appends, fsyncs, checkpoints, deduped resends, and the recovery

@@ -1,6 +1,5 @@
 #include "engine/fleet.h"
 
-#include <bit>
 #include <chrono>
 #include <cmath>
 #include <memory>
@@ -11,6 +10,7 @@
 #include "analysis/streaming_analytics.h"
 #include "core/check.h"
 #include "core/math_utils.h"
+#include "core/stream_digest.h"
 #include "data/generators.h"
 #include "engine/thread_pool.h"
 #include "stream/session.h"
@@ -19,24 +19,6 @@
 
 namespace capp {
 namespace {
-
-// One FNV-1a step over the 8 bytes of `word`. The byte chain is serial
-// (xor feeds the multiply), so hashing costs its full latency -- callers
-// interleave independent work with it (see the fleet worker loop).
-inline uint64_t FnvMixWord(uint64_t h, uint64_t word) {
-  for (int byte = 0; byte < 8; ++byte) {
-    h ^= (word >> (8 * byte)) & 0xFF;
-    h *= 0x100000001B3ULL;
-  }
-  return h;
-}
-
-// The fleet digest is the XOR over users of the FNV-1a hash of (user id,
-// published stream bits), seeded with the standard offset basis. XOR
-// commutes, which is what lets runs with different thread counts be
-// compared bit-for-bit. The hash itself is computed inline in the worker
-// loop, fused with the slot-sum accumulation.
-constexpr uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ULL;
 
 // Per-chunk accumulators, reduced in chunk order after the parallel phase.
 struct ChunkSums {
@@ -112,12 +94,17 @@ void GenerateUserSignalInto(SignalKind kind, size_t num_slots, Rng& rng,
       const double phase = rng.Uniform(-0.5, 0.5);
       const double sin_phase = std::sin(phase);
       const double cos_phase = std::cos(phase);
+      // The per-slot noise is block-generated into `out` (Rng::FillGaussian
+      // pins the scalar draw order, so the phase-then-per-slot-noise
+      // contract is unchanged), and 0.03 * g reproduces
+      // rng.Gaussian(0.0, 0.03) bit-for-bit. With the RNG out of the loop,
+      // the angle-addition + clamp body vectorizes.
       out.resize(num_slots);
+      rng.FillGaussian(out);
       for (size_t t = 0; t < num_slots; ++t) {
         const double wave =
             base.sin_base[t] * cos_phase + base.cos_base[t] * sin_phase;
-        out[t] = Clamp(kOffset + kAmplitude * wave + rng.Gaussian(0.0, 0.03),
-                       0.0, 1.0);
+        out[t] = Clamp(kOffset + kAmplitude * wave + 0.03 * out[t], 0.0, 1.0);
       }
       return;
     }
@@ -166,6 +153,10 @@ Result<Fleet> Fleet::Create(EngineConfig config) {
   ShardedCollectorOptions collector_options;
   collector_options.num_shards = config.num_shards;
   collector_options.keep_streams = config.keep_streams;
+  // Validation already pinned the sound combination (affinity routing,
+  // queued kind, aggregate-only), so the transport's ownership claim
+  // translates directly into single-writer collector storage.
+  collector_options.single_writer = config.transport.owned_shards;
   if (config.analytics.enabled) {
     // Histogram geometry follows the fleet's per-slot budget epsilon/w,
     // so a StreamingAnalyzer created at the same budget/resolution
@@ -276,17 +267,16 @@ Result<EngineStats> Fleet::Run() {
       CAPP_CHECK(SimpleMovingAverageInto(report_values, smoothing_window_,
                                          published, sma_scratch)
                      .ok());
-      // Fused digest + accumulation pass: the FNV byte chain is pure
-      // latency (the multiply feeds the next xor), so the slot-sum updates
-      // execute in its shadow. Produces exactly
-      // HashPublishedStream(uid, published).
-      uint64_t h = FnvMixWord(kFnvOffsetBasis, uid);
+      // The digest is one chunk-level hash of the published block
+      // (core/stream_digest.h), so the slot-sum accumulation no longer
+      // carries a serial hash chain and vectorizes on its own. v1 fused a
+      // per-byte FNV chain into this loop to hide the sums in its latency
+      // shadow; v2's whole hash costs less than the chain's first word.
       for (size_t t = 0; t < slots; ++t) {
-        h = FnvMixWord(h, std::bit_cast<uint64_t>(published[t]));
         sums.true_sum[t] += truth[t];
         sums.report_sum[t] += report_values[t];
       }
-      sums.digest ^= h;
+      sums.digest ^= UserStreamDigest(uid, published);
     }
   });
 
@@ -308,6 +298,8 @@ Result<EngineStats> Fleet::Run() {
   // kDirect has no Drain to fail; surface saturated aggregates just as
   // loudly here (fleet workloads are sanitized to [0, 1], so this only
   // fires when an unnormalized signal slips in).
+  stats.owned_shards = collector_->options().single_writer;
+  stats.seqlock_read_retries = collector_->seqlock_read_retries();
   stats.aggregate_saturations = collector_->saturated_report_count();
   if (stats.aggregate_saturations > 0) {
     return Status::Internal(

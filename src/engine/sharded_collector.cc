@@ -1,8 +1,10 @@
 #include "engine/sharded_collector.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <thread>
 
 #include "core/check.h"
 #include "core/math_utils.h"
@@ -33,12 +35,58 @@ double RawValueAt(const std::vector<std::vector<double>>& values, size_t slot,
   return dense < row.size() ? row[dense] : kMissing;
 }
 
+// Single-writer storage keeps each SlotAggregate as its five Packed
+// words in a flat atomic array; these convert between the two forms.
+// All accesses are relaxed: the seqlock's sequence counter and fences
+// provide the ordering, the atomics only keep the racing word accesses
+// defined.
+constexpr size_t kPackedWords = 5;
+
+inline SlotAggregate LoadPackedSlot(const std::atomic<uint64_t>* words) {
+  SlotAggregate::Packed packed;
+  packed.count = words[0].load(std::memory_order_relaxed);
+  packed.sum_hi = words[1].load(std::memory_order_relaxed);
+  packed.sum_lo = words[2].load(std::memory_order_relaxed);
+  packed.sum_sq_hi = words[3].load(std::memory_order_relaxed);
+  packed.sum_sq_lo = words[4].load(std::memory_order_relaxed);
+  return SlotAggregate::FromPacked(packed);
+}
+
+inline void StorePackedSlot(std::atomic<uint64_t>* words,
+                            const SlotAggregate& aggregate) {
+  const SlotAggregate::Packed packed = aggregate.ToPacked();
+  words[0].store(packed.count, std::memory_order_relaxed);
+  words[1].store(packed.sum_hi, std::memory_order_relaxed);
+  words[2].store(packed.sum_lo, std::memory_order_relaxed);
+  words[3].store(packed.sum_sq_hi, std::memory_order_relaxed);
+  words[4].store(packed.sum_sq_lo, std::memory_order_relaxed);
+}
+
+// Rebuilds an aggregate from five already-snapshotted plain words.
+inline SlotAggregate UnpackSnapshotSlot(const uint64_t* words) {
+  SlotAggregate::Packed packed;
+  packed.count = words[0];
+  packed.sum_hi = words[1];
+  packed.sum_lo = words[2];
+  packed.sum_sq_hi = words[3];
+  packed.sum_sq_lo = words[4];
+  return SlotAggregate::FromPacked(packed);
+}
+
 }  // namespace
 
 Result<ShardedCollector> ShardedCollector::Create(
     ShardedCollectorOptions options) {
   if (options.num_shards < 1) {
     return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (options.single_writer && options.keep_streams) {
+    // Raw per-user streams are owner-private dense arrays; serving them
+    // to concurrent readers would need the very mutex single-writer
+    // mode exists to elide.
+    return Status::InvalidArgument(
+        "single_writer collectors are aggregate-only; set keep_streams "
+        "= false");
   }
   if (options.histogram.enabled) {
     if (options.histogram.num_bins < 2) {
@@ -74,6 +122,148 @@ void ShardedCollector::GrowSlots(Shard& shard, size_t end_slot) {
   shard.slots.resize(end_slot);
   if (options_.histogram.enabled) {
     shard.histogram.resize(end_slot * options_.histogram.row_size(), 0);
+  }
+}
+
+void ShardedCollector::GrowOwnedSlots(Shard& shard, size_t end_slot) {
+  // The mutex here excludes in-flight seqlock readers (they hold it for
+  // their whole snapshot), so the swap below can never reallocate the
+  // arrays out from under a racing copy. Only the owner grows, so
+  // owned_slots / owned_capacity are stable outside the lock for it.
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (end_slot > shard.owned_capacity) {
+    size_t capacity = std::max<size_t>(shard.owned_capacity * 2, 64);
+    capacity = std::max(capacity, end_slot);
+    // make_unique value-initializes, so the new tail slots are zero --
+    // an empty SlotAggregate / empty bins, exactly like GrowSlots.
+    auto packed =
+        std::make_unique<std::atomic<uint64_t>[]>(capacity * kPackedWords);
+    for (size_t w = 0; w < shard.owned_slots * kPackedWords; ++w) {
+      packed[w].store(shard.owned_packed[w].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    }
+    shard.owned_packed = std::move(packed);
+    if (options_.histogram.enabled) {
+      const size_t row_size = options_.histogram.row_size();
+      auto bins =
+          std::make_unique<std::atomic<uint32_t>[]>(capacity * row_size);
+      for (size_t b = 0; b < shard.owned_slots * row_size; ++b) {
+        bins[b].store(
+            shard.owned_histogram[b].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+      }
+      shard.owned_histogram = std::move(bins);
+    }
+    shard.owned_capacity = capacity;
+  }
+  shard.owned_slots = end_slot;
+}
+
+void ShardedCollector::IngestOwnedRun(Shard& shard, uint64_t user_id,
+                                      size_t base_slot,
+                                      std::span<const double> values,
+                                      size_t first, size_t last) {
+  // Owner-private bookkeeping: exactly one thread ever ingests into
+  // this shard (the single_writer contract), so the user index and
+  // dense arrays need no lock. Cross-thread per-user queries are
+  // answered only from the owner or after quiescence (see the header).
+  const auto [it, inserted] = shard.index.try_emplace(
+      user_id, static_cast<uint32_t>(shard.last_slot.size()));
+  const uint32_t dense = it->second;
+  if (inserted) {
+    shard.last_slot.push_back(static_cast<uint32_t>(base_slot + first));
+    shard.reports_per_user.push_back(0);
+    shard.owned_users.store(
+        shard.owned_users.load(std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+  }
+  shard.last_slot[dense] = std::max(
+      shard.last_slot[dense], static_cast<uint32_t>(base_slot + last));
+  const size_t end_slot = base_slot + last + 1;
+  if (end_slot > shard.owned_slots) GrowOwnedSlots(shard, end_slot);
+
+  // Seqlock write section: bump to odd, release-fence so the data
+  // stores cannot be ordered before it, mutate, then publish with a
+  // store-release back to even. Readers that overlap any of this see an
+  // odd or moved sequence and retry.
+  const uint64_t seq = shard.seq.load(std::memory_order_relaxed);
+  shard.seq.store(seq + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  size_t ingested = 0;
+  uint64_t saturated = 0;
+  std::atomic<uint64_t>* const slots_base =
+      shard.owned_packed.get() + base_slot * kPackedWords;
+  for (size_t i = first; i <= last; ++i) {
+    if (!std::isfinite(values[i])) continue;
+    std::atomic<uint64_t>* words = slots_base + i * kPackedWords;
+    SlotAggregate aggregate = LoadPackedSlot(words);
+    saturated += static_cast<uint64_t>(aggregate.Add(values[i]));
+    StorePackedSlot(words, aggregate);
+    ++ingested;
+  }
+  const SlotHistogramOptions& hist = options_.histogram;
+  if (hist.enabled) {
+    const size_t row_size = hist.row_size();
+    std::atomic<uint32_t>* rows =
+        shard.owned_histogram.get() + base_slot * row_size;
+    for (size_t i = first; i <= last; ++i) {
+      if (!std::isfinite(values[i])) continue;
+      std::atomic<uint32_t>& bin =
+          rows[i * row_size + hist.BinFor(values[i])];
+      const uint32_t count = bin.load(std::memory_order_relaxed);
+      if (count == std::numeric_limits<uint32_t>::max()) {
+        ++saturated;  // same pinned-bin semantics as BumpBin
+      } else {
+        bin.store(count + 1, std::memory_order_relaxed);
+      }
+    }
+  }
+  shard.seq.store(seq + 2, std::memory_order_release);
+
+  // Totals live outside the write section: they are monotonic counters
+  // read relaxed, not part of the consistent-snapshot contract.
+  shard.reports_per_user[dense] += static_cast<uint32_t>(ingested);
+  shard.owned_reports.store(
+      shard.owned_reports.load(std::memory_order_relaxed) + ingested,
+      std::memory_order_relaxed);
+  shard.owned_saturated.store(
+      shard.owned_saturated.load(std::memory_order_relaxed) + saturated,
+      std::memory_order_relaxed);
+}
+
+size_t ShardedCollector::SnapshotOwned(const Shard& shard,
+                                       std::vector<uint64_t>& packed,
+                                       std::vector<uint32_t>* hist) const {
+  // Seqlock read: copy the words, then retry if the owner was inside a
+  // write section (odd sequence) or wrote during the copy (sequence
+  // moved). Holding the mutex blocks only capacity growth -- never the
+  // ingest fast path -- so readers cannot perturb the throughput win.
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const size_t slots = shard.owned_slots;
+  const size_t words = slots * kPackedWords;
+  const size_t bins = (hist != nullptr && options_.histogram.enabled)
+                          ? slots * options_.histogram.row_size()
+                          : 0;
+  packed.resize(words);
+  if (hist != nullptr) hist->resize(bins);
+  for (;;) {
+    const uint64_t seq_before = shard.seq.load(std::memory_order_acquire);
+    if (seq_before & 1) {
+      shard.read_retries.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+      continue;
+    }
+    for (size_t w = 0; w < words; ++w) {
+      packed[w] = shard.owned_packed[w].load(std::memory_order_relaxed);
+    }
+    for (size_t b = 0; b < bins; ++b) {
+      (*hist)[b] = shard.owned_histogram[b].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (shard.seq.load(std::memory_order_relaxed) == seq_before) {
+      return slots;
+    }
+    shard.read_retries.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -169,6 +359,10 @@ void ShardedCollector::IngestUserRun(uint64_t user_id, size_t base_slot,
   while (!std::isfinite(values[last])) --last;  // exists: first <= last
 
   Shard& shard = *shards_[ShardIndex(user_id)];
+  if (options_.single_writer) {
+    IngestOwnedRun(shard, user_id, base_slot, values, first, last);
+    return;
+  }
   std::lock_guard<std::mutex> lock(shard.mu);
   // Resolve the user's dense index once for the run.
   const auto [it, inserted] =
@@ -187,15 +381,18 @@ void ShardedCollector::IngestUserRun(uint64_t user_id, size_t base_slot,
 
   if (!options_.keep_streams) {
     // Aggregate-only fast path: one exact add per slot and bulk counter
-    // updates; nothing else to maintain.
+    // updates; nothing else to maintain. Saturation is accumulated
+    // branchlessly (Add's bool as 0/1) so the loop carries no
+    // data-dependent branch besides the all-finite check.
     size_t ingested = 0;
+    uint64_t saturated = 0;
+    SlotAggregate* const slots_base = shard.slots.data() + base_slot;
     for (size_t i = first; i <= last; ++i) {
       if (!std::isfinite(values[i])) continue;
-      if (shard.slots[base_slot + i].Add(values[i])) {
-        ++shard.saturated_reports;
-      }
+      saturated += static_cast<uint64_t>(slots_base[i].Add(values[i]));
       ++ingested;
     }
+    shard.saturated_reports += saturated;
     if (hist.enabled) {
       // Separate pass for the bins: keeps the aggregate loop's int128
       // dependency chain free of the bin math and the strided row
@@ -246,6 +443,13 @@ void ShardedCollector::IngestUserRun(uint64_t user_id, size_t base_slot,
 }
 
 void ShardedCollector::Ingest(const SlotReport& report) {
+  if (options_.single_writer) {
+    // Funnel through the run path: single-writer storage has no locked
+    // per-report variant, and aggregate-only mode (which single_writer
+    // implies) treats every report as new either way.
+    IngestUserRun(report.user_id, report.slot, {&report.value, 1});
+    return;
+  }
   Shard& shard = *shards_[ShardIndex(report.user_id)];
   std::lock_guard<std::mutex> lock(shard.mu);
   IngestLocked(shard, report);
@@ -253,6 +457,12 @@ void ShardedCollector::Ingest(const SlotReport& report) {
 
 void ShardedCollector::IngestBatch(std::span<const SlotReport> reports) {
   if (reports.empty()) return;
+  if (options_.single_writer) {
+    for (const SlotReport& report : reports) {
+      IngestUserRun(report.user_id, report.slot, {&report.value, 1});
+    }
+    return;
+  }
   if (shards_.size() == 1) {
     Shard& shard = *shards_[0];
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -275,6 +485,14 @@ void ShardedCollector::IngestBatch(std::span<const SlotReport> reports) {
 
 size_t ShardedCollector::user_count() const {
   size_t total = 0;
+  if (options_.single_writer) {
+    // The owner maintains a dedicated atomic counter precisely so this
+    // query never touches its lock-free index map.
+    for (const auto& shard : shards_) {
+      total += shard->owned_users.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     total += shard->index.size();
@@ -284,6 +502,12 @@ size_t ShardedCollector::user_count() const {
 
 size_t ShardedCollector::report_count() const {
   size_t total = 0;
+  if (options_.single_writer) {
+    for (const auto& shard : shards_) {
+      total += shard->owned_reports.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     total += shard->report_count;
@@ -293,9 +517,23 @@ size_t ShardedCollector::report_count() const {
 
 uint64_t ShardedCollector::saturated_report_count() const {
   uint64_t total = 0;
+  if (options_.single_writer) {
+    for (const auto& shard : shards_) {
+      total += shard->owned_saturated.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     total += shard->saturated_reports;
+  }
+  return total;
+}
+
+uint64_t ShardedCollector::seqlock_read_retries() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->read_retries.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -317,7 +555,8 @@ size_t ShardedCollector::SlotSpan() const {
   size_t span = 0;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    span = std::max(span, shard->slots.size());
+    span = std::max(span, options_.single_writer ? shard->owned_slots
+                                                 : shard->slots.size());
   }
   return span;
 }
@@ -371,6 +610,18 @@ Result<double> ShardedCollector::SubsequenceMean(uint64_t user_id,
 
 std::vector<SlotAggregate> ShardedCollector::PopulationSlotAggregates() const {
   std::vector<SlotAggregate> merged;
+  if (options_.single_writer) {
+    std::vector<uint64_t> packed;
+    for (const auto& shard : shards_) {
+      const size_t slots = SnapshotOwned(*shard, packed, nullptr);
+      if (slots > merged.size()) merged.resize(slots);
+      for (size_t t = 0; t < slots; ++t) {
+        merged[t].Merge(UnpackSnapshotSlot(packed.data() +
+                                           t * kPackedWords));
+      }
+    }
+    return merged;
+  }
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     // Sized inside the lock: a concurrent ingest may have grown a shard
@@ -393,6 +644,21 @@ ShardedCollector::PopulationSlotHistograms() const {
   }
   const size_t row_size = options_.histogram.row_size();
   std::vector<std::vector<uint64_t>> merged;
+  if (options_.single_writer) {
+    std::vector<uint64_t> packed;
+    std::vector<uint32_t> bins;
+    for (const auto& shard : shards_) {
+      const size_t slots = SnapshotOwned(*shard, packed, &bins);
+      if (slots > merged.size()) {
+        merged.resize(slots, std::vector<uint64_t>(row_size, 0));
+      }
+      for (size_t t = 0; t < slots; ++t) {
+        const uint32_t* row = bins.data() + t * row_size;
+        for (size_t b = 0; b < row_size; ++b) merged[t][b] += row[b];
+      }
+    }
+    return merged;
+  }
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     // Sized inside the lock, like PopulationSlotAggregates: a concurrent
@@ -413,6 +679,17 @@ uint64_t ShardedCollector::histogram_outlier_count() const {
   if (!options_.histogram.enabled) return 0;
   const size_t row_size = options_.histogram.row_size();
   uint64_t total = 0;
+  if (options_.single_writer) {
+    std::vector<uint64_t> packed;
+    std::vector<uint32_t> bins;
+    for (const auto& shard : shards_) {
+      const size_t slots = SnapshotOwned(*shard, packed, &bins);
+      for (size_t t = 0; t < slots; ++t) {
+        total += bins[t * row_size] + bins[t * row_size + row_size - 1];
+      }
+    }
+    return total;
+  }
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     // Under/overflow are the first and last entry of each slot row.
@@ -435,6 +712,31 @@ Result<CollectorShardState> ShardedCollector::ExportShardState(
         "false); raw streams are not serialized");
   }
   const Shard& shard = *shards_[shard_index];
+  if (options_.single_writer) {
+    // The aggregate arrays come through the seqlock like any reader's;
+    // the per-user bookkeeping below is owner-private, so this path
+    // additionally requires the owner thread or quiescence -- which its
+    // only caller, the checkpoint tier, guarantees with its exclusive
+    // lock (and recovery runs before any ingest).
+    std::vector<uint64_t> packed;
+    std::vector<uint32_t> bins;
+    CollectorShardState state;
+    const size_t slots = SnapshotOwned(shard, packed, &bins);
+    state.slots.resize(slots);
+    for (size_t t = 0; t < slots; ++t) {
+      state.slots[t] = UnpackSnapshotSlot(packed.data() + t * kPackedWords);
+    }
+    state.histogram.assign(bins.begin(), bins.end());
+    state.users.resize(shard.last_slot.size());
+    for (const auto& [user_id, dense] : shard.index) {
+      state.users[dense] = {user_id, shard.last_slot[dense],
+                            shard.reports_per_user[dense]};
+    }
+    state.report_count = shard.owned_reports.load(std::memory_order_relaxed);
+    state.saturated_reports =
+        shard.owned_saturated.load(std::memory_order_relaxed);
+    return state;
+  }
   std::lock_guard<std::mutex> lock(shard.mu);
   CollectorShardState state;
   state.users.resize(shard.last_slot.size());
@@ -471,7 +773,11 @@ Status ShardedCollector::RestoreShardState(size_t shard_index,
   }
   Shard& shard = *shards_[shard_index];
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (!shard.index.empty() || shard.report_count != 0) {
+  const uint64_t prior_reports =
+      options_.single_writer
+          ? shard.owned_reports.load(std::memory_order_relaxed)
+          : shard.report_count;
+  if (!shard.index.empty() || prior_reports != 0) {
     return Status::FailedPrecondition(
         "RestoreShardState wants an empty shard (restore runs before any "
         "ingest)");
@@ -493,6 +799,33 @@ Status ShardedCollector::RestoreShardState(size_t shard_index,
     }
     shard.last_slot[dense] = entry.last_slot;
     shard.reports_per_user[dense] = entry.reports;
+  }
+  if (options_.single_writer) {
+    // Restore runs single-threaded before any ingest, so plain relaxed
+    // stores into freshly allocated atomic arrays suffice.
+    const size_t slots = state.slots.size();
+    shard.owned_packed =
+        std::make_unique<std::atomic<uint64_t>[]>(slots * kPackedWords);
+    for (size_t t = 0; t < slots; ++t) {
+      StorePackedSlot(shard.owned_packed.get() + t * kPackedWords,
+                      state.slots[t]);
+    }
+    if (options_.histogram.enabled) {
+      shard.owned_histogram =
+          std::make_unique<std::atomic<uint32_t>[]>(state.histogram.size());
+      for (size_t b = 0; b < state.histogram.size(); ++b) {
+        shard.owned_histogram[b].store(state.histogram[b],
+                                       std::memory_order_relaxed);
+      }
+    }
+    shard.owned_capacity = slots;
+    shard.owned_slots = slots;
+    shard.owned_users.store(state.users.size(), std::memory_order_relaxed);
+    shard.owned_reports.store(state.report_count,
+                              std::memory_order_relaxed);
+    shard.owned_saturated.store(state.saturated_reports,
+                                std::memory_order_relaxed);
+    return Status::OK();
   }
   shard.slots = std::move(state.slots);
   shard.histogram = std::move(state.histogram);

@@ -26,12 +26,29 @@
 // serialized (they are O(users * slots) and the durable tier exists for
 // the aggregate-only production shape).
 //
+// Single-writer mode (single_writer = true) goes one step further for
+// the shard-affinity transport shape: when the transport routes every
+// shard group to exactly one consumer thread, each shard has exactly
+// one writer, so the per-shard mutex buys nothing on the ingest path.
+// Ingest then skips the mutex entirely and publishes the per-slot
+// aggregates (and histogram bins) through a per-shard seqlock: each
+// aggregate lives as its five Packed words in a flat atomic array, the
+// owner brackets every run with an odd/even sequence counter, and
+// concurrent aggregate readers copy the words and retry if the
+// sequence was odd or moved (a torn snapshot) instead of ever blocking
+// the writer. The shard mutex survives only for storage growth: a
+// reader holds it across its snapshot, so the owner's rare capacity
+// doubling (also under the mutex) can never reallocate the arrays out
+// from under a racing copy. Aggregates are exact integer sums, so the
+// two locking modes are bit-identical for the same ingested multiset.
+//
 // SlotAggregate and SlotHistogramOptions -- the exact-accumulation
 // building blocks -- live in storage/collector_backend.h so every
 // backend shares them; this header re-exports them via that include.
 #ifndef CAPP_ENGINE_SHARDED_COLLECTOR_H_
 #define CAPP_ENGINE_SHARDED_COLLECTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -56,6 +73,18 @@ struct ShardedCollectorOptions {
   /// each (user, slot) pair must then be ingested at most once (overwrites
   /// cannot be detected without the raw values).
   bool keep_streams = true;
+  /// Single-writer (shard-owned) ingest: the caller guarantees that at
+  /// most one thread ever ingests into any given shard (the transport's
+  /// shard_affinity routing provides exactly this), and in exchange the
+  /// ingest path skips the per-shard mutex entirely, publishing the
+  /// per-slot aggregates and histogram bins through a per-shard seqlock
+  /// for concurrent aggregate readers (see the class comment). Requires
+  /// keep_streams = false. Per-user queries (Contains / SlotCount) are
+  /// then safe only from the shard's owning thread or after ingest has
+  /// quiesced -- which covers every existing caller: the durable tier's
+  /// dedup probe runs on the owning consumer, its checkpoints hold an
+  /// exclusive lock, and stats readers run after Drain().
+  bool single_writer = false;
   /// Per-slot value histograms (off by default: the analytics tier).
   SlotHistogramOptions histogram = {};
 };
@@ -177,6 +206,12 @@ class ShardedCollector : public CollectorBackend {
   /// covered runs directly.
   Status RestoreShardState(size_t shard, CollectorShardState state) override;
 
+  /// Total seqlock snapshot retries across shards: how often an
+  /// aggregate reader observed a write in progress (odd sequence) or a
+  /// torn copy (sequence moved) and re-read. Always 0 in mutex mode,
+  /// and 0 in single-writer mode when nobody read during ingest.
+  uint64_t seqlock_read_retries() const;
+
   const ShardedCollectorOptions& options() const { return options_; }
 
  private:
@@ -202,6 +237,27 @@ class ShardedCollector : public CollectorBackend {
     std::vector<uint32_t> histogram;
     size_t report_count = 0;
     uint64_t saturated_reports = 0;  // reports clamped by SlotAggregate
+
+    // --- Single-writer mode state (unused in mutex mode). ---
+    // Seqlock sequence: odd exactly while the owning thread is inside a
+    // write section mutating the atomic words below.
+    std::atomic<uint64_t> seq{0};
+    // Per-slot aggregates as their SlotAggregate::Packed words (5 per
+    // slot) and flat histogram bins, in atomics so seqlock readers may
+    // race with the owner without UB. The first owned_slots entries are
+    // valid; capacity doubles under `mu` (see GrowOwnedSlots), which a
+    // reader holds across its whole snapshot, so growth can never
+    // reallocate the arrays out from under a racing copy.
+    std::unique_ptr<std::atomic<uint64_t>[]> owned_packed;
+    std::unique_ptr<std::atomic<uint32_t>[]> owned_histogram;
+    size_t owned_slots = 0;     // valid slot prefix; readers see it via mu
+    size_t owned_capacity = 0;  // allocated slots
+    // Monotonic counters, updated by the owner outside the seqlock and
+    // read relaxed: totals, not part of the consistent-snapshot story.
+    std::atomic<uint64_t> owned_users{0};
+    std::atomic<uint64_t> owned_reports{0};
+    std::atomic<uint64_t> owned_saturated{0};
+    mutable std::atomic<uint64_t> read_retries{0};  // seqlock retries
   };
 
   explicit ShardedCollector(ShardedCollectorOptions options);
@@ -212,6 +268,20 @@ class ShardedCollector : public CollectorBackend {
   // Grows shard.slots (and the histogram rows, when enabled) to cover
   // `end_slot` slots. Caller holds the shard's lock.
   void GrowSlots(Shard& shard, size_t end_slot);
+  // Single-writer ingest of one run (values[first..last] are the
+  // trimmed finite span). Called by the owning thread only; takes the
+  // shard mutex solely inside GrowOwnedSlots.
+  void IngestOwnedRun(Shard& shard, uint64_t user_id, size_t base_slot,
+                      std::span<const double> values, size_t first,
+                      size_t last);
+  // Grows the owned atomic arrays to cover end_slot slots. Owner only;
+  // locks the shard mutex to exclude in-flight seqlock readers.
+  void GrowOwnedSlots(Shard& shard, size_t end_slot);
+  // Seqlock read: one consistent snapshot of an owned shard's packed
+  // aggregate words (and histogram bins when hist != nullptr and the
+  // tier is enabled). Returns the number of valid slots.
+  size_t SnapshotOwned(const Shard& shard, std::vector<uint64_t>& packed,
+                       std::vector<uint32_t>* hist) const;
 
   ShardedCollectorOptions options_;
   // unique_ptr keeps the collector movable despite the per-shard mutexes.

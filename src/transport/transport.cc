@@ -38,6 +38,23 @@ Status ValidateTransportOptions(const TransportOptions& options) {
   if (options.max_batch_runs < 1) {
     return Status::InvalidArgument("transport max_batch_runs must be >= 1");
   }
+  if (options.owned_shards) {
+    // Single-writer collector shards are only sound when the routing
+    // guarantees one writer per shard; reject the unsound combinations
+    // here rather than racing silently at runtime.
+    if (options.kind == TransportKind::kDirect) {
+      return Status::InvalidArgument(
+          "owned_shards requires a queued transport: under kDirect every "
+          "worker thread ingests directly, so no shard has a single "
+          "writer");
+    }
+    if (!options.shard_affinity) {
+      return Status::InvalidArgument(
+          "owned_shards requires shard_affinity: without affinity "
+          "routing, multiple consumers write the same shard and "
+          "single-writer ingest would race");
+    }
+  }
   // sockaddr_un::sun_path is 108 bytes on Linux; leave headroom for the
   // terminator. Checked for every kind so a config cannot become invalid
   // by flipping the kind to kSocket.

@@ -50,6 +50,15 @@ struct TransportOptions {
   /// Applies to the queued kinds (server-side for kSocket); ignored under
   /// kDirect. Results are bit-identical either way.
   bool shard_affinity = false;
+  /// Run the collector's shards in single-writer mode: with
+  /// shard_affinity routing, each shard group is owned by exactly one
+  /// consumer, so the collector can skip its per-shard mutex on ingest
+  /// and serve aggregate readers through a per-shard seqlock instead
+  /// (ShardedCollectorOptions::single_writer). Requires shard_affinity
+  /// and a queued kind -- under kDirect every worker thread ingests, so
+  /// no shard has a single writer. Results stay bit-identical; only the
+  /// locking discipline changes.
+  bool owned_shards = false;
   /// kSocket only. Empty: the hub runs an in-process loopback collector
   /// server on an auto-generated /tmp path (single-process testing and
   /// benchmarking of the full socket path). Non-empty: connect to an

@@ -15,6 +15,7 @@
 
 #include "algorithms/factory.h"
 #include "core/rng.h"
+#include "core/stream_digest.h"
 #include "engine/engine_config.h"
 #include "engine/fleet.h"
 #include "engine/sharded_collector.h"
@@ -91,6 +92,47 @@ TEST(FillUniformTest, MatchesScalarDrawsAtEverySize) {
     // The generators must also be left in the same state.
     EXPECT_EQ(scalar_rng.NextUint64(), block_rng.NextUint64()) << n;
   }
+}
+
+// ----------------------------------------------------------- FillGaussian --
+
+TEST(FillGaussianTest, MatchesScalarDrawsAtEverySize) {
+  // Odd sizes matter: the scalar path caches the rejected pair's second
+  // output as a spare, and the block path must leave the identical spare.
+  for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{4},
+                   size_t{5}, size_t{7}, size_t{8}, size_t{15}, size_t{64},
+                   size_t{255}, size_t{1000}}) {
+    Rng scalar_rng(42);
+    Rng block_rng(42);
+    std::vector<double> scalar(n);
+    for (double& x : scalar) x = scalar_rng.Gaussian(0.0, 1.0);
+    std::vector<double> block(n);
+    block_rng.FillGaussian(block);
+    ExpectBitEqual(scalar, block, "FillGaussian");
+    // The generators must be left in the same state, spare included: the
+    // next Gaussian draw and the raw uniform stream must both agree.
+    EXPECT_EQ(std::bit_cast<uint64_t>(scalar_rng.Gaussian(0.0, 1.0)),
+              std::bit_cast<uint64_t>(block_rng.Gaussian(0.0, 1.0)))
+        << n;
+    EXPECT_EQ(scalar_rng.NextUint64(), block_rng.NextUint64()) << n;
+  }
+}
+
+TEST(FillGaussianTest, ConsumesPreexistingSpareFirst) {
+  Rng scalar_rng(7);
+  Rng block_rng(7);
+  // One scalar draw primes both generators with a cached spare; the
+  // block fill must emit that spare as its first output.
+  EXPECT_EQ(std::bit_cast<uint64_t>(scalar_rng.Gaussian(0.0, 1.0)),
+            std::bit_cast<uint64_t>(block_rng.Gaussian(0.0, 1.0)));
+  for (size_t n : {size_t{1}, size_t{2}, size_t{5}}) {
+    std::vector<double> scalar(n);
+    for (double& x : scalar) x = scalar_rng.Gaussian(0.0, 1.0);
+    std::vector<double> block(n);
+    block_rng.FillGaussian(block);
+    ExpectBitEqual(scalar, block, "FillGaussian with pending spare");
+  }
+  EXPECT_EQ(scalar_rng.NextUint64(), block_rng.NextUint64());
 }
 
 // ----------------------------------------------------------- PerturbBatch --
@@ -402,16 +444,10 @@ uint64_t ScalarOracleDigest(const EngineConfig& config,
     }
     auto published = SimpleMovingAverage(reports, smoothing_window);
     CAPP_CHECK(published.ok());
-    uint64_t h = 0xCBF29CE484222325ULL;
-    auto mix = [&h](uint64_t word) {
-      for (int byte = 0; byte < 8; ++byte) {
-        h ^= (word >> (8 * byte)) & 0xFF;
-        h *= 0x100000001B3ULL;
-      }
-    };
-    mix(uid);
-    for (double x : *published) mix(std::bit_cast<uint64_t>(x));
-    digest ^= h;
+    // Digest v2: the public chunk-level hash (core/stream_digest.h). The
+    // oracle's streams come from the scalar path, so this pins both the
+    // published values and the digest definition the engine reports.
+    digest ^= UserStreamDigest(uid, *published);
   }
   return digest;
 }

@@ -10,6 +10,7 @@
 #include "core/piecewise_density.h"
 #include "core/rng.h"
 #include "core/status.h"
+#include "core/stream_digest.h"
 
 namespace capp {
 namespace {
@@ -195,6 +196,25 @@ TEST(RngTest, ForkProducesIndependentStream) {
     if (parent.NextUint64() == child.NextUint64()) ++equal;
   }
   EXPECT_LT(equal, 2);
+}
+
+// -------------------------------------------------------- stream digest --
+
+TEST(StreamDigestTest, PinnedVectorsAnchorDigestV2) {
+  // Known-answer vectors for the v2 (chunk/mum) per-user stream digest.
+  // These constants ARE the digest definition: any change to the hash
+  // changes every committed baseline digest, which is a deliberate,
+  // documented event (see bench/baselines/README.md) -- never a silent
+  // side effect of a refactor. The inputs use only exactly-representable
+  // doubles, so the expected values are platform-independent.
+  const std::vector<double> stream = {0.0, 1.0, 0.5};
+  EXPECT_EQ(UserStreamDigest(7, stream), 0x8608827ee98d374bULL);
+  EXPECT_EQ(UserStreamDigest(8, stream), 0x8f157ecf7ed31adaULL);
+  EXPECT_EQ(UserStreamDigest(0, {}), 0xce3a6be944bbbb61ULL);
+  // The length folds into the final mix, so a prefix hashes differently
+  // even though the odd-tail lane consumed identical words.
+  const std::vector<double> prefix = {0.0, 1.0};
+  EXPECT_EQ(UserStreamDigest(7, prefix), 0x93887d613b701fc9ULL);
 }
 
 // ------------------------------------------------------------ math utils --

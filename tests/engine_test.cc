@@ -2,11 +2,13 @@
 // Welford slot aggregates, ShardedCollector equivalence with the legacy
 // map-based collector, and the Fleet determinism contract.
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -17,6 +19,7 @@
 #include "engine/report_batch.h"
 #include "engine/sharded_collector.h"
 #include "engine/thread_pool.h"
+#include "storage/collector_backend.h"
 #include "stream/gap_fill.h"
 #include "stream/session.h"
 
@@ -431,6 +434,187 @@ TEST(ShardedCollectorTest, ConcurrentIngestMatchesSerial) {
   }
 }
 
+// ------------------------------------- single-writer (shard-owned) mode ----
+
+TEST(ShardedCollectorTest, SingleWriterMatchesMutexIngestExactly) {
+  // The same runs through a mutex-mode and a single-writer-mode collector
+  // must leave bit-identical state -- counters, aggregates, histograms,
+  // and exported checkpoints: only the locking discipline differs.
+  Rng rng(53);
+  std::vector<std::vector<double>> runs;
+  for (uint64_t user = 0; user < 300; ++user) {
+    std::vector<double> run;
+    const size_t len = 1 + rng.UniformInt(20);
+    for (size_t t = 0; t < len; ++t) {
+      // Mostly unit-range, with occasional saturating outliers so the
+      // saturated-report counter is exercised in both modes.
+      run.push_back(rng.UniformInt(40) == 0 ? 1.0e9 : rng.UniformDouble());
+    }
+    runs.push_back(std::move(run));
+  }
+  ShardedCollectorOptions options;
+  options.num_shards = 8;
+  options.keep_streams = false;
+  options.histogram = {.enabled = true, .num_bins = 16};
+  auto mutex_mode = ShardedCollector::Create(options);
+  options.single_writer = true;
+  auto owned_mode = ShardedCollector::Create(options);
+  ASSERT_TRUE(mutex_mode.ok() && owned_mode.ok());
+  for (uint64_t user = 0; user < runs.size(); ++user) {
+    mutex_mode->IngestUserRun(user, user % 3, runs[user]);
+    owned_mode->IngestUserRun(user, user % 3, runs[user]);
+  }
+
+  EXPECT_EQ(owned_mode->user_count(), mutex_mode->user_count());
+  EXPECT_EQ(owned_mode->report_count(), mutex_mode->report_count());
+  EXPECT_EQ(owned_mode->saturated_report_count(),
+            mutex_mode->saturated_report_count());
+  EXPECT_EQ(owned_mode->SlotSpan(), mutex_mode->SlotSpan());
+  EXPECT_EQ(owned_mode->histogram_outlier_count(),
+            mutex_mode->histogram_outlier_count());
+  // Ingest has quiesced, so per-user queries are safe in owned mode.
+  for (uint64_t user = 0; user < runs.size(); ++user) {
+    EXPECT_TRUE(owned_mode->Contains(user));
+    EXPECT_EQ(owned_mode->SlotCount(user), mutex_mode->SlotCount(user));
+  }
+
+  const auto mutex_aggs = mutex_mode->PopulationSlotAggregates();
+  const auto owned_aggs = owned_mode->PopulationSlotAggregates();
+  ASSERT_EQ(owned_aggs.size(), mutex_aggs.size());
+  for (size_t t = 0; t < mutex_aggs.size(); ++t) {
+    const auto a = mutex_aggs[t].ToPacked();
+    const auto b = owned_aggs[t].ToPacked();
+    EXPECT_EQ(b.count, a.count) << t;
+    EXPECT_EQ(b.sum_hi, a.sum_hi) << t;
+    EXPECT_EQ(b.sum_lo, a.sum_lo) << t;
+    EXPECT_EQ(b.sum_sq_hi, a.sum_sq_hi) << t;
+    EXPECT_EQ(b.sum_sq_lo, a.sum_sq_lo) << t;
+  }
+  const auto mutex_hist = mutex_mode->PopulationSlotHistograms();
+  const auto owned_hist = owned_mode->PopulationSlotHistograms();
+  ASSERT_TRUE(mutex_hist.ok() && owned_hist.ok());
+  EXPECT_EQ(*owned_hist, *mutex_hist);
+  // The order-independent state digest ties it all together, and
+  // checkpoint exports must agree shard by shard.
+  EXPECT_EQ(CollectorStateDigest(*owned_mode),
+            CollectorStateDigest(*mutex_mode));
+  for (size_t shard = 0; shard < options.num_shards; ++shard) {
+    SCOPED_TRACE(shard);
+    auto a = mutex_mode->ExportShardState(shard);
+    auto b = owned_mode->ExportShardState(shard);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(b->report_count, a->report_count);
+    EXPECT_EQ(b->saturated_reports, a->saturated_reports);
+    EXPECT_EQ(b->histogram, a->histogram);
+    ASSERT_EQ(b->users.size(), a->users.size());
+    ASSERT_EQ(b->slots.size(), a->slots.size());
+    for (size_t t = 0; t < a->slots.size(); ++t) {
+      const auto pa = a->slots[t].ToPacked();
+      const auto pb = b->slots[t].ToPacked();
+      EXPECT_EQ(pb.count, pa.count) << t;
+      EXPECT_EQ(pb.sum_lo, pa.sum_lo) << t;
+      EXPECT_EQ(pb.sum_sq_lo, pa.sum_sq_lo) << t;
+    }
+  }
+}
+
+TEST(ShardedCollectorTest, SingleWriterRestoreRoundTrips) {
+  // Checkpoint state exported from an owned-mode collector restores into
+  // an empty owned-mode collector bit-exactly (the recovery path).
+  ShardedCollectorOptions options;
+  options.num_shards = 4;
+  options.keep_streams = false;
+  options.single_writer = true;
+  auto source = ShardedCollector::Create(options);
+  ASSERT_TRUE(source.ok());
+  Rng rng(11);
+  for (uint64_t user = 0; user < 100; ++user) {
+    std::vector<double> run(1 + rng.UniformInt(6));
+    for (double& x : run) x = rng.UniformDouble();
+    source->IngestUserRun(user, 0, run);
+  }
+  auto restored = ShardedCollector::Create(options);
+  ASSERT_TRUE(restored.ok());
+  for (size_t shard = 0; shard < options.num_shards; ++shard) {
+    auto state = source->ExportShardState(shard);
+    ASSERT_TRUE(state.ok());
+    ASSERT_TRUE(restored->RestoreShardState(shard, *std::move(state)).ok());
+  }
+  EXPECT_EQ(restored->user_count(), source->user_count());
+  EXPECT_EQ(restored->report_count(), source->report_count());
+  EXPECT_EQ(CollectorStateDigest(*restored), CollectorStateDigest(*source));
+}
+
+TEST(ShardedCollectorTest, SingleWriterRequiresAggregateOnlyStorage) {
+  ShardedCollectorOptions options;
+  options.keep_streams = true;
+  options.single_writer = true;
+  EXPECT_FALSE(ShardedCollector::Create(options).ok());
+  options.keep_streams = false;
+  EXPECT_TRUE(ShardedCollector::Create(options).ok());
+}
+
+TEST(ShardedCollectorTest, SingleWriterSnapshotsAreRunAtomic) {
+  // Seqlock consistency under a live writer: the owner ingests whole
+  // constant-value runs inside one write section, so with a single shard
+  // a concurrent reader must never observe a torn run -- every snapshot
+  // shows the same count in all slots, and sums that are exact integer
+  // multiples of the one-report sums. Run under TSan this is also the
+  // data-race check for the owned ingest path.
+  ShardedCollectorOptions options;
+  options.num_shards = 1;
+  options.keep_streams = false;
+  options.single_writer = true;
+  auto collector = ShardedCollector::Create(options);
+  ASSERT_TRUE(collector.ok());
+
+  constexpr double kValue = 0.3125;  // exactly representable
+  constexpr size_t kSlots = 8;
+  constexpr uint64_t kUsers = 4000;
+  SlotAggregate unit;
+  unit.Add(kValue);
+  const auto unit_packed = unit.ToPacked();
+  const auto to128 = [](uint64_t hi, uint64_t lo) {
+    return static_cast<unsigned __int128>(hi) << 64 | lo;
+  };
+  const auto unit_sum = to128(unit_packed.sum_hi, unit_packed.sum_lo);
+  const auto unit_sq = to128(unit_packed.sum_sq_hi, unit_packed.sum_sq_lo);
+
+  std::atomic<bool> done{false};
+  const std::vector<double> run(kSlots, kValue);
+  std::thread owner([&] {
+    for (uint64_t user = 0; user < kUsers; ++user) {
+      collector->IngestUserRun(user, 0, run);
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  do {
+    const auto aggregates = collector->PopulationSlotAggregates();
+    if (aggregates.empty()) continue;
+    ASSERT_EQ(aggregates.size(), kSlots);
+    const uint64_t count = aggregates[0].ToPacked().count;
+    for (const SlotAggregate& agg : aggregates) {
+      const auto packed = agg.ToPacked();
+      ASSERT_EQ(packed.count, count);  // whole runs only, never torn
+      ASSERT_TRUE(to128(packed.sum_hi, packed.sum_lo) == count * unit_sum);
+      ASSERT_TRUE(to128(packed.sum_sq_hi, packed.sum_sq_lo) ==
+                  count * unit_sq);
+    }
+  } while (!done.load(std::memory_order_acquire));
+  owner.join();
+
+  const auto aggregates = collector->PopulationSlotAggregates();
+  ASSERT_EQ(aggregates.size(), kSlots);
+  for (const auto& agg : aggregates) EXPECT_EQ(agg.Count(), kUsers);
+  EXPECT_EQ(collector->report_count(), kUsers * kSlots);
+  EXPECT_EQ(collector->user_count(), kUsers);
+  // Retry counts are timing-dependent (usually zero on a 1-core runner),
+  // so assert only what is stable: the counter is monotone.
+  const uint64_t retries = collector->seqlock_read_retries();
+  EXPECT_GE(collector->seqlock_read_retries(), retries);
+}
+
 // --------------------------------------------------------- report batch ----
 
 TEST(ReportBatchTest, FlushesWhenFullAndOnDestruction) {
@@ -480,6 +664,24 @@ TEST(EngineConfigTest, ValidationCatchesBadKnobs) {
   EXPECT_FALSE(ValidateEngineConfig(bad).ok());
   bad = good;
   bad.smoothing_window = 2;
+  EXPECT_FALSE(ValidateEngineConfig(bad).ok());
+
+  // Owned-shard (single-writer) ingest is only sound when shard-affinity
+  // routing gives every shard exactly one writer, and never composes
+  // with per-user stream storage.
+  bad = good;
+  bad.transport.kind = TransportKind::kQueue;
+  bad.transport.shard_affinity = true;
+  bad.transport.owned_shards = true;
+  bad.keep_streams = false;
+  EXPECT_TRUE(ValidateEngineConfig(bad).ok());  // the supported shape
+  bad.transport.shard_affinity = false;
+  EXPECT_FALSE(ValidateEngineConfig(bad).ok());
+  bad.transport.shard_affinity = true;
+  bad.transport.kind = TransportKind::kDirect;
+  EXPECT_FALSE(ValidateEngineConfig(bad).ok());
+  bad.transport.kind = TransportKind::kQueue;
+  bad.keep_streams = true;
   EXPECT_FALSE(ValidateEngineConfig(bad).ok());
 }
 
@@ -568,6 +770,35 @@ TEST(FleetTest, DigestInvariantToChunkSizeAndShardCount) {
       EXPECT_EQ(stats->stream_digest, baseline.stream_digest);
     }
   }
+}
+
+TEST(FleetTest, OwnedShardTransportMatchesMutexIngest) {
+  // The same scenario through the mutex-affinity and owned-shard queue
+  // transports: stream digest, error statistics, and the collector's
+  // order-independent state digest must all be bit-identical -- the
+  // owned mode changes the locking discipline, never the results.
+  EngineConfig config = SmallFleetConfig();
+  config.keep_streams = false;  // owned mode is aggregate-only
+  config.num_threads = 4;
+  config.transport.kind = TransportKind::kQueue;
+  config.transport.num_consumers = 2;
+  config.transport.shard_affinity = true;
+
+  auto mutex_fleet = Fleet::Create(config);
+  config.transport.owned_shards = true;
+  auto owned_fleet = Fleet::Create(config);
+  ASSERT_TRUE(mutex_fleet.ok() && owned_fleet.ok());
+  auto mutex_stats = mutex_fleet->Run();
+  auto owned_stats = owned_fleet->Run();
+  ASSERT_TRUE(mutex_stats.ok() && owned_stats.ok());
+
+  EXPECT_FALSE(mutex_stats->owned_shards);
+  EXPECT_TRUE(owned_stats->owned_shards);
+  EXPECT_EQ(owned_stats->reports, mutex_stats->reports);
+  EXPECT_EQ(owned_stats->stream_digest, mutex_stats->stream_digest);
+  EXPECT_EQ(owned_stats->mean_slot_mse, mutex_stats->mean_slot_mse);
+  EXPECT_EQ(CollectorStateDigest(owned_fleet->collector()),
+            CollectorStateDigest(mutex_fleet->collector()));
 }
 
 TEST(FleetTest, DifferentSeedsDiffer) {

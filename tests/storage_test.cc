@@ -385,6 +385,47 @@ TEST(DurableCollectorTest, PureWalRecoveryIsBitIdentical) {
   EXPECT_EQ(CollectorStateDigest(recovered), OracleDigest(kUsers, kSlots));
 }
 
+TEST(DurableCollectorTest, WalReplayDigestIsPinned) {
+  // The recovery digest for a fixed synthetic workload, pinned to a
+  // constant. The workload uses only deterministic IEEE arithmetic (no
+  // libm), so this value is platform-independent; it anchors the whole
+  // stack -- wire frames, WAL replay, fixed-point aggregation, and the
+  // word-level state digest -- against silent definitional drift. If a
+  // deliberate format change lands, recompute and update the constant in
+  // the same commit.
+  constexpr uint64_t kPinnedDigest = 0xcf67f51a0721aaa5ULL;
+  const size_t kUsers = 100;
+  const size_t kSlots = 6;
+  TempDir dir;
+  {
+    ShardedCollector backend = MakeCollector();
+    auto durable =
+        DurableCollector::Create(&backend, TestDurableOptions(dir.path()));
+    ASSERT_TRUE(durable.ok());
+    for (uint64_t u = 0; u < kUsers; ++u) {
+      (*durable)->IngestUserRun(u, 0, RunValues(u, kSlots));
+    }
+    ASSERT_TRUE((*durable)->Seal().ok());
+    EXPECT_EQ(CollectorStateDigest(backend), kPinnedDigest);
+  }
+  // Replay lands the same digest whether the recovered backend runs in
+  // mutex mode or single-writer (owned-shard) mode: recovery is
+  // single-threaded, so the owned mode is sound here too.
+  for (const bool single_writer : {false, true}) {
+    SCOPED_TRACE(single_writer);
+    ShardedCollectorOptions options;
+    options.num_shards = 4;
+    options.keep_streams = false;
+    options.single_writer = single_writer;
+    auto recovered = ShardedCollector::Create(options);
+    ASSERT_TRUE(recovered.ok());
+    auto durable = DurableCollector::Create(&*recovered,
+                                            TestDurableOptions(dir.path()));
+    ASSERT_TRUE(durable.ok()) << durable.status().ToString();
+    EXPECT_EQ(CollectorStateDigest(*recovered), kPinnedDigest);
+  }
+}
+
 TEST(DurableCollectorTest, CheckpointPlusWalRecoveryIsBitIdentical) {
   const size_t kUsers = 500;
   const size_t kSlots = 5;

@@ -122,6 +122,25 @@ def diff(baseline, currents, warn_drop, out=print):
             regressions += 1
         out(f"{name}: {base_value:.0f} -> {cur_value:.0f} ({change:+.1f}%)")
 
+    # A "speedup" computed from two trials that ran with the same thread
+    # count (1-core runner, or a pinned --threads) is run-to-run noise
+    # wearing a scaling costume; flag it so nobody reads it as a result.
+    for doc, label in ((baseline, "baseline"), (current, "current")):
+        single = doc.get("single_thread", {})
+        multi = doc.get("multi_thread", {})
+        if (
+            "speedup" in doc
+            and isinstance(single, dict)
+            and isinstance(multi, dict)
+            and single.get("threads") is not None
+            and single.get("threads") == multi.get("threads")
+        ):
+            out(
+                f"::warning::suspect speedup in {label}: single_thread and "
+                f"multi_thread both ran with {multi.get('threads')} "
+                "thread(s), so its speedup measures noise, not scaling"
+            )
+
     if "digest" in baseline:
         if baseline["digest"] != current.get("digest"):
             out(
@@ -173,6 +192,33 @@ def self_test():
     check(
         "scenario mismatch only notes",
         diff(base, [{**slow, "users": 99}], 10.0, sink) == 0,
+    )
+
+    speedy = {
+        "bench": "t",
+        "users": 10,
+        "slots": 2,
+        "seed": 1,
+        "single_thread": {"threads": 1, "reports_per_sec": 100.0},
+        "multi_thread": {"threads": 1, "reports_per_sec": 101.0},
+        "speedup": 1.01,
+    }
+    lines = []
+    diff(speedy, [speedy], 10.0, lines.append)
+    check(
+        "same-thread-count speedup is flagged suspect",
+        any("suspect speedup" in line for line in lines),
+    )
+    scaled = {
+        **speedy,
+        "multi_thread": {"threads": 8, "reports_per_sec": 700.0},
+        "speedup": 7.0,
+    }
+    lines = []
+    diff(scaled, [scaled], 10.0, lines.append)
+    check(
+        "real scaling is not flagged",
+        not any("suspect speedup" in line for line in lines),
     )
 
     def error_of(path):

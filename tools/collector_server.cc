@@ -51,7 +51,7 @@ namespace {
   std::fprintf(stderr,
                "usage: %s --socket=PATH [--sessions=N] [--consumers=N]\n"
                "          [--shards=N] [--capacity=N] [--batch-runs=N]\n"
-               "          [--affinity] [--max-slots=N]\n"
+               "          [--affinity] [--owned-shards] [--max-slots=N]\n"
                "          [--analytics] [--epsilon=X] [--window=N]\n"
                "          [--wal-dir=DIR] [--fsync=run|frames|timer]\n"
                "          [--fsync-frames=N] [--fsync-interval-ms=N]\n"
@@ -129,6 +129,7 @@ int main(int argc, char** argv) {
   uint64_t sessions = 1;
   uint64_t shards = 16;
   uint64_t max_print_slots = 48;
+  bool owned_shards = false;
   bool analytics = false;
   double epsilon = 1.0;
   int window = 10;
@@ -184,6 +185,8 @@ int main(int argc, char** argv) {
                                                   arg.substr(13));
     } else if (arg == "--affinity") {
       options.shard_affinity = true;
+    } else if (arg == "--owned-shards") {
+      owned_shards = true;
     } else if (arg.starts_with("--max-slots=")) {
       max_print_slots = ParsePositiveOrDie("--max-slots", arg.substr(12));
     } else {
@@ -191,12 +194,24 @@ int main(int argc, char** argv) {
     }
   }
   if (options.socket_path.empty()) Usage(argv[0]);
+  if (owned_shards && !options.shard_affinity) {
+    // Same soundness rule as ValidateTransportOptions: single-writer
+    // shards need exactly one consumer per shard group.
+    std::fprintf(stderr,
+                 "--owned-shards requires --affinity: without affinity "
+                 "routing, multiple consumers write the same shard and "
+                 "single-writer ingest would race\n");
+    return 2;
+  }
 
   // Aggregate-only storage: the collector tier scales by slot count, not
   // by population, exactly like the million-user fleet configuration.
+  // With --owned-shards the affinity-routed consumers own their shards
+  // outright and ingest skips the per-shard mutex (seqlock reads).
   capp::ShardedCollectorOptions collector_options;
   collector_options.num_shards = shards;
   collector_options.keep_streams = false;
+  collector_options.single_writer = owned_shards;
   if (analytics) {
     auto histogram = capp::StreamingAnalyzer::CollectorHistogramOptions(
         epsilon / window, kAnalyticsHistogramBuckets);
@@ -259,10 +274,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("collector_server: listening on %s (%d consumers, affinity "
-              "%s, %zu shards); waiting for %llu session(s)\n",
+              "%s, %zu shards, %s ingest); waiting for %llu session(s)\n",
               options.socket_path.c_str(), options.num_consumers,
               options.shard_affinity ? "on" : "off",
               static_cast<size_t>(shards),
+              owned_shards ? "owned-shard" : "mutex",
               static_cast<unsigned long long>(sessions));
   std::fflush(stdout);
 
@@ -280,6 +296,11 @@ int main(int argc, char** argv) {
   for (size_t c = 0; c < stats.consumer_runs.size(); ++c) {
     std::printf("  consumer %zu: %llu runs\n", c,
                 static_cast<unsigned long long>(stats.consumer_runs[c]));
+  }
+  if (owned_shards) {
+    std::printf("  owned-shard ingest: %llu seqlock read retrie(s)\n",
+                static_cast<unsigned long long>(
+                    collector->seqlock_read_retries()));
   }
 
   // Seal before reporting: the digest below must describe state that is
