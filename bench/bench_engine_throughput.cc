@@ -31,6 +31,8 @@
 #include "engine/fleet.h"
 #include "engine/thread_pool.h"
 #include "harness/json_out.h"
+#include "telemetry/metrics.h"
+#include "telemetry/registry.h"
 
 namespace capp::bench {
 namespace {
@@ -166,7 +168,8 @@ JsonObjectWriter RunJson(const EngineStats& stats) {
 }
 
 void WriteResultJson(const EngineBenchFlags& flags, const EngineStats& single,
-                     const EngineStats& parallel) {
+                     const EngineStats& parallel,
+                     const EngineStats& telemetry_on) {
   if (flags.json_path.empty()) return;
   JsonObjectWriter json;
   json.AddString("bench", "engine_throughput");
@@ -190,6 +193,13 @@ void WriteResultJson(const EngineBenchFlags& flags, const EngineStats& single,
   // speedup masquerade as a real number (bench_diff flags it too).
   json.AddInt("same_thread_counts",
               single.threads == parallel.threads ? 1 : 0);
+  json.AddObject("telemetry_on", RunJson(telemetry_on));
+  // The observability contract: instrumentation must cost nothing the
+  // single-thread hot path can feel (>= 0.98 of the telemetry-off rate).
+  json.AddNumber("telemetry_on_vs_off",
+                 single.reports_per_sec > 0.0
+                     ? telemetry_on.reports_per_sec / single.reports_per_sec
+                     : 0.0);
   json.AddHex("digest", single.stream_digest);
   json.AddString("digest_match",
                  single.stream_digest == parallel.stream_digest ? "ok"
@@ -223,7 +233,22 @@ int Run(int argc, char** argv) {
   std::printf("[%d threads] ", multi);
   std::fflush(stdout);
   const EngineStats parallel = RunOnce(flags, multi);
-  std::printf("%s\n\n", parallel.ToString().c_str());
+  std::printf("%s\n", parallel.ToString().c_str());
+
+  // Third trial: the single-thread scenario again with the metrics
+  // subsystem live, measuring what instrumentation costs the hot path.
+  // The digest must not move -- telemetry observes the pipeline, it never
+  // participates in it.
+  std::printf("[1 thread, telemetry on] ");
+  std::fflush(stdout);
+  telemetry::TelemetryConfig telemetry_config;
+  telemetry_config.enabled = true;
+  telemetry::Configure(telemetry_config);
+  telemetry::MetricsRegistry::Global().Reset();
+  const EngineStats telemetry_on = RunOnce(flags, 1);
+  telemetry::Configure(telemetry::TelemetryConfig{});
+  std::printf("%s\n\n", telemetry_on.ToString().c_str());
+  CAPP_CHECK(telemetry_on.stream_digest == single.stream_digest);
 
   std::printf("throughput: %.0f reports/s single, %.0f reports/s with %zu "
               "threads (%.2fx)\n",
@@ -237,9 +262,17 @@ int Run(int argc, char** argv) {
   }
   std::printf("self-check: batched Gaussian synthesis is bit-identical to "
               "the scalar draw sequence\n");
+  const double telemetry_ratio =
+      single.reports_per_sec > 0.0
+          ? telemetry_on.reports_per_sec / single.reports_per_sec
+          : 0.0;
+  std::printf("telemetry:  %.3fx of the telemetry-off single-thread rate, "
+              "digest unchanged%s\n",
+              telemetry_ratio,
+              telemetry_ratio < 0.98 ? " (BELOW the 0.98 budget)" : "");
   std::printf("accuracy:   slot-mean MSE %.3e, mean |err| %.3e\n",
               parallel.mean_slot_mse, parallel.mean_abs_error);
-  WriteResultJson(flags, single, parallel);
+  WriteResultJson(flags, single, parallel, telemetry_on);
 
   if (single.stream_digest != parallel.stream_digest) {
     std::fprintf(stderr,

@@ -40,6 +40,9 @@
 #include "core/parse.h"
 #include "engine/engine_config.h"
 #include "engine/fleet.h"
+#include "telemetry/metrics.h"
+#include "telemetry/registry.h"
+#include "telemetry/summary.h"
 #include "transport/transport.h"
 
 namespace {
@@ -50,7 +53,8 @@ namespace {
                "[--transport=direct|queue|framed|socket]\n"
                "          [--consumers=N] [--affinity] [--connect=PATH]\n"
                "          [--connect-retries=N] [--connect-backoff-ms=N]\n"
-               "          [--analytics]\n",
+               "          [--analytics] [--metrics-json=FILE] "
+               "[--sample-every=N]\n",
                argv0);
   std::exit(2);
 }
@@ -131,6 +135,9 @@ int main(int argc, char** argv) {
   config.signal = capp::SignalKind::kSinusoid;
   config.keep_streams = false;
 
+  std::string metrics_json;
+  capp::telemetry::TelemetryConfig telemetry_config;
+
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -176,6 +183,23 @@ int main(int argc, char** argv) {
       config.transport.shard_affinity = true;
     } else if (arg == "--analytics") {
       config.analytics.enabled = true;
+    } else if (arg.starts_with("--metrics-json=")) {
+      if (arg.size() <= 15) {
+        std::fprintf(stderr, "--metrics-json wants a file path\n");
+        return 2;
+      }
+      metrics_json = std::string(arg.substr(15));
+      telemetry_config.enabled = true;
+    } else if (arg.starts_with("--sample-every=")) {
+      int every = 0;
+      if (!capp::ParseIntText(arg.substr(15), 1, &every)) {
+        std::fprintf(stderr,
+                     "--sample-every wants a positive integer, got '%s'\n",
+                     arg.substr(15).data());
+        return 2;
+      }
+      telemetry_config.sample_every =
+          static_cast<uint32_t>(every);
     } else if (arg.starts_with("--consumers=")) {
       int consumers = 0;
       if (!capp::ParseIntText(arg.substr(12), 1, &consumers) ||
@@ -206,6 +230,8 @@ int main(int argc, char** argv) {
       Usage(argv[0]);
     }
   }
+
+  capp::telemetry::Configure(telemetry_config);
 
   const bool remote_collector =
       config.transport.kind == capp::TransportKind::kSocket &&
@@ -265,54 +291,48 @@ int main(int argc, char** argv) {
               stats->reports_per_sec, stats->threads);
 
   if (config.transport.kind != capp::TransportKind::kDirect) {
-    const capp::TransportStats& t = stats->transport;
-    std::printf("transport:  %llu frames carried %llu runs (%llu reports), "
-                "%llu push stalls, %llu pop waits",
-                static_cast<unsigned long long>(t.frames),
-                static_cast<unsigned long long>(t.runs),
-                static_cast<unsigned long long>(t.reports),
-                static_cast<unsigned long long>(t.push_stalls),
-                static_cast<unsigned long long>(t.pop_waits));
-    if (t.wire_bytes > 0) {
-      std::printf(", %.1f MB on the wire",
-                  static_cast<double>(t.wire_bytes) / 1048576.0);
-    }
-    if (t.connections > 0) {
-      std::printf(", %llu socket connection(s)",
-                  static_cast<unsigned long long>(t.connections));
-    }
-    std::printf("\n");
-    for (size_t c = 0; c < t.consumer_runs.size(); ++c) {
-      std::printf("  consumer %zu: %llu runs (%.0f%%)\n", c,
-                  static_cast<unsigned long long>(t.consumer_runs[c]),
-                  t.runs > 0 ? 100.0 *
-                                   static_cast<double>(t.consumer_runs[c]) /
-                                   static_cast<double>(t.runs)
-                             : 0.0);
-    }
+    capp::telemetry::RunSummary summary;
+    summary.transport = &stats->transport;
+    summary.owned_shards = stats->owned_shards;
+    summary.seqlock_read_retries = stats->seqlock_read_retries;
+    if (stats->wal.frames_appended > 0) summary.wal = &stats->wal;
+    std::printf("%s", capp::telemetry::RenderSummary(summary).c_str());
   }
 
+  int rc = 0;
   if (remote_collector) {
     std::printf("collector aggregates live in the server process "
                 "(see collector_server's summary%s)\n",
                 config.analytics.enabled
                     ? "; run it with --analytics for the streaming tables"
                     : "");
-    return 0;
-  }
-  // The collector's own streaming aggregates tell the same story without
-  // ever materializing a single per-user stream.
-  const auto aggregates = fleet->collector().PopulationSlotAggregates();
-  double max_stddev = 0.0;
-  for (const auto& agg : aggregates) {
-    if (agg.Variance() > max_stddev * max_stddev) {
-      max_stddev = std::sqrt(agg.Variance());
+  } else {
+    // The collector's own streaming aggregates tell the same story without
+    // ever materializing a single per-user stream.
+    const auto aggregates = fleet->collector().PopulationSlotAggregates();
+    double max_stddev = 0.0;
+    for (const auto& agg : aggregates) {
+      if (agg.Variance() > max_stddev * max_stddev) {
+        max_stddev = std::sqrt(agg.Variance());
+      }
+    }
+    std::printf("max per-slot report stddev at the collector: %.3f\n",
+                max_stddev);
+    if (config.analytics.enabled) {
+      rc = PrintAnalytics(*fleet, *stats);
     }
   }
-  std::printf("max per-slot report stddev at the collector: %.3f\n",
-              max_stddev);
-  if (config.analytics.enabled) {
-    return PrintAnalytics(*fleet, *stats);
+
+  if (!metrics_json.empty()) {
+    const capp::Status written =
+        capp::telemetry::MetricsRegistry::Global().WriteJsonFile(metrics_json);
+    if (!written.ok()) {
+      std::fprintf(stderr, "metrics snapshot failed: %s\n",
+                   written.ToString().c_str());
+      if (rc == 0) rc = 1;
+    } else {
+      std::printf("metrics snapshot written to %s\n", metrics_json.c_str());
+    }
   }
-  return 0;
+  return rc;
 }

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "stream/gap_fill.h"
+#include "telemetry/instruments.h"
+#include "telemetry/metrics.h"
 
 namespace capp {
 
@@ -167,6 +169,11 @@ Result<StreamAnalytics> StreamingAnalyzer::AnalyzeCollector(
       window_reports += aggregates[t].Count();
     }
     if (window_reports == 0) continue;  // nothing to reconstruct
+    telemetry::ScopedTimer window_timer;
+    if (telemetry::Enabled()) {
+      telemetry::metrics::AnalyticsWindowsTotal().Add(1);
+      window_timer.Arm(&telemetry::metrics::AnalyticsWindowSeconds());
+    }
     CAPP_ASSIGN_OR_RETURN(
         WindowAnalytics window,
         AnalyzeWindow(histograms, aggregates, begin, options_.window));

@@ -15,6 +15,8 @@
 #include "engine/thread_pool.h"
 #include "stream/session.h"
 #include "stream/smoothing.h"
+#include "telemetry/instruments.h"
+#include "telemetry/metrics.h"
 #include "transport/transport_hub.h"
 
 namespace capp {
@@ -225,6 +227,12 @@ Result<EngineStats> Fleet::Run() {
   const auto start = std::chrono::steady_clock::now();
 
   ParallelFor(num_chunks, threads, [&](size_t chunk) {
+    // One timer per chunk (thousands of users), so the cost amortizes to
+    // nothing and the histogram still resolves stragglers.
+    telemetry::ScopedTimer chunk_timer;
+    if (telemetry::Enabled()) {
+      chunk_timer.Arm(&telemetry::metrics::FleetChunkSeconds());
+    }
     const uint64_t begin = chunk * chunk_size;
     const uint64_t end =
         std::min<uint64_t>(users, begin + chunk_size);

@@ -10,6 +10,7 @@
 #include "core/math_utils.h"
 #include "core/rng.h"
 #include "stream/gap_fill.h"
+#include "telemetry/instruments.h"
 
 namespace capp {
 namespace {
@@ -103,7 +104,8 @@ Result<ShardedCollector> ShardedCollector::Create(
 }
 
 ShardedCollector::ShardedCollector(ShardedCollectorOptions options)
-    : options_(options) {
+    : options_(options),
+      seqlock_read_retries_(std::make_unique<telemetry::Counter>()) {
   shards_.reserve(options_.num_shards);
   for (size_t s = 0; s < options_.num_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
@@ -249,7 +251,7 @@ size_t ShardedCollector::SnapshotOwned(const Shard& shard,
   for (;;) {
     const uint64_t seq_before = shard.seq.load(std::memory_order_acquire);
     if (seq_before & 1) {
-      shard.read_retries.fetch_add(1, std::memory_order_relaxed);
+      CountSeqlockRetry();
       std::this_thread::yield();
       continue;
     }
@@ -263,7 +265,14 @@ size_t ShardedCollector::SnapshotOwned(const Shard& shard,
     if (shard.seq.load(std::memory_order_relaxed) == seq_before) {
       return slots;
     }
-    shard.read_retries.fetch_add(1, std::memory_order_relaxed);
+    CountSeqlockRetry();
+  }
+}
+
+void ShardedCollector::CountSeqlockRetry() const {
+  seqlock_read_retries_->Add(1);
+  if (telemetry::Enabled()) {
+    telemetry::metrics::SeqlockReadRetriesTotal().Add(1);
   }
 }
 
@@ -357,6 +366,15 @@ void ShardedCollector::IngestUserRun(uint64_t user_id, size_t base_slot,
   if (first == values.size()) return;
   size_t last = values.size() - 1;
   while (!std::isfinite(values[last])) --last;  // exists: first <= last
+
+  telemetry::ScopedTimer ingest_timer;
+  if (telemetry::Enabled()) {
+    telemetry::metrics::IngestRunsTotal().Add(1);
+    telemetry::metrics::IngestReportsTotal().Add(last - first + 1);
+    if (telemetry::ShouldSample()) {
+      ingest_timer.Arm(&telemetry::metrics::IngestRunSeconds());
+    }
+  }
 
   Shard& shard = *shards_[ShardIndex(user_id)];
   if (options_.single_writer) {
@@ -531,11 +549,7 @@ uint64_t ShardedCollector::saturated_report_count() const {
 }
 
 uint64_t ShardedCollector::seqlock_read_retries() const {
-  uint64_t total = 0;
-  for (const auto& shard : shards_) {
-    total += shard->read_retries.load(std::memory_order_relaxed);
-  }
-  return total;
+  return seqlock_read_retries_->Value();
 }
 
 bool ShardedCollector::Contains(uint64_t user_id) const {

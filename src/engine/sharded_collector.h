@@ -59,6 +59,7 @@
 #include "core/status.h"
 #include "storage/collector_backend.h"
 #include "stream/report.h"
+#include "telemetry/metrics.h"
 
 namespace capp {
 
@@ -257,7 +258,6 @@ class ShardedCollector : public CollectorBackend {
     std::atomic<uint64_t> owned_users{0};
     std::atomic<uint64_t> owned_reports{0};
     std::atomic<uint64_t> owned_saturated{0};
-    mutable std::atomic<uint64_t> read_retries{0};  // seqlock retries
   };
 
   explicit ShardedCollector(ShardedCollectorOptions options);
@@ -282,10 +282,17 @@ class ShardedCollector : public CollectorBackend {
   // tier is enabled). Returns the number of valid slots.
   size_t SnapshotOwned(const Shard& shard, std::vector<uint64_t>& packed,
                        std::vector<uint32_t>* hist) const;
+  // Bumps the local retry counter and its registry mirror.
+  void CountSeqlockRetry() const;
 
   ShardedCollectorOptions options_;
   // unique_ptr keeps the collector movable despite the per-shard mutexes.
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Seqlock retry count as a telemetry::Counter (striped cells, lock-free
+  // reads) -- the same primitive the metrics registry exports, so
+  // EngineStats and a live scrape read one source of truth. unique_ptr
+  // keeps the collector movable.
+  std::unique_ptr<telemetry::Counter> seqlock_read_retries_;
 };
 
 }  // namespace capp

@@ -5,6 +5,8 @@
 
 #include "storage/checkpoint.h"
 #include "storage/storage_io.h"
+#include "telemetry/instruments.h"
+#include "telemetry/metrics.h"
 #include "transport/wire_format.h"
 
 namespace capp {
@@ -185,6 +187,11 @@ Status DurableCollector::Checkpoint() {
 Status DurableCollector::CheckpointLocked() {
   std::lock_guard<std::mutex> lock(wal_mu_);
   CAPP_RETURN_IF_ERROR(wal_status_);
+  telemetry::ScopedTimer checkpoint_timer;
+  if (telemetry::Enabled()) {
+    telemetry::metrics::WalCheckpointsTotal().Add(1);
+    checkpoint_timer.Arm(&telemetry::metrics::WalCheckpointSeconds());
+  }
   // Rotate first: the snapshot then covers exactly the sealed segments
   // [.., S] and the new segment S+1 receives everything after it.
   const uint64_t covers = writer_->segment_seqno();

@@ -11,6 +11,8 @@
 #include <cstring>
 
 #include "storage/storage_io.h"
+#include "telemetry/instruments.h"
+#include "telemetry/metrics.h"
 #include "transport/wire_format.h"
 
 namespace capp {
@@ -193,6 +195,14 @@ Status WalWriter::Sync() {
   if (fd_ < 0) {
     return Status::FailedPrecondition("wal writer is sealed");
   }
+  // fdatasync is the dominant durability cost, so it is always timed when
+  // telemetry is on -- at microseconds-to-milliseconds each, the timer
+  // pair is noise.
+  telemetry::ScopedTimer fsync_timer;
+  if (telemetry::Enabled()) {
+    telemetry::metrics::WalFsyncsTotal().Add(1);
+    fsync_timer.Arm(&telemetry::metrics::WalFsyncSeconds());
+  }
   CAPP_RETURN_IF_ERROR(FlushBuffer());
   if (::fdatasync(fd_) != 0) {
     return Status::Internal("wal fdatasync failed: " + ErrnoText());
@@ -223,6 +233,14 @@ Status WalWriter::MaybeSyncAfterAppend() {
 Status WalWriter::Append(std::span<const uint8_t> frame_bytes) {
   if (sealed_ || fd_ < 0) {
     return Status::FailedPrecondition("wal writer is sealed");
+  }
+  telemetry::ScopedTimer append_timer;
+  if (telemetry::Enabled()) {
+    telemetry::metrics::WalAppendsTotal().Add(1);
+    telemetry::metrics::WalAppendedBytesTotal().Add(frame_bytes.size());
+    if (telemetry::ShouldSample()) {
+      append_timer.Arm(&telemetry::metrics::WalAppendSeconds());
+    }
   }
   buffer_.insert(buffer_.end(), frame_bytes.begin(), frame_bytes.end());
   ++frames_in_segment_;
@@ -259,6 +277,11 @@ Status WalWriter::SealCurrentLocked() {
 Status WalWriter::Rotate() {
   if (sealed_ || fd_ < 0) {
     return Status::FailedPrecondition("wal writer is sealed");
+  }
+  telemetry::ScopedTimer rotate_timer;
+  if (telemetry::Enabled()) {
+    telemetry::metrics::WalRotationsTotal().Add(1);
+    rotate_timer.Arm(&telemetry::metrics::WalRotateSeconds());
   }
   CAPP_RETURN_IF_ERROR(SealCurrentLocked());
   CAPP_RETURN_IF_ERROR(OpenSegment(seqno_ + 1));

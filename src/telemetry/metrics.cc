@@ -1,0 +1,67 @@
+#include "telemetry/metrics.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define CAPP_TELEMETRY_HAVE_RDTSC 1
+#endif
+
+namespace capp::telemetry {
+namespace {
+
+// Measures TSC frequency against steady_clock over a short window. A
+// plausible modern TSC runs 0.5-6 GHz; anything outside that (or a
+// non-monotone reading, e.g. an exotic VM) falls back to steady_clock.
+ClockInfo Calibrate() {
+#ifdef CAPP_TELEMETRY_HAVE_RDTSC
+  const uint64_t ns0 = SteadyNowNanos();
+  const uint64_t tsc0 = __rdtsc();
+  // Busy-wait ~2ms: long enough to swamp the two clock reads, short enough
+  // that eager calibration at Configure() time is unnoticeable.
+  while (SteadyNowNanos() - ns0 < 2'000'000) {
+  }
+  const uint64_t ns1 = SteadyNowNanos();
+  const uint64_t tsc1 = __rdtsc();
+  if (tsc1 > tsc0 && ns1 > ns0) {
+    const double ns_per_tick = static_cast<double>(ns1 - ns0) /
+                               static_cast<double>(tsc1 - tsc0);
+    if (ns_per_tick > 1.0 / 6.0 && ns_per_tick < 2.0) {
+      return ClockInfo{/*rdtsc=*/true, ns_per_tick};
+    }
+  }
+#endif
+  return ClockInfo{/*rdtsc=*/false, /*ns_per_tick=*/1.0};
+}
+
+}  // namespace
+
+const ClockInfo& Clock() {
+  static const ClockInfo info = Calibrate();
+  return info;
+}
+
+uint64_t NowTicks() {
+#ifdef CAPP_TELEMETRY_HAVE_RDTSC
+  if (Clock().rdtsc) return __rdtsc();
+#endif
+  return SteadyNowNanos();
+}
+
+void Configure(const TelemetryConfig& config) {
+  internal::g_sample_every.store(config.sample_every > 0 ? config.sample_every
+                                                         : 1,
+                                 std::memory_order_relaxed);
+  if (config.enabled) {
+    // Pay the calibration sleep now, not inside the first timed sample.
+    (void)Clock();
+  }
+  internal::g_enabled.store(config.enabled, std::memory_order_relaxed);
+}
+
+TelemetryConfig CurrentConfig() {
+  TelemetryConfig config;
+  config.enabled = Enabled();
+  config.sample_every = SampleEvery();
+  return config;
+}
+
+}  // namespace capp::telemetry

@@ -1,0 +1,281 @@
+#include "telemetry/registry.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "core/check.h"
+
+namespace capp::telemetry {
+namespace {
+
+// %.9g round-trips every boundary we emit (they are exact powers of two
+// minus one, scaled by 1e-9 for seconds) and keeps golden output stable.
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+std::string FormatU64(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return buf;
+}
+
+std::string FormatI64(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  return buf;
+}
+
+// The `le` boundary of bucket b in exporter units: raw for bytes,
+// seconds for nanosecond histograms.
+std::string BucketBoundary(size_t bucket, HistogramUnit unit) {
+  const uint64_t upper = Histogram::BucketUpperBound(bucket);
+  if (unit == HistogramUnit::kNanoseconds) {
+    return FormatDouble(static_cast<double>(upper) * 1e-9);
+  }
+  return FormatDouble(static_cast<double>(upper));
+}
+
+size_t HighestOccupiedBucket(const HistogramSnapshot& snap) {
+  size_t highest = 0;
+  for (size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+    if (snap.buckets[b] != 0) highest = b;
+  }
+  return highest;
+}
+
+double ScaledSum(const HistogramSnapshot& snap, HistogramUnit unit) {
+  const double raw = static_cast<double>(snap.sum);
+  return unit == HistogramUnit::kNanoseconds ? raw * 1e-9 : raw;
+}
+
+void AppendJsonString(std::string* out, std::string_view text) {
+  out->push_back('"');
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = Entry::Kind::kCounter;
+    entry.help = std::string(help);
+    entry.counter = std::make_unique<Counter>();
+    it = metrics_.emplace(std::string(name), std::move(entry)).first;
+  }
+  CAPP_CHECK(it->second.kind == Entry::Kind::kCounter);
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = Entry::Kind::kGauge;
+    entry.help = std::string(help);
+    entry.gauge = std::make_unique<Gauge>();
+    it = metrics_.emplace(std::string(name), std::move(entry)).first;
+  }
+  CAPP_CHECK(it->second.kind == Entry::Kind::kGauge);
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         HistogramUnit unit,
+                                         std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = Entry::Kind::kHistogram;
+    entry.help = std::string(help);
+    entry.unit = unit;
+    entry.histogram = std::make_unique<Histogram>();
+    it = metrics_.emplace(std::string(name), std::move(entry)).first;
+  }
+  CAPP_CHECK(it->second.kind == Entry::Kind::kHistogram);
+  CAPP_CHECK(it->second.unit == unit);
+  return *it->second.histogram;
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.kind != Entry::Kind::kCounter) {
+    return 0;
+  }
+  return it->second.counter->Value();
+}
+
+int64_t MetricsRegistry::GaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.kind != Entry::Kind::kGauge) {
+    return 0;
+  }
+  return it->second.gauge->Value();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, entry] : metrics_) {
+    if (!entry.help.empty()) {
+      out += "# HELP " + name + " " + entry.help + "\n";
+    }
+    switch (entry.kind) {
+      case Entry::Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + FormatU64(entry.counter->Value()) + "\n";
+        break;
+      case Entry::Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + FormatI64(entry.gauge->Value()) + "\n";
+        break;
+      case Entry::Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        const HistogramSnapshot snap = entry.histogram->Snapshot();
+        const size_t highest = HighestOccupiedBucket(snap);
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b <= highest; ++b) {
+          cumulative += snap.buckets[b];
+          out += name + "_bucket{le=\"" + BucketBoundary(b, entry.unit) +
+                 "\"} " + FormatU64(cumulative) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " + FormatU64(snap.count()) + "\n";
+        out += name + "_sum " + FormatDouble(ScaledSum(snap, entry.unit)) +
+               "\n";
+        out += name + "_count " + FormatU64(snap.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ClockInfo& clock = Clock();
+  std::string out = "{\"clock\":{\"source\":";
+  out += clock.rdtsc ? "\"rdtsc\"" : "\"steady_clock\"";
+  out += ",\"ns_per_tick\":";
+  out += FormatDouble(clock.ns_per_tick);
+  out += "}";
+
+  bool first = true;
+  out += ",\"counters\":{";
+  for (const auto& [name, entry] : metrics_) {
+    if (entry.kind != Entry::Kind::kCounter) continue;
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":";
+    out += FormatU64(entry.counter->Value());
+  }
+  out += "}";
+
+  first = true;
+  out += ",\"gauges\":{";
+  for (const auto& [name, entry] : metrics_) {
+    if (entry.kind != Entry::Kind::kGauge) continue;
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":";
+    out += FormatI64(entry.gauge->Value());
+  }
+  out += "}";
+
+  first = true;
+  out += ",\"histograms\":{";
+  for (const auto& [name, entry] : metrics_) {
+    if (entry.kind != Entry::Kind::kHistogram) continue;
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(&out, name);
+    const HistogramSnapshot snap = entry.histogram->Snapshot();
+    out += ":{\"unit\":";
+    out += entry.unit == HistogramUnit::kNanoseconds ? "\"seconds\""
+                                                     : "\"bytes\"";
+    out += ",\"count\":";
+    out += FormatU64(snap.count());
+    out += ",\"sum\":";
+    out += FormatDouble(ScaledSum(snap, entry.unit));
+    out += ",\"buckets\":[";
+    const size_t highest = HighestOccupiedBucket(snap);
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b <= highest; ++b) {
+      cumulative += snap.buckets[b];
+      if (b != 0) out += ",";
+      out += "{\"le\":";
+      out += BucketBoundary(b, entry.unit);
+      out += ",\"count\":";
+      out += FormatU64(cumulative);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+Status MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  const std::string json = RenderJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open metrics json file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool newline_ok = std::fputc('\n', f) != EOF;
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || !newline_ok || close_rc != 0) {
+    return Status::Internal("short write to metrics json file: " + path);
+  }
+  return Status::OK();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Entry::Kind::kCounter:
+        entry.counter->Reset();
+        break;
+      case Entry::Kind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case Entry::Kind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+}  // namespace capp::telemetry

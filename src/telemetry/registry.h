@@ -1,0 +1,83 @@
+// Process-wide metric registry: names -> Counter/Gauge/Histogram, with
+// Prometheus-text and JSON snapshot exporters.
+//
+// Registration (GetCounter etc.) takes a mutex; the returned reference is
+// stable for the registry's lifetime, so instrumented sites resolve their
+// metric once (function-local static) and write lock-free forever after.
+// Exporters take the same mutex only to walk the name map -- the metric
+// values themselves are read with relaxed atomics, so rendering runs
+// concurrently with hot writers.
+#ifndef CAPP_TELEMETRY_REGISTRY_H_
+#define CAPP_TELEMETRY_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "core/status.h"
+#include "telemetry/metrics.h"
+
+namespace capp::telemetry {
+
+// Unit of the raw uint64 values a histogram records; exporters scale
+// nanosecond histograms to seconds (the Prometheus base unit).
+enum class HistogramUnit { kNanoseconds, kBytes };
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry every built-in instrument lives in.
+  static MetricsRegistry& Global();
+
+  // Find-or-create by name. Aborts (CAPP_CHECK) if the name is already
+  // registered as a different kind or unit -- that is a programming error.
+  Counter& GetCounter(std::string_view name, std::string_view help = {});
+  Gauge& GetGauge(std::string_view name, std::string_view help = {});
+  Histogram& GetHistogram(std::string_view name, HistogramUnit unit,
+                          std::string_view help = {});
+
+  // Point reads for periodic one-line summaries; 0 if the name is absent
+  // or not of the requested kind.
+  uint64_t CounterValue(std::string_view name) const;
+  int64_t GaugeValue(std::string_view name) const;
+
+  // Prometheus text exposition format (# HELP / # TYPE / samples), names
+  // in sorted order, histograms as cumulative `_bucket{le=...}` series up
+  // to the highest occupied bucket plus `+Inf`, `_sum`, `_count`.
+  std::string RenderPrometheus() const;
+
+  // The same snapshot as one JSON object:
+  //   {"clock": {...}, "counters": {...}, "gauges": {...},
+  //    "histograms": {name: {unit, count, sum, buckets: [{le, count}...]}}}
+  std::string RenderJson() const;
+
+  Status WriteJsonFile(const std::string& path) const;
+
+  // Zeroes every registered metric (objects and references stay valid).
+  // For bench/test isolation between runs in one process.
+  void Reset();
+
+ private:
+  struct Entry {
+    enum class Kind { kCounter, kGauge, kHistogram };
+    Kind kind;
+    std::string help;
+    HistogramUnit unit = HistogramUnit::kNanoseconds;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  // Sorted map: exporters emit deterministic, diffable output.
+  std::map<std::string, Entry, std::less<>> metrics_;
+};
+
+}  // namespace capp::telemetry
+
+#endif  // CAPP_TELEMETRY_REGISTRY_H_

@@ -26,6 +26,9 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/instruments.h"
+#include "telemetry/metrics.h"
+
 namespace capp {
 
 /// Bounded blocking FIFO. All methods are thread-safe -- including Pop
@@ -46,15 +49,26 @@ class MpscQueue {
   bool Push(T item) {
     std::unique_lock<std::mutex> lock(mu_);
     if (count_ == ring_.size() && !closed_) {
-      ++push_stalls_;
-      not_full_.wait(lock,
-                     [this] { return count_ < ring_.size() || closed_; });
+      push_stalls_.Add(1);
+      const auto pred = [this] { return count_ < ring_.size() || closed_; };
+      if (telemetry::Enabled()) {
+        telemetry::metrics::TransportPushStallsTotal().Add(1);
+        const uint64_t start = telemetry::NowTicks();
+        not_full_.wait(lock, pred);
+        telemetry::metrics::TransportPushStallSeconds().Record(
+            telemetry::TicksToNanos(telemetry::NowTicks() - start));
+      } else {
+        not_full_.wait(lock, pred);
+      }
     }
     if (closed_) return false;
     ring_[(head_ + count_) % ring_.size()] = std::move(item);
     ++count_;
     lock.unlock();
     not_empty_.notify_one();
+    if (telemetry::Enabled()) {
+      telemetry::metrics::TransportQueueDepth().Add(1);
+    }
     return true;
   }
 
@@ -63,8 +77,17 @@ class MpscQueue {
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
     if (count_ == 0 && !closed_) {
-      ++pop_waits_;
-      not_empty_.wait(lock, [this] { return count_ > 0 || closed_; });
+      pop_waits_.Add(1);
+      const auto pred = [this] { return count_ > 0 || closed_; };
+      if (telemetry::Enabled()) {
+        telemetry::metrics::TransportPopWaitsTotal().Add(1);
+        const uint64_t start = telemetry::NowTicks();
+        not_empty_.wait(lock, pred);
+        telemetry::metrics::TransportPopWaitSeconds().Record(
+            telemetry::TicksToNanos(telemetry::NowTicks() - start));
+      } else {
+        not_empty_.wait(lock, pred);
+      }
     }
     if (count_ == 0) return std::nullopt;  // closed and drained
     T item = std::move(ring_[head_]);
@@ -72,6 +95,9 @@ class MpscQueue {
     --count_;
     lock.unlock();
     not_full_.notify_one();
+    if (telemetry::Enabled()) {
+      telemetry::metrics::TransportQueueDepth().Add(-1);
+    }
     return item;
   }
 
@@ -93,17 +119,13 @@ class MpscQueue {
     return count_;
   }
 
-  /// Times a Push found the ring full and had to block.
-  uint64_t push_stalls() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return push_stalls_;
-  }
+  /// Times a Push found the ring full and had to block. Lock-free read:
+  /// the counters are telemetry::Counter cells, the same primitive the
+  /// metrics registry exports, so stats reads never touch the queue mutex.
+  uint64_t push_stalls() const { return push_stalls_.Value(); }
 
   /// Times a Pop found the ring empty and had to block.
-  uint64_t pop_waits() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return pop_waits_;
-  }
+  uint64_t pop_waits() const { return pop_waits_.Value(); }
 
  private:
   mutable std::mutex mu_;
@@ -113,8 +135,10 @@ class MpscQueue {
   size_t head_ = 0;   // index of the oldest item
   size_t count_ = 0;  // items currently queued
   bool closed_ = false;
-  uint64_t push_stalls_ = 0;
-  uint64_t pop_waits_ = 0;
+  // Striped cells rather than plain uint64s: incremented under mu_ anyway,
+  // but readable without it (EngineStats reads these live).
+  telemetry::Counter push_stalls_;
+  telemetry::Counter pop_waits_;
 };
 
 }  // namespace capp

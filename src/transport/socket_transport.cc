@@ -11,6 +11,8 @@
 
 #include "core/check.h"
 #include "storage/collector_backend.h"
+#include "telemetry/instruments.h"
+#include "telemetry/metrics.h"
 #include "transport/transport_hub.h"
 #include "transport/wire_format.h"
 
@@ -126,7 +128,14 @@ Status SocketClient::WriteChunk(std::span<const uint8_t> payload) {
       static_cast<uint8_t>(len), static_cast<uint8_t>(len >> 8),
       static_cast<uint8_t>(len >> 16), static_cast<uint8_t>(len >> 24)};
   CAPP_RETURN_IF_ERROR(WriteAll(prefix, sizeof(prefix)));
-  return WriteAll(payload.data(), payload.size());
+  CAPP_RETURN_IF_ERROR(WriteAll(payload.data(), payload.size()));
+  if (telemetry::Enabled()) {
+    telemetry::metrics::SocketWriteChunksTotal().Add(1);
+    telemetry::metrics::SocketWriteBytesTotal().Add(payload.size() +
+                                                    sizeof(prefix));
+    telemetry::metrics::SocketWriteChunkBytes().Record(payload.size());
+  }
+  return Status::OK();
 }
 
 Status SocketClient::WriteFin() {
@@ -237,6 +246,8 @@ void SocketCollectorServer::AcceptorMain() {
 void SocketCollectorServer::ServeConnection(int fd, size_t slot) {
   // Every connection re-publishes its frames through its own staging
   // producer; the inner hub's consumers CRC-check and ingest them.
+  const bool telemetry_on = telemetry::Enabled();
+  if (telemetry_on) telemetry::metrics::SocketOpenConnections().Add(1);
   TransportHub::Producer producer = hub_->MakeProducer();
   std::vector<uint8_t> chunk;
   uint64_t chunks = 0;
@@ -265,6 +276,11 @@ void SocketCollectorServer::ServeConnection(int fd, size_t slot) {
     }
     ++chunks;
     bytes += len + sizeof(prefix);
+    if (telemetry_on) {
+      telemetry::metrics::SocketReadChunksTotal().Add(1);
+      telemetry::metrics::SocketReadBytesTotal().Add(len + sizeof(prefix));
+      telemetry::metrics::SocketReadChunkBytes().Record(len);
+    }
     std::span<const uint8_t> rest(chunk);
     while (!rest.empty()) {
       const auto header = PeekUserRunFrame(rest);
@@ -281,6 +297,7 @@ void SocketCollectorServer::ServeConnection(int fd, size_t slot) {
     }
   }
   producer.Flush();
+  if (telemetry_on) telemetry::metrics::SocketOpenConnections().Add(-1);
   std::lock_guard<std::mutex> lock(mu_);
   // Release the descriptor as soon as the connection is over -- a
   // long-running server must not hold every past session's fd until

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "core/check.h"
+#include "telemetry/instruments.h"
+#include "telemetry/metrics.h"
 #include "transport/socket_transport.h"
 #include "transport/wire_format.h"
 
@@ -162,6 +164,10 @@ void TransportHub::Producer::Publish(uint64_t user_id, size_t base_slot,
   } else {
     // kQueueFramed and kSocket both stage encoded wire frames; they
     // differ only in where PushFrame sends the bytes.
+    telemetry::ScopedTimer encode_timer;
+    if (telemetry::Enabled() && telemetry::ShouldSample()) {
+      encode_timer.Arm(&telemetry::metrics::TransportEncodeSeconds());
+    }
     AppendUserRunFrame(user_id, base_slot, values, frames_[group]->bytes);
   }
   if (++frames_[group]->run_count >= hub_->options_.max_batch_runs) {

@@ -36,6 +36,15 @@ def numeric_leaves(obj, prefix=""):
     if isinstance(obj, dict):
         for key, value in obj.items():
             yield from numeric_leaves(value, f"{prefix}{key}.")
+    elif isinstance(obj, list):
+        # Rows pair up by their "name" field, never by position: a row
+        # inserted mid-list (say, a new telemetry_on trial) must not shift
+        # every later row onto the wrong baseline entry. Anonymous rows
+        # fall back to their index.
+        for index, value in enumerate(obj):
+            name = value.get("name") if isinstance(value, dict) else None
+            key = name if isinstance(name, str) and name else str(index)
+            yield from numeric_leaves(value, f"{prefix}{key}.")
     elif isinstance(obj, (int, float)) and not isinstance(obj, bool):
         yield prefix[:-1], float(obj)
 
@@ -192,6 +201,46 @@ def self_test():
     check(
         "scenario mismatch only notes",
         diff(base, [{**slow, "users": 99}], 10.0, sink) == 0,
+    )
+
+    # A row list must diff by row name: inserting a new trial (telemetry_on)
+    # ahead of an existing one must not pair old rows with the wrong new
+    # ones (index pairing would report a phantom regression AND hide the
+    # real story).
+    listed_base = {
+        "bench": "t",
+        "users": 10,
+        "slots": 2,
+        "seed": 1,
+        "trials": [{"name": "single", "reports_per_sec": 100.0}],
+    }
+    listed_current = {
+        **listed_base,
+        "trials": [
+            {"name": "telemetry_on", "reports_per_sec": 5.0},
+            {"name": "single", "reports_per_sec": 99.0},
+        ],
+    }
+    check(
+        "inserted named row cannot misalign the diff",
+        diff(listed_base, [listed_current], 10.0, sink) == 0,
+    )
+    check(
+        "named rows still catch real regressions",
+        diff(
+            listed_base,
+            [{**listed_base,
+              "trials": [{"name": "telemetry_on", "reports_per_sec": 500.0},
+                         {"name": "single", "reports_per_sec": 10.0}]}],
+            10.0,
+            sink,
+        ) == 1,
+    )
+    check(
+        "anonymous rows fall back to index keys",
+        dict(numeric_leaves({"rows": [{"reports_per_sec": 7.0}]})).get(
+            "rows.0.reports_per_sec"
+        ) == 7.0,
     )
 
     speedy = {

@@ -27,14 +27,21 @@
 // the fleet with --connect-retries: the final aggregate digest matches
 // an uninterrupted run bit for bit (run-level dedup lands each resent
 // user run exactly once).
+#include <unistd.h>
+
+#include <atomic>
 #include <bit>
+#include <cerrno>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 
 #include "analysis/streaming_analytics.h"
 #include "core/parse.h"
@@ -42,6 +49,10 @@
 #include "storage/collector_backend.h"
 #include "storage/durable_collector.h"
 #include "storage/wal.h"
+#include "telemetry/metrics.h"
+#include "telemetry/metrics_socket.h"
+#include "telemetry/registry.h"
+#include "telemetry/summary.h"
 #include "transport/socket_transport.h"
 #include "transport/transport.h"
 
@@ -55,9 +66,26 @@ namespace {
                "          [--analytics] [--epsilon=X] [--window=N]\n"
                "          [--wal-dir=DIR] [--fsync=run|frames|timer]\n"
                "          [--fsync-frames=N] [--fsync-interval-ms=N]\n"
-               "          [--checkpoint-every=N]\n",
+               "          [--checkpoint-every=N]\n"
+               "          [--metrics-socket=PATH] [--stats-every=SECS]\n"
+               "          [--sample-every=N]\n",
                argv0);
   std::exit(2);
+}
+
+// SIGTERM/SIGINT land here (async-signal-safe: one store, one write); a
+// watcher thread does the actual snapshot + WAL seal. The pipe, not the
+// atomic, is the wake-up channel.
+std::atomic<int> g_signal{0};
+int g_signal_pipe[2] = {-1, -1};
+// Whoever flips this first owns process teardown: the watcher on a
+// signal, main on a clean finish.
+std::atomic<bool> g_exiting{false};
+
+void HandleSignal(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
 }
 
 // Reconstruction resolution of the server's analytics pass; the
@@ -134,6 +162,13 @@ int main(int argc, char** argv) {
   double epsilon = 1.0;
   int window = 10;
   capp::DurableCollectorOptions durable_options;
+  std::string metrics_socket;
+  uint64_t stats_every = 0;
+  capp::telemetry::TelemetryConfig telemetry_config;
+  // The server always runs with telemetry on: a long-lived ingest process
+  // is exactly what live counters exist for, and the enabled-path cost is
+  // one branch per site plus sampled timers.
+  telemetry_config.enabled = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -189,11 +224,23 @@ int main(int argc, char** argv) {
       owned_shards = true;
     } else if (arg.starts_with("--max-slots=")) {
       max_print_slots = ParsePositiveOrDie("--max-slots", arg.substr(12));
+    } else if (arg.starts_with("--metrics-socket=")) {
+      metrics_socket = std::string(arg.substr(17));
+      if (metrics_socket.empty()) {
+        std::fprintf(stderr, "--metrics-socket wants a unix socket path\n");
+        return 2;
+      }
+    } else if (arg.starts_with("--stats-every=")) {
+      stats_every = ParsePositiveOrDie("--stats-every", arg.substr(14));
+    } else if (arg.starts_with("--sample-every=")) {
+      telemetry_config.sample_every = static_cast<uint32_t>(
+          ParsePositiveOrDie("--sample-every", arg.substr(15)));
     } else {
       Usage(argv[0]);
     }
   }
   if (options.socket_path.empty()) Usage(argv[0]);
+  capp::telemetry::Configure(telemetry_config);
   if (owned_shards && !options.shard_affinity) {
     // Same soundness rule as ValidateTransportOptions: single-writer
     // shards need exactly one consumer per shard group.
@@ -273,6 +320,102 @@ int main(int argc, char** argv) {
                  server.status().ToString().c_str());
     return 1;
   }
+
+  // The live introspection surface: a side socket answering scrapes.
+  std::unique_ptr<capp::telemetry::MetricsSocketServer> metrics_server;
+  if (!metrics_socket.empty()) {
+    auto created = capp::telemetry::MetricsSocketServer::Create(
+        &capp::telemetry::MetricsRegistry::Global(), metrics_socket);
+    if (!created.ok()) {
+      std::fprintf(stderr, "metrics socket setup failed: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    metrics_server = std::move(*created);
+  }
+
+  // Die loudly, not silently: SIGTERM/SIGINT flush a final metrics
+  // snapshot and seal the WAL before exiting with the conventional
+  // 128+signo. (SIGKILL still tests the torn-tail recovery path.)
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "signal pipe setup failed\n");
+    return 1;
+  }
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  capp::DurableCollector* const durable_for_signal = durable.get();
+  std::thread signal_watcher([durable_for_signal] {
+    char byte;
+    ssize_t got;
+    do {
+      got = ::read(g_signal_pipe[0], &byte, 1);
+    } while (got < 0 && errno == EINTR);
+    if (got <= 0) return;              // main closed the pipe: clean exit
+    if (g_exiting.exchange(true)) return;  // main already tearing down
+    const int sig = g_signal.load(std::memory_order_relaxed);
+    std::fprintf(stderr,
+                 "\ncollector_server: received %s; final metrics "
+                 "snapshot:\n%s\n",
+                 sig == SIGTERM ? "SIGTERM" : "SIGINT",
+                 capp::telemetry::MetricsRegistry::Global()
+                     .RenderJson()
+                     .c_str());
+    if (durable_for_signal != nullptr) {
+      capp::Status sealed = durable_for_signal->Flush();
+      if (sealed.ok()) sealed = durable_for_signal->Seal();
+      std::fprintf(stderr, "collector_server: wal %s\n",
+                   sealed.ok() ? "sealed" : sealed.ToString().c_str());
+    }
+    std::fflush(nullptr);
+    ::_exit(128 + sig);
+  });
+
+  // Periodic one-line summaries from the registry: deltas, not totals,
+  // so each line reads as a rate.
+  std::atomic<bool> stats_stop{false};
+  std::thread stats_thread;
+  if (stats_every > 0) {
+    stats_thread = std::thread([stats_every, &stats_stop] {
+      const auto& registry = capp::telemetry::MetricsRegistry::Global();
+      uint64_t last_runs = 0;
+      uint64_t last_reports = 0;
+      uint64_t last_bytes = 0;
+      auto next = std::chrono::steady_clock::now();
+      for (;;) {
+        next += std::chrono::seconds(stats_every);
+        while (!stats_stop.load(std::memory_order_relaxed) &&
+               std::chrono::steady_clock::now() < next) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+        if (stats_stop.load(std::memory_order_relaxed)) return;
+        const uint64_t runs = registry.CounterValue("capp_ingest_runs_total");
+        const uint64_t reports =
+            registry.CounterValue("capp_ingest_reports_total");
+        const uint64_t bytes =
+            registry.CounterValue("capp_socket_read_bytes_total");
+        std::printf("stats: +%llu runs (%.2fM reports/s), +%.1f MB read, "
+                    "queue depth %lld, %lld open conn(s), %llu fsync(s), "
+                    "%llu seqlock retrie(s)\n",
+                    static_cast<unsigned long long>(runs - last_runs),
+                    static_cast<double>(reports - last_reports) /
+                        (1e6 * static_cast<double>(stats_every)),
+                    static_cast<double>(bytes - last_bytes) / 1048576.0,
+                    static_cast<long long>(
+                        registry.GaugeValue("capp_transport_queue_depth")),
+                    static_cast<long long>(
+                        registry.GaugeValue("capp_socket_open_connections")),
+                    static_cast<unsigned long long>(
+                        registry.CounterValue("capp_wal_fsyncs_total")),
+                    static_cast<unsigned long long>(registry.CounterValue(
+                        "capp_seqlock_read_retries_total")));
+        std::fflush(stdout);
+        last_runs = runs;
+        last_reports = reports;
+        last_bytes = bytes;
+      }
+    });
+  }
+
   std::printf("collector_server: listening on %s (%d consumers, affinity "
               "%s, %zu shards, %s ingest); waiting for %llu session(s)\n",
               options.socket_path.c_str(), options.num_consumers,
@@ -280,44 +423,44 @@ int main(int argc, char** argv) {
               static_cast<size_t>(shards),
               owned_shards ? "owned-shard" : "mutex",
               static_cast<unsigned long long>(sessions));
+  if (metrics_server != nullptr) {
+    std::printf("collector_server: metrics socket on %s "
+                "(GET /metrics, or the 'stats' verb for JSON)\n",
+                metrics_server->socket_path().c_str());
+  }
   std::fflush(stdout);
 
   (*server)->WaitForFinishedConnections(sessions);
+  if (stats_thread.joinable()) {
+    stats_stop.store(true, std::memory_order_relaxed);
+    stats_thread.join();
+  }
   const capp::Status finished = (*server)->Finish();
   const capp::TransportStats& stats = (*server)->stats();
-
-  std::printf("\nsession: %llu connection(s), %llu chunks (%.1f MB), "
-              "%llu runs, %llu reports\n",
-              static_cast<unsigned long long>(stats.connections),
-              static_cast<unsigned long long>(stats.frames),
-              static_cast<double>(stats.wire_bytes) / 1048576.0,
-              static_cast<unsigned long long>(stats.runs),
-              static_cast<unsigned long long>(stats.reports));
-  for (size_t c = 0; c < stats.consumer_runs.size(); ++c) {
-    std::printf("  consumer %zu: %llu runs\n", c,
-                static_cast<unsigned long long>(stats.consumer_runs[c]));
-  }
-  if (owned_shards) {
-    std::printf("  owned-shard ingest: %llu seqlock read retrie(s)\n",
-                static_cast<unsigned long long>(
-                    collector->seqlock_read_retries()));
-  }
 
   // Seal before reporting: the digest below must describe state that is
   // fully on disk, and a clean shutdown leaves the final segment sealed.
   capp::Status durable_status = capp::Status::OK();
+  capp::WalStats wal_stats;
   if (durable != nullptr) {
     durable_status = durable->Flush();
     if (durable_status.ok()) durable_status = durable->Seal();
-    const capp::WalStats wal = durable->wal_stats();
-    std::printf("  wal: %llu frame(s) appended (%.1f MB), %llu fsync(s), "
-                "%llu checkpoint(s), %llu resent run(s) deduped\n",
-                static_cast<unsigned long long>(wal.frames_appended),
-                static_cast<double>(wal.bytes_appended) / 1048576.0,
-                static_cast<unsigned long long>(wal.fsyncs),
-                static_cast<unsigned long long>(wal.checkpoints),
-                static_cast<unsigned long long>(wal.runs_deduped));
+    wal_stats = durable->wal_stats();
   }
+
+  capp::telemetry::RunSummary summary;
+  summary.transport = &stats;
+  summary.owned_shards = owned_shards;
+  summary.seqlock_read_retries = collector->seqlock_read_retries();
+  if (durable != nullptr) summary.wal = &wal_stats;
+  std::printf("\n%s", capp::telemetry::RenderSummary(summary).c_str());
+
+  // Clean finish owns teardown from here; a signal races no further.
+  g_exiting.store(true);
+  ::close(g_signal_pipe[1]);
+  if (signal_watcher.joinable()) signal_watcher.join();
+  ::close(g_signal_pipe[0]);
+  if (metrics_server != nullptr) metrics_server->Stop();
 
   // Order-independent digest of the full aggregate state; a recovered
   // crash run and its uninterrupted oracle must print the same value.

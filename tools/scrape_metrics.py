@@ -1,0 +1,307 @@
+#!/usr/bin/env python3
+"""Scrape and validate a collector_server metrics socket.
+
+Connects to the unix-domain socket that `collector_server
+--metrics-socket=PATH` serves, fetches the Prometheus text exposition (or
+the JSON snapshot with --json), and validates it: every sample line must
+parse, every series must be declared by a # TYPE line, and histogram
+bucket counts must be cumulative and agree with _count.
+
+    tools/scrape_metrics.py /tmp/capp-metrics.sock
+    tools/scrape_metrics.py /tmp/capp-metrics.sock \
+        --expect capp_ingest_runs_total --out scrape1.txt
+    tools/scrape_metrics.py /tmp/capp-metrics.sock --compare scrape1.txt
+    tools/scrape_metrics.py --self-test
+
+--compare asserts counters are monotone between two scrapes (the earlier
+one saved with --out), which is how CI proves the endpoint serves live
+numbers mid-ingest rather than a frozen snapshot.
+
+Exit status: 0 valid (and expectations met), 1 validation failure,
+2 usage / connection error.
+"""
+
+import argparse
+import json
+import math
+import socket
+import sys
+
+SCRAPE_TIMEOUT_SECS = 10.0
+
+
+def scrape(path, verb):
+    """Returns the response body for `verb` ("metrics" or "stats")."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(SCRAPE_TIMEOUT_SECS)
+        sock.connect(path)
+        sock.sendall((verb + "\n").encode())
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    raw = b"".join(chunks).decode()
+    if raw.startswith("HTTP/"):
+        head, _, body = raw.partition("\r\n\r\n")
+        status = head.split("\r\n")[0].split()
+        if len(status) < 2 or status[1] != "200":
+            raise ValueError("non-200 scrape response: %r" % status)
+        return body
+    return raw
+
+
+def parse_exposition(text):
+    """Validates Prometheus text format; returns {series_name: value}.
+
+    Histogram child series keep their le label in the key, e.g.
+    'capp_wal_fsync_seconds_bucket{le="+Inf"}'.
+    """
+    errors = []
+    samples = {}
+    types = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3].strip() if len(parts) > 3 else ""
+            elif len(parts) >= 2 and parts[1] not in ("HELP", "TYPE"):
+                errors.append("line %d: unknown comment %r" % (lineno, line))
+            continue
+        # Sample line: name[{labels}] value
+        fields = line.rsplit(None, 1)
+        if len(fields) != 2:
+            errors.append("line %d: malformed sample %r" % (lineno, line))
+            continue
+        series, value = fields
+        try:
+            parsed = float(value)
+        except ValueError:
+            errors.append("line %d: non-numeric value %r" % (lineno, value))
+            continue
+        if math.isnan(parsed):
+            errors.append("line %d: NaN value" % lineno)
+            continue
+        base = series.split("{", 1)[0]
+        family = base
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base[: -len(suffix)] in types:
+                family = base[: -len(suffix)]
+                break
+        if family not in types:
+            errors.append("line %d: series %r has no # TYPE" % (lineno, base))
+        if series in samples:
+            errors.append("line %d: duplicate series %r" % (lineno, series))
+        samples[series] = parsed
+
+    # Histogram invariants: buckets cumulative, +Inf bucket == _count.
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets = []
+        for series, value in samples.items():
+            if series.startswith(family + "_bucket{le="):
+                le = series[len(family) + 12 : -2]
+                bound = math.inf if le == "+Inf" else float(le)
+                buckets.append((bound, value))
+        buckets.sort()
+        if not buckets:
+            errors.append("histogram %s has no buckets" % family)
+            continue
+        last = -1.0
+        for bound, value in buckets:
+            if value < last:
+                errors.append(
+                    "histogram %s: bucket le=%s count %g < previous %g"
+                    % (family, bound, value, last)
+                )
+            last = value
+        if buckets[-1][0] != math.inf:
+            errors.append("histogram %s missing +Inf bucket" % family)
+        count = samples.get(family + "_count")
+        if count is None:
+            errors.append("histogram %s missing _count" % family)
+        elif buckets[-1][0] == math.inf and buckets[-1][1] != count:
+            errors.append(
+                "histogram %s: +Inf bucket %g != _count %g"
+                % (family, buckets[-1][1], count)
+            )
+        if family + "_sum" not in samples:
+            errors.append("histogram %s missing _sum" % family)
+    return samples, types, errors
+
+
+def monotone_errors(old_samples, new_samples, types):
+    """Counters (and histogram cumulative series) must never go backwards."""
+    errors = []
+    for series, old_value in old_samples.items():
+        base = series.split("{", 1)[0]
+        family = base
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base[: -len(suffix)] in types:
+                family = base[: -len(suffix)]
+                break
+        if types.get(family) not in ("counter", "histogram"):
+            continue
+        new_value = new_samples.get(series)
+        if new_value is None:
+            errors.append("series %r vanished between scrapes" % series)
+        elif new_value < old_value:
+            errors.append(
+                "series %r went backwards: %g -> %g"
+                % (series, old_value, new_value)
+            )
+    return errors
+
+
+GOOD_DOC = """\
+# HELP capp_ingest_runs_total Ingested runs.
+# TYPE capp_ingest_runs_total counter
+capp_ingest_runs_total 42
+# TYPE capp_transport_queue_depth gauge
+capp_transport_queue_depth -3
+# TYPE capp_wal_fsync_seconds histogram
+capp_wal_fsync_seconds_bucket{le="0.001"} 7
+capp_wal_fsync_seconds_bucket{le="+Inf"} 9
+capp_wal_fsync_seconds_sum 0.0123
+capp_wal_fsync_seconds_count 9
+"""
+
+
+def self_test():
+    samples, types, errors = parse_exposition(GOOD_DOC)
+    assert not errors, errors
+    assert samples["capp_ingest_runs_total"] == 42.0
+    assert types["capp_wal_fsync_seconds"] == "histogram"
+
+    _, _, errors = parse_exposition("capp_orphan_total 1\n")
+    assert any("no # TYPE" in e for e in errors), errors
+
+    _, _, errors = parse_exposition(
+        "# TYPE x counter\nx not-a-number\n"
+    )
+    assert any("non-numeric" in e for e in errors), errors
+
+    bad_hist = GOOD_DOC.replace(
+        'le="0.001"} 7', 'le="0.001"} 11'
+    )  # cumulative counts must not decrease
+    _, _, errors = parse_exposition(bad_hist)
+    assert any("< previous" in e for e in errors), errors
+
+    bad_count = GOOD_DOC.replace(
+        "capp_wal_fsync_seconds_count 9", "capp_wal_fsync_seconds_count 8"
+    )
+    _, _, errors = parse_exposition(bad_count)
+    assert any("!= _count" in e for e in errors), errors
+
+    shrunk = {"capp_ingest_runs_total": 41.0}
+    errors = monotone_errors(samples, shrunk, types)
+    assert any("went backwards" in e for e in errors), errors
+    assert any("vanished" in e for e in errors), errors
+    # Gauges may move any direction.
+    wiggled = dict(samples)
+    wiggled["capp_transport_queue_depth"] = -9.0
+    assert not monotone_errors(samples, wiggled, types)
+    print("scrape_metrics self-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Scrape and validate a capp metrics socket."
+    )
+    parser.add_argument("socket_path", nargs="?", help="unix socket path")
+    parser.add_argument(
+        "--expect",
+        action="append",
+        default=[],
+        help="series name that must be present (repeatable)",
+    )
+    parser.add_argument("--out", help="save the raw scrape to this file")
+    parser.add_argument(
+        "--compare",
+        help="earlier scrape (saved with --out); counters must be monotone",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="use the 'stats' verb and validate the JSON snapshot instead",
+    )
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.socket_path:
+        parser.error("socket_path is required unless --self-test")
+
+    try:
+        body = scrape(args.socket_path, "stats" if args.json else "metrics")
+    except (OSError, ValueError) as err:
+        print("scrape failed: %s" % err, file=sys.stderr)
+        return 2
+
+    if args.json:
+        try:
+            snapshot = json.loads(body)
+        except json.JSONDecodeError as err:
+            print("invalid JSON snapshot: %s" % err, file=sys.stderr)
+            return 1
+        missing = [
+            name
+            for name in args.expect
+            if name not in snapshot.get("counters", {})
+            and name not in snapshot.get("gauges", {})
+            and name not in snapshot.get("histograms", {})
+        ]
+        if missing:
+            print("missing series: %s" % ", ".join(missing), file=sys.stderr)
+            return 1
+        print(
+            "OK: JSON snapshot with %d counters, %d gauges, %d histograms"
+            % (
+                len(snapshot.get("counters", {})),
+                len(snapshot.get("gauges", {})),
+                len(snapshot.get("histograms", {})),
+            )
+        )
+        return 0
+
+    samples, types, errors = parse_exposition(body)
+    for name in args.expect:
+        if name not in samples and name not in types:
+            errors.append("expected series %r is absent" % name)
+    if args.compare:
+        try:
+            with open(args.compare) as f:
+                old_samples, old_types, old_errors = parse_exposition(f.read())
+        except OSError as err:
+            print("cannot read %s: %s" % (args.compare, err), file=sys.stderr)
+            return 2
+        errors.extend(old_errors)
+        merged = dict(old_types)
+        merged.update(types)
+        errors.extend(monotone_errors(old_samples, samples, merged))
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(body)
+    if errors:
+        for err in errors:
+            print("INVALID: %s" % err, file=sys.stderr)
+        return 1
+    print(
+        "OK: %d series across %d families%s"
+        % (
+            len(samples),
+            len(types),
+            ", monotone vs %s" % args.compare if args.compare else "",
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
