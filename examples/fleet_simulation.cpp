@@ -34,10 +34,12 @@
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "analysis/streaming_analytics.h"
 #include "analysis/trend.h"
 #include "core/parse.h"
+#include "storage/collector_backend.h"
 #include "engine/engine_config.h"
 #include "engine/fleet.h"
 #include "telemetry/metrics.h"
@@ -53,6 +55,8 @@ namespace {
                "[--transport=direct|queue|framed|socket]\n"
                "          [--consumers=N] [--affinity] [--connect=PATH]\n"
                "          [--connect-retries=N] [--connect-backoff-ms=N]\n"
+               "          [--dims=N] "
+               "[--multidim=budget_split|sample_split]\n"
                "          [--analytics] [--metrics-json=FILE] "
                "[--sample-every=N]\n",
                argv0);
@@ -61,12 +65,21 @@ namespace {
 
 // The streaming analytics report: what the collector tier can publish
 // per window without ever seeing a raw stream, next to the ground truth
-// only the simulator knows.
+// only the simulator knows. A multi-dimensional collector gets one
+// report per attribute, each computed from that attribute's cell slice.
 int PrintAnalytics(const capp::Fleet& fleet,
                    const capp::EngineStats& stats) {
   const capp::EngineConfig& config = fleet.config();
   capp::StreamingAnalyzerOptions options;
-  options.epsilon_per_slot = config.epsilon / config.window;
+  // Budget split spends epsilon / (dims * w) per (attribute, slot)
+  // publication; sample split (and d = 1) spends epsilon / w.
+  const double budget_dims =
+      config.dims > 1 && config.multidim_strategy ==
+                             capp::MultidimStrategy::kBudgetSplit
+          ? static_cast<double>(config.dims)
+          : 1.0;
+  options.epsilon_per_slot =
+      config.epsilon / (budget_dims * config.window);
   options.histogram_buckets = config.analytics.histogram_buckets;
   options.window = static_cast<size_t>(config.window);
   auto analyzer = capp::StreamingAnalyzer::Create(options);
@@ -75,50 +88,53 @@ int PrintAnalytics(const capp::Fleet& fleet,
                  analyzer.status().ToString().c_str());
     return 1;
   }
-  auto analysis = analyzer->AnalyzeCollector(fleet.collector());
-  if (!analysis.ok()) {
-    std::fprintf(stderr, "analytics failed: %s\n",
-                 analysis.status().ToString().c_str());
-    return 1;
-  }
-
-  std::printf("\nstreaming analytics (%zu-slot windows, %d-bin SW "
-              "histograms over [%.3f, %.3f], %llu outlier(s)):\n",
-              options.window, analyzer->collector_histogram().num_bins,
-              analyzer->collector_histogram().lo,
-              analyzer->collector_histogram().hi,
-              static_cast<unsigned long long>(analysis->total_outliers));
-  std::printf("  window        reports    crowd mean  true mean   "
-              "recon mean  crowd err  recon err\n");
-  for (const capp::WindowAnalytics& w : analysis->windows) {
-    double true_mean = 0.0;
-    for (size_t t = w.begin; t < w.begin + w.length; ++t) {
-      true_mean += stats.true_slot_means[t];
+  for (size_t dim = 0; dim < config.dims; ++dim) {
+    auto analysis = analyzer->AnalyzeCollectorDim(fleet.collector(), dim);
+    if (!analysis.ok()) {
+      std::fprintf(stderr, "analytics failed: %s\n",
+                   analysis.status().ToString().c_str());
+      return 1;
     }
-    true_mean /= static_cast<double>(w.length);
-    std::printf("  [%3zu,%3zu)   %9llu    %.4f      %.4f      %.4f      "
-                "%+.4f    %+.4f\n",
-                w.begin, w.begin + w.length,
-                static_cast<unsigned long long>(w.reports), w.crowd_mean,
-                true_mean, w.distribution_mean, w.crowd_mean - true_mean,
-                w.distribution_mean - true_mean);
+    if (config.dims > 1) std::printf("\nattribute %zu:", dim);
+    std::printf("\nstreaming analytics (%zu-slot windows, %d-bin SW "
+                "histograms over [%.3f, %.3f], %llu outlier(s)):\n",
+                options.window, analyzer->collector_histogram().num_bins,
+                analyzer->collector_histogram().lo,
+                analyzer->collector_histogram().hi,
+                static_cast<unsigned long long>(analysis->total_outliers));
+    std::printf("  window        reports    crowd mean  true mean   "
+                "recon mean  crowd err  recon err\n");
+    const double* true_dim = stats.true_slot_means.data() + dim * stats.slots;
+    for (const capp::WindowAnalytics& w : analysis->windows) {
+      double true_mean = 0.0;
+      for (size_t t = w.begin; t < w.begin + w.length; ++t) {
+        true_mean += true_dim[t];
+      }
+      true_mean /= static_cast<double>(w.length);
+      std::printf("  [%3zu,%3zu)   %9llu    %.4f      %.4f      %.4f      "
+                  "%+.4f    %+.4f\n",
+                  w.begin, w.begin + w.length,
+                  static_cast<unsigned long long>(w.reports), w.crowd_mean,
+                  true_mean, w.distribution_mean, w.crowd_mean - true_mean,
+                  w.distribution_mean - true_mean);
+    }
+    std::printf("  trend segments of the collector's slot means:");
+    for (const capp::TrendSegment& segment : analysis->trends) {
+      std::printf(" [%zu,%zu) %s (slope %+.4f)", segment.begin, segment.end,
+                  std::string(capp::TrendDirectionName(segment.direction))
+                      .c_str(),
+                  segment.slope);
+    }
+    std::printf("\n");
+    const std::vector<double> true_slice(true_dim, true_dim + stats.slots);
+    auto agreement = capp::TrendAgreement(analysis->slot_means, true_slice);
+    if (!agreement.ok()) {
+      std::fprintf(stderr, "trend agreement failed: %s\n",
+                   agreement.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  trend agreement vs true slot means: %.3f\n", *agreement);
   }
-  std::printf("  trend segments of the collector's slot means:");
-  for (const capp::TrendSegment& segment : analysis->trends) {
-    std::printf(" [%zu,%zu) %s (slope %+.4f)", segment.begin, segment.end,
-                std::string(capp::TrendDirectionName(segment.direction))
-                    .c_str(),
-                segment.slope);
-  }
-  std::printf("\n");
-  auto agreement = capp::TrendAgreement(analysis->slot_means,
-                                        stats.true_slot_means);
-  if (!agreement.ok()) {
-    std::fprintf(stderr, "trend agreement failed: %s\n",
-                 agreement.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("  trend agreement vs true slot means: %.3f\n", *agreement);
   return 0;
 }
 
@@ -179,6 +195,24 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.transport.connect_backoff_ms = backoff;
+    } else if (arg.starts_with("--dims=")) {
+      // Strict: "--dims=0", "--dims=4x" or "--dims=" must exit 2, never
+      // run a mis-shaped fleet.
+      uint64_t dims = 0;
+      if (!capp::ParseUint64Text(arg.substr(7), &dims) || dims < 1) {
+        std::fprintf(stderr, "--dims wants a positive integer, got '%s'\n",
+                     arg.substr(7).data());
+        return 2;
+      }
+      config.dims = dims;
+    } else if (arg.starts_with("--multidim=")) {
+      auto strategy = capp::ParseMultidimStrategy(arg.substr(11));
+      if (!strategy.ok()) {
+        std::fprintf(stderr, "%s (want budget_split|sample_split)\n",
+                     strategy.status().ToString().c_str());
+        return 2;
+      }
+      config.multidim_strategy = *strategy;
     } else if (arg == "--affinity") {
       config.transport.shard_affinity = true;
     } else if (arg == "--analytics") {
@@ -236,10 +270,17 @@ int main(int argc, char** argv) {
   const bool remote_collector =
       config.transport.kind == capp::TransportKind::kSocket &&
       !config.transport.socket_path.empty();
-  std::printf("Simulating %zu users x %zu slots (CAPP, eps=%.1f, w=%d, "
+  const std::string dims_note =
+      config.dims > 1
+          ? ", " + std::to_string(config.dims) + " dims (" +
+                std::string(
+                    capp::MultidimStrategyName(config.multidim_strategy)) +
+                ")"
+          : "";
+  std::printf("Simulating %zu users x %zu slots (CAPP, eps=%.1f, w=%d%s, "
               "%s transport%s%s)...\n",
               config.num_users, config.num_slots, config.epsilon,
-              config.window,
+              config.window, dims_note.c_str(),
               std::string(capp::TransportKindName(config.transport.kind))
                   .c_str(),
               config.transport.shard_affinity ? ", shard affinity" : "",
@@ -259,30 +300,47 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n%s\n", stats->ToString().c_str());
-  std::printf("\n  slot   true mean   published   error\n");
-  for (size_t t = 0; t < stats->slots; ++t) {
-    const double truth = stats->true_slot_means[t];
-    const double published = stats->published_slot_means[t];
-    std::printf("  %4zu   %.4f      %.4f      %+.4f\n", t, truth, published,
-                published - truth);
+  for (size_t k = 0; k < stats->dims; ++k) {
+    if (stats->dims > 1) std::printf("\nattribute %zu:", k);
+    std::printf("\n  slot   true mean   published   error\n");
+    for (size_t t = 0; t < stats->slots; ++t) {
+      const double truth = stats->true_slot_means[k * stats->slots + t];
+      const double published =
+          stats->published_slot_means[k * stats->slots + t];
+      std::printf("  %4zu   %.4f      %.4f      %+.4f\n", t, truth,
+                  published, published - truth);
+    }
   }
   std::printf("\nper-slot MSE of the published population mean: %.3e\n",
               stats->mean_slot_mse);
+  if (stats->dims > 1) {
+    // The per-attribute accuracy split: under sample split later
+    // attributes pay for republishing stale values; under budget split
+    // every attribute pays the d-way budget cut evenly.
+    for (size_t k = 0; k < stats->dims; ++k) {
+      std::printf("  attribute %zu: MSE %.3e, MAE %.3e\n", k,
+                  stats->per_dim_mse[k], stats->per_dim_mae[k]);
+    }
+  }
   // CAPP calibrates w-slot window averages (Lemma IV.2), not individual
   // slots, so the paper's headline metric is the subsequence mean. Compare
-  // every length-w window of the published means against ground truth.
+  // every length-w window of the published means against ground truth
+  // (over every attribute in a multi-dimensional run).
   double max_window_err = 0.0;
   const size_t w = static_cast<size_t>(config.window);
   if (stats->slots >= w) {
-    for (size_t begin = 0; begin + w <= stats->slots; ++begin) {
-      double true_sum = 0.0;
-      double published_sum = 0.0;
-      for (size_t t = begin; t < begin + w; ++t) {
-        true_sum += stats->true_slot_means[t];
-        published_sum += stats->published_slot_means[t];
+    for (size_t k = 0; k < stats->dims; ++k) {
+      const size_t row = k * stats->slots;
+      for (size_t begin = 0; begin + w <= stats->slots; ++begin) {
+        double true_sum = 0.0;
+        double published_sum = 0.0;
+        for (size_t t = begin; t < begin + w; ++t) {
+          true_sum += stats->true_slot_means[row + t];
+          published_sum += stats->published_slot_means[row + t];
+        }
+        max_window_err = std::max(
+            max_window_err, std::fabs(published_sum - true_sum) / w);
       }
-      max_window_err = std::max(
-          max_window_err, std::fabs(published_sum - true_sum) / w);
     }
     std::printf("max |error| of any %zu-slot window mean: %.4f\n", w,
                 max_window_err);
@@ -318,6 +376,11 @@ int main(int argc, char** argv) {
     }
     std::printf("max per-slot report stddev at the collector: %.3f\n",
                 max_stddev);
+    // Same format as collector_server's line, so a two-process run can
+    // be digest-checked against this in-process oracle in CI.
+    std::printf("aggregate digest: %016llx\n",
+                static_cast<unsigned long long>(
+                    capp::CollectorStateDigest(fleet->collector())));
     if (config.analytics.enabled) {
       rc = PrintAnalytics(*fleet, *stats);
     }

@@ -109,7 +109,7 @@ Result<WindowAnalytics> StreamingAnalyzer::AnalyzeWindow(
   return out;
 }
 
-Result<StreamAnalytics> StreamingAnalyzer::AnalyzeCollector(
+Status StreamingAnalyzer::CheckCollectorGeometry(
     const ShardedCollector& collector) const {
   const SlotHistogramOptions& have = collector.options().histogram;
   if (!have.enabled) {
@@ -129,10 +129,56 @@ Result<StreamAnalytics> StreamingAnalyzer::AnalyzeCollector(
         "collector histogram geometry does not match the analyzer's "
         "budget/resolution");
   }
+  return Status::OK();
+}
+
+Result<StreamAnalytics> StreamingAnalyzer::AnalyzeCollector(
+    const ShardedCollector& collector) const {
+  CAPP_RETURN_IF_ERROR(CheckCollectorGeometry(collector));
+  if (collector.dims() > 1) {
+    return Status::FailedPrecondition(
+        "collector cells interleave " + std::to_string(collector.dims()) +
+        " attributes; analyze one at a time with AnalyzeCollectorDim");
+  }
   CAPP_ASSIGN_OR_RETURN(const std::vector<std::vector<uint64_t>> histograms,
                         collector.PopulationSlotHistograms());
   const std::vector<SlotAggregate> aggregates =
       collector.PopulationSlotAggregates();
+  return AnalyzeSnapshot(histograms, aggregates);
+}
+
+Result<StreamAnalytics> StreamingAnalyzer::AnalyzeCollectorDim(
+    const ShardedCollector& collector, size_t dim) const {
+  const size_t dims = collector.dims();
+  if (dim >= dims) {
+    return Status::InvalidArgument(
+        "dim " + std::to_string(dim) + " out of range for a " +
+        std::to_string(dims) + "-dimensional collector");
+  }
+  CAPP_RETURN_IF_ERROR(CheckCollectorGeometry(collector));
+  CAPP_ASSIGN_OR_RETURN(const std::vector<std::vector<uint64_t>> histograms,
+                        collector.PopulationSlotHistograms());
+  const std::vector<SlotAggregate> aggregates =
+      collector.PopulationSlotAggregates();
+  if (dims == 1) return AnalyzeSnapshot(histograms, aggregates);
+  // The snapshots are per cell (slot * dims + dim); gather this
+  // attribute's slice so the core sees one scalar stream's slots.
+  const size_t cells = std::min(histograms.size(), aggregates.size());
+  const size_t slots = cells / dims;
+  std::vector<std::vector<uint64_t>> dim_histograms;
+  std::vector<SlotAggregate> dim_aggregates;
+  dim_histograms.reserve(slots);
+  dim_aggregates.reserve(slots);
+  for (size_t t = 0; t < slots; ++t) {
+    dim_histograms.push_back(histograms[t * dims + dim]);
+    dim_aggregates.push_back(aggregates[t * dims + dim]);
+  }
+  return AnalyzeSnapshot(dim_histograms, dim_aggregates);
+}
+
+Result<StreamAnalytics> StreamingAnalyzer::AnalyzeSnapshot(
+    std::span<const std::vector<uint64_t>> histograms,
+    std::span<const SlotAggregate> aggregates) const {
   // The two snapshots are taken back to back without a common lock
   // (each is individually consistent per shard). A report ingested
   // between them surfaces as AnalyzeWindow's histogram-vs-aggregate

@@ -111,13 +111,25 @@ class StreamingAnalyzer {
   /// distribution/crowd analytics plus trend segmentation of the per-slot
   /// means. Windows with no reports are skipped (they cannot occur in a
   /// dense fleet run). FailedPrecondition when the collector's histogram
-  /// tier is off or its geometry differs from collector_histogram().
+  /// tier is off, its geometry differs from collector_histogram(), or the
+  /// collector is multi-dimensional (its cells interleave attributes;
+  /// use AnalyzeCollectorDim to analyze one attribute).
   /// Call on a quiescent collector (after the transport session drains):
   /// the histogram and aggregate snapshots are taken back to back, and a
   /// report ingested between them fails the per-window consistency
   /// cross-check.
   Result<StreamAnalytics> AnalyzeCollector(
       const ShardedCollector& collector) const;
+
+  /// Per-attribute analytics over a (possibly multi-dimensional)
+  /// collector: slices dimension `dim`'s cells (cell = slot * dims + dim)
+  /// out of the interleaved snapshot and runs exactly the analytics
+  /// AnalyzeCollector runs on a one-dimensional collector -- per-window
+  /// SW-EM distribution reconstruction, crowd means, and trend
+  /// segmentation, all over that one attribute's slots. On a d = 1
+  /// collector, AnalyzeCollectorDim(c, 0) == AnalyzeCollector(c).
+  Result<StreamAnalytics> AnalyzeCollectorDim(
+      const ShardedCollector& collector, size_t dim) const;
 
   const StreamingAnalyzerOptions& options() const { return options_; }
 
@@ -127,6 +139,14 @@ class StreamingAnalyzer {
                     SwDistributionEstimator estimator)
       : options_(options), collector_histogram_(collector_histogram),
         sw_(std::move(sw)), estimator_(std::move(estimator)) {}
+
+  /// Geometry check shared by the collector entry points.
+  Status CheckCollectorGeometry(const ShardedCollector& collector) const;
+
+  /// The analytics core over one attribute's per-slot snapshot.
+  Result<StreamAnalytics> AnalyzeSnapshot(
+      std::span<const std::vector<uint64_t>> histograms,
+      std::span<const SlotAggregate> aggregates) const;
 
   StreamingAnalyzerOptions options_;
   SlotHistogramOptions collector_histogram_;

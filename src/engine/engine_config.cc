@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstdio>
+#include <vector>
 
 #include "algorithms/perturber.h"
 #include "transport/wire_format.h"
@@ -43,6 +44,14 @@ Status ValidateEngineConfig(const EngineConfig& config) {
   }
   if (config.num_slots < 1) {
     return Status::InvalidArgument("num_slots must be >= 1");
+  }
+  if (config.dims < 1) {
+    return Status::InvalidArgument("dims must be >= 1");
+  }
+  if (config.dims > kWireMaxDims) {
+    return Status::InvalidArgument(
+        "dims must be <= " + std::to_string(kWireMaxDims) +
+        " (the wire codec's dimension bound)");
   }
   if (config.num_threads < 0) {
     return Status::InvalidArgument("num_threads must be >= 0 (0 = auto)");
@@ -93,20 +102,22 @@ Status ValidateEngineConfig(const EngineConfig& config) {
     }
   }
   if (config.transport.kind != TransportKind::kDirect &&
-      config.num_slots > kWireMaxRunLength) {
-    // A fleet device uploads its whole stream as one run; the queued
-    // transports cap a run at the wire codec's frame limit. Reject at
-    // validation rather than CHECK-failing mid-run.
+      config.num_slots * config.dims > kWireMaxRunLength) {
+    // A fleet device uploads its whole stream (all dims * slots doubles)
+    // as one run; the queued transports cap a run at the wire codec's
+    // frame limit. Reject at validation rather than CHECK-failing
+    // mid-run.
     return Status::InvalidArgument(
         "queued transports carry at most " +
         std::to_string(kWireMaxRunLength) +
-        " slots per user run; lower num_slots or use kDirect");
+        " doubles (slots x dims) per user run; lower num_slots/dims or "
+        "use kDirect");
   }
   return Status::OK();
 }
 
 uint64_t EngineConfigFingerprint(const EngineConfig& config) {
-  const uint64_t words[] = {
+  std::vector<uint64_t> words = {
       static_cast<uint64_t>(config.algorithm),
       std::bit_cast<uint64_t>(config.epsilon),
       static_cast<uint64_t>(config.window),
@@ -120,6 +131,13 @@ uint64_t EngineConfigFingerprint(const EngineConfig& config) {
       static_cast<uint64_t>(config.analytics.histogram_buckets),
       static_cast<uint64_t>(config.smoothing_window),
   };
+  if (config.dims > 1) {
+    // Appended only for multi-dimensional configs, so every d=1
+    // fingerprint -- and with it every existing WAL segment, checkpoint,
+    // and committed baseline -- is unchanged by the dims extension.
+    words.push_back(static_cast<uint64_t>(config.dims));
+    words.push_back(static_cast<uint64_t>(config.multidim_strategy));
+  }
   return WalFingerprint(words);
 }
 
@@ -132,6 +150,11 @@ std::string EngineStats::ToString() const {
                 threads, mean_slot_mse,
                 static_cast<unsigned long long>(stream_digest));
   std::string out = buffer;
+  if (dims > 1) {
+    out += ", ";
+    out += std::to_string(dims);
+    out += " dims";
+  }
   if (owned_shards) {
     out += ", owned shards (";
     out += std::to_string(seqlock_read_retries);

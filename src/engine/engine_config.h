@@ -14,6 +14,7 @@
 
 #include "algorithms/factory.h"
 #include "core/status.h"
+#include "multidim/multidim_perturber.h"
 #include "storage/wal.h"
 #include "transport/transport.h"
 
@@ -87,6 +88,17 @@ struct EngineConfig {
   size_t num_slots = 100;
   SignalKind signal = SignalKind::kSinusoid;
 
+  /// Attributes per report (>= 1). With dims > 1 every device publishes a
+  /// d-vector per slot: the fleet synthesizes d correlated signals per
+  /// user, perturbs them through `multidim_strategy` (epsilon is the
+  /// *total* window budget across dimensions), ships them dim-major in
+  /// 0xC6 wire frames, and the collector stores slot*dims interleaved
+  /// cells. dims = 1 is bit-identical to the pre-multidim engine on every
+  /// path: same draws, same 0xC5 bytes, same digests and fingerprints.
+  size_t dims = 1;
+  /// How a d-dimensional stream splits its budget (ignored when dims=1).
+  MultidimStrategy multidim_strategy = MultidimStrategy::kBudgetSplit;
+
   /// Execution. num_threads 0 means one thread per hardware thread.
   /// chunk_size is the number of users per work unit; chunk boundaries are
   /// fixed by this value alone, so stats stay identical across thread
@@ -151,14 +163,24 @@ struct EngineStats {
   double elapsed_seconds = 0.0;
   double reports_per_sec = 0.0;
 
+  /// Attributes per report (EngineConfig::dims).
+  size_t dims = 1;
+
   /// Mean over slots of (published population mean - true population
   /// mean)^2, the engine-level analogue of the paper's per-slot MSE.
+  /// With dims > 1, the mean runs over all dims * slots (dimension,
+  /// slot) pairs.
   double mean_slot_mse = 0.0;
   /// Mean over slots of |published population mean - true population mean|.
   double mean_abs_error = 0.0;
+  /// Per-dimension splits of the two errors above, length `dims` (for
+  /// d = 1, one-element vectors equal to the totals).
+  std::vector<double> per_dim_mse;
+  std::vector<double> per_dim_mae;
 
   /// Per-slot series behind the error statistics: the true population mean
-  /// and the published (smoothed) estimate, both of length `slots`.
+  /// and the published (smoothed) estimate, both of length dims * slots,
+  /// dim-major (dimension k's series at [k * slots, (k+1) * slots)).
   std::vector<double> true_slot_means;
   std::vector<double> published_slot_means;
 

@@ -1,5 +1,6 @@
 #include "engine/fleet.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <memory>
@@ -130,6 +131,55 @@ void GenerateUserSignalInto(SignalKind kind, size_t num_slots, Rng& rng,
   CAPP_CHECK(false);  // Unreachable: all kinds handled above.
 }
 
+void GenerateUserSignalMultiInto(SignalKind kind, size_t dims,
+                                 size_t num_slots, Rng& rng,
+                                 std::vector<double>& out) {
+  if (dims <= 1) {
+    GenerateUserSignalInto(kind, num_slots, rng, out);
+    return;
+  }
+  if (kind == SignalKind::kSinusoid) {
+    // The d attributes of one user are correlated readings of the same
+    // daily cycle: one phase draw shifted by a fixed per-dimension offset
+    // (attribute k leads attribute 0 by 0.35 * k radians), and one block
+    // Gaussian draw covering every dimension's noise. The d = 1 slice of
+    // this path is exactly GenerateUserSignalInto's sinusoid: same phase
+    // draw first, then FillGaussian -- just over a longer block.
+    constexpr double kPeriod = 24.0;
+    constexpr double kAmplitude = 0.15;
+    constexpr double kOffset = 0.5;
+    constexpr double kDimPhaseStep = 0.35;
+    thread_local SinusoidBase base;
+    base.Ensure(num_slots, kPeriod);
+    const double phase = rng.Uniform(-0.5, 0.5);
+    out.resize(dims * num_slots);
+    rng.FillGaussian(out);
+    for (size_t k = 0; k < dims; ++k) {
+      const double dim_phase =
+          phase + kDimPhaseStep * static_cast<double>(k);
+      const double sin_phase = std::sin(dim_phase);
+      const double cos_phase = std::cos(dim_phase);
+      double* run = out.data() + k * num_slots;
+      for (size_t t = 0; t < num_slots; ++t) {
+        const double wave =
+            base.sin_base[t] * cos_phase + base.cos_base[t] * sin_phase;
+        run[t] = Clamp(kOffset + kAmplitude * wave + 0.03 * run[t], 0.0, 1.0);
+      }
+    }
+    return;
+  }
+  // The other workload families are inherently serial in their RNG use;
+  // dimension k's series is simply the k-th stream drawn from the user's
+  // signal RNG.
+  out.resize(dims * num_slots);
+  thread_local std::vector<double> dim_series;
+  for (size_t k = 0; k < dims; ++k) {
+    GenerateUserSignalInto(kind, num_slots, rng, dim_series);
+    std::copy(dim_series.begin(), dim_series.end(),
+              out.begin() + static_cast<ptrdiff_t>(k * num_slots));
+  }
+}
+
 Fleet::Fleet(EngineConfig config,
              std::unique_ptr<ShardedCollector> collector,
              int smoothing_window)
@@ -152,22 +202,38 @@ Result<Fleet> Fleet::Create(EngineConfig config) {
   const int smoothing = config.smoothing_window != 0
                             ? config.smoothing_window
                             : probe->publication_smoothing_window();
+  if (config.dims > 1) {
+    // Probe the multi-dim wrapper too, so an unsupported (strategy,
+    // inner) combination fails here with a real Status instead of
+    // CHECK-failing inside a worker thread.
+    auto multidim_probe = MultidimPerturber::Create(
+        config.dims, config.multidim_strategy, options, config.algorithm);
+    if (!multidim_probe.ok()) return multidim_probe.status();
+  }
   ShardedCollectorOptions collector_options;
   collector_options.num_shards = config.num_shards;
   collector_options.keep_streams = config.keep_streams;
+  collector_options.dims = config.dims;
   // Validation already pinned the sound combination (affinity routing,
   // queued kind, aggregate-only), so the transport's ownership claim
   // translates directly into single-writer collector storage.
   collector_options.single_writer = config.transport.owned_shards;
   if (config.analytics.enabled) {
-    // Histogram geometry follows the fleet's per-slot budget epsilon/w,
-    // so a StreamingAnalyzer created at the same budget/resolution
-    // consumes the collector's bins directly.
+    // Histogram geometry follows the fleet's per-slot budget, so a
+    // StreamingAnalyzer created at the same budget/resolution consumes
+    // the collector's bins directly. Budget split spends epsilon /
+    // (dims * window) per (dimension, slot) publication; sample split
+    // spends the whole epsilon / window on the one dimension it uploads.
+    const double per_slot_budget =
+        config.dims > 1 &&
+                config.multidim_strategy == MultidimStrategy::kBudgetSplit
+            ? config.epsilon /
+                  (static_cast<double>(config.dims) * config.window)
+            : config.epsilon / config.window;
     CAPP_ASSIGN_OR_RETURN(
         collector_options.histogram,
         StreamingAnalyzer::CollectorHistogramOptions(
-            config.epsilon / config.window,
-            config.analytics.histogram_buckets));
+            per_slot_budget, config.analytics.histogram_buckets));
   }
   CAPP_ASSIGN_OR_RETURN(ShardedCollector collector,
                         ShardedCollector::Create(collector_options));
@@ -202,6 +268,12 @@ Result<EngineStats> Fleet::Run() {
 
   const size_t users = config_.num_users;
   const size_t slots = config_.num_slots;
+  const size_t dims = config_.dims;
+  // Everything per-slot generalizes to per-cell: a user's run, the chunk
+  // accumulators, and the collector's storage all hold dims * slots
+  // doubles, dim-major. cells == slots at d = 1, so that path's loop
+  // bounds, arithmetic, and digests are untouched.
+  const size_t cells = dims * slots;
   const size_t chunk_size = config_.chunk_size;
   const size_t num_chunks = (users + chunk_size - 1) / chunk_size;
   const int threads =
@@ -237,50 +309,94 @@ Result<EngineStats> Fleet::Run() {
     const uint64_t end =
         std::min<uint64_t>(users, begin + chunk_size);
     ChunkSums& sums = chunk_sums[chunk];
-    sums.true_sum.assign(slots, 0.0);
-    sums.report_sum.assign(slots, 0.0);
+    sums.true_sum.assign(cells, 0.0);
+    sums.report_sum.assign(cells, 0.0);
     // Pooled per-worker state, reused across every user in the chunk: one
     // session (reseeded per user via ResetForUser -- no perturber or
     // mechanism construction on the per-user path) and preallocated
     // signal/report/smoothing buffers. The per-report hot path is
-    // allocation-free after the first user.
+    // allocation-free after the first user. Multi-dimensional runs pool
+    // a MultidimPerturber the same way (reseeded per user), leaving the
+    // scalar session untouched.
     auto session = UserSession::Create(begin, config_.algorithm,
                                        {config_.epsilon, config_.window},
                                        /*seed=*/0);
     CAPP_CHECK(session.ok());  // Config was validated in Create.
+    std::optional<MultidimPerturber> multidim;
+    if (dims > 1) {
+      auto created = MultidimPerturber::Create(
+          dims, config_.multidim_strategy,
+          {config_.epsilon, config_.window}, config_.algorithm);
+      CAPP_CHECK(created.ok());  // Probed in Create.
+      multidim.emplace(std::move(*created));
+    }
     std::vector<double> truth;
-    std::vector<double> report_values(slots);
+    std::vector<double> report_values(cells);
     std::vector<double> published;
     std::vector<double> sma_scratch;
+    std::vector<double> dim_row;       // d > 1 only: per-dim SMA staging
+    std::vector<double> dim_smoothed;  // d > 1 only
     std::optional<TransportHub::Producer> producer;
     if (hub != nullptr) producer.emplace(hub->MakeProducer());
 
     for (uint64_t uid = begin; uid < end; ++uid) {
       Rng signal_rng(UserStreamSeed(config_.seed, uid, 0));
-      GenerateUserSignalInto(config_.signal, slots, signal_rng, truth);
-      session->ResetForUser(uid, UserStreamSeed(config_.seed, uid, 1));
-      // All of the user's slots go through the batched perturbation
-      // pipeline in one call (bit-identical to per-slot Report).
-      session->ReportChunk(truth, report_values);
+      if (dims == 1) {
+        GenerateUserSignalInto(config_.signal, slots, signal_rng, truth);
+        session->ResetForUser(uid, UserStreamSeed(config_.seed, uid, 1));
+        // All of the user's slots go through the batched perturbation
+        // pipeline in one call (bit-identical to per-slot Report).
+        session->ReportChunk(truth, report_values);
+      } else {
+        GenerateUserSignalMultiInto(config_.signal, dims, slots, signal_rng,
+                                    truth);
+        multidim->ResetForUser(UserStreamSeed(config_.seed, uid, 1));
+        multidim->PerturbStream(truth, slots, report_values);
+      }
       // The device's whole stream is delivered as one run: one shard
       // lookup and lock acquisition per user instead of per-report
       // staging through SlotReport buffers. Queued transports stage the
       // run into a pooled frame instead of touching the collector here.
+      // A d-dimensional device's run is its full dim-major block.
       if (producer.has_value()) {
-        producer->Publish(uid, /*base_slot=*/0, report_values);
-      } else {
+        if (dims == 1) {
+          producer->Publish(uid, /*base_slot=*/0, report_values);
+        } else {
+          producer->Publish(uid, /*base_slot=*/0, dims, report_values);
+        }
+      } else if (dims == 1) {
         ingest->IngestUserRun(uid, /*base_slot=*/0, report_values);
+      } else {
+        ingest->IngestUserRun(uid, /*base_slot=*/0, dims, report_values);
       }
-      sums.reports += slots;
-      CAPP_CHECK(SimpleMovingAverageInto(report_values, smoothing_window_,
-                                         published, sma_scratch)
-                     .ok());
+      sums.reports += cells;
+      if (dims == 1) {
+        CAPP_CHECK(SimpleMovingAverageInto(report_values, smoothing_window_,
+                                           published, sma_scratch)
+                       .ok());
+      } else {
+        // The collector-side SMA is per attribute: each dim-major row is
+        // smoothed independently and the published stream keeps the
+        // dim-major layout (it is what the digest hashes).
+        published.resize(cells);
+        for (size_t k = 0; k < dims; ++k) {
+          dim_row.assign(
+              report_values.begin() + static_cast<ptrdiff_t>(k * slots),
+              report_values.begin() +
+                  static_cast<ptrdiff_t>((k + 1) * slots));
+          CAPP_CHECK(SimpleMovingAverageInto(dim_row, smoothing_window_,
+                                             dim_smoothed, sma_scratch)
+                         .ok());
+          std::copy(dim_smoothed.begin(), dim_smoothed.end(),
+                    published.begin() + static_cast<ptrdiff_t>(k * slots));
+        }
+      }
       // The digest is one chunk-level hash of the published block
       // (core/stream_digest.h), so the slot-sum accumulation no longer
       // carries a serial hash chain and vectorizes on its own. v1 fused a
       // per-byte FNV chain into this loop to hide the sums in its latency
       // shadow; v2's whole hash costs less than the chain's first word.
-      for (size_t t = 0; t < slots; ++t) {
+      for (size_t t = 0; t < cells; ++t) {
         sums.true_sum[t] += truth[t];
         sums.report_sum[t] += report_values[t];
       }
@@ -319,10 +435,10 @@ Result<EngineStats> Fleet::Run() {
 
   // Sequential reduction in chunk order: chunk boundaries depend only on
   // chunk_size, so these sums are independent of the thread count.
-  std::vector<double> true_mean(slots, 0.0);
-  std::vector<double> report_mean(slots, 0.0);
+  std::vector<double> true_mean(cells, 0.0);
+  std::vector<double> report_mean(cells, 0.0);
   for (const ChunkSums& sums : chunk_sums) {
-    for (size_t t = 0; t < slots; ++t) {
+    for (size_t t = 0; t < cells; ++t) {
       true_mean[t] += sums.true_sum[t];
       report_mean[t] += sums.report_sum[t];
     }
@@ -330,25 +446,46 @@ Result<EngineStats> Fleet::Run() {
     stats.reports += sums.reports;
   }
   const double inv_users = 1.0 / static_cast<double>(users);
-  for (size_t t = 0; t < slots; ++t) {
+  for (size_t t = 0; t < cells; ++t) {
     true_mean[t] *= inv_users;
     report_mean[t] *= inv_users;
   }
   // The published population mean: SMA is linear, so smoothing the mean of
-  // the raw reports equals the mean of the per-user smoothed streams.
-  auto published_mean = SimpleMovingAverage(report_mean, smoothing_window_);
-  CAPP_CHECK(published_mean.ok());
-
-  KahanSum mse;
-  KahanSum mae;
-  for (size_t t = 0; t < slots; ++t) {
-    const double err = (*published_mean)[t] - true_mean[t];
-    mse.Add(err * err);
-    mae.Add(std::fabs(err));
+  // the raw reports equals the mean of the per-user smoothed streams. Each
+  // attribute's dim-major row is smoothed on its own, matching the
+  // per-user publication path above.
+  std::vector<double> published_mean(cells);
+  stats.per_dim_mse.resize(dims);
+  stats.per_dim_mae.resize(dims);
+  KahanSum total_mse;
+  KahanSum total_mae;
+  for (size_t k = 0; k < dims; ++k) {
+    const std::vector<double> row(
+        report_mean.begin() + static_cast<ptrdiff_t>(k * slots),
+        report_mean.begin() + static_cast<ptrdiff_t>((k + 1) * slots));
+    auto smoothed = SimpleMovingAverage(row, smoothing_window_);
+    CAPP_CHECK(smoothed.ok());
+    std::copy(smoothed->begin(), smoothed->end(),
+              published_mean.begin() + static_cast<ptrdiff_t>(k * slots));
+    KahanSum dim_mse;
+    KahanSum dim_mae;
+    for (size_t t = 0; t < slots; ++t) {
+      const double err =
+          published_mean[k * slots + t] - true_mean[k * slots + t];
+      const double sq = err * err;
+      const double abs = std::fabs(err);
+      dim_mse.Add(sq);
+      dim_mae.Add(abs);
+      total_mse.Add(sq);
+      total_mae.Add(abs);
+    }
+    stats.per_dim_mse[k] = dim_mse.Total() / static_cast<double>(slots);
+    stats.per_dim_mae[k] = dim_mae.Total() / static_cast<double>(slots);
   }
 
   stats.users = users;
   stats.slots = slots;
+  stats.dims = dims;
   stats.threads = static_cast<size_t>(threads);
   stats.chunks = num_chunks;
   stats.elapsed_seconds =
@@ -357,10 +494,10 @@ Result<EngineStats> Fleet::Run() {
       stats.elapsed_seconds > 0.0
           ? static_cast<double>(stats.reports) / stats.elapsed_seconds
           : 0.0;
-  stats.mean_slot_mse = mse.Total() / static_cast<double>(slots);
-  stats.mean_abs_error = mae.Total() / static_cast<double>(slots);
+  stats.mean_slot_mse = total_mse.Total() / static_cast<double>(cells);
+  stats.mean_abs_error = total_mae.Total() / static_cast<double>(cells);
   stats.true_slot_means = std::move(true_mean);
-  stats.published_slot_means = std::move(*published_mean);
+  stats.published_slot_means = std::move(published_mean);
   return stats;
 }
 

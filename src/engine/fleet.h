@@ -41,6 +41,18 @@ std::vector<double> GenerateUserSignal(SignalKind kind, size_t num_slots,
 void GenerateUserSignalInto(SignalKind kind, size_t num_slots, Rng& rng,
                             std::vector<double>& out);
 
+/// d-dimensional variant: fills `out` with dims * num_slots doubles,
+/// dim-major (dimension k's series at [k * num_slots, (k+1) * num_slots)).
+/// dims == 1 is GenerateUserSignalInto exactly -- same values, same RNG
+/// consumption. For the sinusoid workload the dimensions are correlated:
+/// they share the user's phase draw (each shifted by a fixed per-dimension
+/// offset) and one block Gaussian draw covers all dims * num_slots noise
+/// samples; other kinds generate the dimensions sequentially from the
+/// same RNG.
+void GenerateUserSignalMultiInto(SignalKind kind, size_t dims,
+                                 size_t num_slots, Rng& rng,
+                                 std::vector<double>& out);
+
 /// A simulated population of UserSessions feeding one ShardedCollector.
 class Fleet {
  public:

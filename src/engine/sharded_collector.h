@@ -52,6 +52,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -63,11 +64,35 @@
 
 namespace capp {
 
+/// Deleter for cache-line-aligned arrays of trivially-destructible
+/// payloads (the owned-shard seqlock storage): frees the 64-byte-aligned
+/// allocation without running destructors. make_unique only guarantees
+/// alignof(std::max_align_t) (16 bytes), which left the packed 5-word
+/// aggregate slots starting mid-line -- see sharded_collector.cc's
+/// MakeAlignedZeroed for the layout story.
+struct AlignedFree {
+  void operator()(void* p) const noexcept {
+    ::operator delete(p, std::align_val_t{64});
+  }
+};
+
+template <typename T>
+using AlignedAtomicArray = std::unique_ptr<T[], AlignedFree>;
+
 /// Storage knobs for a sharded collector.
 struct ShardedCollectorOptions {
   /// Number of independent storage shards (>= 1). More shards mean less
   /// lock contention under concurrent ingest; 16 is plenty below ~32 cores.
   size_t num_shards = 16;
+  /// Values per slot (>= 1): a d-dimensional stream stores d attribute
+  /// values for every (user, slot). Storage stays one flat array of
+  /// "cells" -- cell = slot * dims + dim, the interleaved layout -- so
+  /// every ingest, aggregate, digest, and checkpoint path is untouched
+  /// arithmetic over cells and dims = 1 is bit-identical to a collector
+  /// that never heard of dimensions (cell == slot). The dims-aware
+  /// IngestUserRun overload transposes the wire's dim-major payload into
+  /// cell order; per-dimension queries slice cells back out.
+  size_t dims = 1;
   /// When true, raw per-(user, slot) values are kept and per-user stream
   /// queries work. When false only the per-slot aggregates are maintained:
   /// memory stays O(shards * slots) no matter how many users report, but
@@ -127,6 +152,14 @@ class ShardedCollector : public CollectorBackend {
   void IngestUserRun(uint64_t user_id, size_t base_slot,
                      std::span<const double> values) override;
 
+  /// Re-exposes the base class's dims-aware overload (dim-major payload,
+  /// transposed to cells); the 3-arg override above would otherwise hide
+  /// it under C++ name lookup.
+  using CollectorBackend::IngestUserRun;
+
+  /// Values per slot (ShardedCollectorOptions::dims).
+  size_t dims() const override { return options_.dims; }
+
   /// Number of distinct users seen so far.
   size_t user_count() const override;
 
@@ -154,7 +187,9 @@ class ShardedCollector : public CollectorBackend {
   /// equals distinct slots under that mode's at-most-once contract.
   size_t SlotCount(uint64_t user_id) const;
 
-  /// Highest slot seen + 1 over all users (0 when empty).
+  /// Highest slot seen + 1 over all users (0 when empty). With dims > 1
+  /// this counts *cells* (time slots x dims), matching every other
+  /// per-slot query; divide by dims() for the time-slot span.
   size_t SlotSpan() const override;
 
   /// The user's raw stream over slots [0, user's last slot], with missing
@@ -249,8 +284,8 @@ class ShardedCollector : public CollectorBackend {
     // valid; capacity doubles under `mu` (see GrowOwnedSlots), which a
     // reader holds across its whole snapshot, so growth can never
     // reallocate the arrays out from under a racing copy.
-    std::unique_ptr<std::atomic<uint64_t>[]> owned_packed;
-    std::unique_ptr<std::atomic<uint32_t>[]> owned_histogram;
+    AlignedAtomicArray<std::atomic<uint64_t>> owned_packed;
+    AlignedAtomicArray<std::atomic<uint32_t>> owned_histogram;
     size_t owned_slots = 0;     // valid slot prefix; readers see it via mu
     size_t owned_capacity = 0;  // allocated slots
     // Monotonic counters, updated by the owner outside the seqlock and

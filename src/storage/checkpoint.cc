@@ -16,6 +16,10 @@ namespace {
 constexpr char kCheckpointMagic[8] = {'C', 'A', 'P', 'P', 'C', 'K', 'P',
                                       '1'};
 constexpr uint32_t kCheckpointVersion = 1;
+// Version 2 inserts a u64 dims after num_shards; written only for
+// multi-dimensional (d >= 2) collectors so every d=1 checkpoint stays
+// byte-identical to the version-1 format.
+constexpr uint32_t kCheckpointVersionMultiDim = 2;
 
 // A bounded-cursor reader over the decoded file; every Take checks the
 // remaining length so a truncated or lying length field fails cleanly.
@@ -88,11 +92,14 @@ Status WriteCheckpointFile(const std::string& dir, uint64_t fingerprint,
                            const CollectorBackend& backend) {
   std::vector<uint8_t> bytes;
   bytes.insert(bytes.end(), kCheckpointMagic, kCheckpointMagic + 8);
-  AppendLe32(kCheckpointVersion, bytes);
+  const uint64_t dims = backend.dims();
+  AppendLe32(dims > 1 ? kCheckpointVersionMultiDim : kCheckpointVersion,
+             bytes);
   AppendLe64(fingerprint, bytes);
   AppendLe64(covers_segment, bytes);
   const size_t num_shards = backend.num_shards();
   AppendLe64(static_cast<uint64_t>(num_shards), bytes);
+  if (dims > 1) AppendLe64(dims, bytes);
   for (size_t s = 0; s < num_shards; ++s) {
     CAPP_ASSIGN_OR_RETURN(const CollectorShardState state,
                           backend.ExportShardState(s));
@@ -129,7 +136,9 @@ Result<CheckpointImage> ReadCheckpointFile(const std::string& path,
     return Status::Internal("checkpoint " + path +
                             " is truncated or not a checkpoint file");
   }
-  if (ReadLe32(bytes, 8) != kCheckpointVersion) {
+  const uint32_t version = ReadLe32(bytes, 8);
+  if (version != kCheckpointVersion &&
+      version != kCheckpointVersionMultiDim) {
     return Status::Internal("checkpoint " + path +
                             " has an unsupported version");
   }
@@ -154,6 +163,15 @@ Result<CheckpointImage> ReadCheckpointFile(const std::string& path,
   uint64_t num_shards = 0;
   if (!cursor.Take64(&num_shards) || num_shards > (1u << 20)) {
     return Status::Internal("checkpoint " + path + " is malformed");
+  }
+  if (version == kCheckpointVersionMultiDim) {
+    // A version-2 file claiming dims <= 1 would give the d=1 snapshot a
+    // second byte representation (d=1 is defined to be version 1), so
+    // it is rejected as malformed, mirroring the wire's canonical rule.
+    if (!cursor.Take64(&checkpoint.dims) || checkpoint.dims < 2 ||
+        checkpoint.dims > kWireMaxDims) {
+      return Status::Internal("checkpoint " + path + " is malformed");
+    }
   }
   checkpoint.shards.resize(num_shards);
   for (CollectorShardState& shard : checkpoint.shards) {
@@ -220,6 +238,13 @@ Status RestoreCheckpoint(CheckpointImage checkpoint, CollectorBackend* backend) 
         std::to_string(backend->num_shards()) +
         "; shard count is part of the engine-config fingerprint's "
         "contract and must match to restore");
+  }
+  if (checkpoint.dims != backend->dims()) {
+    return Status::FailedPrecondition(
+        "checkpoint was written by a " + std::to_string(checkpoint.dims) +
+        "-dimensional collector but this one is configured with dims = " +
+        std::to_string(backend->dims()) +
+        "; slot cells would be silently reinterpreted");
   }
   for (size_t s = 0; s < checkpoint.shards.size(); ++s) {
     CAPP_RETURN_IF_ERROR(

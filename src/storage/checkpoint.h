@@ -36,6 +36,14 @@ namespace capp {
 struct CheckpointImage {
   uint64_t fingerprint = 0;
   uint64_t covers_through_segment = 0;
+  /// Values per slot of the collector that wrote the snapshot. A
+  /// one-dimensional checkpoint is always the version-1 file -- the
+  /// pre-multidim bytes, unchanged -- while dims >= 2 writes version 2,
+  /// which inserts this count after num_shards. Restore refuses a dims
+  /// mismatch: shard slot arrays are flat cell arrays (slot * dims +
+  /// dim), so restoring into a differently-dimensioned collector would
+  /// silently reinterpret every cell.
+  uint64_t dims = 1;
   std::vector<CollectorShardState> shards;
 };
 

@@ -241,11 +241,33 @@ class CollectorBackend {
   /// for slot base_slot + i. Non-finite values must be discarded without
   /// registering the user; magnitudes beyond the SlotAggregate bound
   /// saturate and must be surfaced through saturated_report_count().
+  ///
+  /// In a multi-dimensional backend (dims() > 1) this is the *cell*-level
+  /// entry: storage is a flat grid of cells, cell = slot * dims + dim,
+  /// and base_slot/values index cells. At dims() == 1 cell == slot and
+  /// the historical contract is unchanged.
   virtual void IngestUserRun(uint64_t user_id, size_t base_slot,
                              std::span<const double> values) = 0;
 
+  /// Dims-aware ingest of one user's d-dimensional run: `values` is
+  /// dim-major (all of dimension 0's slots, then dimension 1's, ...;
+  /// size a multiple of `dims` -- the 0xC6 wire payload order), starting
+  /// at slot `base_slot` in every dimension. `dims` must equal the
+  /// backend's dims(). The default implementation transposes into the
+  /// interleaved cell order and delegates to the cell-level overload, so
+  /// every backend stays bit-identical to a direct cell ingest; dims == 1
+  /// forwards without copying.
+  virtual void IngestUserRun(uint64_t user_id, size_t base_slot,
+                             size_t dims, std::span<const double> values);
+
   /// Pre-sizes per-user bookkeeping for an expected population (a hint).
   virtual void ReserveUsers(size_t expected_users) = 0;
+
+  /// Values a user publishes per slot (1 for every historical backend).
+  /// Multi-dimensional backends store slots x dims() flat cells; queries
+  /// indexed by cell (SlotSpan, PopulationSlotAggregates) cover every
+  /// dimension interleaved.
+  virtual size_t dims() const { return 1; }
 
   /// Number of distinct users seen so far.
   virtual size_t user_count() const = 0;

@@ -103,17 +103,36 @@ Result<uint64_t> DurableCollector::Recover() {
     recovery_stats_.checkpoint_restored = 1;
   }
   for (const WalSegmentScan& scan : to_replay) {
+    // A frame whose dimension count disagrees with the backend is a
+    // usage error the fingerprint normally catches (dims is mixed into
+    // it for d > 1); a log that still mixes them -- doctored, or two
+    // experiments' segments shuffled together -- must refuse, not
+    // reinterpret cells. The apply callback cannot fail, so the refusal
+    // latches and aborts after the segment.
+    Status dims_status = Status::OK();
     CAPP_RETURN_IF_ERROR(ReplayWalSegment(
-        scan, [this](uint64_t user_id, uint64_t base_slot,
-                     std::span<const double> values) {
+        scan, [this, &dims_status, &scan](uint64_t user_id,
+                                          uint64_t base_slot, uint64_t dims,
+                                          std::span<const double> values) {
+          if (!dims_status.ok()) return;
+          if (dims != backend_->dims()) {
+            dims_status = Status::FailedPrecondition(
+                "wal segment " + scan.path + " carries a " +
+                std::to_string(dims) +
+                "-dimensional frame but the collector is configured "
+                "with dims = " + std::to_string(backend_->dims()) +
+                "; refusing to reinterpret its cells");
+            return;
+          }
           if (options_.dedup_user_runs && backend_->Contains(user_id)) {
             ++recovery_stats_.runs_deduped;
             return;
           }
-          backend_->IngestUserRun(user_id,
-                                  static_cast<size_t>(base_slot), values);
+          backend_->IngestUserRun(user_id, static_cast<size_t>(base_slot),
+                                  static_cast<size_t>(dims), values);
           ++recovery_stats_.frames_replayed;
         }));
+    CAPP_RETURN_IF_ERROR(dims_status);
     ++recovery_stats_.segments_recovered;
     recovery_stats_.bytes_discarded += scan.discarded_bytes;
   }
@@ -135,6 +154,12 @@ void DurableCollector::LatchError(const Status& status) {
 
 void DurableCollector::IngestUserRun(uint64_t user_id, size_t base_slot,
                                      std::span<const double> values) {
+  IngestUserRun(user_id, base_slot, 1, values);
+}
+
+void DurableCollector::IngestUserRun(uint64_t user_id, size_t base_slot,
+                                     size_t dims,
+                                     std::span<const double> values) {
   {
     std::shared_lock<std::shared_mutex> quiesce(checkpoint_mu_);
     if (options_.dedup_user_runs && backend_->Contains(user_id)) {
@@ -142,10 +167,11 @@ void DurableCollector::IngestUserRun(uint64_t user_id, size_t base_slot,
       return;
     }
     // WAL before backend: stage the frame once per thread (the encode
-    // buffer is reused) and serialize only the append.
+    // buffer is reused) and serialize only the append. dims == 1 stages
+    // the 0xC5 frame byte-for-byte.
     thread_local std::vector<uint8_t> frame;
     frame.clear();
-    AppendUserRunFrame(user_id, base_slot, values, frame);
+    AppendMultiDimRunFrame(user_id, base_slot, dims, values, frame);
     {
       std::lock_guard<std::mutex> lock(wal_mu_);
       if (wal_status_.ok()) {
@@ -153,7 +179,7 @@ void DurableCollector::IngestUserRun(uint64_t user_id, size_t base_slot,
         if (!appended.ok()) LatchError(appended);
       }
     }
-    backend_->IngestUserRun(user_id, base_slot, values);
+    backend_->IngestUserRun(user_id, base_slot, dims, values);
   }
   if (options_.checkpoint_every_runs > 0 &&
       runs_since_checkpoint_.fetch_add(1, std::memory_order_relaxed) + 1 >=

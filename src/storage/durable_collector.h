@@ -68,6 +68,16 @@ class DurableCollector : public CollectorBackend {
   void IngestUserRun(uint64_t user_id, size_t base_slot,
                      std::span<const double> values) override;
 
+  /// The dims-aware variant: the run is logged as one 0xC6 frame
+  /// (dim-major, exactly the bytes the transport would carry) and then
+  /// handed to the backend's dims-aware ingest. dims == 1 stages the
+  /// 0xC5 frame byte-for-byte, so d=1 WAL files are unchanged.
+  void IngestUserRun(uint64_t user_id, size_t base_slot, size_t dims,
+                     std::span<const double> values) override;
+
+  /// Values per slot of the wrapped backend.
+  size_t dims() const override { return backend_->dims(); }
+
   /// Flushes and fdatasyncs the WAL and reports any latched append
   /// error. Fleet::Run calls this after the drain so a run's verdict
   /// includes its durability.

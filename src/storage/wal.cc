@@ -366,9 +366,10 @@ Result<WalSegmentScan> ScanWalSegment(const std::string& path,
     }
     uint64_t user_id = 0;
     uint64_t base_slot = 0;
+    uint64_t dims = 1;
     const auto consumed = DecodeUserRunFrame(
         {bytes.data() + offset, bytes.size() - offset}, &user_id,
-        &base_slot, scratch);
+        &base_slot, &dims, scratch);
     if (!consumed.ok()) break;  // short read or CRC failure: truncate here
     offset += *consumed;
     ++scan.frames;
@@ -424,6 +425,7 @@ Status RepairWalSegment(const WalSegmentScan& scan) {
 Status ReplayWalSegment(
     const WalSegmentScan& scan,
     const std::function<void(uint64_t user_id, uint64_t base_slot,
+                             uint64_t dims,
                              std::span<const double> values)>& apply) {
   if (scan.frames == 0) return Status::OK();
   CAPP_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes,
@@ -437,15 +439,16 @@ Status ReplayWalSegment(
     }
     uint64_t user_id = 0;
     uint64_t base_slot = 0;
+    uint64_t dims = 1;
     const auto consumed = DecodeUserRunFrame(
         {bytes.data() + offset, bytes.size() - offset}, &user_id,
-        &base_slot, values);
+        &base_slot, &dims, values);
     if (!consumed.ok()) {
       return Status::Internal("wal segment " + scan.path +
                               " changed between scan and replay: " +
                               consumed.status().ToString());
     }
-    apply(user_id, base_slot, values);
+    apply(user_id, base_slot, dims, values);
     offset += *consumed;
   }
   return Status::OK();

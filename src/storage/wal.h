@@ -200,10 +200,14 @@ Result<WalSegmentScan> ScanWalSegment(const std::string& path,
 /// Re-reads a scanned segment and invokes `apply` for each of the first
 /// `scan.frames` frames, in order. The caller already validated the
 /// range via ScanWalSegment; a decode failure inside it is an Internal
-/// error (the file changed under us).
+/// error (the file changed under us). `dims` is the frame's dimension
+/// count (1 for a 0xC5 frame; `values` is then dim-major per
+/// wire_format.h) -- the caller decides whether a mismatched dims is
+/// fatal, since only it knows the backend's configured dimensionality.
 Status ReplayWalSegment(
     const WalSegmentScan& scan,
     const std::function<void(uint64_t user_id, uint64_t base_slot,
+                             uint64_t dims,
                              std::span<const double> values)>& apply);
 
 /// Repairs a torn final segment in place after its frames were replayed:

@@ -133,6 +133,19 @@ Counter& SeqlockReadRetriesTotal() {
   return c;
 }
 
+Gauge& CollectorDims() {
+  static Gauge& g = G("capp_collector_dims",
+                      "Attributes per report of the newest collector");
+  return g;
+}
+
+Counter& IngestDimRowsTotal() {
+  static Counter& c = C("capp_ingest_dim_rows_total",
+                        "Per-attribute slot rows ingested through the "
+                        "dims-aware (d >= 2) collector path");
+  return c;
+}
+
 Counter& WalAppendsTotal() {
   static Counter& c = C("capp_wal_appends_total", "Frames appended to the WAL");
   return c;

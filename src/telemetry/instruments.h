@@ -40,6 +40,8 @@ Counter& IngestRunsTotal();
 Counter& IngestReportsTotal();
 Histogram& IngestRunSeconds();     // one user's run through IngestUserRun
 Counter& SeqlockReadRetriesTotal();
+Gauge& CollectorDims();            // attributes per report (last collector)
+Counter& IngestDimRowsTotal();     // per-attribute rows via the d-dim path
 
 // --- WAL -------------------------------------------------------------------
 Counter& WalAppendsTotal();

@@ -17,12 +17,16 @@ namespace capp {
 /// One batch of user runs in flight between producers and consumers.
 struct ReportFrame {
   /// One device's run of consecutive slots: values[offset, offset+count)
-  /// are the reports for slots base_slot, base_slot+1, ...
+  /// are the reports for slots base_slot, base_slot+1, ... For a
+  /// d-dimensional run (dims > 1) the same span is dim-major -- all of
+  /// dimension 0's slots, then dimension 1's -- exactly the 0xC6 wire
+  /// payload order, and count stays the total number of doubles.
   struct RunHeader {
     uint64_t user_id = 0;
     uint64_t base_slot = 0;
     uint32_t offset = 0;
     uint32_t count = 0;
+    uint32_t dims = 1;
   };
 
   std::vector<RunHeader> runs;  ///< Structured runs (kQueue).

@@ -175,6 +175,49 @@ void TransportHub::Producer::Publish(uint64_t user_id, size_t base_slot,
   }
 }
 
+void TransportHub::Producer::Publish(uint64_t user_id, size_t base_slot,
+                                     size_t dims,
+                                     std::span<const double> values) {
+  if (dims <= 1) {
+    // The one-dimensional fast path above: same staging, same 0xC5 bytes.
+    Publish(user_id, base_slot, values);
+    return;
+  }
+  ++runs_;
+  reports_ += values.size();
+  const TransportKind kind = hub_->options_.kind;
+  if (kind == TransportKind::kDirect) {
+    hub_->collector_->IngestUserRun(user_id, base_slot, dims, values);
+    return;
+  }
+  const size_t group = hub_->GroupForUser(user_id);
+  if (frames_.size() <= group) frames_.resize(hub_->ProducerGroupCount());
+  if (frames_[group] == nullptr) frames_[group] = hub_->AcquireFrame();
+  if (kind == TransportKind::kQueue) {
+    if (!frames_[group]->runs.empty() &&
+        frames_[group]->values.size() + values.size() >
+            std::numeric_limits<uint32_t>::max()) {
+      hub_->PushFrame(*this, group);
+      frames_[group] = hub_->AcquireFrame();
+    }
+    ReportFrame& frame = *frames_[group];
+    frame.runs.push_back(
+        {user_id, base_slot, static_cast<uint32_t>(frame.values.size()),
+         static_cast<uint32_t>(values.size()), static_cast<uint32_t>(dims)});
+    frame.values.insert(frame.values.end(), values.begin(), values.end());
+  } else {
+    telemetry::ScopedTimer encode_timer;
+    if (telemetry::Enabled() && telemetry::ShouldSample()) {
+      encode_timer.Arm(&telemetry::metrics::TransportEncodeSeconds());
+    }
+    AppendMultiDimRunFrame(user_id, base_slot, dims, values,
+                           frames_[group]->bytes);
+  }
+  if (++frames_[group]->run_count >= hub_->options_.max_batch_runs) {
+    hub_->PushFrame(*this, group);
+  }
+}
+
 void TransportHub::Producer::PublishEncoded(
     std::span<const uint8_t> frame_bytes, uint64_t user_id,
     size_t report_count) {
@@ -263,9 +306,14 @@ void TransportHub::IngestFrame(const ReportFrame& frame,
   ConsumerCounters& counters = consumer_counters_[consumer_index];
   if (options_.kind == TransportKind::kQueue) {
     for (const ReportFrame::RunHeader& run : frame.runs) {
-      collector_->IngestUserRun(
-          run.user_id, run.base_slot,
-          std::span(frame.values.data() + run.offset, run.count));
+      const std::span<const double> values(frame.values.data() + run.offset,
+                                           run.count);
+      if (run.dims <= 1) {
+        collector_->IngestUserRun(run.user_id, run.base_slot, values);
+      } else {
+        collector_->IngestUserRun(run.user_id, run.base_slot, run.dims,
+                                  values);
+      }
       ++counters.runs;
     }
     return;
@@ -275,15 +323,23 @@ void TransportHub::IngestFrame(const ReportFrame& frame,
   while (cursor < bytes.size()) {
     uint64_t user_id = 0;
     uint64_t base_slot = 0;
+    uint64_t dims = 1;
     auto used = DecodeUserRunFrame(bytes.subspan(cursor), &user_id,
-                                   &base_slot, scratch);
-    if (!used.ok()) {
+                                   &base_slot, &dims, scratch);
+    if (!used.ok() || dims != collector_->dims()) {
       // A corrupted frame cannot be resynchronized; count it and drop the
-      // rest of the batch. Drain() turns a nonzero count into an error.
+      // rest of the batch. Drain() turns a nonzero count into an error. A
+      // dimensionality mismatch is the same class of wrongness: the
+      // payload's cells would be silently reinterpreted, so it counts as
+      // a decode failure rather than reaching the collector.
       ++counters.decode_failures;
       return;
     }
-    collector_->IngestUserRun(user_id, base_slot, scratch);
+    if (dims == 1) {
+      collector_->IngestUserRun(user_id, base_slot, scratch);
+    } else {
+      collector_->IngestUserRun(user_id, base_slot, dims, scratch);
+    }
     ++counters.runs;
     cursor += *used;
   }

@@ -64,6 +64,14 @@ class TransportHub {
     void Publish(uint64_t user_id, size_t base_slot,
                  std::span<const double> values);
 
+    /// Publishes one device's d-dimensional run: `values` is dim-major
+    /// (dims * slots doubles, dimension k's run at [k * slots, (k+1) *
+    /// slots) -- the 0xC6 wire payload order). dims == 1 is exactly the
+    /// overload above; dims >= 2 stages 0xC6 frames on the framed paths
+    /// and reaches the collector through its dims-aware ingest.
+    void Publish(uint64_t user_id, size_t base_slot, size_t dims,
+                 std::span<const double> values);
+
     /// Publishes one already-encoded wire frame (kQueueFramed only). The
     /// socket server's readers use this to re-stage bytes received off a
     /// connection without decoding and re-encoding them; the consumer

@@ -135,24 +135,93 @@ void AppendUserRunFrame(uint64_t user_id, uint64_t base_slot,
   }
 }
 
-Result<size_t> DecodeUserRunFrame(std::span<const uint8_t> bytes,
-                                  uint64_t* user_id, uint64_t* base_slot,
-                                  std::vector<double>& values) {
-  if (bytes.empty()) return FrameError("empty input");
-  if (bytes[0] != kWireFrameMagic) return FrameError("bad magic byte");
-  size_t cursor = 1;
+void AppendMultiDimRunFrame(uint64_t user_id, uint64_t base_slot,
+                            uint64_t dims, std::span<const double> values,
+                            std::vector<uint8_t>& out) {
+  CAPP_CHECK(dims >= 1 && dims <= kWireMaxDims);
+  if (dims == 1) {
+    // The canonical one-dimensional frame: d=1 byte streams (and so every
+    // committed digest and WAL fingerprint) are unchanged by this path.
+    AppendUserRunFrame(user_id, base_slot, values, out);
+    return;
+  }
+  CAPP_CHECK(values.size() <= kWireMaxRunLength);
+  CAPP_CHECK(values.size() % dims == 0);
+  const size_t start = out.size();
+  out.push_back(kWireFrameMagicMultiDim);
+  AppendVarint(user_id, out);
+  AppendVarint(base_slot, out);
+  AppendVarint(dims, out);
+  AppendVarint(values.size(), out);
+  for (double v : values) {
+    AppendU64Le(std::bit_cast<uint64_t>(v), out);
+  }
+  const uint32_t crc =
+      Crc32(std::span(out).subspan(start, out.size() - start));
+  for (int byte = 0; byte < 4; ++byte) {
+    out.push_back(static_cast<uint8_t>(crc >> (8 * byte)));
+  }
+}
 
-  uint64_t count = 0;
+namespace {
+
+// Shared header parse for both decode and peek: magic, the 3 (0xC5) or 4
+// (0xC6) varints, and the dims/count validity rules. On success `cursor`
+// is one past the header and the outputs are validated.
+Status ParseFrameHeader(std::span<const uint8_t> bytes, uint64_t* user_id,
+                        uint64_t* base_slot, uint64_t* dims,
+                        uint64_t* count, size_t* cursor) {
+  if (bytes.empty()) return FrameError("empty input");
+  const bool multi = bytes[0] == kWireFrameMagicMultiDim;
+  if (!multi && bytes[0] != kWireFrameMagic) {
+    return FrameError("bad magic byte");
+  }
+  *cursor = 1;
+  *dims = 1;
   for (auto [field, name] : {std::pair{user_id, "user_id"},
-                             {base_slot, "base_slot"},
-                             {&count, "count"}}) {
-    const size_t used = DecodeVarint(bytes.subspan(cursor), field);
+                             {base_slot, "base_slot"}}) {
+    const size_t used = DecodeVarint(bytes.subspan(*cursor), field);
     if (used == 0) {
       return FrameError(std::string("truncated ") + name + " varint");
     }
-    cursor += used;
+    *cursor += used;
   }
-  if (count > kWireMaxRunLength) return FrameError("absurd run length");
+  if (multi) {
+    const size_t used = DecodeVarint(bytes.subspan(*cursor), dims);
+    if (used == 0) return FrameError("truncated dims varint");
+    *cursor += used;
+    if (*dims == 0) return FrameError("zero dims");
+    if (*dims == 1) {
+      // d=1 must travel as 0xC5; a 0xC6 claiming one dimension would give
+      // the same run two wire representations (and two digest-relevant
+      // byte streams), exactly the ambiguity the canonical-varint rule
+      // exists to kill.
+      return FrameError("non-canonical dims=1 multi-dim frame");
+    }
+    if (*dims > kWireMaxDims) return FrameError("absurd dimension count");
+  }
+  {
+    const size_t used = DecodeVarint(bytes.subspan(*cursor), count);
+    if (used == 0) return FrameError("truncated count varint");
+    *cursor += used;
+  }
+  if (*count > kWireMaxRunLength) return FrameError("absurd run length");
+  if (multi && *count % *dims != 0) {
+    return FrameError("count not divisible by dims");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<size_t> DecodeUserRunFrame(std::span<const uint8_t> bytes,
+                                  uint64_t* user_id, uint64_t* base_slot,
+                                  uint64_t* dims,
+                                  std::vector<double>& values) {
+  uint64_t count = 0;
+  size_t cursor = 0;
+  CAPP_RETURN_IF_ERROR(
+      ParseFrameHeader(bytes, user_id, base_slot, dims, &count, &cursor));
   // Payload + trailer must fit in what's left (checked before multiplying
   // blows past the span: count is already <= 2^24).
   const size_t payload = static_cast<size_t>(count) * 8;
@@ -176,23 +245,27 @@ Result<size_t> DecodeUserRunFrame(std::span<const uint8_t> bytes,
   return cursor + payload + 4;
 }
 
+Result<size_t> DecodeUserRunFrame(std::span<const uint8_t> bytes,
+                                  uint64_t* user_id, uint64_t* base_slot,
+                                  std::vector<double>& values) {
+  uint64_t dims = 1;
+  CAPP_ASSIGN_OR_RETURN(
+      const size_t consumed,
+      DecodeUserRunFrame(bytes, user_id, base_slot, &dims, values));
+  if (dims != 1) {
+    // This overload's callers treat every value as one slot's scalar;
+    // silently flattening a d-dim payload here would merge attributes.
+    return FrameError("multi-dim frame through the one-dim decoder");
+  }
+  return consumed;
+}
+
 Result<WireFrameHeader> PeekUserRunFrame(std::span<const uint8_t> bytes) {
-  if (bytes.empty()) return FrameError("empty input");
-  if (bytes[0] != kWireFrameMagic) return FrameError("bad magic byte");
   WireFrameHeader header;
-  size_t cursor = 1;
-  for (auto [field, name] : {std::pair{&header.user_id, "user_id"},
-                             {&header.base_slot, "base_slot"},
-                             {&header.count, "count"}}) {
-    const size_t used = DecodeVarint(bytes.subspan(cursor), field);
-    if (used == 0) {
-      return FrameError(std::string("truncated ") + name + " varint");
-    }
-    cursor += used;
-  }
-  if (header.count > kWireMaxRunLength) {
-    return FrameError("absurd run length");
-  }
+  size_t cursor = 0;
+  CAPP_RETURN_IF_ERROR(ParseFrameHeader(bytes, &header.user_id,
+                                        &header.base_slot, &header.dims,
+                                        &header.count, &cursor));
   header.frame_bytes = cursor + static_cast<size_t>(header.count) * 8 + 4;
   if (header.frame_bytes > bytes.size()) {
     return FrameError("frame extends past the buffer");

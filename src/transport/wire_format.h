@@ -5,6 +5,21 @@
 //   [0xC5 magic] [varint user_id] [varint base_slot] [varint count]
 //   [count x 8-byte little-endian IEEE-754 doubles] [4-byte LE CRC32]
 //
+// Multi-attribute runs (d values per slot) travel in the 0xC6 frame,
+// which inserts a dimension count after base_slot:
+//
+//   [0xC6 magic] [varint user_id] [varint base_slot] [varint dims]
+//   [varint count] [count x 8-byte LE doubles, dim-major] [4-byte LE CRC32]
+//
+// `count` stays the total number of doubles (so framing math is shared),
+// `dims` must divide it, and the payload is dim-major: all of dimension
+// 0's slots, then dimension 1's, so each attribute is one contiguous
+// scalar run and per-dimension consumers slice instead of gather. A
+// one-dimensional run always uses 0xC5 -- 0xC6 with dims=1 is rejected
+// as non-canonical, exactly like an overlong varint -- so every d=1
+// byte stream, digest, WAL fingerprint, and committed baseline is
+// unchanged by the multi-dim extension.
+//
 // The CRC32 (IEEE reflected polynomial) covers everything before the
 // trailer, so truncated, bit-flipped, or mis-framed bytes are rejected
 // instead of poisoning the collector. Frames are self-delimiting and
@@ -23,13 +38,20 @@
 
 namespace capp {
 
-/// First byte of every user-run frame.
+/// First byte of every one-dimensional user-run frame.
 inline constexpr uint8_t kWireFrameMagic = 0xC5;
+
+/// First byte of every multi-dimensional (d >= 2) user-run frame.
+inline constexpr uint8_t kWireFrameMagicMultiDim = 0xC6;
 
 /// Upper bound on a frame's report count; decode rejects anything larger
 /// before trusting the length (a corrupted varint must not drive a huge
 /// allocation).
 inline constexpr uint64_t kWireMaxRunLength = 1u << 24;
+
+/// Upper bound on a 0xC6 frame's dimension count; decode rejects anything
+/// larger before trusting the per-dimension arithmetic.
+inline constexpr uint64_t kWireMaxDims = 1u << 12;
 
 /// Appends `value` as a LEB128 varint (7 bits per byte, high bit = more).
 void AppendVarint(uint64_t value, std::vector<uint8_t>& out);
@@ -50,21 +72,43 @@ void AppendUserRunFrame(uint64_t user_id, uint64_t base_slot,
                         std::span<const double> values,
                         std::vector<uint8_t>& out);
 
+/// Appends one framed d-dimensional user run (`values` dim-major, size a
+/// multiple of `dims`). dims == 1 emits the 0xC5 frame byte-for-byte;
+/// dims >= 2 emits 0xC6.
+void AppendMultiDimRunFrame(uint64_t user_id, uint64_t base_slot,
+                            uint64_t dims, std::span<const double> values,
+                            std::vector<uint8_t>& out);
+
 /// Decodes the frame at the head of `bytes`. On success fills *user_id,
 /// *base_slot, and `values` (cleared and refilled, capacity reused) and
 /// returns the number of bytes consumed, so concatenated frames decode by
 /// advancing a cursor. Fails with InvalidArgument on a bad magic byte,
 /// truncation, an absurd run length, or a CRC mismatch; `values` is
-/// unspecified after a failure.
+/// unspecified after a failure. This overload serves one-dimensional
+/// call sites: a 0xC6 frame decodes successfully only through the
+/// dims-aware overload below (here it fails loudly rather than silently
+/// flattening d attributes into one).
 Result<size_t> DecodeUserRunFrame(std::span<const uint8_t> bytes,
                                   uint64_t* user_id, uint64_t* base_slot,
+                                  std::vector<double>& values);
+
+/// Dims-aware decode accepting both magics: a 0xC5 frame yields
+/// *dims == 1, a 0xC6 frame yields its encoded dimension count. `values`
+/// is filled in the payload's dim-major order. Beyond the 0xC5 failure
+/// modes, fails loudly on dims == 0, a 0xC6 frame claiming dims == 1
+/// (non-canonical: d=1 must travel as 0xC5), dims > kWireMaxDims, and a
+/// count that `dims` does not divide.
+Result<size_t> DecodeUserRunFrame(std::span<const uint8_t> bytes,
+                                  uint64_t* user_id, uint64_t* base_slot,
+                                  uint64_t* dims,
                                   std::vector<double>& values);
 
 /// Header of one wire frame, parsed without touching payload or CRC.
 struct WireFrameHeader {
   uint64_t user_id = 0;
   uint64_t base_slot = 0;
-  uint64_t count = 0;     ///< Reports in the frame's payload.
+  uint64_t dims = 1;      ///< Values per slot (1 for a 0xC5 frame).
+  uint64_t count = 0;     ///< Doubles in the frame's payload (all dims).
   size_t frame_bytes = 0; ///< Whole frame length, CRC trailer included.
 };
 
@@ -72,8 +116,10 @@ struct WireFrameHeader {
 /// varints, and the implied total length -- without validating the CRC.
 /// The socket reader uses this to split a received chunk into individual
 /// frames and route each by user id; the consumer still CRC-checks every
-/// frame before ingest. Fails on a bad magic byte, a malformed varint, an
-/// absurd run length, or a frame extending past `bytes`.
+/// frame before ingest. Accepts both 0xC5 and 0xC6 frames, applying the
+/// same dims validation as the dims-aware decode. Fails on a bad magic
+/// byte, a malformed varint, an absurd run length or dimension count, or
+/// a frame extending past `bytes`.
 Result<WireFrameHeader> PeekUserRunFrame(std::span<const uint8_t> bytes);
 
 }  // namespace capp

@@ -115,10 +115,11 @@ TEST(WalTest, SealedSegmentRoundTrips) {
 
   size_t next_user = 0;
   const Status replayed = ReplayWalSegment(
-      *scan, [&](uint64_t user_id, uint64_t base_slot,
+      *scan, [&](uint64_t user_id, uint64_t base_slot, uint64_t dims,
                  std::span<const double> values) {
         EXPECT_EQ(user_id, next_user);
         EXPECT_EQ(base_slot, 0u);
+        EXPECT_EQ(dims, 1u);
         const std::vector<double> expected = RunValues(user_id, kSlots);
         ASSERT_EQ(values.size(), expected.size());
         for (size_t t = 0; t < values.size(); ++t) {
@@ -181,10 +182,11 @@ TEST(WalTest, TruncationAtEveryByteBoundaryYieldsCleanPrefix) {
     }
     uint64_t next_user = 0;
     const Status replayed = ReplayWalSegment(
-        *scan, [&](uint64_t user_id, uint64_t base_slot,
+        *scan, [&](uint64_t user_id, uint64_t base_slot, uint64_t dims,
                    std::span<const double> values) {
           ASSERT_EQ(user_id, next_user) << "len=" << len;
           ASSERT_EQ(base_slot, 0u);
+          ASSERT_EQ(dims, 1u);
           const std::vector<double> expected = RunValues(user_id, kSlots);
           ASSERT_EQ(values.size(), expected.size());
           for (size_t t = 0; t < values.size(); ++t) {
@@ -230,10 +232,11 @@ TEST(WalTest, BitFlipFuzzNeverReplaysAMangledFrame) {
     ASSERT_LE(scan->frames, kUsers) << "pos=" << pos;
     uint64_t next_user = 0;
     const Status replayed = ReplayWalSegment(
-        *scan, [&](uint64_t user_id, uint64_t base_slot,
+        *scan, [&](uint64_t user_id, uint64_t base_slot, uint64_t dims,
                    std::span<const double> values) {
           ASSERT_EQ(user_id, next_user) << "pos=" << pos;
           ASSERT_EQ(base_slot, 0u);
+          ASSERT_EQ(dims, 1u);
           const std::vector<double> expected = RunValues(user_id, kSlots);
           ASSERT_EQ(values.size(), expected.size()) << "pos=" << pos;
           for (size_t t = 0; t < values.size(); ++t) {
@@ -272,6 +275,74 @@ TEST(WalTest, RotationSealsAndNumbersSegments) {
     total_frames += scan->frames;
   }
   EXPECT_EQ(total_frames, 40u);
+}
+
+// Dim-major d-dimensional run values: attribute k's slot series derived
+// from the scalar pattern with a per-attribute offset, unique per cell.
+std::vector<double> MultiRunValues(uint64_t user_id, size_t dims,
+                                   size_t slots) {
+  std::vector<double> values(dims * slots);
+  for (size_t k = 0; k < dims; ++k) {
+    for (size_t t = 0; t < slots; ++t) {
+      values[k * slots + t] =
+          0.01 * static_cast<double>((user_id * 37 + k * 53 + t * 11) %
+                                     173) -
+          0.5;
+    }
+  }
+  return values;
+}
+
+TEST(WalTest, MixedDimsSegmentReplaysBothFrameKinds) {
+  // One segment interleaving legacy 0xC5 frames with d = 4 0xC6 frames:
+  // the replay callback must surface each frame's own dimension count
+  // with its dim-major payload intact -- the WAL stores frames verbatim
+  // and never reinterprets them.
+  TempDir dir;
+  const size_t kSlots = 5;
+  const size_t kDims = 4;
+  const size_t kUsers = 20;
+  auto writer = WalWriter::Create(TestWalOptions(dir.path()), 1);
+  ASSERT_TRUE(writer.ok());
+  std::vector<uint8_t> frame;
+  for (uint64_t u = 0; u < kUsers; ++u) {
+    frame.clear();
+    if (u % 2 == 0) {
+      AppendUserRunFrame(u, 0, RunValues(u, kSlots), frame);
+    } else {
+      AppendMultiDimRunFrame(u, 0, kDims, MultiRunValues(u, kDims, kSlots),
+                             frame);
+    }
+    ASSERT_TRUE(writer->Append(frame).ok());
+  }
+  ASSERT_TRUE(writer->Seal().ok());
+
+  auto segments = ListWalSegments(dir.path());
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments->size(), 1u);
+  auto scan = ScanWalSegment((*segments)[0].path, kFp);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_TRUE(scan->sealed);
+  EXPECT_EQ(scan->frames, kUsers);
+
+  uint64_t next_user = 0;
+  const Status replayed = ReplayWalSegment(
+      *scan, [&](uint64_t user_id, uint64_t base_slot, uint64_t dims,
+                 std::span<const double> values) {
+        ASSERT_EQ(user_id, next_user);
+        ASSERT_EQ(base_slot, 0u);
+        const std::vector<double> expected =
+            (user_id % 2 == 0) ? RunValues(user_id, kSlots)
+                               : MultiRunValues(user_id, kDims, kSlots);
+        ASSERT_EQ(dims, user_id % 2 == 0 ? 1u : kDims);
+        ASSERT_EQ(values.size(), expected.size());
+        for (size_t i = 0; i < values.size(); ++i) {
+          ASSERT_EQ(values[i], expected[i]) << "cell " << i;
+        }
+        ++next_user;
+      });
+  EXPECT_TRUE(replayed.ok()) << replayed.ToString();
+  EXPECT_EQ(next_user, kUsers);
 }
 
 // ---------------------------------------------------------- checkpoints ----
@@ -448,6 +519,74 @@ TEST(DurableCollectorTest, CheckpointPlusWalRecoveryIsBitIdentical) {
   EXPECT_EQ(recovered.user_count(), kUsers);
   EXPECT_EQ(CollectorStateDigest(recovered), OracleDigest(kUsers, kSlots));
   EXPECT_EQ((*durable)->wal_stats().checkpoint_restored, 1u);
+}
+
+TEST(DurableCollectorTest, MultiDimRunsSurviveRecoveryBitIdentically) {
+  // d = 4 streams through the WAL: ingest, seal, recover into a fresh
+  // d = 4 collector -- aggregate state must be bit-identical, exactly
+  // the d = 1 recovery contract.
+  const size_t kUsers = 150;
+  const size_t kSlots = 5;
+  const size_t kDims = 4;
+  auto make_d4 = [] {
+    ShardedCollectorOptions options;
+    options.num_shards = 4;
+    options.keep_streams = false;
+    options.dims = kDims;
+    auto collector = ShardedCollector::Create(options);
+    EXPECT_TRUE(collector.ok());
+    return std::move(*collector);
+  };
+  TempDir dir;
+  uint64_t original_digest = 0;
+  {
+    ShardedCollector backend = make_d4();
+    auto durable =
+        DurableCollector::Create(&backend, TestDurableOptions(dir.path()));
+    ASSERT_TRUE(durable.ok()) << durable.status().ToString();
+    for (uint64_t u = 0; u < kUsers; ++u) {
+      (*durable)->IngestUserRun(u, 0, kDims,
+                                MultiRunValues(u, kDims, kSlots));
+    }
+    ASSERT_TRUE((*durable)->Seal().ok());
+    original_digest = CollectorStateDigest(backend);
+  }
+  ShardedCollector recovered = make_d4();
+  auto durable =
+      DurableCollector::Create(&recovered, TestDurableOptions(dir.path()));
+  ASSERT_TRUE(durable.ok()) << durable.status().ToString();
+  EXPECT_EQ(recovered.user_count(), kUsers);
+  EXPECT_EQ(CollectorStateDigest(recovered), original_digest);
+  EXPECT_EQ((*durable)->wal_stats().frames_replayed, kUsers);
+}
+
+TEST(DurableCollectorTest, RecoveryRefusesDimsMismatchedFrames) {
+  // A log carrying d = 4 frames recovered into a d = 1 collector (same
+  // fingerprint -- the doctored/shuffled-log case the fingerprint cannot
+  // catch) must refuse loudly with the backend untouched, never
+  // reinterpret the cells.
+  const size_t kSlots = 5;
+  const size_t kDims = 4;
+  TempDir dir;
+  {
+    auto writer = WalWriter::Create(TestWalOptions(dir.path()), 1);
+    ASSERT_TRUE(writer.ok());
+    std::vector<uint8_t> frame;
+    for (uint64_t u = 0; u < 10; ++u) {
+      frame.clear();
+      AppendMultiDimRunFrame(u, 0, kDims, MultiRunValues(u, kDims, kSlots),
+                             frame);
+      ASSERT_TRUE(writer->Append(frame).ok());
+    }
+    ASSERT_TRUE(writer->Seal().ok());
+  }
+  ShardedCollector backend = MakeCollector();  // dims = 1
+  auto durable =
+      DurableCollector::Create(&backend, TestDurableOptions(dir.path()));
+  ASSERT_FALSE(durable.ok());
+  EXPECT_EQ(durable.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(backend.user_count(), 0u);
+  EXPECT_EQ(backend.report_count(), 0u);
 }
 
 // Simulated SIGKILL: garbage lands after the last durable frame (a torn

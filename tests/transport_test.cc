@@ -299,6 +299,212 @@ TEST(WireFormatTest, PeekParsesHeaderWithoutTouchingPayload) {
           .ok());
 }
 
+// ------------------------------------------------- multi-dim wire frames ----
+
+// Hand-builds a 0xC6 frame with arbitrary header values (so tests can
+// exercise combinations AppendMultiDimRunFrame refuses to emit) and a
+// correct CRC, leaving only the decoder's validation rules to reject it.
+std::vector<uint8_t> BuildRawMultiDimFrame(uint64_t user_id,
+                                           uint64_t base_slot, uint64_t dims,
+                                           std::span<const double> payload) {
+  std::vector<uint8_t> bytes;
+  bytes.push_back(kWireFrameMagicMultiDim);
+  AppendVarint(user_id, bytes);
+  AppendVarint(base_slot, bytes);
+  AppendVarint(dims, bytes);
+  AppendVarint(payload.size(), bytes);
+  for (double v : payload) {
+    const uint64_t word = std::bit_cast<uint64_t>(v);
+    for (int b = 0; b < 8; ++b) {
+      bytes.push_back(static_cast<uint8_t>(word >> (8 * b)));
+    }
+  }
+  const uint32_t crc = Crc32(bytes);
+  for (int b = 0; b < 4; ++b) {
+    bytes.push_back(static_cast<uint8_t>(crc >> (8 * b)));
+  }
+  return bytes;
+}
+
+TEST(WireFormatTest, MultiDimD1EmitsLegacyFrameByteForByte) {
+  // The d=1 compatibility guarantee at its root: the multi-dim append
+  // with dims=1 and the legacy append produce identical bytes, so no
+  // committed digest, WAL fingerprint, or baseline can move.
+  const std::vector<double> run = {0.25, -0.5, 1.75};
+  std::vector<uint8_t> legacy;
+  AppendUserRunFrame(123456789, 42, run, legacy);
+  std::vector<uint8_t> multi;
+  AppendMultiDimRunFrame(123456789, 42, 1, run, multi);
+  EXPECT_EQ(multi, legacy);
+  EXPECT_EQ(multi.front(), kWireFrameMagic);
+}
+
+TEST(WireFormatTest, MultiDimRoundTripsDimMajorRuns) {
+  Rng rng(13);
+  std::vector<uint8_t> bytes;
+  for (const size_t dims : {size_t{2}, size_t{3}, size_t{8}}) {
+    SCOPED_TRACE(dims);
+    const size_t slots = 1 + rng.UniformInt(12);
+    std::vector<double> values;
+    for (size_t i = 0; i < dims * slots; ++i) {
+      values.push_back(rng.Uniform(-1e6, 1e6));
+    }
+    bytes.clear();
+    AppendMultiDimRunFrame(77, 5, dims, values, bytes);
+    EXPECT_EQ(bytes.front(), kWireFrameMagicMultiDim);
+
+    uint64_t user = 0;
+    uint64_t base = 0;
+    uint64_t decoded_dims = 0;
+    std::vector<double> decoded;
+    auto used =
+        DecodeUserRunFrame(bytes, &user, &base, &decoded_dims, decoded);
+    ASSERT_TRUE(used.ok()) << used.status().ToString();
+    EXPECT_EQ(*used, bytes.size());
+    EXPECT_EQ(user, 77u);
+    EXPECT_EQ(base, 5u);
+    EXPECT_EQ(decoded_dims, dims);
+    ASSERT_EQ(decoded.size(), values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(std::bit_cast<uint64_t>(decoded[i]),
+                std::bit_cast<uint64_t>(values[i]))
+          << i;
+    }
+    // Peek sees the same header without touching the payload.
+    auto header = PeekUserRunFrame(bytes);
+    ASSERT_TRUE(header.ok());
+    EXPECT_EQ(header->user_id, 77u);
+    EXPECT_EQ(header->dims, dims);
+    EXPECT_EQ(header->count, values.size());
+    EXPECT_EQ(header->frame_bytes, bytes.size());
+  }
+}
+
+TEST(WireFormatTest, LegacyDecodeRejectsMultiDimFrame) {
+  // A one-dimensional call site handed a d-dim frame must fail loudly,
+  // never flatten d attributes into one scalar run.
+  const std::vector<double> values = {0.1, 0.2, 0.3, 0.4};
+  std::vector<uint8_t> bytes;
+  AppendMultiDimRunFrame(9, 0, 2, values, bytes);
+  uint64_t user = 0;
+  uint64_t base = 0;
+  std::vector<double> decoded;
+  EXPECT_FALSE(DecodeUserRunFrame(bytes, &user, &base, decoded).ok());
+  // The dims-aware decode accepts legacy frames with dims = 1.
+  std::vector<uint8_t> legacy;
+  AppendUserRunFrame(9, 0, values, legacy);
+  uint64_t dims = 0;
+  ASSERT_TRUE(DecodeUserRunFrame(legacy, &user, &base, &dims, decoded).ok());
+  EXPECT_EQ(dims, 1u);
+}
+
+TEST(WireFormatTest, MultiDimRejectsEveryTruncation) {
+  std::vector<uint8_t> bytes;
+  const std::vector<double> values = {0.25, -0.5, 1.75, 0.125};
+  AppendMultiDimRunFrame(123456789, 42, 2, values, bytes);
+  uint64_t user = 0;
+  uint64_t base = 0;
+  uint64_t dims = 0;
+  std::vector<double> decoded;
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(DecodeUserRunFrame(std::span(bytes).subspan(0, len), &user,
+                                    &base, &dims, decoded)
+                     .ok())
+        << "prefix length " << len;
+  }
+}
+
+TEST(WireFormatTest, MultiDimRejectsEverySingleByteCorruption) {
+  std::vector<uint8_t> bytes;
+  const std::vector<double> values = {0.5, 0.125, -2.0, 0.75, 0.25, 1.5};
+  AppendMultiDimRunFrame(99, 3, 3, values, bytes);
+  uint64_t user = 0;
+  uint64_t base = 0;
+  uint64_t dims = 0;
+  std::vector<double> decoded;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (uint8_t flip : {uint8_t{0x01}, uint8_t{0x80}}) {
+      std::vector<uint8_t> corrupted = bytes;
+      corrupted[i] ^= flip;
+      EXPECT_FALSE(DecodeUserRunFrame(corrupted, &user, &base, &dims,
+                                      decoded)
+                       .ok())
+          << "byte " << i << " flip " << int{flip};
+    }
+  }
+}
+
+TEST(WireFormatTest, MultiDimRejectsOverlongVarintInEveryField) {
+  // Mirrors the 0xC5 per-field overlong corpus with the fourth (dims)
+  // header varint included; the CRC is correct, so only canonicality can
+  // reject these.
+  const uint64_t field_values[4] = {5, 7, 2, 4};  // user, base, dims, count
+  const std::vector<double> payload = {0.25, -0.5, 0.75, 0.125};
+  for (int overlong_field = 0; overlong_field < 4; ++overlong_field) {
+    SCOPED_TRACE(overlong_field);
+    std::vector<uint8_t> bytes;
+    bytes.push_back(kWireFrameMagicMultiDim);
+    for (int field = 0; field < 4; ++field) {
+      if (field == overlong_field) {
+        bytes.push_back(static_cast<uint8_t>(field_values[field]) | 0x80);
+        bytes.push_back(0x00);
+      } else {
+        AppendVarint(field_values[field], bytes);
+      }
+    }
+    for (double v : payload) {
+      const uint64_t word = std::bit_cast<uint64_t>(v);
+      for (int b = 0; b < 8; ++b) {
+        bytes.push_back(static_cast<uint8_t>(word >> (8 * b)));
+      }
+    }
+    const uint32_t crc = Crc32(bytes);
+    for (int b = 0; b < 4; ++b) {
+      bytes.push_back(static_cast<uint8_t>(crc >> (8 * b)));
+    }
+    uint64_t user = 0;
+    uint64_t base = 0;
+    uint64_t dims = 0;
+    std::vector<double> decoded;
+    EXPECT_FALSE(
+        DecodeUserRunFrame(bytes, &user, &base, &dims, decoded).ok());
+    EXPECT_FALSE(PeekUserRunFrame(bytes).ok());
+  }
+}
+
+TEST(WireFormatTest, MultiDimRejectsBadDimsAndCounts) {
+  const std::vector<double> four = {0.1, 0.2, 0.3, 0.4};
+  uint64_t user = 0;
+  uint64_t base = 0;
+  uint64_t dims = 0;
+  std::vector<double> decoded;
+
+  // dims = 0: meaningless, rejected loudly.
+  const auto zero_dims = BuildRawMultiDimFrame(1, 0, 0, four);
+  EXPECT_FALSE(
+      DecodeUserRunFrame(zero_dims, &user, &base, &dims, decoded).ok());
+  EXPECT_FALSE(PeekUserRunFrame(zero_dims).ok());
+
+  // dims = 1 on a 0xC6 frame: non-canonical (d=1 travels as 0xC5).
+  const auto one_dim = BuildRawMultiDimFrame(1, 0, 1, four);
+  EXPECT_FALSE(
+      DecodeUserRunFrame(one_dim, &user, &base, &dims, decoded).ok());
+  EXPECT_FALSE(PeekUserRunFrame(one_dim).ok());
+
+  // count % dims != 0: a 3-double payload cannot be 2-dimensional.
+  const std::vector<double> three = {0.1, 0.2, 0.3};
+  const auto ragged = BuildRawMultiDimFrame(1, 0, 2, three);
+  EXPECT_FALSE(
+      DecodeUserRunFrame(ragged, &user, &base, &dims, decoded).ok());
+  EXPECT_FALSE(PeekUserRunFrame(ragged).ok());
+
+  // dims over the cap is rejected before any per-dimension arithmetic.
+  const auto absurd = BuildRawMultiDimFrame(1, 0, kWireMaxDims + 1, four);
+  EXPECT_FALSE(
+      DecodeUserRunFrame(absurd, &user, &base, &dims, decoded).ok());
+  EXPECT_FALSE(PeekUserRunFrame(absurd).ok());
+}
+
 // ------------------------------------------------------------ mpsc queue ----
 
 TEST(MpscQueueTest, FifoWithinCapacity) {
@@ -853,6 +1059,103 @@ TEST(TransportDeterminismTest, BitIdenticalAcrossKindsAndThreadMixes) {
       }
     }
   }
+}
+
+// The multi-dimensional flavor of the headline contract: a d=4 fleet's
+// digest, per-cell aggregates, and histogram bins are bit-identical
+// between kDirect, kQueue, kQueueFramed, and kSocket for every producer
+// mix, with shard affinity and owned-shard (single-writer seqlock)
+// storage on or off. The queued paths carry these runs in 0xC6 frames,
+// so this also pins the d-dim wire codec end to end.
+TEST(TransportDeterminismTest, MultiDimBitIdenticalAcrossKindsAndModes) {
+  for (MultidimStrategy strategy :
+       {MultidimStrategy::kBudgetSplit, MultidimStrategy::kSampleSplit}) {
+    SCOPED_TRACE(MultidimStrategyName(strategy));
+    EngineConfig base_config = TransportFleetConfig(AlgorithmKind::kCapp);
+    base_config.dims = 4;
+    base_config.multidim_strategy = strategy;
+    const FleetObservation baseline = RunFleet(base_config);
+    ASSERT_EQ(baseline.aggregates.size(),
+              base_config.dims * base_config.num_slots);
+    ASSERT_EQ(baseline.stats.per_dim_mse.size(), base_config.dims);
+
+    for (int producers : {1, 4, 8}) {
+      for (TransportKind kind :
+           {TransportKind::kDirect, TransportKind::kQueue,
+            TransportKind::kQueueFramed, TransportKind::kSocket}) {
+        for (bool affinity : {false, true}) {
+          if (kind == TransportKind::kDirect && affinity) continue;
+          for (bool owned : {false, true}) {
+            // Single-writer shards are only sound with affinity routing
+            // on a queued transport.
+            if (owned && (kind == TransportKind::kDirect || !affinity)) {
+              continue;
+            }
+            SCOPED_TRACE(TransportKindName(kind));
+            SCOPED_TRACE(producers);
+            SCOPED_TRACE(affinity);
+            SCOPED_TRACE(owned);
+            EngineConfig config = base_config;
+            config.num_threads = producers;
+            config.transport.kind = kind;
+            config.transport.num_consumers = 2;
+            config.transport.queue_capacity = 8;
+            config.transport.max_batch_runs = 16;
+            config.transport.shard_affinity = affinity;
+            config.transport.owned_shards = owned;
+            const FleetObservation run = RunFleet(config);
+
+            EXPECT_EQ(run.stats.stream_digest,
+                      baseline.stats.stream_digest);
+            EXPECT_EQ(run.stats.mean_slot_mse,
+                      baseline.stats.mean_slot_mse);
+            ASSERT_EQ(run.stats.per_dim_mse.size(),
+                      baseline.stats.per_dim_mse.size());
+            for (size_t k = 0; k < run.stats.per_dim_mse.size(); ++k) {
+              EXPECT_EQ(std::bit_cast<uint64_t>(run.stats.per_dim_mse[k]),
+                        std::bit_cast<uint64_t>(
+                            baseline.stats.per_dim_mse[k]))
+                  << "dim " << k;
+            }
+            EXPECT_EQ(run.report_count, baseline.report_count);
+            ASSERT_EQ(run.aggregates.size(), baseline.aggregates.size());
+            for (size_t t = 0; t < run.aggregates.size(); ++t) {
+              EXPECT_EQ(run.aggregates[t].Count(),
+                        baseline.aggregates[t].Count())
+                  << "cell " << t;
+              EXPECT_EQ(std::bit_cast<uint64_t>(run.aggregates[t].Mean()),
+                        std::bit_cast<uint64_t>(
+                            baseline.aggregates[t].Mean()))
+                  << "cell " << t;
+            }
+            EXPECT_EQ(run.histograms, baseline.histograms);
+          }
+        }
+      }
+    }
+  }
+}
+
+// A fleet whose frames claim a different dimensionality than the
+// collector was built with must count decode failures and fail Drain's
+// cross-check, never silently reinterpret cells.
+TEST(TransportDeterminismTest, FrameDimsMismatchIsLoud) {
+  auto collector = ShardedCollector::Create({.keep_streams = false});
+  ASSERT_TRUE(collector.ok());  // a d=1 collector
+  TransportOptions options;
+  options.kind = TransportKind::kQueueFramed;
+  options.num_consumers = 1;
+  auto hub = TransportHub::Create(&*collector, options);
+  ASSERT_TRUE(hub.ok());
+  {
+    auto producer = (*hub)->MakeProducer();
+    const std::vector<double> run = {0.1, 0.2, 0.3, 0.4};
+    producer.Publish(1, 0, /*dims=*/2, run);  // 0xC6 into a d=1 collector
+  }
+  const Status drained = (*hub)->Drain();
+  EXPECT_FALSE(drained.ok());
+  EXPECT_GT((*hub)->stats().decode_failures, 0u);
+  EXPECT_EQ(collector->report_count(), 0u);
 }
 
 TEST(TransportDeterminismTest, QueuedFleetReportsTransportStats) {

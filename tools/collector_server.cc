@@ -42,10 +42,12 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <vector>
 
 #include "analysis/streaming_analytics.h"
 #include "core/parse.h"
 #include "engine/sharded_collector.h"
+#include "multidim/multidim_perturber.h"
 #include "storage/collector_backend.h"
 #include "storage/durable_collector.h"
 #include "storage/wal.h"
@@ -63,6 +65,8 @@ namespace {
                "usage: %s --socket=PATH [--sessions=N] [--consumers=N]\n"
                "          [--shards=N] [--capacity=N] [--batch-runs=N]\n"
                "          [--affinity] [--owned-shards] [--max-slots=N]\n"
+               "          [--dims=N] "
+               "[--multidim=budget_split|sample_split]\n"
                "          [--analytics] [--epsilon=X] [--window=N]\n"
                "          [--wal-dir=DIR] [--fsync=run|frames|timer]\n"
                "          [--fsync-frames=N] [--fsync-interval-ms=N]\n"
@@ -94,11 +98,13 @@ void HandleSignal(int sig) {
 constexpr int kAnalyticsHistogramBuckets = 32;
 
 // The collector tier's streaming analytics: everything here derives from
-// per-slot histograms + aggregates of already-perturbed reports.
-int PrintAnalytics(const capp::ShardedCollector& collector, double epsilon,
-                   int window) {
+// per-slot histograms + aggregates of already-perturbed reports. A
+// multi-dimensional collector gets one table per attribute, each from
+// that attribute's cell slice.
+int PrintAnalytics(const capp::ShardedCollector& collector,
+                   double epsilon_per_slot, int window) {
   capp::StreamingAnalyzerOptions options;
-  options.epsilon_per_slot = epsilon / window;
+  options.epsilon_per_slot = epsilon_per_slot;
   options.histogram_buckets = kAnalyticsHistogramBuckets;
   options.window = static_cast<size_t>(window);
   auto analyzer = capp::StreamingAnalyzer::Create(options);
@@ -107,33 +113,36 @@ int PrintAnalytics(const capp::ShardedCollector& collector, double epsilon,
                  analyzer.status().ToString().c_str());
     return 1;
   }
-  auto analysis = analyzer->AnalyzeCollector(collector);
-  if (!analysis.ok()) {
-    std::fprintf(stderr, "analytics failed: %s\n",
-                 analysis.status().ToString().c_str());
-    return 1;
+  for (size_t dim = 0; dim < collector.dims(); ++dim) {
+    auto analysis = analyzer->AnalyzeCollectorDim(collector, dim);
+    if (!analysis.ok()) {
+      std::fprintf(stderr, "analytics failed: %s\n",
+                   analysis.status().ToString().c_str());
+      return 1;
+    }
+    if (collector.dims() > 1) std::printf("\nattribute %zu:", dim);
+    std::printf("\nstreaming analytics (%d-slot windows, %d bins over "
+                "[%.3f, %.3f], %llu outlier(s)):\n",
+                window, analyzer->collector_histogram().num_bins,
+                analyzer->collector_histogram().lo,
+                analyzer->collector_histogram().hi,
+                static_cast<unsigned long long>(analysis->total_outliers));
+    std::printf("  window        reports    crowd mean  recon mean\n");
+    for (const capp::WindowAnalytics& w : analysis->windows) {
+      std::printf("  [%3zu,%3zu)   %9llu    %.4f      %.4f\n", w.begin,
+                  w.begin + w.length,
+                  static_cast<unsigned long long>(w.reports), w.crowd_mean,
+                  w.distribution_mean);
+    }
+    std::printf("  trend segments of the slot means:");
+    for (const capp::TrendSegment& segment : analysis->trends) {
+      std::printf(" [%zu,%zu) %s (slope %+.4f)", segment.begin, segment.end,
+                  std::string(capp::TrendDirectionName(segment.direction))
+                      .c_str(),
+                  segment.slope);
+    }
+    std::printf("\n");
   }
-  std::printf("\nstreaming analytics (%d-slot windows, %d bins over "
-              "[%.3f, %.3f], %llu outlier(s)):\n",
-              window, analyzer->collector_histogram().num_bins,
-              analyzer->collector_histogram().lo,
-              analyzer->collector_histogram().hi,
-              static_cast<unsigned long long>(analysis->total_outliers));
-  std::printf("  window        reports    crowd mean  recon mean\n");
-  for (const capp::WindowAnalytics& w : analysis->windows) {
-    std::printf("  [%3zu,%3zu)   %9llu    %.4f      %.4f\n", w.begin,
-                w.begin + w.length,
-                static_cast<unsigned long long>(w.reports), w.crowd_mean,
-                w.distribution_mean);
-  }
-  std::printf("  trend segments of the slot means:");
-  for (const capp::TrendSegment& segment : analysis->trends) {
-    std::printf(" [%zu,%zu) %s (slope %+.4f)", segment.begin, segment.end,
-                std::string(capp::TrendDirectionName(segment.direction))
-                    .c_str(),
-                segment.slope);
-  }
-  std::printf("\n");
   return 0;
 }
 
@@ -157,6 +166,9 @@ int main(int argc, char** argv) {
   uint64_t sessions = 1;
   uint64_t shards = 16;
   uint64_t max_print_slots = 48;
+  uint64_t dims = 1;
+  capp::MultidimStrategy multidim_strategy =
+      capp::MultidimStrategy::kBudgetSplit;
   bool owned_shards = false;
   bool analytics = false;
   double epsilon = 1.0;
@@ -218,6 +230,16 @@ int main(int argc, char** argv) {
     } else if (arg.starts_with("--batch-runs=")) {
       options.max_batch_runs = ParsePositiveOrDie("--batch-runs",
                                                   arg.substr(13));
+    } else if (arg.starts_with("--dims=")) {
+      dims = ParsePositiveOrDie("--dims", arg.substr(7));
+    } else if (arg.starts_with("--multidim=")) {
+      auto strategy = capp::ParseMultidimStrategy(arg.substr(11));
+      if (!strategy.ok()) {
+        std::fprintf(stderr, "%s (want budget_split|sample_split)\n",
+                     strategy.status().ToString().c_str());
+        return 2;
+      }
+      multidim_strategy = *strategy;
     } else if (arg == "--affinity") {
       options.shard_affinity = true;
     } else if (arg == "--owned-shards") {
@@ -258,10 +280,18 @@ int main(int argc, char** argv) {
   capp::ShardedCollectorOptions collector_options;
   collector_options.num_shards = shards;
   collector_options.keep_streams = false;
+  collector_options.dims = dims;
   collector_options.single_writer = owned_shards;
+  // Per-(attribute, slot) budget the fleet perturbed with: budget split
+  // divides the window budget across dimensions, sample split (and d=1)
+  // spends it all on each upload.
+  const double epsilon_per_slot =
+      dims > 1 && multidim_strategy == capp::MultidimStrategy::kBudgetSplit
+          ? epsilon / (static_cast<double>(dims) * window)
+          : epsilon / window;
   if (analytics) {
     auto histogram = capp::StreamingAnalyzer::CollectorHistogramOptions(
-        epsilon / window, kAnalyticsHistogramBuckets);
+        epsilon_per_slot, kAnalyticsHistogramBuckets);
     if (!histogram.ok()) {
       std::fprintf(stderr, "analytics setup failed: %s\n",
                    histogram.status().ToString().c_str());
@@ -284,13 +314,19 @@ int main(int argc, char** argv) {
   std::unique_ptr<capp::DurableCollector> durable;
   capp::CollectorBackend* backend = &*collector;
   if (!durable_options.wal.dir.empty()) {
-    const uint64_t fingerprint_words[] = {
+    std::vector<uint64_t> fingerprint_words = {
         shards,
         analytics ? 1u : 0u,
         static_cast<uint64_t>(kAnalyticsHistogramBuckets),
         std::bit_cast<uint64_t>(epsilon),
         static_cast<uint64_t>(window),
     };
+    if (dims > 1) {
+      // Appended only for multi-dimensional servers, so every existing
+      // d=1 WAL directory keeps its fingerprint.
+      fingerprint_words.push_back(dims);
+      fingerprint_words.push_back(static_cast<uint64_t>(multidim_strategy));
+    }
     durable_options.wal.fingerprint =
         capp::WalFingerprint(fingerprint_words);
     auto created = capp::DurableCollector::Create(&*collector,
@@ -416,12 +452,18 @@ int main(int argc, char** argv) {
     });
   }
 
+  const std::string dims_note =
+      dims > 1 ? ", " + std::to_string(dims) + " dims (" +
+                     std::string(capp::MultidimStrategyName(
+                         multidim_strategy)) +
+                     ")"
+               : "";
   std::printf("collector_server: listening on %s (%d consumers, affinity "
-              "%s, %zu shards, %s ingest); waiting for %llu session(s)\n",
+              "%s, %zu shards, %s ingest%s); waiting for %llu session(s)\n",
               options.socket_path.c_str(), options.num_consumers,
               options.shard_affinity ? "on" : "off",
               static_cast<size_t>(shards),
-              owned_shards ? "owned-shard" : "mutex",
+              owned_shards ? "owned-shard" : "mutex", dims_note.c_str(),
               static_cast<unsigned long long>(sessions));
   if (metrics_server != nullptr) {
     std::printf("collector_server: metrics socket on %s "
@@ -471,18 +513,41 @@ int main(int argc, char** argv) {
   // What the collector tier knows without ever seeing a raw value: the
   // per-slot population aggregates of the perturbed reports.
   const auto aggregates = collector->PopulationSlotAggregates();
-  const size_t shown =
-      aggregates.size() < max_print_slots ? aggregates.size()
-                                          : max_print_slots;
-  if (shown > 0) {
-    std::printf("\n  slot   count      mean     stddev\n");
-    for (size_t t = 0; t < shown; ++t) {
-      std::printf("  %4zu   %7zu   %7.4f   %7.4f\n", t,
-                  aggregates[t].Count(), aggregates[t].Mean(),
-                  std::sqrt(aggregates[t].Variance()));
+  if (dims <= 1) {
+    const size_t shown =
+        aggregates.size() < max_print_slots ? aggregates.size()
+                                            : max_print_slots;
+    if (shown > 0) {
+      std::printf("\n  slot   count      mean     stddev\n");
+      for (size_t t = 0; t < shown; ++t) {
+        std::printf("  %4zu   %7zu   %7.4f   %7.4f\n", t,
+                    aggregates[t].Count(), aggregates[t].Mean(),
+                    std::sqrt(aggregates[t].Variance()));
+      }
+      if (shown < aggregates.size()) {
+        std::printf("  ... %zu more slot(s)\n", aggregates.size() - shown);
+      }
     }
-    if (shown < aggregates.size()) {
-      std::printf("  ... %zu more slot(s)\n", aggregates.size() - shown);
+  } else {
+    // Cells interleave attributes (cell = slot * dims + dim); label each
+    // row with its (slot, dim) pair and cap the printout at
+    // max_print_slots whole slots.
+    const size_t total_slots = aggregates.size() / dims;
+    const size_t shown_slots =
+        total_slots < max_print_slots ? total_slots : max_print_slots;
+    if (shown_slots > 0) {
+      std::printf("\n  slot  dim   count      mean     stddev\n");
+      for (size_t t = 0; t < shown_slots; ++t) {
+        for (size_t k = 0; k < dims; ++k) {
+          const capp::SlotAggregate& cell = aggregates[t * dims + k];
+          std::printf("  %4zu  %3zu   %7zu   %7.4f   %7.4f\n", t, k,
+                      cell.Count(), cell.Mean(),
+                      std::sqrt(cell.Variance()));
+        }
+      }
+      if (shown_slots < total_slots) {
+        std::printf("  ... %zu more slot(s)\n", total_slots - shown_slots);
+      }
     }
   }
 
@@ -497,7 +562,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (analytics && collector->SlotSpan() > 0) {
-    const int printed = PrintAnalytics(*collector, epsilon, window);
+    const int printed = PrintAnalytics(*collector, epsilon_per_slot, window);
     if (printed != 0) return printed;
   }
   std::printf("\ncollector_server: clean drain (no loss, no corruption, "
