@@ -20,9 +20,15 @@
 // --consumers=N sizes the draining thread pool and --affinity routes each
 // run to the consumer owning its shard group. --connect=PATH sends the
 // reports to an external collector process instead (tools/collector_server
-// listening on PATH); the accuracy table still prints, because the fleet
+// listening on PATH), and --connect-tcp=HOST:PORT does the same across
+// hosts over TCP; the accuracy table still prints, because the fleet
 // side computes it from its own ground truth, but the collector-side
-// aggregates then live in the server process.
+// aggregates then live in the server process. --connect-streams=N stripes
+// the upload over N handshaked connections, each an independently
+// resumable sequence-numbered stream: if the collector (or the network)
+// drops one mid-run, the fleet redials up to --reconnect-attempts times
+// and replays its unacked window, and the server's dedup keeps the final
+// aggregates bit-identical to an undisturbed run.
 // --analytics turns on the collector's streaming histogram tier and
 // prints per-window SW-EM distribution reconstruction, crowd means, and
 // trend detection computed purely from the collector's per-slot state --
@@ -45,6 +51,7 @@
 #include "telemetry/metrics.h"
 #include "telemetry/registry.h"
 #include "telemetry/summary.h"
+#include "transport/tcp_transport.h"
 #include "transport/transport.h"
 
 namespace {
@@ -54,7 +61,9 @@ namespace {
                "usage: %s [users] [slots] "
                "[--transport=direct|queue|framed|socket]\n"
                "          [--consumers=N] [--affinity] [--connect=PATH]\n"
+               "          [--connect-tcp=HOST:PORT] [--connect-streams=N]\n"
                "          [--connect-retries=N] [--connect-backoff-ms=N]\n"
+               "          [--reconnect-attempts=N]\n"
                "          [--dims=N] "
                "[--multidim=budget_split|sample_split]\n"
                "          [--analytics] [--metrics-json=FILE] "
@@ -166,9 +175,11 @@ int main(int argc, char** argv) {
       }
       config.transport.kind = *kind;
       // Last flag wins outright: a --transport after a --connect must not
-      // leave a stale socket path behind (a kQueue run that claims a
-      // remote collector would strand the server and hide the results).
+      // leave a stale endpoint behind (a kQueue run that claims a remote
+      // collector would strand the server and hide the results).
       config.transport.socket_path.clear();
+      config.transport.tcp_host.clear();
+      config.transport.tcp_port = 0;
     } else if (arg.starts_with("--connect=")) {
       if (arg.size() <= 10) {
         std::fprintf(stderr, "--connect wants a unix socket path\n");
@@ -176,6 +187,47 @@ int main(int argc, char** argv) {
       }
       config.transport.kind = capp::TransportKind::kSocket;
       config.transport.socket_path = std::string(arg.substr(10));
+      config.transport.tcp_host.clear();
+      config.transport.tcp_port = 0;
+    } else if (arg.starts_with("--connect-tcp=")) {
+      auto endpoint = capp::ParseTcpEndpoint(arg.substr(14));
+      if (!endpoint.ok()) {
+        std::fprintf(stderr, "--connect-tcp: %s\n",
+                     endpoint.status().ToString().c_str());
+        return 2;
+      }
+      if (endpoint->tcp_port == 0) {
+        std::fprintf(stderr,
+                     "--connect-tcp needs the collector's real port "
+                     "(collector_server prints the bound port on "
+                     "startup)\n");
+        return 2;
+      }
+      config.transport.kind = capp::TransportKind::kSocket;
+      config.transport.tcp_host = endpoint->tcp_host;
+      config.transport.tcp_port = endpoint->tcp_port;
+      config.transport.socket_path.clear();
+    } else if (arg.starts_with("--connect-streams=")) {
+      int streams = 0;
+      if (!capp::ParseIntText(arg.substr(18), 1, &streams) ||
+          streams > 64) {
+        std::fprintf(stderr,
+                     "--connect-streams wants an integer in [1, 64], got "
+                     "'%s'\n",
+                     arg.substr(18).data());
+        return 2;
+      }
+      config.transport.connect_streams = streams;
+    } else if (arg.starts_with("--reconnect-attempts=")) {
+      int attempts = 0;
+      if (!capp::ParseIntText(arg.substr(21), 0, &attempts)) {
+        std::fprintf(stderr,
+                     "--reconnect-attempts wants an integer >= 0, got "
+                     "'%s'\n",
+                     arg.substr(21).data());
+        return 2;
+      }
+      config.transport.reconnect_attempts = attempts;
     } else if (arg.starts_with("--connect-retries=")) {
       int retries = 0;
       if (!capp::ParseIntText(arg.substr(18), 0, &retries)) {
@@ -269,7 +321,8 @@ int main(int argc, char** argv) {
 
   const bool remote_collector =
       config.transport.kind == capp::TransportKind::kSocket &&
-      !config.transport.socket_path.empty();
+      (!config.transport.socket_path.empty() ||
+       !config.transport.tcp_host.empty());
   const std::string dims_note =
       config.dims > 1
           ? ", " + std::to_string(config.dims) + " dims (" +

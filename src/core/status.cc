@@ -18,6 +18,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
   }
   return "Unknown";
 }

@@ -24,6 +24,7 @@ enum class StatusCode {
   kNotFound = 4,
   kInternal = 5,
   kUnimplemented = 6,
+  kAlreadyExists = 7,
 };
 
 /// Returns a human-readable name for a status code ("InvalidArgument", ...).
@@ -55,6 +56,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
 
   /// True iff this status represents success.

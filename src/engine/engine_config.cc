@@ -91,7 +91,8 @@ Status ValidateEngineConfig(const EngineConfig& config) {
           "= false or checkpoint_every_runs = 0");
     }
     if (config.transport.kind == TransportKind::kSocket &&
-        !config.transport.socket_path.empty()) {
+        (!config.transport.socket_path.empty() ||
+         !config.transport.tcp_host.empty())) {
       // With an external collector the reports never reach this
       // process's backend, so a local WAL would log nothing. The
       // collector_server process owns durability there (--wal-dir).
@@ -137,6 +138,24 @@ uint64_t EngineConfigFingerprint(const EngineConfig& config) {
     // and committed baseline -- is unchanged by the dims extension.
     words.push_back(static_cast<uint64_t>(config.dims));
     words.push_back(static_cast<uint64_t>(config.multidim_strategy));
+  }
+  return WalFingerprint(words);
+}
+
+uint64_t StreamHandshakeFingerprint(double epsilon, int window, size_t dims,
+                                    MultidimStrategy strategy) {
+  // Deliberately narrower than EngineConfigFingerprint: a collector can
+  // serve fleets of any size, signal, or seed, but budget and report
+  // shape must agree or the aggregates mean nothing. Mirrors the d=1
+  // compatibility trick above: dims/strategy are appended only for
+  // multi-dimensional streams.
+  std::vector<uint64_t> words = {
+      std::bit_cast<uint64_t>(epsilon),
+      static_cast<uint64_t>(window),
+  };
+  if (dims > 1) {
+    words.push_back(static_cast<uint64_t>(dims));
+    words.push_back(static_cast<uint64_t>(strategy));
   }
   return WalFingerprint(words);
 }

@@ -148,6 +148,17 @@ struct EngineConfig {
 /// changing what the aggregates mean.
 uint64_t EngineConfigFingerprint(const EngineConfig& config);
 
+/// Fingerprint of the config surface a fleet and a collector must agree
+/// on before streaming reports at each other: privacy budget (epsilon,
+/// window) and -- for multi-dimensional streams -- dims and the budget
+/// strategy. Stamped into the socket transport's connection handshake
+/// (transport/handshake.h) by Fleet::Create and by collector_server, so
+/// a mismatched pair is refused loudly before any data flows. Narrower
+/// than EngineConfigFingerprint on purpose: fleet shape, signal, and
+/// seed may differ across the clients of one collector.
+uint64_t StreamHandshakeFingerprint(double epsilon, int window, size_t dims,
+                                    MultidimStrategy strategy);
+
 /// Validates an EngineConfig (delegates perturber knobs to
 /// ValidatePerturberOptions and checks the engine-specific fields).
 Status ValidateEngineConfig(const EngineConfig& config);

@@ -237,6 +237,16 @@ Result<Fleet> Fleet::Create(EngineConfig config) {
   }
   CAPP_ASSIGN_OR_RETURN(ShardedCollector collector,
                         ShardedCollector::Create(collector_options));
+  if (config.transport.kind == TransportKind::kSocket &&
+      config.transport.handshake_fingerprint == 0) {
+    // Stamp the budget/shape fingerprint into the socket handshake so a
+    // collector configured differently refuses this fleet before any
+    // report flows. An explicit nonzero value (tests, cross-version
+    // experiments) is left alone.
+    config.transport.handshake_fingerprint = StreamHandshakeFingerprint(
+        config.epsilon, config.window, config.dims,
+        config.multidim_strategy);
+  }
   Fleet fleet(std::move(config),
               std::make_unique<ShardedCollector>(std::move(collector)),
               smoothing);

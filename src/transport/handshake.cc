@@ -1,0 +1,148 @@
+#include "transport/handshake.h"
+
+#include "transport/wire_format.h"
+
+namespace capp {
+namespace {
+
+void PutU32(uint32_t value, uint8_t* out) {
+  out[0] = static_cast<uint8_t>(value);
+  out[1] = static_cast<uint8_t>(value >> 8);
+  out[2] = static_cast<uint8_t>(value >> 16);
+  out[3] = static_cast<uint8_t>(value >> 24);
+}
+
+void PutU64(uint64_t value, uint8_t* out) {
+  PutU32(static_cast<uint32_t>(value), out);
+  PutU32(static_cast<uint32_t>(value >> 32), out + 4);
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 |
+         static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         static_cast<uint64_t>(GetU32(p + 4)) << 32;
+}
+
+// Every handshake frame ends in a CRC32 over everything before it; a
+// frame that fails this check carries no trustworthy field at all.
+Status CheckFrame(std::span<const uint8_t> bytes, size_t want,
+                  uint32_t magic, const char* what) {
+  if (bytes.size() < want) {
+    return Status::InvalidArgument(std::string(what) + " truncated");
+  }
+  if (GetU32(bytes.data()) != magic) {
+    return Status::InvalidArgument(std::string(what) + " bad magic");
+  }
+  const uint32_t crc = Crc32(bytes.first(want - 4));
+  if (GetU32(bytes.data() + want - 4) != crc) {
+    return Status::InvalidArgument(std::string(what) + " CRC mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view HandshakeRefusalName(HandshakeRefusal refusal) {
+  switch (refusal) {
+    case HandshakeRefusal::kNone:
+      return "none";
+    case HandshakeRefusal::kBadVersion:
+      return "protocol version mismatch";
+    case HandshakeRefusal::kBadFingerprint:
+      return "engine-config fingerprint mismatch";
+    case HandshakeRefusal::kBadDims:
+      return "report dimensionality mismatch";
+    case HandshakeRefusal::kMalformed:
+      return "malformed handshake frame";
+  }
+  return "unknown refusal";
+}
+
+void EncodeHandshakeHello(const HandshakeHello& hello, uint8_t* out) {
+  PutU32(kHandshakeHelloMagic, out);
+  PutU32(hello.version, out + 4);
+  PutU32(hello.capabilities, out + 8);
+  PutU64(hello.fingerprint, out + 12);
+  PutU32(hello.dims, out + 20);
+  PutU64(hello.client_id, out + 24);
+  PutU32(hello.stream_index, out + 32);
+  PutU32(hello.stream_count, out + 36);
+  PutU32(Crc32({out, kHandshakeHelloBytes - 4}), out + 40);
+}
+
+Result<HandshakeHello> DecodeHandshakeHello(std::span<const uint8_t> bytes) {
+  CAPP_RETURN_IF_ERROR(CheckFrame(bytes, kHandshakeHelloBytes,
+                                  kHandshakeHelloMagic, "handshake hello"));
+  const uint8_t* p = bytes.data();
+  HandshakeHello hello;
+  hello.version = GetU32(p + 4);
+  hello.capabilities = GetU32(p + 8);
+  hello.fingerprint = GetU64(p + 12);
+  hello.dims = GetU32(p + 20);
+  hello.client_id = GetU64(p + 24);
+  hello.stream_index = GetU32(p + 32);
+  hello.stream_count = GetU32(p + 36);
+  if (hello.stream_count < 1 || hello.stream_index >= hello.stream_count) {
+    return Status::InvalidArgument(
+        "handshake hello stream_index/stream_count out of range");
+  }
+  return hello;
+}
+
+void EncodeHandshakeAck(const HandshakeAck& ack, uint8_t* out) {
+  PutU32(kHandshakeAckMagic, out);
+  out[4] = ack.accepted ? 1 : 0;
+  PutU32(static_cast<uint32_t>(ack.refusal), out + 5);
+  PutU32(ack.version, out + 9);
+  PutU32(ack.capabilities, out + 13);
+  PutU64(ack.fingerprint, out + 17);
+  PutU32(ack.dims, out + 25);
+  PutU64(ack.resume_seq, out + 29);
+  PutU32(Crc32({out, kHandshakeAckBytes - 4}), out + 37);
+}
+
+Result<HandshakeAck> DecodeHandshakeAck(std::span<const uint8_t> bytes) {
+  CAPP_RETURN_IF_ERROR(CheckFrame(bytes, kHandshakeAckBytes,
+                                  kHandshakeAckMagic, "handshake ack"));
+  const uint8_t* p = bytes.data();
+  HandshakeAck ack;
+  ack.accepted = p[4] != 0;
+  ack.refusal = static_cast<HandshakeRefusal>(GetU32(p + 5));
+  ack.version = GetU32(p + 9);
+  ack.capabilities = GetU32(p + 13);
+  ack.fingerprint = GetU64(p + 17);
+  ack.dims = GetU32(p + 25);
+  ack.resume_seq = GetU64(p + 29);
+  return ack;
+}
+
+void EncodeStreamAck(uint64_t acked_seq, uint8_t* out) {
+  PutU32(kStreamAckMagic, out);
+  PutU64(acked_seq, out + 4);
+  PutU32(Crc32({out, kStreamAckBytes - 4}), out + 12);
+}
+
+Result<uint64_t> DecodeStreamAck(std::span<const uint8_t> bytes) {
+  CAPP_RETURN_IF_ERROR(
+      CheckFrame(bytes, kStreamAckBytes, kStreamAckMagic, "stream ack"));
+  return GetU64(bytes.data() + 4);
+}
+
+void EncodeStreamFinAck(uint64_t final_seq, uint8_t* out) {
+  PutU32(kStreamFinAckMagic, out);
+  PutU64(final_seq, out + 4);
+  PutU32(Crc32({out, kStreamAckBytes - 4}), out + 12);
+}
+
+Result<uint64_t> DecodeStreamFinAck(std::span<const uint8_t> bytes) {
+  CAPP_RETURN_IF_ERROR(
+      CheckFrame(bytes, kStreamAckBytes, kStreamFinAckMagic, "fin ack"));
+  return GetU64(bytes.data() + 4);
+}
+
+}  // namespace capp

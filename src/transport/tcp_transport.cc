@@ -1,0 +1,517 @@
+#include "transport/tcp_transport.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <random>
+#include <thread>
+#include <utility>
+
+#include "core/check.h"
+#include "transport/handshake.h"
+
+namespace capp {
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+// SplitMix64 finalizer: a cheap, well-mixed hash for jitter and ids.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// One resolved-address connect attempt with the EINTR-correct epilogue.
+Result<int> ConnectResolved(const addrinfo* ai, const std::string& what) {
+  const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+  if (fd < 0) return ErrnoStatus("socket");
+  if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+    if (errno == EINTR) {
+      Status finished = FinishInterruptedConnect(fd, what);
+      if (!finished.ok()) {
+        ::close(fd);
+        return finished;
+      }
+    } else {
+      Status failed = ErrnoStatus(what);
+      ::close(fd);
+      return failed;
+    }
+  }
+  // Chunks are already batched producer-side; Nagle coalescing only adds
+  // latency between a chunk and the ack clock that trims the resume
+  // window.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+std::string SocketEndpoint::ToString() const {
+  if (is_tcp()) return tcp_host + ":" + std::to_string(tcp_port);
+  return unix_path;
+}
+
+Result<SocketEndpoint> ParseTcpEndpoint(std::string_view host_port) {
+  const size_t colon = host_port.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == host_port.size()) {
+    return Status::InvalidArgument("expected HOST:PORT, got '" +
+                                   std::string(host_port) + "'");
+  }
+  SocketEndpoint endpoint;
+  endpoint.tcp_host = std::string(host_port.substr(0, colon));
+  const std::string_view port_str = host_port.substr(colon + 1);
+  int port = 0;
+  for (const char c : port_str) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad TCP port '" +
+                                     std::string(port_str) + "'");
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument("TCP port out of range: '" +
+                                     std::string(port_str) + "'");
+    }
+  }
+  endpoint.tcp_port = port;
+  return endpoint;
+}
+
+Result<int> TcpListenFd(const std::string& host, int port, int backlog,
+                        int* bound_port) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("TCP listen port out of range: " +
+                                   std::to_string(port));
+  }
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE | AI_NUMERICSERV;
+  addrinfo* addrs = nullptr;
+  const std::string service = std::to_string(port);
+  if (const int rc =
+          ::getaddrinfo(host.c_str(), service.c_str(), &hints, &addrs);
+      rc != 0) {
+    return Status::InvalidArgument("cannot resolve TCP listen host '" +
+                                   host + "': " + ::gai_strerror(rc));
+  }
+  Status last = Status::Internal("no addresses for '" + host + "'");
+  for (const addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = ErrnoStatus("socket");
+      continue;
+    }
+    // Collector restarts must not wait out TIME_WAIT from their own
+    // previous run.
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(fd, backlog) != 0) {
+      last = ErrnoStatus("bind/listen " + host + ":" + service);
+      ::close(fd);
+      continue;
+    }
+    if (bound_port != nullptr) {
+      sockaddr_storage bound;
+      socklen_t bound_len = sizeof(bound);
+      if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound),
+                        &bound_len) != 0) {
+        last = ErrnoStatus("getsockname");
+        ::close(fd);
+        continue;
+      }
+      if (bound.ss_family == AF_INET) {
+        *bound_port = ntohs(
+            reinterpret_cast<const sockaddr_in*>(&bound)->sin_port);
+      } else {
+        *bound_port = ntohs(
+            reinterpret_cast<const sockaddr_in6*>(&bound)->sin6_port);
+      }
+    }
+    ::freeaddrinfo(addrs);
+    return fd;
+  }
+  ::freeaddrinfo(addrs);
+  return last;
+}
+
+Status FinishInterruptedConnect(int fd, const std::string& what) {
+  pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  for (;;) {
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;  // the very signal storm we fix
+      return ErrnoStatus(what + " (poll)");
+    }
+    if (rc > 0) break;  // writable or error: either way SO_ERROR knows
+  }
+  int so_error = 0;
+  socklen_t len = sizeof(so_error);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+    return ErrnoStatus(what + " (SO_ERROR)");
+  }
+  if (so_error != 0) {
+    return Status::Internal(what + ": " + std::strerror(so_error));
+  }
+  return Status::OK();
+}
+
+Result<int> ConnectEndpointFd(const SocketEndpoint& endpoint) {
+  if (!endpoint.is_tcp()) {
+    sockaddr_un addr;
+    if (endpoint.unix_path.empty() ||
+        endpoint.unix_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("bad unix socket path: '" +
+                                     endpoint.unix_path + "'");
+    }
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, endpoint.unix_path.c_str(),
+                endpoint.unix_path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return ErrnoStatus("socket");
+    const std::string what = "connect to " + endpoint.unix_path;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      Status failed = errno == EINTR ? FinishInterruptedConnect(fd, what)
+                                     : ErrnoStatus(what);
+      if (!failed.ok()) {
+        ::close(fd);
+        return failed;
+      }
+    }
+    return fd;
+  }
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  addrinfo* addrs = nullptr;
+  const std::string service = std::to_string(endpoint.tcp_port);
+  if (const int rc = ::getaddrinfo(endpoint.tcp_host.c_str(),
+                                   service.c_str(), &hints, &addrs);
+      rc != 0) {
+    return Status::Internal("cannot resolve '" + endpoint.tcp_host +
+                            "': " + ::gai_strerror(rc));
+  }
+  Status last =
+      Status::Internal("no addresses for '" + endpoint.tcp_host + "'");
+  for (const addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    auto fd = ConnectResolved(ai, "connect to " + endpoint.ToString());
+    if (fd.ok()) {
+      ::freeaddrinfo(addrs);
+      return *fd;
+    }
+    last = fd.status();
+  }
+  ::freeaddrinfo(addrs);
+  return last;
+}
+
+int BackoffDelayMs(int backoff_ms, int attempt, uint64_t jitter_seed) {
+  CAPP_CHECK(backoff_ms >= 1);
+  CAPP_CHECK(attempt >= 0);
+  const int shift = attempt < 6 ? attempt : 6;
+  int64_t base = static_cast<int64_t>(backoff_ms) << shift;
+  if (base > 2000) base = 2000;
+  // Deterministic jitter fraction in [0.5, 1.0): same (seed, attempt)
+  // always waits the same time, different streams spread out.
+  const uint64_t h = Mix64(jitter_seed ^ (0xA5A5A5A5A5A5A5A5ull *
+                                          static_cast<uint64_t>(attempt + 1)));
+  const double fraction =
+      0.5 + 0.5 * (static_cast<double>(h >> 11) / 9007199254740992.0);
+  const int delay = static_cast<int>(static_cast<double>(base) * fraction);
+  return delay < 1 ? 1 : delay;
+}
+
+uint64_t GenerateTransportClientId() {
+  // One random salt per process plus pid plus a counter: concurrent
+  // fleet processes (even across hosts, where pids collide) get distinct
+  // stream identities, and one process's hubs get distinct ids too.
+  static const uint64_t process_salt = [] {
+    std::random_device rd;
+    return (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  }();
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t n = counter.fetch_add(1);
+  return Mix64(process_salt ^ Mix64(static_cast<uint64_t>(::getpid())) ^
+               (n * 0xD1B54A32D192ED03ull));
+}
+
+// --------------------------------------------------------- resume buffer ---
+
+void ResumeBuffer::Retain(uint64_t seq, std::span<const uint8_t> bytes) {
+  CAPP_CHECK(chunks_.empty() || seq > chunks_.back().seq);
+  chunks_.push_back({seq, std::vector<uint8_t>(bytes.begin(), bytes.end())});
+  bytes_retained_ += bytes.size();
+}
+
+void ResumeBuffer::TrimThrough(uint64_t acked_seq) {
+  while (!chunks_.empty() && chunks_.front().seq <= acked_seq) {
+    bytes_retained_ -= chunks_.front().bytes.size();
+    chunks_.pop_front();
+  }
+}
+
+// ------------------------------------------------------- resilient client --
+
+Result<std::unique_ptr<ResilientSocketClient>> ResilientSocketClient::Connect(
+    const Options& options) {
+  if (options.stream_count < 1 ||
+      options.stream_index >= options.stream_count) {
+    return Status::InvalidArgument("bad stream_index/stream_count");
+  }
+  std::unique_ptr<ResilientSocketClient> client(
+      new ResilientSocketClient(options));
+  CAPP_ASSIGN_OR_RETURN(const uint64_t resume_seq,
+                        client->DialAndHandshake(1 + options.connect_retries));
+  // A fresh client id cannot have server-side history.
+  if (resume_seq != 0) {
+    return Status::Internal(
+        "server reports prior state for a fresh stream (resume_seq=" +
+        std::to_string(resume_seq) + ")");
+  }
+  return client;
+}
+
+Result<uint64_t> ResilientSocketClient::DialAndHandshake(int dial_attempts) {
+  CAPP_CHECK(dial_attempts >= 1);
+  const uint64_t jitter_seed =
+      Mix64(options_.client_id) ^ options_.stream_index;
+  Status last = Status::Internal("no dial attempts made");
+  for (int attempt = 0; attempt < dial_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(BackoffDelayMs(
+          options_.connect_backoff_ms, attempt - 1, jitter_seed)));
+    }
+    auto fd = ConnectEndpointFd(options_.endpoint);
+    if (!fd.ok()) {
+      last = fd.status();
+      continue;
+    }
+    SocketClient conn = SocketClient::Adopt(*fd);
+    HandshakeHello hello;
+    hello.version = kTransportProtocolVersion;
+    hello.capabilities = kCapResume;
+    hello.fingerprint = options_.fingerprint;
+    hello.dims = options_.dims;
+    hello.client_id = options_.client_id;
+    hello.stream_index = options_.stream_index;
+    hello.stream_count = options_.stream_count;
+    uint8_t hello_bytes[kHandshakeHelloBytes];
+    EncodeHandshakeHello(hello, hello_bytes);
+    if (Status sent = conn.SendRaw(hello_bytes); !sent.ok()) {
+      last = sent;
+      continue;
+    }
+    uint8_t ack_bytes[kHandshakeAckBytes];
+    if (Status read = conn.ReadExact(ack_bytes, sizeof(ack_bytes));
+        !read.ok()) {
+      last = Status::Internal("handshake with " +
+                              options_.endpoint.ToString() +
+                              " failed: " + read.message());
+      continue;
+    }
+    auto ack = DecodeHandshakeAck(ack_bytes);
+    if (!ack.ok()) {
+      last = ack.status();
+      continue;
+    }
+    if (!ack->accepted) {
+      // A refusal is a configuration mismatch, not a flaky network;
+      // retrying cannot fix it and must not mask it.
+      return Status::FailedPrecondition(
+          "collector at " + options_.endpoint.ToString() +
+          " refused handshake: " +
+          std::string(HandshakeRefusalName(ack->refusal)));
+    }
+    client_ = std::move(conn);
+    ack_pending_.clear();
+    return ack->resume_seq;
+  }
+  return last;
+}
+
+Status ResilientSocketClient::ReconnectAndReplay() {
+  if (client_) client_->Close();
+  Status last = Status::Internal("no reconnect attempts allowed");
+  for (int attempt = 0; attempt < options_.reconnect_attempts; ++attempt) {
+    auto resumed = DialAndHandshake(1);
+    if (!resumed.ok()) {
+      last = resumed.status();
+      if (resumed.status().code() == StatusCode::kFailedPrecondition) {
+        return last;  // refused: not retryable
+      }
+      // DialAndHandshake(1) does not sleep; pace the redials here.
+      std::this_thread::sleep_for(std::chrono::milliseconds(BackoffDelayMs(
+          options_.connect_backoff_ms, attempt,
+          Mix64(options_.client_id) ^ options_.stream_index)));
+      continue;
+    }
+    const uint64_t resume_seq = *resumed;
+    if (resume_seq >= next_seq_) {
+      return Status::Internal(
+          "server acked sequence " + std::to_string(resume_seq) +
+          " beyond what this stream ever sent");
+    }
+    if (!window_.empty() && resume_seq + 1 < window_.oldest_seq()) {
+      // The server wants chunks we already dropped after an ack. That
+      // means its stream state regressed (or it is a different server);
+      // resuming would leave a hole, which its sequence check would
+      // reject anyway. Fail loudly instead.
+      return Status::Internal(
+          "server resume point " + std::to_string(resume_seq) +
+          " is below the retained replay window (oldest " +
+          std::to_string(window_.oldest_seq()) + ")");
+    }
+    window_.TrimThrough(resume_seq);
+    bool replay_failed = false;
+    uint64_t replayed = 0;
+    for (const ResumeBuffer::Chunk& chunk : window_.chunks()) {
+      if (Status sent = client_->WriteChunk(chunk.seq, chunk.bytes);
+          !sent.ok()) {
+        last = sent;
+        replay_failed = true;
+        break;
+      }
+      ++replayed;
+    }
+    if (replay_failed) continue;
+    ++reconnects_;
+    replayed_chunks_ += replayed;
+    return Status::OK();
+  }
+  return Status::Internal(
+      "could not resume stream to " + options_.endpoint.ToString() +
+      " after " + std::to_string(options_.reconnect_attempts) +
+      " reconnect attempt(s): " + last.message());
+}
+
+void ResilientSocketClient::DrainAcks() {
+  if (!client_ || !client_->connected()) return;
+  auto got = client_->ReadAvailable(&ack_pending_);
+  if (!got.ok()) return;  // dead connection: the next write surfaces it
+  size_t consumed = 0;
+  while (ack_pending_.size() - consumed >= kStreamAckBytes) {
+    auto acked = DecodeStreamAck(
+        std::span<const uint8_t>(ack_pending_).subspan(consumed,
+                                                       kStreamAckBytes));
+    if (!acked.ok()) {
+      // A torn or corrupt ack stream means the trim clock is untrustworthy;
+      // latch the verdict -- the next write fails loudly.
+      ack_error_ = acked.status();
+      break;
+    }
+    window_.TrimThrough(*acked);
+    consumed += kStreamAckBytes;
+  }
+  if (consumed > 0) {
+    ack_pending_.erase(ack_pending_.begin(),
+                       ack_pending_.begin() + consumed);
+  }
+}
+
+Status ResilientSocketClient::WriteChunk(std::span<const uint8_t> payload) {
+  if (!ack_error_.ok()) return ack_error_;
+  const uint64_t seq = next_seq_++;
+  window_.Retain(seq, payload);
+  DrainAcks();
+  if (!ack_error_.ok()) return ack_error_;
+  Status sent = client_ && client_->connected()
+                    ? client_->WriteChunk(seq, payload)
+                    : Status::Internal("connection is down");
+  if (sent.ok()) return sent;
+  // The chunk is already in the window; a successful resume replays it.
+  return ReconnectAndReplay();
+}
+
+Status ResilientSocketClient::Finish() {
+  if (!ack_error_.ok()) return ack_error_;
+  const uint64_t final_seq = next_seq_ - 1;
+  Status last = Status::OK();
+  for (int round = 0; round <= options_.reconnect_attempts; ++round) {
+    if (!client_ || !client_->connected()) {
+      if (Status resumed = ReconnectAndReplay(); !resumed.ok()) {
+        return resumed;
+      }
+    }
+    // FIN, then half-close and wait for the server's final ack: EOF alone
+    // cannot distinguish "FIN ingested" from "server died with the FIN in
+    // flight", and a full close could RST the FIN away on TCP.
+    last = client_->WriteFin(final_seq);
+    if (last.ok()) {
+      ::shutdown(client_->fd(), SHUT_WR);
+      for (;;) {
+        // Complete whatever partial ack the last non-blocking drain left
+        // in ack_pending_ before decoding -- reading raw frames off the
+        // socket here would misalign the ack stream.
+        while (ack_pending_.size() < kStreamAckBytes) {
+          const size_t need = kStreamAckBytes - ack_pending_.size();
+          uint8_t buf[kStreamAckBytes];
+          last = client_->ReadExact(buf, need);
+          if (!last.ok()) break;
+          ack_pending_.insert(ack_pending_.end(), buf, buf + need);
+        }
+        if (!last.ok()) break;
+        const std::span<const uint8_t> frame =
+            std::span<const uint8_t>(ack_pending_).first(kStreamAckBytes);
+        // Mid-stream acks may still be queued ahead of the FIN ack; only
+        // the FIN-ack magic confirms the FIN itself was ingested. A
+        // mid-stream ack carrying final_seq (chunk count on the ack
+        // cadence) must NOT end the wait: if the connection then dies
+        // with the FIN unread, the stream would be stranded unfinned
+        // server-side while this client reports success.
+        if (auto fin_acked = DecodeStreamFinAck(frame); fin_acked.ok()) {
+          ack_pending_.erase(ack_pending_.begin(),
+                             ack_pending_.begin() + kStreamAckBytes);
+          if (*fin_acked != final_seq) {
+            last = Status::Internal(
+                "server acknowledged FIN at sequence " +
+                std::to_string(*fin_acked) + ", expected " +
+                std::to_string(final_seq));
+            break;
+          }
+          client_->Close();
+          return Status::OK();
+        }
+        auto acked = DecodeStreamAck(frame);
+        ack_pending_.erase(ack_pending_.begin(),
+                           ack_pending_.begin() + kStreamAckBytes);
+        if (!acked.ok()) {
+          last = acked.status();
+          break;
+        }
+        window_.TrimThrough(*acked);
+      }
+    }
+    client_->Close();  // force the next round onto the reconnect path
+  }
+  return Status::Internal("stream FIN to " + options_.endpoint.ToString() +
+                          " was never acknowledged: " + last.message());
+}
+
+void ResilientSocketClient::Close() {
+  if (client_) client_->Close();
+}
+
+}  // namespace capp

@@ -70,6 +70,27 @@ Status ValidateTransportOptions(const TransportOptions& options) {
     return Status::InvalidArgument(
         "transport connect_backoff_ms must be >= 1");
   }
+  if (!options.tcp_host.empty() && !options.socket_path.empty()) {
+    return Status::InvalidArgument(
+        "transport tcp_host and socket_path are mutually exclusive: pick "
+        "one collector endpoint");
+  }
+  if (options.tcp_port < 0 || options.tcp_port > 65535) {
+    return Status::InvalidArgument("transport tcp_port must be in [0, 65535]");
+  }
+  if (!options.tcp_host.empty() && options.tcp_port == 0) {
+    return Status::InvalidArgument(
+        "transport tcp_host needs an explicit tcp_port (0 is only "
+        "meaningful for listeners)");
+  }
+  if (options.connect_streams < 1 || options.connect_streams > 64) {
+    return Status::InvalidArgument(
+        "transport connect_streams must be in [1, 64]");
+  }
+  if (options.reconnect_attempts < 0) {
+    return Status::InvalidArgument(
+        "transport reconnect_attempts must be >= 0");
+  }
   return Status::OK();
 }
 

@@ -20,8 +20,9 @@ enum class TransportKind {
   kQueue,        ///< MPSC ring of structured run batches.
   kQueueFramed,  ///< MPSC ring of binary wire frames (encode + CRC-checked
                  ///< decode on every run: the full wire path, in process).
-  kSocket,       ///< Unix-domain socket stream of wire frames: producers
-                 ///< write length-prefixed chunks to a collector-side
+  kSocket,       ///< Socket stream of wire frames (unix-domain on one
+                 ///< host, TCP across hosts): producers write handshaked,
+                 ///< sequence-stamped chunks to a collector-side
                  ///< acceptor, so fleet and collector can live in
                  ///< different processes (tools/collector_server).
 };
@@ -66,14 +67,38 @@ struct TransportOptions {
   /// unix-socket path; the consumer knobs then take effect server-side
   /// and the local collector stays empty.
   std::string socket_path;
+  /// kSocket only. TCP address of an external collector server
+  /// (tools/collector_server --tcp). Non-empty host selects the TCP
+  /// family; mutually exclusive with socket_path. The wire protocol --
+  /// handshake, sequenced chunks, resume -- is identical to the unix
+  /// family.
+  std::string tcp_host;
+  int tcp_port = 0;
   /// kSocket only. Extra connect attempts after the first one fails
   /// (ECONNREFUSED / missing socket file), spaced by bounded exponential
-  /// backoff starting at connect_backoff_ms and doubling up to 2s per
-  /// step. 0 = fail immediately. Lets a fleet start before (or resume
-  /// while) its collector_server is still coming up or recovering a WAL.
+  /// backoff starting at connect_backoff_ms, doubling up to 2s per step
+  /// and jittered deterministically per stream. 0 = fail immediately.
+  /// Lets a fleet start before (or resume while) its collector_server is
+  /// still coming up or recovering a WAL.
   int connect_retries = 0;
   /// Initial backoff between connect attempts, in milliseconds.
   int connect_backoff_ms = 50;
+  /// kSocket only. Number of striped connections to the collector: each
+  /// producer is pinned round-robin to one of connect_streams
+  /// connections, so producers on different stripes never serialize on
+  /// one socket mutex. Each stripe is an independently resumable stream.
+  int connect_streams = 1;
+  /// kSocket only. Redial attempts after a connection dies *mid-stream*
+  /// (distinct from connect_retries, which covers the initial dial): the
+  /// stream replays its unacked chunk window on each successful redial.
+  /// 0 disables resume -- any mid-stream drop fails the run.
+  int reconnect_attempts = 5;
+  /// kSocket only. Engine-config fingerprint stamped into the connection
+  /// handshake; the collector refuses a mismatch before any data flows.
+  /// Fleet::Create fills this from the engine config
+  /// (StreamHandshakeFingerprint); 0 means "unfingerprinted" and must
+  /// match a server-side 0.
+  uint64_t handshake_fingerprint = 0;
 };
 
 /// Validates transport knobs (>= 1 capacity / consumers / batch runs).
@@ -89,10 +114,20 @@ struct TransportStats {
   uint64_t wire_bytes = 0;    ///< Encoded bytes (kQueueFramed / kSocket).
   uint64_t decode_failures = 0;  ///< Frames rejected by the codec.
   uint64_t connections = 0;   ///< Socket connections accepted (kSocket).
-  /// Socket streams that ended abnormally: truncated mid-chunk, an absurd
-  /// chunk length, or a connection dropped before its FIN marker. Any
-  /// nonzero value is report loss and fails Drain().
+  /// Socket streams that never reached a clean FIN: truncated or dropped
+  /// and never resumed, an absurd chunk length, a sequence gap, or a FIN
+  /// sequence mismatch. Any nonzero value is report loss and fails
+  /// Drain().
   uint64_t stream_errors = 0;
+  /// Connections refused at handshake (version / fingerprint / dims
+  /// mismatch, malformed hello). Nonzero fails the server's Finish().
+  uint64_t handshake_rejects = 0;
+  /// Successful mid-stream redials (client side: connections resumed).
+  uint64_t reconnects = 0;
+  /// Chunks retransmitted from client resume windows after redials.
+  uint64_t replayed_chunks = 0;
+  /// Replayed chunks the server skipped as already ingested (dedup).
+  uint64_t duplicate_chunks = 0;
   /// Runs ingested per consumer thread (utilization / balance).
   std::vector<uint64_t> consumer_runs;
 };

@@ -10,6 +10,7 @@
 #include "telemetry/instruments.h"
 #include "telemetry/metrics.h"
 #include "transport/socket_transport.h"
+#include "transport/tcp_transport.h"
 #include "transport/wire_format.h"
 
 namespace capp {
@@ -17,21 +18,6 @@ namespace {
 
 bool IsQueuedKind(TransportKind kind) {
   return kind == TransportKind::kQueue || kind == TransportKind::kQueueFramed;
-}
-
-// Connects with bounded exponential backoff: the initial attempt plus up
-// to `retries` more, sleeping backoff_ms, 2x backoff_ms, ... (capped at
-// 2s per step) between them. Lets a fleet outlive a collector_server
-// that is still binding its socket or replaying a WAL on restart.
-Result<SocketClient> ConnectWithRetry(const std::string& path, int retries,
-                                      int backoff_ms) {
-  int delay_ms = backoff_ms;
-  for (int attempt = 0;; ++attempt) {
-    Result<SocketClient> client = SocketClient::Connect(path);
-    if (client.ok() || attempt >= retries) return client;
-    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
-    delay_ms = std::min(delay_ms * 2, 2000);
-  }
 }
 
 }  // namespace
@@ -65,11 +51,24 @@ Result<std::unique_ptr<TransportHub>> TransportHub::Create(
           [hub = hub.get(), c] { hub->ConsumerMain(c); });
     }
   } else if (options.kind == TransportKind::kSocket) {
-    if (options.socket_path.empty()) {
+    SocketEndpoint endpoint;
+    if (!options.tcp_host.empty()) {
+      // TCP client mode: an external collector_server --tcp owns ingest.
+      endpoint.tcp_host = options.tcp_host;
+      endpoint.tcp_port = options.tcp_port;
+    } else if (!options.socket_path.empty()) {
+      // Unix client mode: an external collector_server owns ingest; the
+      // local collector stays empty.
+      endpoint.unix_path = options.socket_path;
+      hub->socket_path_ = options.socket_path;
+    } else {
       // Loopback: this hub runs the collector server too, so a single
       // process exercises the full socket path end to end.
       SocketCollectorServer::Options server_options;
       server_options.socket_path = MakeLoopbackSocketPath();
+      server_options.handshake_fingerprint = options.handshake_fingerprint;
+      server_options.expected_dims =
+          static_cast<uint32_t>(collector->dims());
       server_options.num_consumers = options.num_consumers;
       server_options.queue_capacity = options.queue_capacity;
       server_options.max_batch_runs = options.max_batch_runs;
@@ -78,16 +77,28 @@ Result<std::unique_ptr<TransportHub>> TransportHub::Create(
           hub->socket_server_,
           SocketCollectorServer::Create(collector, server_options));
       hub->socket_path_ = hub->socket_server_->socket_path();
-    } else {
-      // Client mode: an external collector_server owns ingest; the local
-      // collector stays empty.
-      hub->socket_path_ = options.socket_path;
+      endpoint.unix_path = hub->socket_path_;
     }
-    CAPP_ASSIGN_OR_RETURN(
-        SocketClient client,
-        ConnectWithRetry(hub->socket_path_, options.connect_retries,
-                         options.connect_backoff_ms));
-    hub->socket_client_ = std::make_unique<SocketClient>(std::move(client));
+    // One stream identity for the whole hub; each stripe is one
+    // independently resumable connection under it.
+    const uint64_t client_id = GenerateTransportClientId();
+    const int streams = options.connect_streams;
+    for (int s = 0; s < streams; ++s) {
+      ResilientSocketClient::Options stripe_options;
+      stripe_options.endpoint = endpoint;
+      stripe_options.fingerprint = options.handshake_fingerprint;
+      stripe_options.dims = static_cast<uint32_t>(collector->dims());
+      stripe_options.client_id = client_id;
+      stripe_options.stream_index = static_cast<uint32_t>(s);
+      stripe_options.stream_count = static_cast<uint32_t>(streams);
+      stripe_options.connect_retries = options.connect_retries;
+      stripe_options.connect_backoff_ms = options.connect_backoff_ms;
+      stripe_options.reconnect_attempts = options.reconnect_attempts;
+      auto stripe = std::make_unique<SocketStripe>();
+      CAPP_ASSIGN_OR_RETURN(stripe->client,
+                            ResilientSocketClient::Connect(stripe_options));
+      hub->stripes_.push_back(std::move(stripe));
+    }
   }
   return hub;
 }
@@ -99,7 +110,9 @@ TransportHub::~TransportHub() {
     for (auto& queue : queues_) queue->Close();
     for (std::thread& t : consumers_) t.join();
     consumers_.clear();
-    if (socket_client_ != nullptr) socket_client_->Close();
+    for (auto& stripe : stripes_) {
+      if (stripe->client != nullptr) stripe->client->Close();
+    }
     socket_server_.reset();  // force-finishes: joins acceptor and readers
     drained_ = true;
   }
@@ -109,6 +122,7 @@ TransportHub::~TransportHub() {
 
 TransportHub::Producer::Producer(Producer&& other) noexcept
     : hub_(other.hub_),
+      stripe_(other.stripe_),
       frames_(std::move(other.frames_)),
       frames_pushed_(other.frames_pushed_),
       runs_(other.runs_),
@@ -247,10 +261,11 @@ void TransportHub::PushFrame(Producer& producer, size_t group) {
   std::unique_ptr<ReportFrame>& frame = producer.frames_[group];
   ++producer.frames_pushed_;
   if (options_.kind == TransportKind::kSocket) {
-    // One length-prefixed chunk per staged frame; the buffer is reused in
-    // place instead of round-tripping the pool.
-    producer.wire_bytes_ += frame->bytes.size() + 4;
-    WriteSocketChunk(frame->bytes);
+    // One sequence-stamped chunk per staged frame (12-byte prefix:
+    // length + sequence); the buffer is reused in place instead of
+    // round-tripping the pool.
+    producer.wire_bytes_ += frame->bytes.size() + 12;
+    WriteSocketChunk(producer.stripe_, frame->bytes);
     frame->Clear();
     return;
   }
@@ -263,15 +278,20 @@ void TransportHub::PushFrame(Producer& producer, size_t group) {
   CAPP_CHECK(pushed);
 }
 
-void TransportHub::WriteSocketChunk(std::span<const uint8_t> payload) {
+void TransportHub::WriteSocketChunk(size_t stripe_index,
+                                    std::span<const uint8_t> payload) {
   if (payload.empty()) return;
-  std::lock_guard<std::mutex> lock(socket_mu_);
-  // The stream is ordered: after one failed write nothing later can
-  // arrive intact, so the first failure latches and the rest are skipped
-  // (a dead server would otherwise error once per chunk).
-  if (socket_client_ == nullptr || !socket_status_.ok()) return;
-  Status written = socket_client_->WriteChunk(payload);
-  if (!written.ok()) socket_status_ = std::move(written);
+  CAPP_DCHECK(stripe_index < stripes_.size());
+  SocketStripe& stripe = *stripes_[stripe_index];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  // Each stream is ordered: after one *unrecoverable* failure (the
+  // resilient client already redialed and replayed as far as allowed)
+  // nothing later can arrive intact, so the first failure latches and
+  // the rest are skipped (a dead server would otherwise error once per
+  // chunk).
+  if (stripe.client == nullptr || !stripe.status.ok()) return;
+  Status written = stripe.client->WriteChunk(payload);
+  if (!written.ok()) stripe.status = std::move(written);
 }
 
 void TransportHub::MergeProducerCounters(const Producer& producer) {
@@ -406,23 +426,33 @@ void TransportHub::DrainQueues() {
 }
 
 void TransportHub::DrainSocket() {
-  // Producers have flushed; end the stream. FIN-then-close tells the
-  // server every chunk arrived (a close without FIN is a stream error).
-  {
-    std::lock_guard<std::mutex> lock(socket_mu_);
-    if (socket_client_ != nullptr) {
-      if (socket_status_.ok()) {
-        Status fin = socket_client_->WriteFin();
-        if (!fin.ok()) socket_status_ = std::move(fin);
-      }
-      socket_client_->Close();
+  // Producers have flushed; end every stripe's stream. The resilient
+  // Finish FINs with the stream's final sequence and blocks for the
+  // server's acknowledgement -- redialing and replaying if the
+  // connection dies under it -- so "Drain returned OK" means the server
+  // really ingested everything (a close without an acked FIN is a stream
+  // error server-side).
+  Status socket_status;
+  for (auto& stripe_ptr : stripes_) {
+    SocketStripe& stripe = *stripe_ptr;
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    if (stripe.client == nullptr) continue;
+    if (stripe.status.ok()) {
+      Status fin = stripe.client->Finish();
+      if (!fin.ok()) stripe.status = std::move(fin);
+    }
+    stripe.client->Close();
+    stats_.reconnects += stripe.client->reconnects();
+    stats_.replayed_chunks += stripe.client->replayed_chunks();
+    if (socket_status.ok() && !stripe.status.ok()) {
+      socket_status = stripe.status;
     }
   }
   if (socket_server_ == nullptr) {
     // Client mode: ingest happens in the collector server's process; only
-    // local write failures are observable here. The server's own Finish()
-    // holds the ingest-side verdict.
-    drain_status_ = socket_status_;
+    // local write/resume failures are observable here. The server's own
+    // Finish() holds the ingest-side verdict.
+    drain_status_ = socket_status;
     return;
   }
   const Status finish = socket_server_->Finish();
@@ -434,11 +464,13 @@ void TransportHub::DrainSocket() {
   stats_.decode_failures = server.decode_failures;
   stats_.connections = server.connections;
   stats_.stream_errors = server.stream_errors;
+  stats_.handshake_rejects = server.handshake_rejects;
+  stats_.duplicate_chunks = server.duplicate_chunks;
   stats_.consumer_runs = server.consumer_runs;
   uint64_t ingested_runs = 0;
   for (uint64_t runs : server.consumer_runs) ingested_runs += runs;
-  if (!socket_status_.ok()) {
-    drain_status_ = socket_status_;
+  if (!socket_status.ok()) {
+    drain_status_ = socket_status;
   } else if (!finish.ok()) {
     drain_status_ = finish;
   } else if (ingested_runs != stats_.runs) {

@@ -5,10 +5,14 @@
 // run additionally round-trips the binary wire codec (encode on the
 // producer, CRC-checked decode on the consumer), so the in-process queue
 // exercises exactly the bytes a socket transport would carry. Under
-// kSocket the frames really do cross a unix-domain socket: producers
-// write length-prefixed chunks to a collector-side acceptor
-// (SocketCollectorServer) -- an in-process loopback one by default, or an
-// external collector process when TransportOptions::socket_path is set.
+// kSocket the frames really do cross a socket: producers write
+// handshaked, sequence-stamped chunks over connect_streams striped
+// connections to a collector-side acceptor (SocketCollectorServer) -- an
+// in-process loopback one by default, or an external collector process
+// when TransportOptions::socket_path or tcp_host is set. Each stripe is
+// an independently resumable stream (ResilientSocketClient): a killed
+// connection redials and replays its unacked window, and the server's
+// sequence dedup keeps the result bit-identical.
 //
 // Shard affinity (TransportOptions::shard_affinity): each consumer owns
 // its own sub-queue, and every run is routed to the consumer owning the
@@ -43,7 +47,7 @@
 
 namespace capp {
 
-class SocketClient;
+class ResilientSocketClient;
 class SocketCollectorServer;
 
 /// One transport session: create, publish through Producers, Drain.
@@ -87,6 +91,10 @@ class TransportHub {
     explicit Producer(TransportHub* hub) : hub_(hub) {}
 
     TransportHub* hub_;  // null after move
+    // The socket stripe this producer's chunks ride (kSocket only):
+    // assigned round-robin at MakeProducer, so producers on different
+    // stripes never serialize on one connection mutex.
+    size_t stripe_ = 0;
     // One staging frame per routing group: a single slot normally, one
     // per consumer under shard affinity.
     std::vector<std::unique_ptr<ReportFrame>> frames_;
@@ -109,7 +117,13 @@ class TransportHub {
 
   Producer MakeProducer() {
     live_producers_.fetch_add(1, std::memory_order_relaxed);
-    return Producer(this);
+    Producer producer(this);
+    if (!stripes_.empty()) {
+      producer.stripe_ =
+          next_stripe_.fetch_add(1, std::memory_order_relaxed) %
+          stripes_.size();
+    }
+    return producer;
   }
 
   /// Shuts the transport down cleanly: pushes one poison pill per
@@ -158,7 +172,7 @@ class TransportHub {
   std::unique_ptr<ReportFrame> AcquireFrame();
   void ReleaseFrame(std::unique_ptr<ReportFrame> frame);
   void PushFrame(Producer& producer, size_t group);
-  void WriteSocketChunk(std::span<const uint8_t> payload);
+  void WriteSocketChunk(size_t stripe, std::span<const uint8_t> payload);
   void MergeProducerCounters(const Producer& producer);
   void DrainQueues();
   void DrainSocket();
@@ -179,15 +193,22 @@ class TransportHub {
   std::vector<ConsumerCounters> consumer_counters_;
   std::vector<std::thread> consumers_;
 
-  // kSocket state: the loopback collector server (when socket_path was
-  // empty) and the single shared producer-side connection its chunks
-  // funnel through. Write failures latch into socket_status_ -- the
-  // stream is ordered, so nothing after the first failure can arrive
-  // intact anyway -- and Drain reports it.
+  // kSocket state: the loopback collector server (when no external
+  // endpoint was given) and the striped producer-side connections the
+  // chunks funnel through. Each stripe is one independently resumable
+  // handshaked stream with its own mutex, so producers pinned to
+  // different stripes never contend. Write failures latch into the
+  // stripe's status -- each stream is ordered, so nothing after the
+  // first failure can arrive intact anyway -- and Drain reports the
+  // first one.
+  struct SocketStripe {
+    std::mutex mu;
+    std::unique_ptr<ResilientSocketClient> client;
+    Status status;
+  };
   std::unique_ptr<SocketCollectorServer> socket_server_;
-  std::unique_ptr<SocketClient> socket_client_;
-  std::mutex socket_mu_;  // serializes chunk writes across producers
-  Status socket_status_;
+  std::vector<std::unique_ptr<SocketStripe>> stripes_;
+  std::atomic<uint64_t> next_stripe_{0};
   std::string socket_path_;
 
   // Producers alive (created minus destroyed): a frame flushed after the

@@ -1,0 +1,211 @@
+// Tests for the socket transport's connection handshake codec
+// (transport/handshake.h): field-exact round-trips of the Hello / Ack /
+// StreamAck frames, and the corruption corpus -- every byte-truncation
+// and every single-bit flip of every frame must fail to decode. The
+// handshake is the first thing on every connection, so its codec must
+// never accept a damaged frame: a silently-misdecoded client id or
+// resume sequence would corrupt the resume protocol downstream.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "transport/handshake.h"
+
+namespace capp {
+namespace {
+
+HandshakeHello SampleHello() {
+  HandshakeHello hello;
+  hello.version = kTransportProtocolVersion;
+  hello.capabilities = kCapResume;
+  hello.fingerprint = 0x0123456789ABCDEFull;
+  hello.dims = 4;
+  hello.client_id = 0xFEDCBA9876543210ull;
+  hello.stream_index = 2;
+  hello.stream_count = 5;
+  return hello;
+}
+
+HandshakeAck SampleAck() {
+  HandshakeAck ack;
+  ack.accepted = true;
+  ack.refusal = HandshakeRefusal::kNone;
+  ack.version = kTransportProtocolVersion;
+  ack.capabilities = kCapResume;
+  ack.fingerprint = 0x0123456789ABCDEFull;
+  ack.dims = 4;
+  ack.resume_seq = 0x00C0FFEE00C0FFEEull;
+  return ack;
+}
+
+TEST(HandshakeCodecTest, HelloRoundTripsEveryField) {
+  const HandshakeHello hello = SampleHello();
+  uint8_t bytes[kHandshakeHelloBytes];
+  EncodeHandshakeHello(hello, bytes);
+  auto decoded = DecodeHandshakeHello(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->version, hello.version);
+  EXPECT_EQ(decoded->capabilities, hello.capabilities);
+  EXPECT_EQ(decoded->fingerprint, hello.fingerprint);
+  EXPECT_EQ(decoded->dims, hello.dims);
+  EXPECT_EQ(decoded->client_id, hello.client_id);
+  EXPECT_EQ(decoded->stream_index, hello.stream_index);
+  EXPECT_EQ(decoded->stream_count, hello.stream_count);
+}
+
+TEST(HandshakeCodecTest, AckRoundTripsEveryField) {
+  for (const bool accepted : {true, false}) {
+    SCOPED_TRACE(accepted);
+    HandshakeAck ack = SampleAck();
+    ack.accepted = accepted;
+    ack.refusal = accepted ? HandshakeRefusal::kNone
+                           : HandshakeRefusal::kBadFingerprint;
+    uint8_t bytes[kHandshakeAckBytes];
+    EncodeHandshakeAck(ack, bytes);
+    auto decoded = DecodeHandshakeAck(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->accepted, ack.accepted);
+    EXPECT_EQ(decoded->refusal, ack.refusal);
+    EXPECT_EQ(decoded->version, ack.version);
+    EXPECT_EQ(decoded->capabilities, ack.capabilities);
+    EXPECT_EQ(decoded->fingerprint, ack.fingerprint);
+    EXPECT_EQ(decoded->dims, ack.dims);
+    EXPECT_EQ(decoded->resume_seq, ack.resume_seq);
+  }
+}
+
+TEST(HandshakeCodecTest, StreamAckRoundTrips) {
+  for (const uint64_t seq : {0ull, 1ull, 0xFFFFFFFFFFFFFFFFull}) {
+    SCOPED_TRACE(seq);
+    uint8_t bytes[kStreamAckBytes];
+    EncodeStreamAck(seq, bytes);
+    auto decoded = DecodeStreamAck(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, seq);
+  }
+}
+
+TEST(HandshakeCodecTest, StreamFinAckRoundTrips) {
+  for (const uint64_t seq : {0ull, 1ull, 0xFFFFFFFFFFFFFFFFull}) {
+    SCOPED_TRACE(seq);
+    uint8_t bytes[kStreamAckBytes];
+    EncodeStreamFinAck(seq, bytes);
+    auto decoded = DecodeStreamFinAck(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, seq);
+  }
+}
+
+TEST(HandshakeCodecTest, MidStreamAndFinAcksNeverCrossDecode) {
+  // The whole point of the second magic: a mid-stream ack at the same
+  // sequence must not pass for FIN confirmation (a stream whose chunk
+  // count lands on the ack cadence emits both with equal sequences), and
+  // vice versa.
+  uint8_t mid[kStreamAckBytes];
+  uint8_t fin[kStreamAckBytes];
+  EncodeStreamAck(64, mid);
+  EncodeStreamFinAck(64, fin);
+  EXPECT_FALSE(DecodeStreamFinAck(mid).ok());
+  EXPECT_FALSE(DecodeStreamAck(fin).ok());
+}
+
+TEST(HandshakeCodecTest, HelloRejectsMalformedShape) {
+  // The codec enforces the structural invariants the server's stream
+  // table depends on: at least one stream, and an index inside the
+  // declared set. A hello violating them is malformed even with a valid
+  // CRC.
+  HandshakeHello hello = SampleHello();
+  hello.stream_count = 0;
+  uint8_t bytes[kHandshakeHelloBytes];
+  EncodeHandshakeHello(hello, bytes);
+  EXPECT_FALSE(DecodeHandshakeHello(bytes).ok());
+
+  hello = SampleHello();
+  hello.stream_index = hello.stream_count;  // one past the end
+  EncodeHandshakeHello(hello, bytes);
+  EXPECT_FALSE(DecodeHandshakeHello(bytes).ok());
+}
+
+// The corruption corpus: every strict prefix of every frame fails to
+// decode (truncation is never absorbed), and every single-bit flip at
+// every byte position fails magic or CRC validation. One flipped bit in
+// a resume sequence or client id must never yield a "valid" frame.
+
+template <typename DecodeFn>
+void ExpectTruncationCorpusRejected(std::vector<uint8_t> frame,
+                                    DecodeFn decode) {
+  for (size_t len = 0; len < frame.size(); ++len) {
+    SCOPED_TRACE(len);
+    EXPECT_FALSE(
+        decode(std::span<const uint8_t>(frame.data(), len)).ok());
+  }
+}
+
+template <typename DecodeFn>
+void ExpectBitFlipCorpusRejected(std::vector<uint8_t> frame,
+                                 DecodeFn decode) {
+  for (size_t i = 0; i < frame.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      SCOPED_TRACE(testing::Message() << "byte " << i << " bit " << bit);
+      std::vector<uint8_t> corrupted = frame;
+      corrupted[i] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_FALSE(decode(std::span<const uint8_t>(corrupted)).ok());
+    }
+  }
+}
+
+TEST(HandshakeCorruptionTest, HelloTruncationAndBitFlips) {
+  std::vector<uint8_t> frame(kHandshakeHelloBytes);
+  EncodeHandshakeHello(SampleHello(), frame.data());
+  const auto decode = [](std::span<const uint8_t> bytes) {
+    return DecodeHandshakeHello(bytes);
+  };
+  ExpectTruncationCorpusRejected(frame, decode);
+  ExpectBitFlipCorpusRejected(frame, decode);
+}
+
+TEST(HandshakeCorruptionTest, AckTruncationAndBitFlips) {
+  std::vector<uint8_t> frame(kHandshakeAckBytes);
+  EncodeHandshakeAck(SampleAck(), frame.data());
+  const auto decode = [](std::span<const uint8_t> bytes) {
+    return DecodeHandshakeAck(bytes);
+  };
+  ExpectTruncationCorpusRejected(frame, decode);
+  ExpectBitFlipCorpusRejected(frame, decode);
+}
+
+TEST(HandshakeCorruptionTest, StreamAckTruncationAndBitFlips) {
+  std::vector<uint8_t> frame(kStreamAckBytes);
+  EncodeStreamAck(0x1122334455667788ull, frame.data());
+  const auto decode = [](std::span<const uint8_t> bytes) {
+    return DecodeStreamAck(bytes);
+  };
+  ExpectTruncationCorpusRejected(frame, decode);
+  ExpectBitFlipCorpusRejected(frame, decode);
+}
+
+TEST(HandshakeCorruptionTest, StreamFinAckTruncationAndBitFlips) {
+  std::vector<uint8_t> frame(kStreamAckBytes);
+  EncodeStreamFinAck(0x1122334455667788ull, frame.data());
+  const auto decode = [](std::span<const uint8_t> bytes) {
+    return DecodeStreamFinAck(bytes);
+  };
+  ExpectTruncationCorpusRejected(frame, decode);
+  ExpectBitFlipCorpusRejected(frame, decode);
+}
+
+TEST(HandshakeCodecTest, RefusalNamesAreStable) {
+  EXPECT_EQ(HandshakeRefusalName(HandshakeRefusal::kNone), "none");
+  EXPECT_EQ(HandshakeRefusalName(HandshakeRefusal::kBadVersion),
+            "protocol version mismatch");
+  EXPECT_EQ(HandshakeRefusalName(HandshakeRefusal::kBadFingerprint),
+            "engine-config fingerprint mismatch");
+  EXPECT_EQ(HandshakeRefusalName(HandshakeRefusal::kBadDims),
+            "report dimensionality mismatch");
+  EXPECT_EQ(HandshakeRefusalName(HandshakeRefusal::kMalformed),
+            "malformed handshake frame");
+}
+
+}  // namespace
+}  // namespace capp

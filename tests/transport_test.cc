@@ -1,15 +1,23 @@
 // Tests for the async report transport: varint/CRC wire codec round-trips
 // and corruption rejection (including non-canonical overlong varints),
-// the bounded MPSC queue's backpressure and shutdown, the unix-socket
-// stream path with fault injection, and the headline determinism contract
-// -- fleet digests and collector aggregates bit-identical across
-// kDirect/kQueue/kQueueFramed/kSocket, every producer x consumer thread
-// mix, and shard affinity on or off.
+// the bounded MPSC queue's backpressure and shutdown, the socket stream
+// path (unix and TCP) with fault injection -- handshake refusals, raw
+// corruption, connection kills with reconnect-and-resume -- and the
+// headline determinism contract: fleet digests and collector aggregates
+// bit-identical across kDirect/kQueue/kQueueFramed/kSocket, every
+// producer x consumer thread mix, and shard affinity on or off.
+#include <csignal>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,8 +28,10 @@
 #include "engine/engine_config.h"
 #include "engine/fleet.h"
 #include "engine/sharded_collector.h"
+#include "transport/handshake.h"
 #include "transport/mpsc_queue.h"
 #include "transport/socket_transport.h"
+#include "transport/tcp_transport.h"
 #include "transport/transport.h"
 #include "transport/transport_hub.h"
 #include "transport/wire_format.h"
@@ -820,44 +830,92 @@ TEST(TransportHubTest, NoLossUnderBackpressure) {
 
 // --------------------------------------------- socket fault injection ----
 
-// Harness for injecting raw byte streams into a SocketCollectorServer.
-// Every abnormal stream must surface as a Finish()/Drain() error -- the
-// transport's contract is that loss and corruption are loud, never
-// silent.
+// Appends one sequence-stamped data chunk ([u32 len][u64 seq][payload])
+// to `out` -- the v2 framing every post-handshake byte uses.
+void AppendSeqChunk(uint64_t seq, std::span<const uint8_t> payload,
+                    std::vector<uint8_t>& out) {
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int b = 0; b < 4; ++b) {
+    out.push_back(static_cast<uint8_t>(len >> (8 * b)));
+  }
+  for (int b = 0; b < 8; ++b) {
+    out.push_back(static_cast<uint8_t>(seq >> (8 * b)));
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+// Appends the FIN marker carrying the stream's final sequence.
+void AppendFin(uint64_t final_seq, std::vector<uint8_t>& out) {
+  AppendSeqChunk(final_seq, {}, out);
+}
+
+// Dials `path` and completes the v2 handshake as a well-formed d=1,
+// fingerprint-0 peer, leaving the connection ready for raw data-section
+// bytes.
+Result<SocketClient> HandshakeOn(const std::string& path,
+                                 uint64_t client_id = 99) {
+  auto client = SocketClient::Connect(path);
+  if (!client.ok()) return client.status();
+  HandshakeHello hello;
+  hello.client_id = client_id;
+  uint8_t hello_bytes[kHandshakeHelloBytes];
+  EncodeHandshakeHello(hello, hello_bytes);
+  CAPP_RETURN_IF_ERROR(client->SendRaw(hello_bytes));
+  uint8_t ack_bytes[kHandshakeAckBytes];
+  CAPP_RETURN_IF_ERROR(client->ReadExact(ack_bytes, sizeof(ack_bytes)));
+  auto ack = DecodeHandshakeAck(ack_bytes);
+  CAPP_RETURN_IF_ERROR(ack.status());
+  EXPECT_TRUE(ack->accepted) << HandshakeRefusalName(ack->refusal);
+  EXPECT_EQ(ack->resume_seq, 0u);
+  return std::move(*client);
+}
+
+// Harness for injecting raw byte streams into a SocketCollectorServer
+// after a well-formed handshake. Every abnormal stream must surface as a
+// Finish()/Drain() error -- the transport's contract is that loss and
+// corruption are loud, never silent.
 class SocketFaultTest : public ::testing::Test {
  protected:
-  void StartServer(int num_consumers = 1) {
+  void StartServer(int num_consumers = 1, uint64_t fingerprint = 0,
+                   uint32_t expected_dims = 0) {
     auto collector = ShardedCollector::Create();
     ASSERT_TRUE(collector.ok());
     collector_.emplace(std::move(collector.value()));
     SocketCollectorServer::Options options;
     options.socket_path = MakeLoopbackSocketPath();
     options.num_consumers = num_consumers;
+    options.handshake_fingerprint = fingerprint;
+    options.expected_dims = expected_dims;
     auto server = SocketCollectorServer::Create(&*collector_, options);
     ASSERT_TRUE(server.ok()) << server.status().ToString();
     server_ = std::move(*server);
   }
 
-  // A well-formed stream: one chunk of two wire frames, then FIN.
+  // A well-formed data section: one seq-1 chunk of two wire frames, then
+  // the FIN for sequence 1.
   std::vector<uint8_t> ValidStream() {
     std::vector<uint8_t> frames;
     AppendUserRunFrame(1, 0, std::vector<double>{0.25, 0.5, 0.75}, frames);
     AppendUserRunFrame(2, 3, std::vector<double>{0.125}, frames);
     std::vector<uint8_t> stream;
-    stream.reserve(frames.size() + 8);
-    const uint32_t len = static_cast<uint32_t>(frames.size());
-    for (int b = 0; b < 4; ++b) {
-      stream.push_back(static_cast<uint8_t>(len >> (8 * b)));
-    }
-    for (uint8_t byte : frames) stream.push_back(byte);
-    for (int b = 0; b < 4; ++b) stream.push_back(0);  // FIN
+    AppendSeqChunk(1, frames, stream);
+    AppendFin(1, stream);
     return stream;
   }
 
   Status SendAndFinish(std::span<const uint8_t> bytes) {
-    auto client = SocketClient::Connect(server_->socket_path());
+    auto client = HandshakeOn(server_->socket_path());
     EXPECT_TRUE(client.ok()) << client.status().ToString();
     EXPECT_TRUE(client->SendRaw(bytes).ok());
+    // Protocol-conforming close, mirroring ResilientSocketClient::Finish:
+    // half-close the write side (so a server blocked mid-read on a faulty
+    // stream sees EOF instead of deadlocking against our read), then wait
+    // for the final stream ack or the server's hangup before closing.
+    // Closing with the fin ack unread would turn the server's clean-EOF
+    // check into an ECONNRESET.
+    ::shutdown(client->fd(), SHUT_WR);
+    uint8_t fin_ack[kStreamAckBytes];
+    (void)client->ReadExact(fin_ack, sizeof(fin_ack));
     client->Close();
     server_->WaitForFinishedConnections(1);
     return server_->Finish();
@@ -897,7 +955,7 @@ TEST_F(SocketFaultTest, ConnectionDropBeforeFinIsLoud) {
   // session cannot be trusted to be complete.
   StartServer();
   std::vector<uint8_t> stream = ValidStream();
-  stream.resize(stream.size() - 4);  // drop the FIN marker
+  stream.resize(stream.size() - 12);  // drop the FIN marker
   const Status finished = SendAndFinish(stream);
   EXPECT_FALSE(finished.ok());
   EXPECT_EQ(server_->stats().stream_errors, 1u);
@@ -911,9 +969,12 @@ TEST_F(SocketFaultTest, FinMarkerMidStreamIsLoud) {
   // session -- a prefix corrupted to zero must not silently discard the
   // rest of the stream under an OK verdict.
   StartServer();
-  std::vector<uint8_t> stream = ValidStream();  // ends with a real FIN
-  std::vector<uint8_t> doubled = stream;
-  doubled.insert(doubled.end() - 4, 4, uint8_t{0});  // FIN mid-stream
+  std::vector<uint8_t> frames;
+  AppendUserRunFrame(1, 0, std::vector<double>{0.25, 0.5, 0.75}, frames);
+  std::vector<uint8_t> doubled;
+  AppendSeqChunk(1, frames, doubled);
+  AppendFin(1, doubled);  // a "FIN" with more bytes behind it
+  AppendFin(1, doubled);
   const Status finished = SendAndFinish(doubled);
   EXPECT_FALSE(finished.ok());
   EXPECT_EQ(server_->stats().stream_errors, 1u);
@@ -947,9 +1008,15 @@ TEST_F(SocketFaultTest, RawInjectionIntoLoopbackHubFailsItsCrossCheck) {
   auto hub = TransportHub::Create(&*collector, options);
   ASSERT_TRUE(hub.ok());
   {
-    auto client = SocketClient::Connect((*hub)->socket_path());
+    // A foreign-but-well-formed peer: its own client id, clean handshake,
+    // clean FIN. The hub's producers never published these runs, so the
+    // cross-check must still fail the drain.
+    auto client = HandshakeOn((*hub)->socket_path(), /*client_id=*/12345);
     ASSERT_TRUE(client.ok());
     ASSERT_TRUE(client->SendRaw(ValidStream()).ok());
+    ::shutdown(client->fd(), SHUT_WR);
+    uint8_t fin_ack[kStreamAckBytes];
+    (void)client->ReadExact(fin_ack, sizeof(fin_ack));
     client->Close();
   }
   { (*hub)->MakeProducer().Publish(50, 0, std::vector<double>{0.5}); }
@@ -957,6 +1024,548 @@ TEST_F(SocketFaultTest, RawInjectionIntoLoopbackHubFailsItsCrossCheck) {
   EXPECT_FALSE(drained.ok());
   EXPECT_NE(drained.message().find("lost runs"), std::string::npos)
       << drained.ToString();
+}
+
+// ------------------------------------------------- handshake refusals ----
+
+TEST_F(SocketFaultTest, MismatchedHelloIsRefusedBeforeIngest) {
+  // A peer whose version, fingerprint, or dims disagree must get a typed
+  // refusal ack and never reach the data path -- wrong-budget reports
+  // silently merged into the aggregates would be undetectable downstream.
+  struct Case {
+    const char* name;
+    uint32_t version;
+    uint64_t fingerprint;
+    uint32_t dims;
+    HandshakeRefusal want;
+  };
+  const uint64_t server_fp = 0xF00DF00DF00DF00Dull;
+  const Case cases[] = {
+      {"version", kTransportProtocolVersion + 1, server_fp, 2,
+       HandshakeRefusal::kBadVersion},
+      {"fingerprint", kTransportProtocolVersion, server_fp + 1, 2,
+       HandshakeRefusal::kBadFingerprint},
+      {"dims", kTransportProtocolVersion, server_fp, 3,
+       HandshakeRefusal::kBadDims},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    StartServer(1, server_fp, /*expected_dims=*/2);
+    auto client = SocketClient::Connect(server_->socket_path());
+    ASSERT_TRUE(client.ok());
+    HandshakeHello hello;
+    hello.version = c.version;
+    hello.fingerprint = c.fingerprint;
+    hello.dims = c.dims;
+    hello.client_id = 42;
+    uint8_t hello_bytes[kHandshakeHelloBytes];
+    EncodeHandshakeHello(hello, hello_bytes);
+    ASSERT_TRUE(client->SendRaw(hello_bytes).ok());
+    uint8_t ack_bytes[kHandshakeAckBytes];
+    ASSERT_TRUE(client->ReadExact(ack_bytes, sizeof(ack_bytes)).ok());
+    auto ack = DecodeHandshakeAck(ack_bytes);
+    ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+    EXPECT_FALSE(ack->accepted);
+    EXPECT_EQ(ack->refusal, c.want);
+    // The nack echoes the server's own view, so the operator sees both
+    // sides of the disagreement in one log line.
+    EXPECT_EQ(ack->fingerprint, server_fp);
+    // Data sent anyway must go nowhere (the server has already closed).
+    (void)client->SendRaw(ValidStream());
+    client->Close();
+    server_->WaitForFinishedConnections(1);
+    const Status finished = server_->Finish();
+    EXPECT_FALSE(finished.ok());
+    EXPECT_EQ(finished.code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(server_->stats().handshake_rejects, 1u);
+    EXPECT_EQ(collector_->report_count(), 0u);
+    server_.reset();
+  }
+}
+
+TEST_F(SocketFaultTest, CorruptedHelloNeverReachesIngest) {
+  // Bit-flip corpus over the hello as the *server* sees it: every flip
+  // must be caught by magic/CRC validation, rejected without an ack, and
+  // nothing behind it may ingest.
+  HandshakeHello hello;
+  hello.client_id = 77;
+  uint8_t good[kHandshakeHelloBytes];
+  EncodeHandshakeHello(hello, good);
+  for (size_t i = 0; i < kHandshakeHelloBytes; ++i) {
+    SCOPED_TRACE(i);
+    StartServer();
+    auto client = SocketClient::Connect(server_->socket_path());
+    ASSERT_TRUE(client.ok());
+    std::vector<uint8_t> corrupted(good, good + kHandshakeHelloBytes);
+    corrupted[i] ^= 0x01;
+    ASSERT_TRUE(client->SendRaw(corrupted).ok());
+    (void)client->SendRaw(ValidStream());  // must never ingest
+    client->Close();
+    server_->WaitForFinishedConnections(1);
+    EXPECT_FALSE(server_->Finish().ok());
+    EXPECT_EQ(server_->stats().handshake_rejects, 1u);
+    EXPECT_EQ(collector_->report_count(), 0u);
+    server_.reset();
+  }
+}
+
+TEST_F(SocketFaultTest, TruncatedHelloIsRejectedNotHung) {
+  // Every strict prefix of a valid hello (>= 1 byte -- zero bytes is the
+  // probe case below) must finish as a handshake reject, not wedge the
+  // reader waiting for bytes that never come.
+  HandshakeHello hello;
+  hello.client_id = 77;
+  uint8_t good[kHandshakeHelloBytes];
+  EncodeHandshakeHello(hello, good);
+  for (size_t len = 1; len < kHandshakeHelloBytes; ++len) {
+    SCOPED_TRACE(len);
+    StartServer();
+    auto client = SocketClient::Connect(server_->socket_path());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(
+        client->SendRaw(std::span<const uint8_t>(good, len)).ok());
+    client->Close();
+    server_->WaitForFinishedConnections(1);
+    EXPECT_FALSE(server_->Finish().ok());
+    EXPECT_EQ(server_->stats().handshake_rejects, 1u);
+    server_.reset();
+  }
+}
+
+TEST_F(SocketFaultTest, ZeroByteConnectionIsABenignProbe) {
+  // Connect-and-close without a byte is how the bind guard, the
+  // shutdown wake-up, and port scanners look. It must leave no trace:
+  // not a connection, not a reject, not an error.
+  StartServer();
+  {
+    auto probe = SocketClient::Connect(server_->socket_path());
+    ASSERT_TRUE(probe.ok());
+    probe->Close();
+  }
+  const Status finished = SendAndFinish(ValidStream());
+  EXPECT_TRUE(finished.ok()) << finished.ToString();
+  EXPECT_EQ(server_->stats().connections, 1u);  // the real peer only
+  EXPECT_EQ(server_->stats().handshake_rejects, 0u);
+}
+
+// ------------------------------------------- connect under signal load ----
+
+void IgnoreSignalForEintrTest(int) {}
+
+TEST(SocketEintrTest, ConnectSurvivesSignalStorm) {
+  // Regression for the EINTR-from-connect() bug: with a no-SA_RESTART
+  // handler installed and a thread storming SIGUSR1 at the connecting
+  // thread, an interrupted connect() must be completed via poll +
+  // SO_ERROR, never failed. Before the fix, any EINTR here surfaced as a
+  // hard connect error.
+  auto collector = ShardedCollector::Create();
+  ASSERT_TRUE(collector.ok());
+  SocketCollectorServer::Options options;
+  options.socket_path = MakeLoopbackSocketPath();
+  options.num_consumers = 1;
+  auto server = SocketCollectorServer::Create(&*collector, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  struct sigaction action {};
+  struct sigaction old_action {};
+  action.sa_handler = IgnoreSignalForEintrTest;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &old_action), 0);
+
+  std::atomic<bool> stop{false};
+  const pthread_t target = pthread_self();
+  std::thread storm([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      pthread_kill(target, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    auto client = SocketClient::Connect(options.socket_path);
+    EXPECT_TRUE(client.ok()) << "connect " << i << ": "
+                             << client.status().ToString();
+    if (client.ok()) client->Close();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  storm.join();
+  ASSERT_EQ(sigaction(SIGUSR1, &old_action, nullptr), 0);
+
+  // All 200 were zero-byte probes: the server must shrug them off.
+  const Status finished = (*server)->Finish();
+  EXPECT_TRUE(finished.ok()) << finished.ToString();
+  EXPECT_EQ((*server)->stats().connections, 0u);
+}
+
+// ------------------------------------------------------- bind guarding ----
+
+TEST(SocketBindGuardTest, SecondServerOnLivePathIsRefused) {
+  // Two collector processes pointed at one socket path: the second must
+  // refuse with AlreadyExists instead of silently unlinking the first
+  // server's socket out from under its fleet.
+  auto collector1 = ShardedCollector::Create();
+  ASSERT_TRUE(collector1.ok());
+  SocketCollectorServer::Options options;
+  options.socket_path = MakeLoopbackSocketPath();
+  options.num_consumers = 1;
+  auto server1 = SocketCollectorServer::Create(&*collector1, options);
+  ASSERT_TRUE(server1.ok()) << server1.status().ToString();
+
+  auto collector2 = ShardedCollector::Create();
+  ASSERT_TRUE(collector2.ok());
+  auto server2 = SocketCollectorServer::Create(&*collector2, options);
+  ASSERT_FALSE(server2.ok());
+  EXPECT_EQ(server2.status().code(), StatusCode::kAlreadyExists)
+      << server2.status().ToString();
+
+  // The first server must be completely unharmed by the probe: a real
+  // session still drains clean.
+  {
+    auto client = HandshakeOn(options.socket_path, /*client_id=*/5);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    std::vector<uint8_t> frames;
+    AppendUserRunFrame(1, 0, std::vector<double>{0.5}, frames);
+    std::vector<uint8_t> stream;
+    AppendSeqChunk(1, frames, stream);
+    AppendFin(1, stream);
+    ASSERT_TRUE(client->SendRaw(stream).ok());
+    ::shutdown(client->fd(), SHUT_WR);
+    uint8_t fin_ack[kStreamAckBytes];
+    (void)client->ReadExact(fin_ack, sizeof(fin_ack));
+    client->Close();
+  }
+  (*server1)->WaitForFinishedConnections(1);
+  const Status finished = (*server1)->Finish();
+  EXPECT_TRUE(finished.ok()) << finished.ToString();
+  EXPECT_EQ(collector1->report_count(), 1u);
+}
+
+TEST(SocketBindGuardTest, StaleSocketFileIsReclaimed) {
+  // A socket file left behind by a dead server (bound once, never
+  // unlinked, nobody listening) must be reclaimed, not refused --
+  // otherwise every crash would need a manual rm before restart.
+  const std::string path = MakeLoopbackSocketPath();
+  {
+    auto collector = ShardedCollector::Create();
+    ASSERT_TRUE(collector.ok());
+    SocketCollectorServer::Options options;
+    options.socket_path = path;
+    options.num_consumers = 1;
+    auto server = SocketCollectorServer::Create(&*collector, options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    ASSERT_TRUE((*server)->Finish().ok());
+  }
+  // The listener is gone; whether or not the file lingers, a new server
+  // must bind the same path cleanly.
+  auto collector = ShardedCollector::Create();
+  ASSERT_TRUE(collector.ok());
+  SocketCollectorServer::Options options;
+  options.socket_path = path;
+  options.num_consumers = 1;
+  auto server = SocketCollectorServer::Create(&*collector, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  EXPECT_TRUE((*server)->Finish().ok());
+}
+
+// ------------------------------------------------- loopback path TMPDIR ----
+
+TEST(LoopbackSocketPathTest, HonorsTmpdirWithSunPathGuard) {
+  const char* old_tmpdir = std::getenv("TMPDIR");
+  const std::string saved = old_tmpdir != nullptr ? old_tmpdir : "";
+
+  // A usable TMPDIR is honored.
+  char tmpl[] = "/tmp/capp-tmpdir-XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string tmpdir = tmpl;
+  ASSERT_EQ(::setenv("TMPDIR", tmpdir.c_str(), 1), 0);
+  const std::string under_tmpdir = MakeLoopbackSocketPath();
+  EXPECT_EQ(under_tmpdir.rfind(tmpdir + "/", 0), 0u) << under_tmpdir;
+  {
+    // And the path actually binds: a server comes up on it.
+    auto collector = ShardedCollector::Create();
+    ASSERT_TRUE(collector.ok());
+    SocketCollectorServer::Options options;
+    options.socket_path = under_tmpdir;
+    options.num_consumers = 1;
+    auto server = SocketCollectorServer::Create(&*collector, options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    EXPECT_TRUE((*server)->Finish().ok());
+  }
+
+  // A TMPDIR too long for sockaddr_un::sun_path (108 bytes with the NUL)
+  // falls back to /tmp instead of producing an unbindable path.
+  const std::string absurd = "/tmp/" + std::string(150, 'x');
+  ASSERT_EQ(::setenv("TMPDIR", absurd.c_str(), 1), 0);
+  const std::string fallback = MakeLoopbackSocketPath();
+  EXPECT_EQ(fallback.rfind("/tmp/", 0), 0u) << fallback;
+  EXPECT_LT(fallback.size(), 108u);
+
+  if (saved.empty()) {
+    ::unsetenv("TMPDIR");
+  } else {
+    ::setenv("TMPDIR", saved.c_str(), 1);
+  }
+  ::rmdir(tmpdir.c_str());
+}
+
+// --------------------------------------------------- reconnect backoff ----
+
+TEST(BackoffDelayTest, DeterministicJitteredExponential) {
+  // Same (backoff, attempt, seed) -> same delay, run over run: reconnect
+  // schedules must be reproducible.
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    EXPECT_EQ(BackoffDelayMs(50, attempt, 7),
+              BackoffDelayMs(50, attempt, 7));
+  }
+  // The envelope: exponential base (shift capped at 6, total capped at
+  // 2000ms) scaled by jitter in [0.5, 1.0).
+  for (const int backoff : {1, 10, 50}) {
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      for (const uint64_t seed : {0ull, 1ull, 0xDEADBEEFull}) {
+        SCOPED_TRACE(testing::Message() << backoff << "/" << attempt
+                                        << "/" << seed);
+        const int shift = attempt < 6 ? attempt : 6;
+        int64_t base = static_cast<int64_t>(backoff) << shift;
+        if (base > 2000) base = 2000;
+        const int delay = BackoffDelayMs(backoff, attempt, seed);
+        EXPECT_GE(delay, 1);
+        EXPECT_LE(delay, base);
+        EXPECT_GE(delay, static_cast<int>(base / 2) - 1);
+      }
+    }
+  }
+}
+
+TEST(BackoffDelayTest, SeedsSpreadTheHerd) {
+  // The point of the jitter: stripes redialing after the same kill must
+  // not retry in lockstep. 64 seeds at the same attempt must spread over
+  // many distinct delays.
+  std::set<int> delays;
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    delays.insert(BackoffDelayMs(200, 3, seed));
+  }
+  EXPECT_GE(delays.size(), 16u);
+}
+
+// ------------------------------------------------------- TCP endpoints ----
+
+TEST(TcpEndpointTest, ParsesAndRejects) {
+  auto ok = ParseTcpEndpoint("127.0.0.1:7433");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->tcp_host, "127.0.0.1");
+  EXPECT_EQ(ok->tcp_port, 7433);
+  EXPECT_TRUE(ok->is_tcp());
+
+  auto ephemeral = ParseTcpEndpoint("localhost:0");
+  ASSERT_TRUE(ephemeral.ok());
+  EXPECT_EQ(ephemeral->tcp_port, 0);
+
+  // The *last* colon splits, so bracketless IPv6-ish hosts survive.
+  auto multi = ParseTcpEndpoint("fe80::1:9000");
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(multi->tcp_host, "fe80::1");
+  EXPECT_EQ(multi->tcp_port, 9000);
+
+  EXPECT_FALSE(ParseTcpEndpoint("nocolon").ok());
+  EXPECT_FALSE(ParseTcpEndpoint(":7433").ok());
+  EXPECT_FALSE(ParseTcpEndpoint("host:").ok());
+  EXPECT_FALSE(ParseTcpEndpoint("host:99999").ok());
+  EXPECT_FALSE(ParseTcpEndpoint("host:12x").ok());
+}
+
+TEST(TcpTransportTest, TcpLoopbackDigestMatchesInProcess) {
+  // The tentpole contract in miniature: a client-mode hub streaming over
+  // real TCP (ephemeral port on 127.0.0.1) produces a server collector
+  // bit-identical to ingesting the same runs in-process.
+  auto publish_all = [](TransportHub& hub) {
+    auto producer = hub.MakeProducer();
+    Rng rng(99);
+    for (uint64_t user = 0; user < 200; ++user) {
+      std::vector<double> run;
+      for (int t = 0; t < 8; ++t) run.push_back(rng.Uniform(0.0, 1.0));
+      producer.Publish(user, 0, run);
+    }
+  };
+
+  // Oracle: the same runs through a direct hub.
+  auto oracle = ShardedCollector::Create({.keep_streams = false});
+  ASSERT_TRUE(oracle.ok());
+  {
+    TransportOptions direct;
+    direct.kind = TransportKind::kDirect;
+    auto hub = TransportHub::Create(&*oracle, direct);
+    ASSERT_TRUE(hub.ok());
+    publish_all(**hub);
+    ASSERT_TRUE((*hub)->Drain().ok());
+  }
+
+  // Server on an ephemeral TCP port.
+  auto server_collector = ShardedCollector::Create({.keep_streams = false});
+  ASSERT_TRUE(server_collector.ok());
+  SocketCollectorServer::Options server_options;
+  server_options.tcp_host = "127.0.0.1";
+  server_options.tcp_port = 0;
+  server_options.num_consumers = 2;
+  auto server =
+      SocketCollectorServer::Create(&*server_collector, server_options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  ASSERT_GT((*server)->tcp_port(), 0);
+
+  auto local_collector = ShardedCollector::Create({.keep_streams = false});
+  ASSERT_TRUE(local_collector.ok());
+  TransportOptions options;
+  options.kind = TransportKind::kSocket;
+  options.tcp_host = "127.0.0.1";
+  options.tcp_port = (*server)->tcp_port();
+  options.connect_streams = 2;
+  auto hub = TransportHub::Create(&*local_collector, options);
+  ASSERT_TRUE(hub.ok()) << hub.status().ToString();
+  publish_all(**hub);
+  ASSERT_TRUE((*hub)->Drain().ok());
+  (*server)->WaitForCompletedSessions(1);
+  const Status finished = (*server)->Finish();
+  ASSERT_TRUE(finished.ok()) << finished.ToString();
+
+  EXPECT_EQ(local_collector->report_count(), 0u);
+  EXPECT_EQ(server_collector->user_count(), 200u);
+  EXPECT_EQ(CollectorStateDigest(*server_collector),
+            CollectorStateDigest(*oracle));
+  EXPECT_EQ((*server)->stats().stream_errors, 0u);
+}
+
+// ------------------------------------------------ reconnect with resume ----
+
+TEST(ResumeTest, KilledConnectionResumesWithDigestIntact) {
+  // Deterministic kill/resume: write, hard-kill the server side, write
+  // more, finish. The client must redial and replay; the server's dedup
+  // must keep the collector bit-identical to a never-killed run.
+  auto oracle = ShardedCollector::Create({.keep_streams = false});
+  ASSERT_TRUE(oracle.ok());
+  auto collector = ShardedCollector::Create({.keep_streams = false});
+  ASSERT_TRUE(collector.ok());
+  SocketCollectorServer::Options server_options;
+  server_options.socket_path = MakeLoopbackSocketPath();
+  server_options.num_consumers = 1;
+  auto server = SocketCollectorServer::Create(&*collector, server_options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  ResilientSocketClient::Options client_options;
+  client_options.endpoint.unix_path = server_options.socket_path;
+  client_options.client_id = 4242;
+  client_options.connect_backoff_ms = 1;
+  client_options.reconnect_attempts = 50;
+  auto client = ResilientSocketClient::Connect(client_options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  Rng rng(4242);
+  uint64_t next_user = 0;
+  auto write_users = [&](size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<double> run;
+      for (int t = 0; t < 6; ++t) run.push_back(rng.Uniform(0.0, 1.0));
+      std::vector<uint8_t> frame;
+      AppendUserRunFrame(next_user, 0, run, frame);
+      oracle->IngestUserRun(next_user, 0, run);
+      const Status sent = (*client)->WriteChunk(frame);
+      ASSERT_TRUE(sent.ok()) << sent.ToString();
+      ++next_user;
+    }
+  };
+
+  write_users(40);
+  // Kill every active connection twice, with writes in between, so the
+  // client crosses the reconnect path mid-stream (not only at FIN).
+  EXPECT_EQ((*server)->KillActiveConnections(), 1u);
+  write_users(40);
+  (*server)->KillActiveConnections();
+  write_users(40);
+
+  const Status finished_client = (*client)->Finish();
+  ASSERT_TRUE(finished_client.ok()) << finished_client.ToString();
+  EXPECT_GE((*client)->reconnects(), 1u);
+  (*client)->Close();
+
+  (*server)->WaitForCompletedSessions(1);
+  const Status finished = (*server)->Finish();
+  ASSERT_TRUE(finished.ok()) << finished.ToString();
+  EXPECT_EQ((*server)->stats().stream_errors, 0u);
+  EXPECT_EQ(collector->user_count(), 120u);
+  EXPECT_EQ(CollectorStateDigest(*collector), CollectorStateDigest(*oracle));
+}
+
+TEST(ResumeTortureTest, StripedHubSurvivesRepeatedKills) {
+  // The stochastic flavor: a striped client-mode hub under a killer
+  // thread that keeps hard-closing every active connection at arbitrary
+  // chunk boundaries. Whatever the kill schedule, Drain must succeed and
+  // the server collector must match the no-kill oracle bit for bit.
+  auto publish_all = [](TransportHub& hub, size_t producers) {
+    std::vector<std::thread> threads;
+    for (size_t p = 0; p < producers; ++p) {
+      threads.emplace_back([&hub, p, producers] {
+        auto producer = hub.MakeProducer();
+        for (uint64_t user = p; user < 400; user += producers) {
+          Rng rng(1000 + user);
+          std::vector<double> run;
+          for (int t = 0; t < 10; ++t) run.push_back(rng.Uniform(0.0, 1.0));
+          producer.Publish(user, 0, run);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  };
+
+  auto oracle = ShardedCollector::Create({.keep_streams = false});
+  ASSERT_TRUE(oracle.ok());
+  {
+    TransportOptions direct;
+    direct.kind = TransportKind::kDirect;
+    auto hub = TransportHub::Create(&*oracle, direct);
+    ASSERT_TRUE(hub.ok());
+    publish_all(**hub, 4);
+    ASSERT_TRUE((*hub)->Drain().ok());
+  }
+
+  auto collector = ShardedCollector::Create({.keep_streams = false});
+  ASSERT_TRUE(collector.ok());
+  SocketCollectorServer::Options server_options;
+  server_options.socket_path = MakeLoopbackSocketPath();
+  server_options.num_consumers = 2;
+  auto server = SocketCollectorServer::Create(&*collector, server_options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  auto local = ShardedCollector::Create({.keep_streams = false});
+  ASSERT_TRUE(local.ok());
+  TransportOptions options;
+  options.kind = TransportKind::kSocket;
+  options.socket_path = server_options.socket_path;
+  options.connect_streams = 4;
+  options.connect_backoff_ms = 1;
+  options.reconnect_attempts = 500;
+  options.max_batch_runs = 4;  // small chunks: more kill boundaries
+  auto hub = TransportHub::Create(&*local, options);
+  ASSERT_TRUE(hub.ok()) << hub.status().ToString();
+
+  std::atomic<bool> stop_killer{false};
+  std::thread killer([&] {
+    Rng rng(31337);
+    while (!stop_killer.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(500 + rng.UniformInt(1500)));
+      (*server)->KillActiveConnections();
+    }
+  });
+  publish_all(**hub, 4);
+  stop_killer.store(true, std::memory_order_relaxed);
+  killer.join();
+
+  const Status drained = (*hub)->Drain();
+  ASSERT_TRUE(drained.ok()) << drained.ToString();
+  (*server)->WaitForCompletedSessions(1);
+  const Status finished = (*server)->Finish();
+  ASSERT_TRUE(finished.ok()) << finished.ToString();
+  EXPECT_EQ((*server)->stats().stream_errors, 0u);
+  EXPECT_EQ(collector->user_count(), 400u);
+  EXPECT_EQ(CollectorStateDigest(*collector), CollectorStateDigest(*oracle));
 }
 
 // --------------------------------------- fleet determinism across wires ----

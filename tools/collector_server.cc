@@ -1,19 +1,35 @@
 // Standalone collector tier for the socket transport: binds a unix-domain
-// socket, accepts fleet connections, and ingests every received wire
-// frame into a ShardedCollector -- the paper's untrusted-collector
-// process, separated from the device fleet (Fig. 1).
+// socket (--socket=PATH) or a TCP listener (--tcp=HOST:PORT), accepts
+// fleet connections, and ingests every received wire frame into a
+// ShardedCollector -- the paper's untrusted-collector process, separated
+// from the device fleet (Fig. 1).
 //
 //   # terminal 1: the collector
 //   $ ./collector_server --socket=/tmp/capp.sock --consumers=4 --affinity
 //   # terminal 2: the fleet
 //   $ ./fleet_simulation 200000 24 --connect=/tmp/capp.sock
 //
-// The server waits until --sessions connections have terminated (each
-// fleet process uses one connection and ends it with a FIN marker), then
-// drains, prints the per-slot population aggregates it reconstructed from
-// perturbed reports alone, and exits 0 -- or exits 1 loudly if any stream
-// was truncated, any frame failed its CRC, any run was lost, or the
-// fixed-point aggregates saturated.
+//   # or across hosts (port 0 picks a free port, printed on startup):
+//   $ ./collector_server --tcp=0.0.0.0:7433 --sessions=4
+//   $ ./fleet_simulation 200000 24 --connect-tcp=collector:7433 \
+//         --connect-streams=4
+//
+// Every connection opens with the versioned handshake of
+// transport/handshake.h: the server refuses peers with a mismatched
+// protocol version, privacy-budget fingerprint (computed from this
+// server's --epsilon/--window/--dims/--multidim, which must therefore
+// match the fleet's), or report dimensionality -- loudly, before any
+// data flows. Streams carry per-connection sequence numbers, so a fleet
+// client that loses its connection mid-run redials and replays its
+// unacked window while the server's dedup ingests nothing twice.
+//
+// The server waits until --sessions fleet processes have completed all
+// their striped streams (each stream ends with a FIN marker; a session
+// completes when all stream_count streams of its client id have finned),
+// then drains, prints the per-slot population aggregates it
+// reconstructed from perturbed reports alone, and exits 0 -- or exits 1
+// loudly if any stream was truncated, any frame failed its CRC, any run
+// was lost, or the fixed-point aggregates saturated.
 // With --analytics the collector also maintains the streaming per-slot
 // histogram tier (sized for the fleet's --epsilon/--window budget) and
 // prints per-window SW-EM distribution reconstruction, crowd means, and
@@ -46,6 +62,7 @@
 
 #include "analysis/streaming_analytics.h"
 #include "core/parse.h"
+#include "engine/engine_config.h"
 #include "engine/sharded_collector.h"
 #include "multidim/multidim_perturber.h"
 #include "storage/collector_backend.h"
@@ -56,13 +73,15 @@
 #include "telemetry/registry.h"
 #include "telemetry/summary.h"
 #include "transport/socket_transport.h"
+#include "transport/tcp_transport.h"
 #include "transport/transport.h"
 
 namespace {
 
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --socket=PATH [--sessions=N] [--consumers=N]\n"
+               "usage: %s {--socket=PATH | --tcp=HOST:PORT}\n"
+               "          [--sessions=N] [--consumers=N]\n"
                "          [--shards=N] [--capacity=N] [--batch-runs=N]\n"
                "          [--affinity] [--owned-shards] [--max-slots=N]\n"
                "          [--dims=N] "
@@ -72,7 +91,7 @@ namespace {
                "          [--fsync-frames=N] [--fsync-interval-ms=N]\n"
                "          [--checkpoint-every=N]\n"
                "          [--metrics-socket=PATH] [--stats-every=SECS]\n"
-               "          [--sample-every=N]\n",
+               "          [--sample-every=N] [--chaos-kill-ms=N]\n",
                argv0);
   std::exit(2);
 }
@@ -176,6 +195,7 @@ int main(int argc, char** argv) {
   capp::DurableCollectorOptions durable_options;
   std::string metrics_socket;
   uint64_t stats_every = 0;
+  uint64_t chaos_kill_ms = 0;
   capp::telemetry::TelemetryConfig telemetry_config;
   // The server always runs with telemetry on: a long-lived ingest process
   // is exactly what live counters exist for, and the enabled-path cost is
@@ -186,6 +206,17 @@ int main(int argc, char** argv) {
     const std::string_view arg = argv[i];
     if (arg.starts_with("--socket=")) {
       options.socket_path = std::string(arg.substr(9));
+    } else if (arg.starts_with("--tcp=")) {
+      auto endpoint = capp::ParseTcpEndpoint(arg.substr(6));
+      if (!endpoint.ok()) {
+        std::fprintf(stderr, "--tcp: %s\n",
+                     endpoint.status().ToString().c_str());
+        return 2;
+      }
+      options.tcp_host = endpoint->tcp_host;
+      options.tcp_port = endpoint->tcp_port;
+    } else if (arg.starts_with("--chaos-kill-ms=")) {
+      chaos_kill_ms = ParsePositiveOrDie("--chaos-kill-ms", arg.substr(16));
     } else if (arg.starts_with("--wal-dir=")) {
       durable_options.wal.dir = std::string(arg.substr(10));
     } else if (arg.starts_with("--fsync=")) {
@@ -261,7 +292,12 @@ int main(int argc, char** argv) {
       Usage(argv[0]);
     }
   }
-  if (options.socket_path.empty()) Usage(argv[0]);
+  if (options.socket_path.empty() == options.tcp_host.empty()) {
+    std::fprintf(stderr,
+                 "exactly one of --socket=PATH or --tcp=HOST:PORT is "
+                 "required\n");
+    Usage(argv[0]);
+  }
   capp::telemetry::Configure(telemetry_config);
   if (owned_shards && !options.shard_affinity) {
     // Same soundness rule as ValidateTransportOptions: single-writer
@@ -349,6 +385,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(recovered.bytes_discarded),
                 recovered.checkpoint_restored ? "restored" : "none");
   }
+
+  // Handshake policy: refuse any fleet whose privacy budget or report
+  // shape disagrees with this server's flags. The fingerprint formula is
+  // shared with Fleet::Create (StreamHandshakeFingerprint), so the two
+  // sides agree exactly when their --epsilon/--window/--dims/--multidim
+  // match.
+  options.handshake_fingerprint = capp::StreamHandshakeFingerprint(
+      epsilon, window, dims, multidim_strategy);
+  options.expected_dims = static_cast<uint32_t>(dims);
 
   auto server = capp::SocketCollectorServer::Create(backend, options);
   if (!server.ok()) {
@@ -458,9 +503,16 @@ int main(int argc, char** argv) {
                          multidim_strategy)) +
                      ")"
                : "";
+  // The TCP line includes the *bound* port: with --tcp=HOST:0 the kernel
+  // picks a free one, and scripts scrape it from this line.
+  const std::string listen_endpoint =
+      options.tcp_host.empty()
+          ? options.socket_path
+          : "tcp " + options.tcp_host + ":" +
+                std::to_string((*server)->tcp_port());
   std::printf("collector_server: listening on %s (%d consumers, affinity "
               "%s, %zu shards, %s ingest%s); waiting for %llu session(s)\n",
-              options.socket_path.c_str(), options.num_consumers,
+              listen_endpoint.c_str(), options.num_consumers,
               options.shard_affinity ? "on" : "off",
               static_cast<size_t>(shards),
               owned_shards ? "owned-shard" : "mutex", dims_note.c_str(),
@@ -472,7 +524,35 @@ int main(int argc, char** argv) {
   }
   std::fflush(stdout);
 
-  (*server)->WaitForFinishedConnections(sessions);
+  // Chaos mode for the resume path's CI smoke: periodically hard-close
+  // every active data connection. Correct fleet clients redial, replay
+  // their unacked window, and the digest still matches an undisturbed
+  // run bit for bit.
+  std::atomic<bool> chaos_stop{false};
+  std::thread chaos_thread;
+  if (chaos_kill_ms > 0) {
+    capp::SocketCollectorServer* const chaos_server = server->get();
+    chaos_thread = std::thread([chaos_kill_ms, &chaos_stop, chaos_server] {
+      while (!chaos_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(chaos_kill_ms));
+        if (chaos_stop.load(std::memory_order_relaxed)) return;
+        const size_t killed = chaos_server->KillActiveConnections();
+        if (killed > 0) {
+          std::fprintf(stderr, "chaos: killed %zu connection(s)\n", killed);
+        }
+      }
+    });
+  }
+
+  // Session-level wait, not connection-level: a killed-and-resumed
+  // stream terminates several connections but still counts as one
+  // session, so chaos mode cannot trick the server into draining early.
+  (*server)->WaitForCompletedSessions(sessions);
+  if (chaos_thread.joinable()) {
+    chaos_stop.store(true, std::memory_order_relaxed);
+    chaos_thread.join();
+  }
   if (stats_thread.joinable()) {
     stats_stop.store(true, std::memory_order_relaxed);
     stats_thread.join();
